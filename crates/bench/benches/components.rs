@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the substrates: compilation, linking,
+//! loading and simulation throughput. These guard the harness's own
+//! performance — a slow simulator makes setup sweeps impractical.
+
+use biaslab_core::harness::Harness;
+use biaslab_core::setup::ExperimentSetup;
+use biaslab_toolchain::codegen::compile;
+use biaslab_toolchain::link::Linker;
+use biaslab_toolchain::load::{Environment, Loader};
+use biaslab_toolchain::opt::{optimize, OptLevel};
+use biaslab_uarch::{Machine, MachineConfig};
+use biaslab_workloads::{benchmark_by_name, InputSize};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+fn bench_toolchain(c: &mut Criterion) {
+    let bench = benchmark_by_name("hmmer").expect("known");
+    let module = bench.module().clone();
+
+    c.bench_function("optimize-O3", |b| {
+        b.iter(|| std::hint::black_box(optimize(&module, OptLevel::O3)))
+    });
+
+    let optimized = optimize(&module, OptLevel::O3);
+    c.bench_function("codegen-O3", |b| {
+        b.iter(|| std::hint::black_box(compile(&optimized, OptLevel::O3)))
+    });
+
+    let cm = compile(&optimized, OptLevel::O3);
+    c.bench_function("link", |b| {
+        b.iter(|| std::hint::black_box(Linker::new().link(&cm, "main").expect("links")))
+    });
+
+    let exe = Linker::new().link(&cm, "main").expect("links");
+    let env = Environment::of_total_size(512);
+    c.bench_function("load", |b| {
+        b.iter(|| std::hint::black_box(Loader::new().load(&exe, &env, &[1]).expect("loads")))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let bench = benchmark_by_name("hmmer").expect("known");
+    let module = bench.module().clone();
+    let cm = compile(&optimize(&module, OptLevel::O2), OptLevel::O2);
+    let exe = Linker::new().link(&cm, "main").expect("links");
+    let env = Environment::new();
+
+    c.bench_function("simulate-hmmer-test", |b| {
+        b.iter(|| {
+            let process = Loader::new().load(&exe, &env, &[2]).expect("loads");
+            let mut machine = Machine::new(MachineConfig::core2());
+            std::hint::black_box(machine.run(&exe, process).expect("runs"))
+        })
+    });
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let harness = Harness::new(benchmark_by_name("milc").expect("known"));
+    let setup = ExperimentSetup::default_on(MachineConfig::o3cpu(), OptLevel::O2);
+    // Warm caches so the bench isolates the per-measurement cost.
+    harness.measure(&setup, InputSize::Test).expect("measures");
+    c.bench_function("harness-measure-cached", |b| {
+        b.iter(|| std::hint::black_box(harness.measure(&setup, InputSize::Test).expect("measures")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_toolchain, bench_simulator, bench_harness
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benches: one group per paper table/figure, running the
+//! experiment generators at `Quick` effort. These track the wall-clock
+//! cost of regenerating each artifact (the "how long does the repro take"
+//! number), not the simulated cycle counts the artifacts themselves report.
+
+use biaslab_bench::{run_experiment, Effort, EXPERIMENTS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for e in EXPERIMENTS {
+        group.bench_function(e.id, |b| {
+            b.iter(|| {
+                let out = run_experiment(e.id, Effort::Quick).expect("registered");
+                std::hint::black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro list              # available experiment ids
+//! repro fig3              # regenerate one experiment at full size
+//! repro fig3 --quick      # reduced size (CI-friendly)
+//! repro all [--quick]     # everything, in paper order
+//! ```
+
+use std::process::ExitCode;
+
+use biaslab_bench::{run_experiment, Effort, EXPERIMENTS};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <experiment-id | all | list> [--quick]");
+    eprintln!("experiments:");
+    for e in EXPERIMENTS {
+        eprintln!("  {:12} {}", e.id, e.title);
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+
+    let Some(&target) = targets.first() else {
+        return usage();
+    };
+
+    match target.as_str() {
+        "list" => {
+            for e in EXPERIMENTS {
+                println!("{:12} {}", e.id, e.title);
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for e in EXPERIMENTS {
+                println!("================================================================");
+                println!("== {} — {}", e.id, e.title);
+                println!("================================================================");
+                println!("{}", (e.run)(effort));
+            }
+            ExitCode::SUCCESS
+        }
+        id => match run_experiment(id, effort) {
+            Some(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`\n");
+                usage()
+            }
+        },
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 9: experimental setup randomization.
+
+use std::fmt::Write as _;
+
+use biaslab_core::randomize::{randomized_eval, single_setup_disagreement_rate, RandomizedFactors};
+use biaslab_core::report::Table;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+
+use super::{harness, Effort};
+
+/// Fig. 9 ®: as the number of randomized setups grows, the confidence
+/// interval narrows around the setup-population mean while a single-setup
+/// experiment keeps a fixed risk of reaching the opposite conclusion.
+pub(crate) fn fig9(effort: Effort) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fig9: randomized-setup evaluation of O3 vs O2 (o3cpu)\n"
+    );
+    let counts: &[usize] = match effort {
+        Effort::Quick => &[2, 4, 8],
+        Effort::Full => &[2, 4, 8, 16, 32, 64],
+    };
+    for bench in ["perlbench", "sjeng", "gcc"] {
+        let h = harness(bench);
+        let mut table =
+            Table::new(vec!["setups", "mean-speedup", "ci-lo", "ci-hi", "ci-width", "verdict", "single-setup-disagree%"]);
+        let mut last_mean = 1.0;
+        for &n in counts {
+            let eval = randomized_eval(
+                &h,
+                &MachineConfig::o3cpu(),
+                OptLevel::O2,
+                OptLevel::O3,
+                RandomizedFactors::default(),
+                n,
+                0xF19 + n as u64,
+                effort.input(),
+            )
+            .expect("evaluation runs");
+            let speedups: Vec<f64> = eval.observations.iter().map(|o| o.speedup).collect();
+            let disagree = single_setup_disagreement_rate(&speedups, eval.mean_speedup);
+            table.row(vec![
+                format!("{n}"),
+                format!("{:.4}", eval.mean_speedup),
+                format!("{:.4}", eval.ci.lo),
+                format!("{:.4}", eval.ci.hi),
+                format!("{:.5}", eval.ci.width()),
+                match eval.verdict() {
+                    Some(true) => "O3 helps".to_owned(),
+                    Some(false) => "O3 hurts".to_owned(),
+                    None => "cannot tell".to_owned(),
+                },
+                format!("{:.1}", 100.0 * disagree),
+            ]);
+            last_mean = eval.mean_speedup;
+        }
+        let _ = writeln!(out, "{bench} (pooled mean at largest N: {last_mean:.4})");
+        let _ = writeln!(out, "{table}");
+    }
+    let _ = writeln!(
+        out,
+        "Reading: a single setup lands anywhere in the bias range; sampling \
+         setups gives an interval that honestly includes the remaining \
+         uncertainty and narrows as setups are added."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_quick_renders_tables_per_benchmark() {
+        let out = fig9(Effort::Quick);
+        for b in ["perlbench", "sjeng", "gcc"] {
+            assert!(out.contains(b), "{b} missing");
+        }
+        assert!(out.contains("ci-width"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Argument parsing (dependency-free, flag-per-option).
+
+use biaslab_core::setup::LinkOrder;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+use biaslab_workloads::InputSize;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage: biaslab <command> [options]
+
+commands:
+  list                         list the benchmark suite
+  machines                     list the machine models
+  run <benchmark>              measure one benchmark
+  disasm <benchmark>           print the linked disassembly
+  ir <benchmark>               print the optimized IR
+  audit <benchmark>            report environment & link-order bias
+  survey                       print the 133-paper literature survey
+
+options (run/disasm/audit):
+  --opt <O0|O1|O2|O3>          optimization level       [default O2]
+  --machine <name>             pentium4 | core2 | o3cpu [default core2]
+  --env <bytes>                environment size         [default 0]
+  --order <spec>               default|reversed|alpha|rand:<seed>
+  --size <test|ref>            input size               [default test]
+  --profile                    (run) print a per-function profile";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `biaslab list`
+    List,
+    /// `biaslab machines`
+    Machines,
+    /// `biaslab survey`
+    Survey,
+    /// `biaslab run <bench> …`
+    Run(RunArgs),
+    /// `biaslab disasm <bench> …`
+    Disasm {
+        /// Benchmark name.
+        bench: String,
+        /// Optimization level.
+        opt: OptLevel,
+    },
+    /// `biaslab ir <bench> …`
+    Ir {
+        /// Benchmark name.
+        bench: String,
+        /// Optimization level.
+        opt: OptLevel,
+    },
+    /// `biaslab audit <bench> …`
+    Audit {
+        /// Benchmark name.
+        bench: String,
+        /// Machine model name.
+        machine: String,
+        /// Input size.
+        size: InputSize,
+    },
+}
+
+/// Options for `biaslab run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    pub bench: String,
+    pub opt: OptLevel,
+    pub machine: String,
+    pub env_bytes: u32,
+    pub order: LinkOrder,
+    pub size: InputSize,
+    pub profile: bool,
+}
+
+/// Parses an argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let cmd = it.next().ok_or("missing command")?;
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "machines" => Ok(Command::Machines),
+        "survey" => Ok(Command::Survey),
+        "run" | "disasm" | "audit" | "ir" => {
+            let rest: Vec<&String> = it.collect();
+            let bench = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .ok_or("missing benchmark name")?
+                .to_string();
+            let get = |flag: &str| -> Option<&str> {
+                rest.iter()
+                    .position(|a| a.as_str() == flag)
+                    .and_then(|i| rest.get(i + 1))
+                    .map(|s| s.as_str())
+            };
+            let opt = parse_opt(get("--opt").unwrap_or("O2"))?;
+            let machine = get("--machine").unwrap_or("core2").to_owned();
+            parse_machine(&machine)?; // validate early
+            let size = parse_size(get("--size").unwrap_or("test"))?;
+            match cmd.as_str() {
+                "disasm" => Ok(Command::Disasm { bench, opt }),
+                "ir" => Ok(Command::Ir { bench, opt }),
+                "audit" => Ok(Command::Audit { bench, machine, size }),
+                _ => Ok(Command::Run(RunArgs {
+                    bench,
+                    opt,
+                    machine,
+                    env_bytes: get("--env")
+                        .map(|v| v.parse::<u32>().map_err(|_| format!("bad --env `{v}`")))
+                        .transpose()?
+                        .unwrap_or(0),
+                    order: parse_order(get("--order").unwrap_or("default"))?,
+                    size,
+                    profile: rest.iter().any(|a| a.as_str() == "--profile"),
+                })),
+            }
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_opt(s: &str) -> Result<OptLevel, String> {
+    OptLevel::ALL
+        .into_iter()
+        .find(|l| l.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown optimization level `{s}`"))
+}
+
+/// Resolves a machine name to its configuration.
+pub fn parse_machine(s: &str) -> Result<MachineConfig, String> {
+    MachineConfig::all()
+        .into_iter()
+        .find(|m| m.name == s)
+        .ok_or_else(|| format!("unknown machine `{s}` (pentium4, core2, o3cpu)"))
+}
+
+fn parse_size(s: &str) -> Result<InputSize, String> {
+    match s {
+        "test" => Ok(InputSize::Test),
+        "ref" => Ok(InputSize::Ref),
+        other => Err(format!("unknown size `{other}` (test, ref)")),
+    }
+}
+
+fn parse_order(s: &str) -> Result<LinkOrder, String> {
+    match s {
+        "default" => Ok(LinkOrder::Default),
+        "reversed" => Ok(LinkOrder::Reversed),
+        "alpha" | "alphabetical" => Ok(LinkOrder::Alphabetical),
+        other => {
+            if let Some(seed) = other.strip_prefix("rand:") {
+                let seed = seed.parse::<u64>().map_err(|_| format!("bad seed in `{other}`"))?;
+                Ok(LinkOrder::Random(seed))
+            } else {
+                Err(format!("unknown order `{other}` (default, reversed, alpha, rand:<seed>)"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+        assert_eq!(parse(&argv("machines")).unwrap(), Command::Machines);
+        assert_eq!(parse(&argv("survey")).unwrap(), Command::Survey);
+    }
+
+    #[test]
+    fn parses_run_with_all_flags() {
+        let cmd = parse(&argv(
+            "run perlbench --opt O3 --machine o3cpu --env 612 --order rand:7 --size ref --profile",
+        ))
+        .unwrap();
+        let Command::Run(a) = cmd else { panic!("expected run") };
+        assert_eq!(a.bench, "perlbench");
+        assert_eq!(a.opt, OptLevel::O3);
+        assert_eq!(a.machine, "o3cpu");
+        assert_eq!(a.env_bytes, 612);
+        assert_eq!(a.order, LinkOrder::Random(7));
+        assert_eq!(a.size, InputSize::Ref);
+        assert!(a.profile);
+    }
+
+    #[test]
+    fn run_defaults_are_sane() {
+        let Command::Run(a) = parse(&argv("run hmmer")).unwrap() else { panic!() };
+        assert_eq!(a.opt, OptLevel::O2);
+        assert_eq!(a.machine, "core2");
+        assert_eq!(a.env_bytes, 0);
+        assert_eq!(a.order, LinkOrder::Default);
+        assert!(!a.profile);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("run x --opt O9")).is_err());
+        assert!(parse(&argv("run x --machine vax")).is_err());
+        assert!(parse(&argv("run x --order rand:zzz")).is_err());
+        assert!(parse(&argv("run x --env lots")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_ir() {
+        assert_eq!(
+            parse(&argv("ir sjeng --opt O3")).unwrap(),
+            Command::Ir { bench: "sjeng".into(), opt: OptLevel::O3 }
+        );
+    }
+
+    #[test]
+    fn parses_disasm_and_audit() {
+        assert_eq!(
+            parse(&argv("disasm milc --opt O0")).unwrap(),
+            Command::Disasm { bench: "milc".into(), opt: OptLevel::O0 }
+        );
+        let Command::Audit { bench, machine, size } =
+            parse(&argv("audit gcc --machine pentium4 --size ref")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(bench, "gcc");
+        assert_eq!(machine, "pentium4");
+        assert_eq!(size, InputSize::Ref);
+    }
+}

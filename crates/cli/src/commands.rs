@@ -1,0 +1,178 @@
+//! Command implementations.
+
+use biaslab_core::harness::Harness;
+use biaslab_core::report::Table;
+use biaslab_core::setup::ExperimentSetup;
+use biaslab_toolchain::load::{Environment, Loader};
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::{Machine, MachineConfig};
+use biaslab_workloads::{benchmark_by_name, suite, InputSize};
+
+use crate::args::{parse_machine, Command, RunArgs};
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::List => list(),
+        Command::Machines => machines(),
+        Command::Survey => survey(),
+        Command::Run(args) => run_bench(&args),
+        Command::Disasm { bench, opt } => disasm(&bench, opt),
+        Command::Ir { bench, opt } => print_ir(&bench, opt),
+        Command::Audit { bench, machine, size } => audit(&bench, &machine, size),
+    }
+}
+
+fn list() -> Result<(), String> {
+    let mut table = Table::new(vec!["benchmark", "behaviour", "functions"]);
+    for b in suite() {
+        table.row(vec![
+            b.name().to_owned(),
+            b.description().to_owned(),
+            format!("{}", b.module().functions.len()),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn machines() -> Result<(), String> {
+    let mut table = Table::new(vec!["machine", "L1D", "ways", "L2", "BTB", "mispredict", "banks"]);
+    for m in MachineConfig::all() {
+        table.row(vec![
+            m.name.clone(),
+            format!("{}K", m.l1d.size >> 10),
+            format!("{}", m.l1d.ways),
+            format!("{}K", m.l2.size >> 10),
+            format!("{}", m.branch.btb_entries),
+            format!("{}", m.branch.mispredict_penalty),
+            format!("{}", m.l1d_banks),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn survey() -> Result<(), String> {
+    let table = biaslab_survey::tabulate(&biaslab_survey::corpus(2009));
+    println!("{table}");
+    Ok(())
+}
+
+fn lookup(bench: &str) -> Result<biaslab_workloads::Benchmark, String> {
+    benchmark_by_name(bench).ok_or_else(|| {
+        format!("unknown benchmark `{bench}` — `biaslab list` shows the suite")
+    })
+}
+
+fn run_bench(args: &RunArgs) -> Result<(), String> {
+    let bench = lookup(&args.bench)?;
+    let harness = Harness::new(bench);
+    let machine_config = parse_machine(&args.machine)?;
+    let mut setup = ExperimentSetup::default_on(machine_config.clone(), args.opt);
+    setup.link_order = args.order;
+    if args.env_bytes >= 23 {
+        setup.env = Environment::of_total_size(args.env_bytes);
+    }
+
+    if args.profile {
+        // Profiled path: drive the stages directly so the profiler sees
+        // the same verified binary the harness measures.
+        let names = harness.object_names();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let order = setup.link_order.resolve(&name_refs);
+        let exe = harness
+            .executable(args.opt, &order, setup.text_offset)
+            .map_err(|e| e.to_string())?;
+        let process = Loader::new()
+            .load(&exe, &setup.env, harness.benchmark().args(args.size))
+            .map_err(|e| e.to_string())?;
+        let (result, profile) = Machine::new(machine_config)
+            .run_profiled(&exe, process)
+            .map_err(|e| e.to_string())?;
+        let expected = harness.benchmark().expected(args.size);
+        if result.checksum != expected.checksum {
+            return Err(format!(
+                "verification failed: checksum {:#x} != reference {:#x}",
+                result.checksum, expected.checksum
+            ));
+        }
+        println!("{} @ {} on {} [{}]", args.bench, args.opt, args.machine, setup.summary());
+        println!("{}\n", result.counters);
+        println!("{profile}");
+    } else {
+        let m = harness.measure(&setup, args.size).map_err(|e| e.to_string())?;
+        println!("{} @ {} on {} [{}]", args.bench, args.opt, args.machine, m.setup);
+        println!("{}", m.counters);
+    }
+    Ok(())
+}
+
+fn disasm(bench: &str, opt: OptLevel) -> Result<(), String> {
+    let harness = Harness::new(lookup(bench)?);
+    let names = harness.object_names();
+    let order: Vec<usize> = (0..names.len()).collect();
+    let exe = harness.executable(opt, &order, 0).map_err(|e| e.to_string())?;
+    print!("{}", exe.disassemble());
+    Ok(())
+}
+
+fn print_ir(bench: &str, opt: OptLevel) -> Result<(), String> {
+    let b = lookup(bench)?;
+    let optimized = biaslab_toolchain::opt::optimize(b.module(), opt);
+    print!("{optimized}");
+    Ok(())
+}
+
+fn audit(bench: &str, machine: &str, size: InputSize) -> Result<(), String> {
+    let harness = Harness::new(lookup(bench)?);
+    let machine_config = parse_machine(machine)?;
+    let config = biaslab_core::audit::AuditConfig {
+        machines: vec![machine_config],
+        size,
+        ..biaslab_core::audit::AuditConfig::default()
+    };
+    let report = biaslab_core::audit::full_audit(&harness, &config).map_err(|e| e.to_string())?;
+    println!("{report}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn informational_commands_succeed() {
+        for cmd in ["list", "machines", "survey"] {
+            run(parse(&argv(cmd)).unwrap()).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+        }
+    }
+
+    #[test]
+    fn run_command_measures_and_verifies() {
+        run(parse(&argv("run hmmer --opt O2 --machine o3cpu --env 100")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn run_with_profile_succeeds() {
+        run(parse(&argv("run milc --profile")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn disasm_and_ir_succeed() {
+        run(parse(&argv("disasm gobmk --opt O1")).unwrap()).unwrap();
+        run(parse(&argv("ir gobmk --opt O3")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_clean_error() {
+        let err = run(parse(&argv("run nonesuch")).unwrap()).unwrap_err();
+        assert!(err.contains("nonesuch"));
+        assert!(err.contains("biaslab list"));
+    }
+}

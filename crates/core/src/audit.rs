@@ -1,0 +1,242 @@
+//! The full bias audit: one call that answers "can I trust a speedup
+//! measurement of this benchmark?" across machines and setup factors.
+//!
+//! This is the packaged form of the paper's recommendation — before
+//! reporting an effect, measure how much the effect moves under factors
+//! that should not matter.
+
+use std::fmt;
+
+use biaslab_toolchain::load::Environment;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+use biaslab_workloads::InputSize;
+
+use crate::bias::{sweep_factor, BiasReport};
+use crate::harness::{Harness, MeasureError};
+use crate::report::{sparkline, Table};
+use crate::setup::{ExperimentSetup, LinkOrder};
+
+/// Configuration of a full audit.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Machines to audit on.
+    pub machines: Vec<MachineConfig>,
+    /// The baseline optimization level.
+    pub base_opt: OptLevel,
+    /// The optimization level under test.
+    pub test_opt: OptLevel,
+    /// Environment sizes to sweep (bytes). Defaults avoid multiples of the
+    /// cache-line size so every alignment phase is visited.
+    pub env_sizes: Vec<u32>,
+    /// Link orders to sweep.
+    pub link_orders: Vec<LinkOrder>,
+    /// Input size for every measurement.
+    pub size: InputSize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            machines: MachineConfig::all(),
+            base_opt: OptLevel::O2,
+            test_opt: OptLevel::O3,
+            env_sizes: (0..16).map(|i| i * 176).collect(),
+            link_orders: [LinkOrder::Default, LinkOrder::Reversed, LinkOrder::Alphabetical]
+                .into_iter()
+                .chain((0..9).map(LinkOrder::Random))
+                .collect(),
+            size: InputSize::Test,
+        }
+    }
+}
+
+/// One (machine, factor) row of an audit.
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    /// Machine name.
+    pub machine: String,
+    /// The underlying factor report.
+    pub report: BiasReport,
+}
+
+/// The outcome of a full audit.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The compared levels, e.g. `("O2", "O3")`.
+    pub levels: (OptLevel, OptLevel),
+    /// One row per machine × factor.
+    pub rows: Vec<AuditRow>,
+}
+
+impl AuditReport {
+    /// The largest bias magnitude any factor showed on any machine.
+    #[must_use]
+    pub fn worst_bias(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.report.bias_magnitude)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether any factor on any machine flips the conclusion.
+    #[must_use]
+    pub fn any_flip(&self) -> bool {
+        self.rows.iter().any(|r| r.report.conclusion_flips)
+    }
+
+    /// The audit's one-line verdict.
+    #[must_use]
+    pub fn verdict(&self) -> String {
+        if self.any_flip() {
+            format!(
+                "UNSAFE: an innocuous setup factor flips the {}-vs-{} conclusion",
+                self.levels.1, self.levels.0
+            )
+        } else {
+            format!(
+                "bias up to {:.2}% without flipping; report it alongside the effect",
+                100.0 * self.worst_bias()
+            )
+        }
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bias audit: {} ({} vs {})\n",
+            self.benchmark, self.levels.1, self.levels.0
+        )?;
+        let mut table = Table::new(vec!["machine", "factor", "min", "max", "bias%", "flips", "shape"]);
+        for row in &self.rows {
+            table.row(vec![
+                row.machine.clone(),
+                row.report.factor.clone(),
+                format!("{:.4}", row.report.violin.min()),
+                format!("{:.4}", row.report.violin.max()),
+                format!("{:.3}", 100.0 * row.report.bias_magnitude),
+                format!("{}", row.report.conclusion_flips),
+                sparkline(&row.report.speedups()),
+            ]);
+        }
+        writeln!(f, "{table}")?;
+        writeln!(f, "verdict: {}", self.verdict())
+    }
+}
+
+/// Runs the full audit for one benchmark.
+///
+/// # Errors
+///
+/// Propagates the first [`MeasureError`].
+pub fn full_audit(harness: &Harness, config: &AuditConfig) -> Result<AuditReport, MeasureError> {
+    let mut rows = Vec::new();
+    for machine in &config.machines {
+        let base = ExperimentSetup::default_on(machine.clone(), config.base_opt);
+
+        let env_setups: Vec<_> = config
+            .env_sizes
+            .iter()
+            .map(|&bytes| {
+                let env =
+                    if bytes < 23 { Environment::new() } else { Environment::of_total_size(bytes) };
+                base.with_env(env)
+            })
+            .collect();
+        let env_report = sweep_factor(
+            harness,
+            "environment size",
+            &env_setups,
+            config.base_opt,
+            config.test_opt,
+            config.size,
+        )?;
+        rows.push(AuditRow { machine: machine.name.clone(), report: env_report });
+
+        let order_setups: Vec<_> =
+            config.link_orders.iter().map(|&o| base.with_link_order(o)).collect();
+        let link_report = sweep_factor(
+            harness,
+            "link order",
+            &order_setups,
+            config.base_opt,
+            config.test_opt,
+            config.size,
+        )?;
+        rows.push(AuditRow { machine: machine.name.clone(), report: link_report });
+    }
+    Ok(AuditReport {
+        benchmark: harness.benchmark().name().to_owned(),
+        levels: (config.base_opt, config.test_opt),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_workloads::benchmark_by_name;
+
+    use super::*;
+
+    fn small_config() -> AuditConfig {
+        AuditConfig {
+            machines: vec![MachineConfig::o3cpu()],
+            env_sizes: vec![0, 176, 352, 528],
+            link_orders: vec![LinkOrder::Default, LinkOrder::Reversed, LinkOrder::Random(1)],
+            ..AuditConfig::default()
+        }
+    }
+
+    #[test]
+    fn audit_produces_two_rows_per_machine() {
+        let h = Harness::new(benchmark_by_name("hmmer").expect("known"));
+        let report = full_audit(&h, &small_config()).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.benchmark, "hmmer");
+        assert!(report.worst_bias() >= 0.0);
+        let text = report.to_string();
+        assert!(text.contains("environment size"));
+        assert!(text.contains("link order"));
+        assert!(text.contains("verdict:"));
+    }
+
+    #[test]
+    fn verdict_flags_flips() {
+        use crate::bias::SpeedupObservation;
+        use crate::stats::ViolinSummary;
+        let mk = |speedups: &[f64]| BiasReport {
+            factor: "t".into(),
+            observations: speedups
+                .iter()
+                .map(|&s| SpeedupObservation {
+                    setup: "s".into(),
+                    base_cycles: 100,
+                    test_cycles: (100.0 / s) as u64,
+                    speedup: s,
+                })
+                .collect(),
+            violin: ViolinSummary::of(speedups),
+            bias_magnitude: 0.02,
+            conclusion_flips: speedups.iter().any(|&s| s < 1.0)
+                && speedups.iter().any(|&s| s > 1.0),
+        };
+        let flipping = AuditReport {
+            benchmark: "x".into(),
+            levels: (OptLevel::O2, OptLevel::O3),
+            rows: vec![AuditRow { machine: "m".into(), report: mk(&[0.99, 1.01]) }],
+        };
+        assert!(flipping.any_flip());
+        assert!(flipping.verdict().contains("UNSAFE"));
+        let stable = AuditReport {
+            benchmark: "x".into(),
+            levels: (OptLevel::O2, OptLevel::O3),
+            rows: vec![AuditRow { machine: "m".into(), report: mk(&[1.01, 1.02]) }],
+        };
+        assert!(!stable.any_flip());
+        assert!(stable.verdict().contains("report it alongside"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain-text rendering of experiment results: aligned tables, series
+//! dumps (CSV-ish, for replotting) and unicode sparklines for a quick look
+//! at a figure's shape in the terminal.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::report::Table;
+///
+/// let mut t = Table::new(vec!["benchmark", "speedup"]);
+/// t.row(vec!["perlbench".into(), "1.013".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("perlbench"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<&str>) -> Table {
+        Table { headers: headers.into_iter().map(str::to_owned).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                // Right-align numeric-looking cells, left-align the rest.
+                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                    write!(f, "{cell:>w$}")?;
+                } else {
+                    write!(f, "{cell:<w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders an `(x, y)` series as `name: x,y` lines — trivially replottable.
+#[must_use]
+pub fn render_series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# series: {name}");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// A unicode sparkline of a series' shape (eight levels).
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::report::sparkline;
+///
+/// let s = sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Formats a speedup with its sign-of-conclusion marker, e.g. `1.023 (+)`.
+#[must_use]
+pub fn fmt_speedup(s: f64) -> String {
+    let marker = if s > 1.0 {
+        "+"
+    } else if s < 1.0 {
+        "-"
+    } else {
+        "="
+    };
+    format!("{s:.4} ({marker})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a-long-name".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(lines.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn series_roundtrips_points() {
+        let s = render_series("fig3", &[(0.0, 1.01), (16.0, 0.99)]);
+        assert!(s.contains("# series: fig3"));
+        assert!(s.contains("16,0.99"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s, "▁█");
+    }
+
+    #[test]
+    fn speedup_markers() {
+        assert!(fmt_speedup(1.05).ends_with("(+)"));
+        assert!(fmt_speedup(0.95).ends_with("(-)"));
+        assert!(fmt_speedup(1.0).ends_with("(=)"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Statistics for performance data: descriptive summaries, bootstrap
+//! confidence intervals, permutation tests and violin summaries.
+//!
+//! Everything takes an explicit seed where randomness is involved, so
+//! experiment reports are bit-reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Descriptive summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    #[must_use]
+    pub fn of(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: data.iter().copied().fold(f64::INFINITY, f64::min),
+            median: quantile(data, 0.5),
+            max: data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// The `p`-quantile of a sample (linear interpolation between order
+/// statistics, like numpy's default).
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::stats::quantile;
+///
+/// let data = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(quantile(&data, 0.0), 1.0);
+/// assert_eq!(quantile(&data, 0.5), 2.5);
+/// assert_eq!(quantile(&data, 1.0), 4.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty());
+    assert!((0.0..=1.0).contains(&p), "quantile {p} outside [0,1]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Geometric mean — the conventional aggregate for speedup ratios.
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::stats::geometric_mean;
+///
+/// // A 2x speedup and a 2x slowdown cancel exactly.
+/// assert!((geometric_mean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `data` is empty or any value is non-positive.
+#[must_use]
+pub fn geometric_mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty());
+    assert!(data.iter().all(|&x| x > 0.0), "geometric mean needs positive data");
+    (data.iter().map(|x| x.ln()).sum::<f64>() / data.len() as f64).exp()
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ci {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl Ci {
+    /// Whether the interval contains `x`.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Bootstrap percentile confidence interval for the mean.
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::stats::bootstrap_ci_mean;
+///
+/// let data: Vec<f64> = (0..40).map(|i| 1.0 + 0.01 * (i % 5) as f64).collect();
+/// let ci = bootstrap_ci_mean(&data, 0.95, 1000, 42);
+/// assert!(ci.lo <= 1.02 && 1.02 <= ci.hi);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `resamples == 0`, or `confidence` is outside
+/// `(0, 1)`.
+#[must_use]
+pub fn bootstrap_ci_mean(data: &[f64], confidence: f64, resamples: usize, seed: u64) -> Ci {
+    assert!(!data.is_empty());
+    assert!(resamples > 0);
+    assert!(confidence > 0.0 && confidence < 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += data[rng.gen_range(0..n)];
+        }
+        means.push(sum / n as f64);
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    Ci { lo: quantile(&means, alpha), hi: quantile(&means, 1.0 - alpha), confidence }
+}
+
+/// Two-sample permutation test for a difference in means. Returns the
+/// two-sided p-value estimated from `permutations` random relabelings.
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::stats::permutation_test;
+///
+/// let fast = [100.0, 101.0, 99.0, 100.5];
+/// let slow = [110.0, 111.0, 109.0, 110.5];
+/// assert!(permutation_test(&fast, &slow, 200, 7) < 0.05);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either sample is empty or `permutations == 0`.
+#[must_use]
+pub fn permutation_test(a: &[f64], b: &[f64], permutations: usize, seed: u64) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty());
+    assert!(permutations > 0);
+    let observed = (Summary::of(a).mean - Summary::of(b).mean).abs();
+    let mut pool: Vec<f64> = a.iter().chain(b).copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at_least = 0usize;
+    for _ in 0..permutations {
+        // Partial Fisher–Yates: shuffle the first |a| into place.
+        for i in 0..a.len() {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let ma = pool[..a.len()].iter().sum::<f64>() / a.len() as f64;
+        let mb = pool[a.len()..].iter().sum::<f64>() / b.len() as f64;
+        if (ma - mb).abs() >= observed {
+            at_least += 1;
+        }
+    }
+    (at_least + 1) as f64 / (permutations + 1) as f64
+}
+
+/// A violin-plot summary: the quantiles the repro figures print for each
+/// benchmark's distribution of speedups across setups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolinSummary {
+    /// Quantile levels, fixed at 0, 5, 25, 50, 75, 95, 100 percent.
+    pub levels: [f64; 7],
+    /// The sample quantile at each level.
+    pub values: [f64; 7],
+}
+
+impl ViolinSummary {
+    /// The quantile levels used.
+    pub const LEVELS: [f64; 7] = [0.0, 0.05, 0.25, 0.50, 0.75, 0.95, 1.0];
+
+    /// Summarizes a sample.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use biaslab_core::stats::ViolinSummary;
+    ///
+    /// let v = ViolinSummary::of(&[0.99, 1.00, 1.01, 1.02]);
+    /// assert!(v.straddles(1.005));
+    /// assert_eq!(v.min(), 0.99);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    #[must_use]
+    pub fn of(data: &[f64]) -> ViolinSummary {
+        let mut values = [0.0; 7];
+        for (v, &p) in values.iter_mut().zip(&Self::LEVELS) {
+            *v = quantile(data, p);
+        }
+        ViolinSummary { levels: Self::LEVELS, values }
+    }
+
+    /// Minimum (0th percentile).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.values[3]
+    }
+
+    /// Maximum (100th percentile).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.values[6]
+    }
+
+    /// Whether the distribution straddles `x` (some values below, some
+    /// above) — used to detect conclusion flips around a speedup of 1.0.
+    #[must_use]
+    pub fn straddles(&self, x: f64) -> bool {
+        self.min() < x && x < self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_summary() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&data, 0.0), 10.0);
+        assert_eq!(quantile(&data, 1.0), 40.0);
+        assert!((quantile(&data, 0.5) - 25.0).abs() < 1e-12);
+        // Order must not matter.
+        assert_eq!(quantile(&[40.0, 10.0, 30.0, 20.0], 0.5), quantile(&data, 0.5));
+    }
+
+    #[test]
+    fn geometric_mean_of_reciprocals_is_one() {
+        let g = geometric_mean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_ci_covers_mean_and_is_deterministic() {
+        let data: Vec<f64> = (0..50).map(|i| 10.0 + (i % 7) as f64).collect();
+        let ci = bootstrap_ci_mean(&data, 0.95, 2000, 42);
+        let mean = Summary::of(&data).mean;
+        assert!(ci.contains(mean), "{ci:?} should contain {mean}");
+        assert!(ci.width() > 0.0);
+        assert_eq!(ci, bootstrap_ci_mean(&data, 0.95, 2000, 42));
+        assert_ne!(ci, bootstrap_ci_mean(&data, 0.95, 2000, 43));
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let large: Vec<f64> = (0..640).map(|i| (i % 5) as f64).collect();
+        let ci_s = bootstrap_ci_mean(&small, 0.95, 1000, 1);
+        let ci_l = bootstrap_ci_mean(&large, 0.95, 1000, 1);
+        assert!(ci_l.width() < ci_s.width());
+    }
+
+    #[test]
+    fn permutation_test_detects_a_real_difference() {
+        let a: Vec<f64> = (0..30).map(|i| 100.0 + (i % 3) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 110.0 + (i % 3) as f64).collect();
+        let p = permutation_test(&a, &b, 500, 7);
+        assert!(p < 0.01, "clear difference should give small p, got {p}");
+    }
+
+    #[test]
+    fn permutation_test_accepts_identical_distributions() {
+        let a: Vec<f64> = (0..30).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| ((i + 3) % 10) as f64).collect();
+        let p = permutation_test(&a, &b, 500, 7);
+        assert!(p > 0.05, "same distribution should give large p, got {p}");
+    }
+
+    #[test]
+    fn violin_summary_orders_quantiles() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let v = ViolinSummary::of(&data);
+        for w in v.values.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(v.min(), 0.0);
+        assert_eq!(v.max(), 99.0);
+        assert!(v.straddles(50.0));
+        assert!(!v.straddles(1000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

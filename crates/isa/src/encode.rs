@@ -1,0 +1,285 @@
+//! Binary encoding of MRV32 instructions.
+//!
+//! Instructions are fixed 32-bit words. The top 6 bits hold the opcode; the
+//! remaining fields depend on the format:
+//!
+//! ```text
+//! R-type  (ALU):          [31:26] op  [25:21] rd  [20:16] rs1 [15:11] rs2 [10:0] -
+//! I-type  (ALUI/mem/...): [31:26] op  [25:21] rd  [20:16] rs1 [15:0]  imm16
+//! J-type  (JAL):          [31:26] op  [25:21] rd  [20:0]  imm21 (instruction units)
+//! ```
+//!
+//! Branch and JAL offsets are stored in units of 4 bytes, so a 16-bit branch
+//! immediate spans ±128 KiB and the 21-bit JAL immediate spans ±4 MiB —
+//! more than the linker ever produces for the workload suite, and checked at
+//! encode time.
+
+use std::fmt;
+
+use crate::inst::{AluOp, Cond, Inst, Width};
+use crate::reg::Reg;
+
+const OP_ALU: u32 = 0x00;
+const OP_LUI: u32 = 0x01;
+const OP_LOAD_BASE: u32 = 0x02; // +0 B1, +1 B4, +2 B8
+const OP_STORE_BASE: u32 = 0x05; // +0 B1, +1 B4, +2 B8
+const OP_BRANCH_BASE: u32 = 0x08; // +cond index, 6 conds
+const OP_JAL: u32 = 0x0E;
+const OP_JALR: u32 = 0x0F;
+const OP_ALUI_BASE: u32 = 0x10; // +AluOp index, 15 ops
+const OP_HALT: u32 = 0x30;
+const OP_NOP: u32 = 0x31;
+const OP_CHK: u32 = 0x32;
+
+/// Error returned by [`decode`] for a word that is not a valid instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The undecodable instruction word.
+    #[must_use]
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn field(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+fn reg_at(word: u32, lo: u32) -> Reg {
+    Reg::r(field(word, lo, 5) as u8)
+}
+
+fn pack_r(op: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    (op << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16) | ((rs2.index() as u32) << 11)
+}
+
+fn pack_i(op: u32, rd: Reg, rs1: Reg, imm: i16) -> u32 {
+    (op << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16) | (imm as u16 as u32)
+}
+
+fn branch_units(offset: i32) -> u32 {
+    assert!(offset % 4 == 0, "branch offset {offset} not a multiple of 4");
+    let units = offset / 4;
+    assert!(
+        (-(1 << 15)..(1 << 15)).contains(&units),
+        "branch offset {offset} out of range"
+    );
+    (units as i16) as u16 as u32
+}
+
+fn jal_units(offset: i32) -> u32 {
+    assert!(offset % 4 == 0, "jal offset {offset} not a multiple of 4");
+    let units = offset / 4;
+    assert!(
+        (-(1 << 20)..(1 << 20)).contains(&units),
+        "jal offset {offset} out of range"
+    );
+    (units as u32) & ((1 << 21) - 1)
+}
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// # Panics
+///
+/// Panics if a branch or jump offset is not a multiple of 4 or exceeds the
+/// encodable range (±128 KiB for branches, ±4 MiB for `jal`). The toolchain
+/// never emits such offsets; hitting this is a linker bug.
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_isa::{encode, Inst};
+///
+/// assert_eq!(encode(Inst::Halt) >> 26, 0x30);
+/// ```
+#[must_use]
+pub fn encode(inst: Inst) -> u32 {
+    match inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let funct = AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32;
+            pack_r(OP_ALU, rd, rs1, rs2) | funct
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let idx = AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32;
+            pack_i(OP_ALUI_BASE + idx, rd, rs1, imm)
+        }
+        Inst::Lui { rd, imm } => (OP_LUI << 26) | ((rd.index() as u32) << 21) | imm as u32,
+        Inst::Load { width, rd, base, offset } => {
+            let op = OP_LOAD_BASE
+                + match width {
+                    Width::B1 => 0,
+                    Width::B4 => 1,
+                    Width::B8 => 2,
+                };
+            pack_i(op, rd, base, offset)
+        }
+        Inst::Store { width, rs, base, offset } => {
+            let op = OP_STORE_BASE
+                + match width {
+                    Width::B1 => 0,
+                    Width::B4 => 1,
+                    Width::B8 => 2,
+                };
+            pack_i(op, rs, base, offset)
+        }
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            let idx = Cond::ALL.iter().position(|&c| c == cond).expect("cond in ALL") as u32;
+            ((OP_BRANCH_BASE + idx) << 26)
+                | ((rs1.index() as u32) << 21)
+                | ((rs2.index() as u32) << 16)
+                | branch_units(offset)
+        }
+        Inst::Jal { rd, offset } => {
+            (OP_JAL << 26) | ((rd.index() as u32) << 21) | jal_units(offset)
+        }
+        Inst::Jalr { rd, rs1, offset } => pack_i(OP_JALR, rd, rs1, offset),
+        Inst::Chk { rs } => (OP_CHK << 26) | ((rs.index() as u32) << 21),
+        Inst::Halt => OP_HALT << 26,
+        Inst::Nop => OP_NOP << 26,
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode is not assigned. Unused fields are
+/// ignored, so `decode(encode(i)) == Ok(i)` but decoding is not injective on
+/// arbitrary words.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let op = word >> 26;
+    let imm16 = word as u16 as i16;
+    let inst = match op {
+        OP_ALU => {
+            let funct = field(word, 0, 11) as usize;
+            let alu = *AluOp::ALL.get(funct).ok_or(DecodeError { word })?;
+            Inst::Alu { op: alu, rd: reg_at(word, 21), rs1: reg_at(word, 16), rs2: reg_at(word, 11) }
+        }
+        OP_LUI => Inst::Lui { rd: reg_at(word, 21), imm: word as u16 },
+        op if (OP_LOAD_BASE..OP_LOAD_BASE + 3).contains(&op) => {
+            let width = [Width::B1, Width::B4, Width::B8][(op - OP_LOAD_BASE) as usize];
+            Inst::Load { width, rd: reg_at(word, 21), base: reg_at(word, 16), offset: imm16 }
+        }
+        op if (OP_STORE_BASE..OP_STORE_BASE + 3).contains(&op) => {
+            let width = [Width::B1, Width::B4, Width::B8][(op - OP_STORE_BASE) as usize];
+            Inst::Store { width, rs: reg_at(word, 21), base: reg_at(word, 16), offset: imm16 }
+        }
+        op if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&op) => {
+            let cond = Cond::ALL[(op - OP_BRANCH_BASE) as usize];
+            Inst::Branch {
+                cond,
+                rs1: reg_at(word, 21),
+                rs2: reg_at(word, 16),
+                offset: (imm16 as i32) * 4,
+            }
+        }
+        OP_JAL => {
+            let raw = field(word, 0, 21);
+            // Sign-extend the 21-bit field.
+            let units = ((raw << 11) as i32) >> 11;
+            Inst::Jal { rd: reg_at(word, 21), offset: units * 4 }
+        }
+        OP_JALR => Inst::Jalr { rd: reg_at(word, 21), rs1: reg_at(word, 16), offset: imm16 },
+        op if (OP_ALUI_BASE..OP_ALUI_BASE + AluOp::ALL.len() as u32).contains(&op) => {
+            let alu = AluOp::ALL[(op - OP_ALUI_BASE) as usize];
+            Inst::AluImm { op: alu, rd: reg_at(word, 21), rs1: reg_at(word, 16), imm: imm16 }
+        }
+        OP_HALT => Inst::Halt,
+        OP_NOP => Inst::Nop,
+        OP_CHK => Inst::Chk { rs: reg_at(word, 21) },
+        _ => return Err(DecodeError { word }),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Inst) {
+        let word = encode(inst);
+        assert_eq!(decode(word), Ok(inst), "word {word:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_alu_all_ops() {
+        for op in AluOp::ALL {
+            roundtrip(Inst::Alu { op, rd: Reg::r(1), rs1: Reg::r(2), rs2: Reg::r(3) });
+            roundtrip(Inst::AluImm { op, rd: Reg::r(4), rs1: Reg::r(5), imm: -7 });
+            roundtrip(Inst::AluImm { op, rd: Reg::r(4), rs1: Reg::r(5), imm: i16::MAX });
+            roundtrip(Inst::AluImm { op, rd: Reg::r(4), rs1: Reg::r(5), imm: i16::MIN });
+        }
+    }
+
+    #[test]
+    fn roundtrip_memory_all_widths() {
+        for width in [Width::B1, Width::B4, Width::B8] {
+            roundtrip(Inst::Load { width, rd: Reg::r(9), base: Reg::SP, offset: -32 });
+            roundtrip(Inst::Store { width, rs: Reg::r(9), base: Reg::GP, offset: 1024 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_branches_all_conds() {
+        for cond in Cond::ALL {
+            roundtrip(Inst::Branch { cond, rs1: Reg::r(6), rs2: Reg::r(7), offset: -64 });
+            roundtrip(Inst::Branch { cond, rs1: Reg::r(6), rs2: Reg::r(7), offset: 131068 });
+            roundtrip(Inst::Branch { cond, rs1: Reg::r(6), rs2: Reg::r(7), offset: -131072 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_jumps_and_misc() {
+        roundtrip(Inst::Jal { rd: Reg::RA, offset: 4 * ((1 << 20) - 1) });
+        roundtrip(Inst::Jal { rd: Reg::RA, offset: -4 * (1 << 20) });
+        roundtrip(Inst::Jal { rd: Reg::ZERO, offset: -8 });
+        roundtrip(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+        roundtrip(Inst::Lui { rd: Reg::r(12), imm: 0xBEEF });
+        roundtrip(Inst::Chk { rs: Reg::r(20) });
+        roundtrip(Inst::Halt);
+        roundtrip(Inst::Nop);
+    }
+
+    #[test]
+    fn invalid_opcode_is_error() {
+        let err = decode(0x3F << 26).unwrap_err();
+        assert_eq!(err.word(), 0x3F << 26);
+        assert!(err.to_string().contains("invalid instruction"));
+    }
+
+    #[test]
+    fn invalid_alu_funct_is_error() {
+        // ALU opcode with funct beyond AluOp::ALL.
+        assert!(decode(AluOp::ALL.len() as u32).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of 4")]
+    fn misaligned_branch_offset_panics() {
+        let _ = encode(Inst::Branch { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_branch_offset_panics() {
+        let _ = encode(Inst::Branch { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: 1 << 20 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_jal_offset_panics() {
+        let _ = encode(Inst::Jal { rd: Reg::RA, offset: 4 << 20 });
+    }
+}

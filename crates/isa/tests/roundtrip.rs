@@ -1,0 +1,89 @@
+//! Property tests: every constructible instruction survives an
+//! encode/decode round trip, and decoding never panics on arbitrary words.
+
+use biaslab_isa::{decode, encode, AluOp, Cond, Inst, Reg, Width};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::r)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B1), Just(Width::B4), Just(Width::B8)]
+}
+
+fn arb_aluop() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+fn arb_branch_offset() -> impl Strategy<Value = i32> {
+    ((-(1 << 15))..(1i32 << 15)).prop_map(|units| units * 4)
+}
+
+fn arb_jal_offset() -> impl Strategy<Value = i32> {
+    ((-(1 << 20))..(1i32 << 20)).prop_map(|units| units * 4)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_aluop(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (arb_aluop(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (arb_width(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(width, rd, base, offset)| Inst::Load { width, rd, base, offset }),
+        (arb_width(), arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(width, rs, base, offset)| Inst::Store { width, rs, base, offset }),
+        (arb_cond(), arb_reg(), arb_reg(), arb_branch_offset())
+            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),
+        (arb_reg(), arb_jal_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        arb_reg().prop_map(|rs| Inst::Chk { rs }),
+        Just(Inst::Halt),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        prop_assert_eq!(decode(encode(inst)), Ok(inst));
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decoded_reencodes_to_same_semantics(word in any::<u32>()) {
+        // Decoding is lossy on junk bits, but decode∘encode must be a
+        // projection: once normalized, the instruction is a fixed point.
+        if let Ok(inst) = decode(word) {
+            prop_assert_eq!(decode(encode(inst)), Ok(inst));
+        }
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_and_stable(inst in arb_inst()) {
+        let text = inst.to_string();
+        prop_assert!(!text.is_empty());
+        prop_assert_eq!(inst.to_string(), text);
+    }
+
+    #[test]
+    fn alu_eval_total(op in arb_aluop(), a in any::<u64>(), b in any::<u64>()) {
+        let _ = op.eval(a, b); // must never panic, for any operands
+    }
+
+    #[test]
+    fn cond_eval_matches_negation(cond in arb_cond(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(cond.eval(a, b), !cond.negate().eval(a, b));
+    }
+}

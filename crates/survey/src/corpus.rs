@@ -1,0 +1,234 @@
+//! The synthesized record-level corpus.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Total papers in the survey (the paper's number).
+pub const CORPUS_SIZE: usize = 133;
+
+/// The four surveyed venues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Venue {
+    /// Architectural Support for Programming Languages and Operating Systems.
+    Asplos,
+    /// Parallel Architectures and Compilation Techniques.
+    Pact,
+    /// Programming Language Design and Implementation.
+    Pldi,
+    /// Code Generation and Optimization.
+    Cgo,
+}
+
+impl Venue {
+    /// All venues, in the paper's order.
+    pub const ALL: [Venue; 4] = [Venue::Asplos, Venue::Pact, Venue::Pldi, Venue::Cgo];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Venue::Asplos => "ASPLOS",
+            Venue::Pact => "PACT",
+            Venue::Pldi => "PLDI",
+            Venue::Cgo => "CGO",
+        }
+    }
+
+    /// Papers surveyed at this venue (sums to [`CORPUS_SIZE`]).
+    #[must_use]
+    pub fn paper_count(self) -> usize {
+        match self {
+            Venue::Asplos => 35,
+            Venue::Pact => 30,
+            Venue::Pldi => 38,
+            Venue::Cgo => 30,
+        }
+    }
+}
+
+/// One aspect of an experimental setup a paper may document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReportedAspect {
+    /// Names the compiler used.
+    Compiler,
+    /// Gives the exact compiler version and flags.
+    CompilerFlags,
+    /// Names the operating system.
+    Os,
+    /// Identifies the hardware model.
+    Hardware,
+    /// States physical memory size.
+    MemorySize,
+    /// Lists the benchmarks.
+    Benchmarks,
+    /// Identifies benchmark input sets.
+    InputSets,
+    /// States the UNIX environment contents or size. **The paper found 0.**
+    EnvironmentSize,
+    /// States the link order of the binaries. **The paper found 0.**
+    LinkOrder,
+    /// Evaluates more than one experimental setup.
+    MultipleSetups,
+    /// Reports confidence intervals or another statistical treatment.
+    Statistics,
+}
+
+impl ReportedAspect {
+    /// Every aspect, in table order.
+    pub const ALL: [ReportedAspect; 11] = [
+        ReportedAspect::Benchmarks,
+        ReportedAspect::Hardware,
+        ReportedAspect::Compiler,
+        ReportedAspect::CompilerFlags,
+        ReportedAspect::InputSets,
+        ReportedAspect::Os,
+        ReportedAspect::MemorySize,
+        ReportedAspect::Statistics,
+        ReportedAspect::MultipleSetups,
+        ReportedAspect::EnvironmentSize,
+        ReportedAspect::LinkOrder,
+    ];
+
+    /// Display label for table rendering.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ReportedAspect::Compiler => "compiler named",
+            ReportedAspect::CompilerFlags => "compiler version+flags",
+            ReportedAspect::Os => "operating system",
+            ReportedAspect::Hardware => "hardware model",
+            ReportedAspect::MemorySize => "memory size",
+            ReportedAspect::Benchmarks => "benchmarks listed",
+            ReportedAspect::InputSets => "input sets",
+            ReportedAspect::EnvironmentSize => "environment size",
+            ReportedAspect::LinkOrder => "link order",
+            ReportedAspect::MultipleSetups => ">1 experimental setup",
+            ReportedAspect::Statistics => "confidence intervals",
+        }
+    }
+
+    /// The fraction of the corpus reporting this aspect — the synthesis
+    /// target. Environment size and link order are exactly zero (the
+    /// paper's headline finding); the rest are plausible shares documented
+    /// as synthetic in `DESIGN.md`.
+    #[must_use]
+    pub fn target_fraction(self) -> f64 {
+        match self {
+            ReportedAspect::Compiler => 0.71,
+            ReportedAspect::CompilerFlags => 0.43,
+            ReportedAspect::Os => 0.48,
+            ReportedAspect::Hardware => 0.83,
+            ReportedAspect::MemorySize => 0.38,
+            ReportedAspect::Benchmarks => 1.0,
+            ReportedAspect::InputSets => 0.55,
+            ReportedAspect::EnvironmentSize | ReportedAspect::LinkOrder => 0.0,
+            ReportedAspect::MultipleSetups => 0.17,
+            ReportedAspect::Statistics => 0.14,
+        }
+    }
+}
+
+/// One surveyed paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperRecord {
+    /// Synthetic identifier, stable across runs with the same seed.
+    pub id: u32,
+    /// Publication venue.
+    pub venue: Venue,
+    /// Publication year (2006–2008, "recent" relative to the paper).
+    pub year: u16,
+    /// The setup aspects this paper documents.
+    pub reports: Vec<ReportedAspect>,
+}
+
+impl PaperRecord {
+    /// Whether the paper documents a given aspect.
+    #[must_use]
+    pub fn reports(&self, aspect: ReportedAspect) -> bool {
+        self.reports.contains(&aspect)
+    }
+}
+
+/// Builds the 133-record corpus. Deterministic for a given `seed`; every
+/// seed satisfies the aggregate invariants (exact per-venue counts, exact
+/// per-aspect counts, zero environment-size and link-order reporters).
+#[must_use]
+pub fn corpus(seed: u64) -> Vec<PaperRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records: Vec<PaperRecord> = Vec::with_capacity(CORPUS_SIZE);
+    let mut id = 0;
+    for venue in Venue::ALL {
+        for k in 0..venue.paper_count() {
+            records.push(PaperRecord {
+                id,
+                venue,
+                year: 2006 + (k % 3) as u16,
+                reports: Vec::new(),
+            });
+            id += 1;
+        }
+    }
+    debug_assert_eq!(records.len(), CORPUS_SIZE);
+
+    // Assign each aspect to an exact number of randomly chosen papers.
+    let mut indices: Vec<usize> = (0..CORPUS_SIZE).collect();
+    for aspect in ReportedAspect::ALL {
+        let count = (aspect.target_fraction() * CORPUS_SIZE as f64).round() as usize;
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(count) {
+            records[i].reports.push(aspect);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_exactly_133_papers() {
+        assert_eq!(corpus(0).len(), CORPUS_SIZE);
+        assert_eq!(Venue::ALL.iter().map(|v| v.paper_count()).sum::<usize>(), CORPUS_SIZE);
+    }
+
+    #[test]
+    fn nobody_reports_env_size_or_link_order() {
+        for p in corpus(42) {
+            assert!(!p.reports(ReportedAspect::EnvironmentSize), "paper {}", p.id);
+            assert!(!p.reports(ReportedAspect::LinkOrder), "paper {}", p.id);
+        }
+    }
+
+    #[test]
+    fn aspect_counts_hit_targets_exactly() {
+        let c = corpus(7);
+        for aspect in ReportedAspect::ALL {
+            let want = (aspect.target_fraction() * CORPUS_SIZE as f64).round() as usize;
+            let got = c.iter().filter(|p| p.reports(aspect)).count();
+            assert_eq!(got, want, "{aspect:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        assert_eq!(corpus(1), corpus(1));
+        // Different seeds permute which papers report what…
+        assert_ne!(corpus(1), corpus(2));
+        // …but the aggregates are identical (checked above for one seed;
+        // spot-check a second).
+        let c2 = corpus(2);
+        let bench = c2.iter().filter(|p| p.reports(ReportedAspect::Benchmarks)).count();
+        assert_eq!(bench, CORPUS_SIZE);
+    }
+
+    #[test]
+    fn every_benchmarked_paper_lists_benchmarks() {
+        // Benchmarks has target 1.0: all papers.
+        for p in corpus(3) {
+            assert!(p.reports(ReportedAspect::Benchmarks));
+        }
+    }
+}

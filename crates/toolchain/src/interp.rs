@@ -1,0 +1,412 @@
+//! A reference interpreter for the IR.
+//!
+//! The interpreter defines the *semantics* the rest of the toolchain must
+//! preserve: the workload suite computes expected checksums with it, and the
+//! differential tests check that compiling at any optimization level and
+//! running on any simulated machine produces the same checksum and return
+//! value.
+//!
+//! Globals are laid out exactly as the linker lays them out (via
+//! [`crate::layout::layout_globals`]) so that address arithmetic on global
+//! pointers behaves identically in both worlds. Stack frames grow down from
+//! [`crate::layout::STACK_TOP`]; the interpreter does not model an
+//! environment block because the environment is semantically inert — that
+//! inertness is the paper's whole point.
+
+use std::fmt;
+
+use biaslab_isa::checksum_fold;
+
+use crate::ir::{FuncId, Function, Module, Op, Terminator, Val};
+use crate::layout::{align_down, align_up, layout_globals, STACK_TOP};
+use crate::mem::PagedMem;
+
+/// Result of executing a function to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// The function's return value, if it returns one.
+    pub return_value: Option<u64>,
+    /// Final architectural checksum (see [`biaslab_isa::checksum_fold`]).
+    pub checksum: u64,
+    /// Number of IR operations executed (terminators included).
+    pub ops_executed: u64,
+}
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The named function does not exist in the module.
+    UnknownFunction(String),
+    /// The operation budget was exhausted (likely an infinite loop).
+    FuelExhausted,
+    /// The call stack exceeded the depth limit.
+    DepthExceeded,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            InterpError::FuelExhausted => f.write_str("interpreter fuel exhausted"),
+            InterpError::DepthExceeded => f.write_str("interpreter call depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The reference interpreter. Holds the module's data image and the
+/// execution state (memory, checksum, fuel).
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    global_addrs: Vec<u32>,
+    mem: PagedMem,
+    checksum: u64,
+    fuel: u64,
+    ops: u64,
+    depth: u32,
+    max_depth: u32,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter with the module's globals initialized in
+    /// memory and a default fuel budget of 2^34 operations.
+    #[must_use]
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        let global_addrs = layout_globals(&module.globals);
+        let mut mem = PagedMem::new();
+        for (g, &addr) in module.globals.iter().zip(&global_addrs) {
+            if !g.init.is_empty() {
+                mem.write_bytes(addr, &g.init);
+            }
+        }
+        Interpreter {
+            module,
+            global_addrs,
+            mem,
+            checksum: 0,
+            fuel: 1 << 34,
+            ops: 0,
+            depth: 0,
+            max_depth: 2048,
+        }
+    }
+
+    /// Replaces the fuel budget (number of IR ops before
+    /// [`InterpError::FuelExhausted`]).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Read access to interpreter memory (for tests inspecting globals).
+    #[must_use]
+    pub fn memory(&self) -> &PagedMem {
+        &self.mem
+    }
+
+    /// The address assigned to a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn global_addr(&self, index: usize) -> u32 {
+        self.global_addrs[index]
+    }
+
+    /// Runs the named function with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::UnknownFunction`] if `name` is not defined,
+    /// or a resource-limit error from execution.
+    pub fn call_by_name(&mut self, name: &str, args: &[u64]) -> Result<Outcome, InterpError> {
+        let id = self
+            .module
+            .function_by_name(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_owned()))?;
+        self.call(id, args)
+    }
+
+    /// Runs function `id` with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a resource-limit error if fuel or call depth is exceeded.
+    pub fn call(&mut self, id: FuncId, args: &[u64]) -> Result<Outcome, InterpError> {
+        let ret = self.exec_function(id, args, STACK_TOP)?;
+        Ok(Outcome { return_value: ret, checksum: self.checksum, ops_executed: self.ops })
+    }
+
+    fn burn(&mut self) -> Result<(), InterpError> {
+        if self.ops >= self.fuel {
+            return Err(InterpError::FuelExhausted);
+        }
+        self.ops += 1;
+        Ok(())
+    }
+
+    fn exec_function(
+        &mut self,
+        id: FuncId,
+        args: &[u64],
+        sp_in: u32,
+    ) -> Result<Option<u64>, InterpError> {
+        if self.depth >= self.max_depth {
+            return Err(InterpError::DepthExceeded);
+        }
+        self.depth += 1;
+        let result = self.exec_function_inner(id, args, sp_in);
+        self.depth -= 1;
+        result
+    }
+
+    fn exec_function_inner(
+        &mut self,
+        id: FuncId,
+        args: &[u64],
+        sp_in: u32,
+    ) -> Result<Option<u64>, InterpError> {
+        let f: &Function = self.module.func(id);
+        debug_assert_eq!(args.len() as u32, f.param_count);
+
+        // Lay out the frame: locals packed downward from sp_in.
+        let mut size = 0u32;
+        let mut offsets = Vec::with_capacity(f.locals.len());
+        for slot in &f.locals {
+            size = align_up(size, slot.align);
+            offsets.push(size);
+            size += slot.size;
+        }
+        let frame_base = align_down(sp_in - align_up(size, 16), 16);
+        let local_addr = |i: usize| frame_base + offsets[i];
+
+        for (i, &arg) in args.iter().enumerate() {
+            self.mem.write_u64(local_addr(i), arg);
+        }
+
+        let mut vals = vec![0u64; f.next_val as usize];
+        let mut block = 0usize;
+        loop {
+            let b = &f.blocks[block];
+            for op in &b.ops {
+                self.burn()?;
+                match op {
+                    Op::Const { dst, value } => vals[dst.0 as usize] = *value,
+                    Op::Bin { op, dst, a, b } => {
+                        vals[dst.0 as usize] = op.eval(vals[a.0 as usize], vals[b.0 as usize]);
+                    }
+                    Op::BinImm { op, dst, a, imm } => {
+                        vals[dst.0 as usize] = op.eval(vals[a.0 as usize], *imm as u64);
+                    }
+                    Op::LoadLocal { dst, local, offset } => {
+                        vals[dst.0 as usize] =
+                            self.mem.read_u64(local_addr(local.0 as usize) + offset);
+                    }
+                    Op::StoreLocal { local, offset, src } => {
+                        self.mem
+                            .write_u64(local_addr(local.0 as usize) + offset, vals[src.0 as usize]);
+                    }
+                    Op::AddrLocal { dst, local } => {
+                        vals[dst.0 as usize] = u64::from(local_addr(local.0 as usize));
+                    }
+                    Op::AddrGlobal { dst, global } => {
+                        vals[dst.0 as usize] = u64::from(self.global_addrs[global.0 as usize]);
+                    }
+                    Op::Load { width, dst, addr, offset } => {
+                        let a = (vals[addr.0 as usize] as u32).wrapping_add(*offset as u32);
+                        vals[dst.0 as usize] = self.mem.read_le(a, width.bytes());
+                    }
+                    Op::Store { width, addr, offset, src } => {
+                        let a = (vals[addr.0 as usize] as u32).wrapping_add(*offset as u32);
+                        self.mem.write_le(a, width.bytes(), vals[src.0 as usize]);
+                    }
+                    Op::Call { dst, func, args } => {
+                        let argv: Vec<u64> = args.iter().map(|v| vals[v.0 as usize]).collect();
+                        let ret = self.exec_function(*func, &argv, frame_base)?;
+                        if let Some(d) = dst {
+                            vals[d.0 as usize] = ret.unwrap_or(0);
+                        }
+                    }
+                    Op::Chk { src } => {
+                        self.checksum = checksum_fold(self.checksum, vals[src.0 as usize]);
+                    }
+                }
+            }
+            self.burn()?;
+            match &b.term {
+                Terminator::Jump(t) => block = t.0 as usize,
+                Terminator::Branch { cond, a, b: rhs, then_block, else_block } => {
+                    block = if cond.eval(vals[a.0 as usize], vals[rhs.0 as usize]) {
+                        then_block.0 as usize
+                    } else {
+                        else_block.0 as usize
+                    };
+                }
+                Terminator::Ret { value } => {
+                    return Ok(value.map(|v: Val| vals[v.0 as usize]));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_isa::{AluOp, Cond, Width};
+
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::Global;
+
+    #[test]
+    fn returns_constant() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("f", 0, true, |fb| {
+            let v = fb.const_(42);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m).call_by_name("f", &[]).unwrap();
+        assert_eq!(out.return_value, Some(42));
+        assert_eq!(out.checksum, 0);
+    }
+
+    #[test]
+    fn loop_sums() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("sum", 1, true, |fb| {
+            let n = fb.param(0);
+            let acc = fb.local_scalar();
+            let z = fb.const_(0);
+            fb.set(acc, z);
+            let i = fb.local_scalar();
+            fb.counted_loop(i, 0, n, 1, |fb, iv| {
+                let a = fb.get(acc);
+                let s = fb.add(a, iv);
+                fb.set(acc, s);
+            });
+            let r = fb.get(acc);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m).call_by_name("sum", &[100]).unwrap();
+        assert_eq!(out.return_value, Some(4950));
+    }
+
+    #[test]
+    fn checksum_accumulates() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("f", 0, false, |fb| {
+            let a = fb.const_(1);
+            fb.chk(a);
+            let b = fb.const_(2);
+            fb.chk(b);
+            fb.ret(None);
+        });
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m).call_by_name("f", &[]).unwrap();
+        assert_eq!(out.checksum, checksum_fold(checksum_fold(0, 1), 2));
+    }
+
+    #[test]
+    fn global_load_store() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global(Global::from_words("tbl", &[10, 20, 30]));
+        mb.function("f", 1, true, |fb| {
+            let idx = fb.param(0);
+            let base = fb.addr_global(g);
+            let iv = fb.get(idx);
+            let off = fb.mul_imm(iv, 8);
+            let addr = fb.add(base, off);
+            let v = fb.load(Width::B8, addr, 0);
+            let v2 = fb.add_imm(v, 1);
+            fb.store(Width::B8, addr, 0, v2);
+            fb.ret(Some(v2));
+        });
+        let m = mb.finish().unwrap();
+        let mut interp = Interpreter::new(&m);
+        assert_eq!(interp.call_by_name("f", &[1]).unwrap().return_value, Some(21));
+        // Store persisted.
+        assert_eq!(interp.call_by_name("f", &[1]).unwrap().return_value, Some(22));
+    }
+
+    #[test]
+    fn recursion_works() {
+        let mut mb = ModuleBuilder::new();
+        let fib = mb.declare("fib", 1, true);
+        mb.define(fib, |fb| {
+            let n = fb.param(0);
+            let nv = fb.get(n);
+            let two = fb.const_(2);
+            let out = fb.local_scalar();
+            fb.if_then_else(
+                Cond::Lt,
+                nv,
+                two,
+                |fb| {
+                    let v = fb.get(n);
+                    fb.set(out, v);
+                },
+                |fb| {
+                    let v = fb.get(n);
+                    let a1 = fb.bin_imm(AluOp::Sub, v, 1);
+                    let r1 = fb.call(fib, &[a1]);
+                    fb.set(out, r1);
+                    let v2 = fb.get(n);
+                    let a2 = fb.bin_imm(AluOp::Sub, v2, 2);
+                    let r2 = fb.call(fib, &[a2]);
+                    let prev = fb.get(out);
+                    let s = fb.add(prev, r2);
+                    fb.set(out, s);
+                },
+            );
+            let r = fb.get(out);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m).call_by_name("fib", &[10]).unwrap();
+        assert_eq!(out.return_value, Some(55));
+    }
+
+    #[test]
+    fn stack_buffers_are_frame_local() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("f", 0, true, |fb| {
+            let buf = fb.local_buffer(64);
+            let base = fb.addr(buf);
+            let v = fb.const_(7);
+            fb.store(Width::B8, base, 16, v);
+            let r = fb.load(Width::B8, base, 16);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m).call_by_name("f", &[]).unwrap();
+        assert_eq!(out.return_value, Some(7));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loops() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("spin", 0, false, |fb| {
+            let b = fb.new_block();
+            fb.jump(b);
+            fb.switch_to(b);
+            fb.jump(b);
+        });
+        let m = mb.finish().unwrap();
+        let mut interp = Interpreter::new(&m);
+        interp.set_fuel(1000);
+        assert_eq!(interp.call_by_name("spin", &[]), Err(InterpError::FuelExhausted));
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let m = ModuleBuilder::new().finish().unwrap();
+        let mut interp = Interpreter::new(&m);
+        let err = interp.call_by_name("missing", &[]).unwrap_err();
+        assert_eq!(err, InterpError::UnknownFunction("missing".into()));
+        assert!(err.to_string().contains("missing"));
+    }
+}

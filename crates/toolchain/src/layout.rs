@@ -1,0 +1,116 @@
+//! The process address-space layout contract shared by the linker, the
+//! loader and the simulator.
+//!
+//! The layout mirrors a classic UNIX process image, because the paper's
+//! environment-size bias depends on it: environment strings are copied to
+//! the *top of the stack* before the stack proper begins, so the initial
+//! stack pointer — and with it the address of every stack frame and
+//! stack-allocated buffer — moves down as the environment grows.
+//!
+//! ```text
+//! 0x7FFF_0000  STACK_TOP   ── environment block, argv, then frames grow down
+//! 0x1000_0000  DATA_BASE   ── globals; gp = DATA_BASE + 0x8000
+//! 0x0040_0000  TEXT_BASE   ── code, laid out in link order
+//! ```
+
+/// Base address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Maximum size of the text segment in bytes.
+pub const TEXT_MAX: u32 = 4 << 20;
+
+/// Base address of the data segment (globals).
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// Maximum size of the data segment in bytes. Globals within ±32 KiB of
+/// `gp` can be addressed gp-relative; the rest take a two-instruction
+/// absolute-address sequence (see `RelocKind::AbsAddr`).
+pub const DATA_MAX: u32 = 4 << 20;
+
+/// The global pointer: centred in the data segment so that signed 16-bit
+/// offsets reach all of it.
+pub const GP_VALUE: u32 = DATA_BASE + 0x8000;
+
+/// The address one past the highest stack byte. The environment block is
+/// copied immediately below this address.
+pub const STACK_TOP: u32 = 0x7FFF_0000;
+
+/// Maximum stack size in bytes (environment block included).
+pub const STACK_MAX: u32 = 1 << 20;
+
+/// Page size used by the TLB model and the loader.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Stack pointer alignment required by the ABI at every call boundary.
+pub const STACK_ALIGN: u32 = 16;
+
+/// Aligns `addr` downward to `align` (which must be a power of two).
+#[must_use]
+pub fn align_down(addr: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    addr & !(align - 1)
+}
+
+/// Aligns `addr` upward to `align` (which must be a power of two).
+#[must_use]
+pub fn align_up(addr: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    addr.checked_add(align - 1).expect("address overflow") & !(align - 1)
+}
+
+/// Assigns each global its absolute address, packing them in declaration
+/// order from [`DATA_BASE`] with their requested alignments.
+///
+/// This single function is the layout contract between the linker and the
+/// IR interpreter: both call it, so global address arithmetic agrees
+/// between reference semantics and compiled code.
+///
+/// # Panics
+///
+/// Panics if the packed globals exceed [`DATA_MAX`].
+#[must_use]
+pub fn layout_globals(globals: &[crate::ir::Global]) -> Vec<u32> {
+    let mut addr = DATA_BASE;
+    let mut out = Vec::with_capacity(globals.len());
+    for g in globals {
+        addr = align_up(addr, g.align);
+        out.push(addr);
+        addr += g.size;
+    }
+    assert!(
+        addr - DATA_BASE <= DATA_MAX,
+        "globals ({} bytes) exceed the {} byte data segment",
+        addr - DATA_BASE,
+        DATA_MAX
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(align_down(0x1234, 16), 0x1230);
+        assert_eq!(align_down(0x1230, 16), 0x1230);
+        assert_eq!(align_up(0x1234, 16), 0x1240);
+        assert_eq!(align_up(0x1240, 16), 0x1240);
+        assert_eq!(align_up(0, 4096), 0);
+        assert_eq!(align_down(4095, 4096), 0);
+    }
+
+    #[test]
+    fn segments_do_not_overlap() {
+        assert!(TEXT_BASE + TEXT_MAX <= DATA_BASE);
+        assert!(DATA_BASE + DATA_MAX <= STACK_TOP - STACK_MAX);
+        assert_eq!(GP_VALUE - DATA_BASE, 0x8000);
+    }
+
+    #[test]
+    fn page_and_stack_alignment_are_powers_of_two() {
+        assert!(PAGE_SIZE.is_power_of_two());
+        assert!(STACK_ALIGN.is_power_of_two());
+        assert_eq!(STACK_TOP % PAGE_SIZE, 0);
+    }
+}

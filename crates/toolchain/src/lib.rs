@@ -1,0 +1,68 @@
+//! # biaslab-toolchain — a miniature compiler, linker and loader
+//!
+//! This crate is the toolchain substrate of the `biaslab` reproduction of
+//! *Producing Wrong Data Without Doing Anything Obviously Wrong!* (ASPLOS
+//! 2009). It stands in for gcc/icc, `ld` and the UNIX program loader, and
+//! deliberately reproduces the two properties the paper's bias factors act
+//! through:
+//!
+//! * the **linker** lays functions out in **link order**, so permuting the
+//!   objects given to [`link::Linker`] moves every code address; and
+//! * the **loader** copies the process **environment onto the top of the
+//!   stack**, so growing the environment shifts the initial stack pointer
+//!   and with it every stack frame and stack buffer.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! ModuleBuilder → Module (IR) → optimize(OptLevel) → codegen → ObjectFile
+//!       → Linker (link order!) → Executable → Loader (environment!) → Process
+//! ```
+//!
+//! The [`interp::Interpreter`] executes IR directly and defines reference
+//! semantics; differential tests check that every optimization level and
+//! machine produces identical checksums.
+//!
+//! # Examples
+//!
+//! Compile and link a module at two optimization levels:
+//!
+//! ```
+//! use biaslab_toolchain::{codegen, link::Linker, opt, ModuleBuilder, OptLevel};
+//!
+//! let mut mb = ModuleBuilder::new();
+//! mb.function("main", 0, true, |fb| {
+//!     let v = fb.const_(2);
+//!     let w = fb.mul_imm(v, 21);
+//!     fb.chk(w);
+//!     fb.ret(Some(w));
+//! });
+//! let module = mb.finish()?;
+//!
+//! for level in [OptLevel::O2, OptLevel::O3] {
+//!     let optimized = opt::optimize(&module, level);
+//!     let objects = codegen::compile(&optimized, level);
+//!     let exe = Linker::new().link(&objects, "main")?;
+//!     assert!(!exe.text().is_empty());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod codegen;
+pub mod interp;
+pub mod ir;
+pub mod layout;
+pub mod link;
+pub mod load;
+pub mod mem;
+pub mod obj;
+pub mod opt;
+pub mod verify;
+
+pub use builder::{FunctionBuilder, ModuleBuilder};
+pub use ir::Module;
+pub use opt::OptLevel;

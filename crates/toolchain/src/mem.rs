@@ -1,0 +1,183 @@
+//! Sparse paged memory, shared by the IR interpreter, the loader and the
+//! simulator.
+
+use std::collections::HashMap;
+
+use crate::layout::PAGE_SIZE;
+
+/// A sparse byte-addressable memory backed by 4 KiB pages.
+///
+/// Reads of unmapped memory return zero (pages are demand-zeroed, like
+/// anonymous mappings); writes allocate the page. Multi-byte accesses may
+/// straddle page boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_toolchain::mem::PagedMem;
+///
+/// let mut mem = PagedMem::new();
+/// mem.write_u64(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u64(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u64(0x2000), 0); // demand-zeroed
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PagedMem {
+    pages: HashMap<u32, Box<[u8]>>,
+}
+
+impl PagedMem {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> PagedMem {
+        PagedMem { pages: HashMap::new() }
+    }
+
+    /// Number of pages currently mapped.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8]> {
+        self.pages.get(&(addr / PAGE_SIZE)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut Box<[u8]> {
+        self.pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = value;
+    }
+
+    /// Reads `n <= 8` little-endian bytes, zero-extended to 64 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    #[must_use]
+    pub fn read_le(&self, addr: u32, n: u32) -> u64 {
+        assert!(n <= 8);
+        let mut out = 0u64;
+        for i in 0..n {
+            out |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        out
+    }
+
+    /// Writes the low `n <= 8` bytes of `value`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn write_le(&mut self, addr: u32, n: u32, value: u64) {
+        assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 32-bit little-endian word.
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        self.read_le(addr, 4) as u32
+    }
+
+    /// Writes a 32-bit little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        self.write_le(addr, 4, u64::from(value));
+    }
+
+    /// Reads a 64-bit little-endian word.
+    #[must_use]
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: u32, value: u64) {
+        self.write_le(addr, 8, value);
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_are_zero() {
+        let mem = PagedMem::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(0xFFFF_FFF0), 0);
+        assert_eq!(mem.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn roundtrip_widths() {
+        let mut mem = PagedMem::new();
+        mem.write_u8(10, 0xAB);
+        assert_eq!(mem.read_u8(10), 0xAB);
+        mem.write_u32(100, 0x1234_5678);
+        assert_eq!(mem.read_u32(100), 0x1234_5678);
+        mem.write_u64(200, 0x0123_4567_89AB_CDEF);
+        assert_eq!(mem.read_u64(200), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = PagedMem::new();
+        mem.write_u32(0, 0x0403_0201);
+        assert_eq!(mem.read_u8(0), 1);
+        assert_eq!(mem.read_u8(3), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = PagedMem::new();
+        let addr = PAGE_SIZE - 4;
+        mem.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(mem.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut mem = PagedMem::new();
+        mem.write_bytes(0x500, b"hello");
+        assert_eq!(mem.read_bytes(0x500, 5), b"hello");
+    }
+
+    #[test]
+    fn partial_width_write_preserves_neighbors() {
+        let mut mem = PagedMem::new();
+        mem.write_u64(0, u64::MAX);
+        mem.write_u8(3, 0);
+        assert_eq!(mem.read_u64(0), u64::MAX & !(0xFF << 24));
+    }
+}

@@ -1,0 +1,234 @@
+//! Local common-subexpression elimination by value numbering.
+//!
+//! Within each block, pure computations with identical operands are merged.
+//! Loads participate with a generation scheme that tracks invalidation:
+//!
+//! * `LoadLocal` of slot `l` is valid until a `StoreLocal` to `l`, or — for
+//!   address-taken slots — any pointer store or call.
+//! * Pointer `Load`s are valid until any store or call.
+
+use std::collections::HashMap;
+
+use biaslab_isa::{AluOp, Width};
+
+use crate::ir::{Function, LocalId, Op, Terminator, Val};
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Const(u64),
+    Bin(AluOp, Val, Val),
+    BinImm(AluOp, Val, i64),
+    AddrLocal(LocalId),
+    AddrGlobal(u32),
+    LoadLocal(LocalId, u32, u64),
+    Load(Width, Val, i32, u64),
+}
+
+/// Runs local value numbering over every block of `f`.
+pub fn cse_function(f: &mut Function) {
+    let address_taken = f.address_taken_locals();
+    for block in &mut f.blocks {
+        let mut table: HashMap<Key, Val> = HashMap::new();
+        let mut aliases: HashMap<Val, Val> = HashMap::new();
+        let mut local_gen: HashMap<LocalId, u64> = HashMap::new();
+        let mut mem_gen: u64 = 0;
+        let mut gen_counter: u64 = 1;
+
+        let resolve = |aliases: &HashMap<Val, Val>, mut v: Val| -> Val {
+            while let Some(&next) = aliases.get(&v) {
+                v = next;
+            }
+            v
+        };
+
+        for op in &mut block.ops {
+            op.map_uses(|v| resolve(&aliases, v));
+
+            let key = match op {
+                Op::Const { value, .. } => Some(Key::Const(*value)),
+                Op::Bin { op: alu, a, b, .. } => {
+                    let (a, b) = if alu.is_commutative() && b < a { (*b, *a) } else { (*a, *b) };
+                    Some(Key::Bin(*alu, a, b))
+                }
+                Op::BinImm { op: alu, a, imm, .. } => Some(Key::BinImm(*alu, *a, *imm)),
+                Op::AddrLocal { local, .. } => Some(Key::AddrLocal(*local)),
+                Op::AddrGlobal { global, .. } => Some(Key::AddrGlobal(global.0)),
+                Op::LoadLocal { local, offset, .. } => {
+                    let g = *local_gen.entry(*local).or_insert(0);
+                    let g = if address_taken[local.0 as usize] { g.max(mem_gen) } else { g };
+                    Some(Key::LoadLocal(*local, *offset, g))
+                }
+                Op::Load { width, addr, offset, .. } => {
+                    Some(Key::Load(*width, *addr, *offset, mem_gen))
+                }
+                _ => None,
+            };
+
+            // Invalidation side of the ledger.
+            match op {
+                Op::StoreLocal { local, .. } => {
+                    gen_counter += 1;
+                    local_gen.insert(*local, gen_counter);
+                    if address_taken[local.0 as usize] {
+                        mem_gen = gen_counter;
+                    }
+                }
+                Op::Store { .. } | Op::Call { .. } => {
+                    gen_counter += 1;
+                    mem_gen = gen_counter;
+                }
+                _ => {}
+            }
+
+            if let (Some(key), Some(dst)) = (key, op.def()) {
+                if let Some(&prior) = table.get(&key) {
+                    aliases.insert(dst, prior);
+                    // Leave a trivially-dead op so the def still exists for
+                    // the verifier; DCE collects it.
+                    *op = Op::BinImm { op: AluOp::Add, dst, a: prior, imm: 0 };
+                } else {
+                    table.insert(key, dst);
+                }
+            }
+        }
+
+        match &mut block.term {
+            Terminator::Branch { a, b, .. } => {
+                *a = resolve(&aliases, *a);
+                *b = resolve(&aliases, *b);
+            }
+            Terminator::Ret { value: Some(v) } => *v = resolve(&aliases, *v),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::interp::Interpreter;
+    use crate::opt::{self, OptLevel};
+
+    fn count_loads(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, Op::LoadLocal { .. } | Op::Load { .. }))
+            .count()
+    }
+
+    #[test]
+    fn merges_identical_arithmetic() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 1, true, |fb| {
+            let p = fb.param(0);
+            let x = fb.get(p);
+            let a = fb.mul_imm(x, 3);
+            let y = fb.get(p); // duplicate load
+            let b = fb.mul_imm(y, 3); // duplicate multiply
+            let s = fb.add(a, b);
+            fb.ret(Some(s));
+        });
+        let mut m = mb.finish().unwrap();
+        let before = Interpreter::new(&m).call_by_name("t", &[7]).unwrap();
+        cse_function(&mut m.functions[0]);
+        super::super::dce::dce_function(&mut m.functions[0]);
+        crate::verify::verify_module(&m).unwrap();
+        let after = Interpreter::new(&m).call_by_name("t", &[7]).unwrap();
+        assert_eq!(after.return_value, before.return_value);
+        assert_eq!(count_loads(&m.functions[0]), 1, "duplicate load should merge");
+    }
+
+    #[test]
+    fn store_invalidates_local_load() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, |fb| {
+            let s = fb.local_scalar();
+            let one = fb.const_(1);
+            fb.set(s, one);
+            let a = fb.get(s);
+            let two = fb.const_(2);
+            fb.set(s, two);
+            let b = fb.get(s); // must NOT merge with `a`
+            let sum = fb.add(a, b);
+            fb.ret(Some(sum));
+        });
+        let mut m = mb.finish().unwrap();
+        cse_function(&mut m.functions[0]);
+        let out = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        assert_eq!(out.return_value, Some(3));
+    }
+
+    #[test]
+    fn pointer_store_invalidates_pointer_loads() {
+        use biaslab_isa::Width;
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, |fb| {
+            let buf = fb.local_buffer(16);
+            let p = fb.addr(buf);
+            let v1 = fb.const_(10);
+            fb.store(Width::B8, p, 0, v1);
+            let a = fb.load(Width::B8, p, 0);
+            let v2 = fb.const_(20);
+            fb.store(Width::B8, p, 0, v2);
+            let b = fb.load(Width::B8, p, 0); // must reload
+            let sum = fb.add(a, b);
+            fb.ret(Some(sum));
+        });
+        let mut m = mb.finish().unwrap();
+        cse_function(&mut m.functions[0]);
+        let out = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        assert_eq!(out.return_value, Some(30));
+    }
+
+    #[test]
+    fn call_invalidates_address_taken_local() {
+        let mut mb = ModuleBuilder::new();
+        let writer = mb.function("writer", 1, false, |fb| {
+            use biaslab_isa::Width;
+            let p = fb.param(0);
+            let pv = fb.get(p);
+            let v = fb.const_(99);
+            fb.store(Width::B8, pv, 0, v);
+            fb.ret(None);
+        });
+        mb.function("t", 0, true, |fb| {
+            let s = fb.local_buffer(8);
+            let p = fb.addr(s);
+            use biaslab_isa::Width;
+            let v0 = fb.const_(1);
+            fb.store(Width::B8, p, 0, v0);
+            let a = fb.load(Width::B8, p, 0);
+            fb.call_void(writer, &[p]);
+            let b = fb.load(Width::B8, p, 0); // must see 99
+            let sum = fb.add(a, b);
+            fb.ret(Some(sum));
+        });
+        let mut m = mb.finish().unwrap();
+        cse_function(&mut m.functions[1]);
+        let out = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        assert_eq!(out.return_value, Some(100));
+    }
+
+    #[test]
+    fn full_o2_pipeline_is_semantics_preserving_here() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 1, true, |fb| {
+            let p = fb.param(0);
+            let x = fb.get(p);
+            let a = fb.mul_imm(x, 4);
+            let y = fb.get(p);
+            let b = fb.mul_imm(y, 4);
+            let s = fb.add(a, b);
+            fb.chk(s);
+            fb.ret(Some(s));
+        });
+        let m = mb.finish().unwrap();
+        let base = Interpreter::new(&m).call_by_name("t", &[11]).unwrap();
+        let o2 = opt::optimize(&m, OptLevel::O2);
+        let out = Interpreter::new(&o2).call_by_name("t", &[11]).unwrap();
+        assert_eq!(out.return_value, base.return_value);
+        assert_eq!(out.checksum, base.checksum);
+    }
+}

@@ -1,0 +1,205 @@
+//! Dead-code elimination and unreachable-block removal.
+
+use std::collections::HashSet;
+
+use crate::ir::{BlockId, Function, Val};
+
+/// Removes side-effect-free ops whose results are never used. Runs to a
+/// fixpoint within each block (removing one op can kill its operands'
+/// definitions too).
+pub fn dce_function(f: &mut Function) {
+    loop {
+        let mut used: HashSet<Val> = HashSet::new();
+        for block in &f.blocks {
+            for op in &block.ops {
+                used.extend(op.uses());
+            }
+            used.extend(block.term.uses());
+        }
+        let mut removed = false;
+        for block in &mut f.blocks {
+            let before = block.ops.len();
+            block.ops.retain(|op| {
+                op.has_side_effect() || op.def().is_none_or(|d| used.contains(&d))
+            });
+            removed |= block.ops.len() != before;
+        }
+        if !removed {
+            break;
+        }
+    }
+}
+
+/// Removes blocks unreachable from the entry, compacting ids and remapping
+/// terminators and loop metadata. Loops whose header or body was removed
+/// are dropped.
+pub fn remove_unreachable_blocks(f: &mut Function) {
+    let mut reachable = vec![false; f.blocks.len()];
+    let mut stack = vec![0usize];
+    while let Some(b) = stack.pop() {
+        if reachable[b] {
+            continue;
+        }
+        reachable[b] = true;
+        for succ in f.blocks[b].term.successors() {
+            stack.push(succ.0 as usize);
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return;
+    }
+
+    let mut remap = vec![None; f.blocks.len()];
+    let mut next = 0u32;
+    for (i, &r) in reachable.iter().enumerate() {
+        if r {
+            remap[i] = Some(BlockId(next));
+            next += 1;
+        }
+    }
+
+    let mut kept = Vec::with_capacity(next as usize);
+    for (i, block) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if reachable[i] {
+            kept.push(block);
+        }
+    }
+    for block in &mut kept {
+        block
+            .term
+            .map_successors(|b| remap[b.0 as usize].expect("successor of reachable block"));
+    }
+    f.blocks = kept;
+    f.loops.retain_mut(|l| {
+        match (remap[l.header.0 as usize], remap[l.body.0 as usize]) {
+            (Some(h), Some(b)) => {
+                l.header = h;
+                l.body = b;
+                true
+            }
+            _ => false,
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_isa::Cond;
+
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::{Op, Terminator};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn removes_dead_chains() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, |fb| {
+            let a = fb.const_(1); // dead: only feeds dead b
+            let _b = fb.add_imm(a, 2); // dead
+            let live = fb.const_(9);
+            fb.ret(Some(live));
+        });
+        let mut m = mb.finish().unwrap();
+        dce_function(&mut m.functions[0]);
+        assert_eq!(m.functions[0].blocks[0].ops.len(), 1);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, false, |fb| {
+            let a = fb.const_(1);
+            fb.chk(a); // side effect, must stay (and keep `a` alive)
+            fb.ret(None);
+        });
+        let mut m = mb.finish().unwrap();
+        dce_function(&mut m.functions[0]);
+        assert_eq!(m.functions[0].blocks[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let mut mb = ModuleBuilder::new();
+        let callee = mb.function("callee", 0, true, |fb| {
+            let v = fb.const_(3);
+            fb.ret(Some(v));
+        });
+        mb.function("t", 0, false, |fb| {
+            let s = fb.local_scalar();
+            let v = fb.const_(5);
+            fb.set(s, v); // store: side effect
+            let _unused = fb.call(callee, &[]); // call result unused but call stays
+            fb.ret(None);
+        });
+        let mut m = mb.finish().unwrap();
+        dce_function(&mut m.functions[1]);
+        let ops = &m.functions[1].blocks[0].ops;
+        assert!(ops.iter().any(|o| matches!(o, Op::StoreLocal { .. })));
+        assert!(ops.iter().any(|o| matches!(o, Op::Call { .. })));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_compacted() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, |fb| {
+            let a = fb.const_(1);
+            let b = fb.const_(2);
+            let out = fb.local_scalar();
+            fb.if_then_else(
+                Cond::Lt,
+                a,
+                b,
+                |fb| {
+                    let v = fb.const_(10);
+                    fb.set(out, v);
+                },
+                |fb| {
+                    let v = fb.const_(20);
+                    fb.set(out, v);
+                },
+            );
+            let r = fb.get(out);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        // Fold the constant branch, stranding the else block.
+        super::super::simplify::simplify_function(&mut m.functions[0], false);
+        let before = m.functions[0].blocks.len();
+        remove_unreachable_blocks(&mut m.functions[0]);
+        assert!(m.functions[0].blocks.len() < before);
+        verify_module(&m).unwrap();
+        // Terminators all point at valid blocks and the function still
+        // computes 10.
+        let out = crate::interp::Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        assert_eq!(out.return_value, Some(10));
+    }
+
+    #[test]
+    fn loop_metadata_survives_compaction_when_blocks_survive() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 1, false, |fb| {
+            let n = fb.param(0);
+            let i = fb.local_scalar();
+            fb.counted_loop(i, 0, n, 1, |fb, iv| fb.chk(iv));
+            fb.ret(None);
+        });
+        let mut m = mb.finish().unwrap();
+        let f = &mut m.functions[0];
+        let loops_before = f.loops.clone();
+        remove_unreachable_blocks(f);
+        assert_eq!(f.loops, loops_before, "no blocks removed, loops unchanged");
+    }
+
+    #[test]
+    fn no_blocks_removed_is_a_noop() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, false, |fb| fb.ret(None));
+        let mut m = mb.finish().unwrap();
+        let before = m.functions[0].clone();
+        remove_unreachable_blocks(&mut m.functions[0]);
+        assert_eq!(m.functions[0], before);
+        assert!(matches!(m.functions[0].blocks[0].term, Terminator::Ret { .. }));
+    }
+}

@@ -1,0 +1,173 @@
+//! Dead-store elimination for local slots (block-local).
+//!
+//! A `StoreLocal` is dead when the same slot is overwritten later in the
+//! same block with no intervening read that could observe it. Reads to
+//! track: `LoadLocal` of the slot; for address-taken slots, any pointer
+//! `Load` or `Call`; and — because slots are live across blocks — the
+//! block's end counts as a read unless another store to the slot follows.
+
+use std::collections::HashMap;
+
+use crate::ir::{Function, LocalId, Op};
+
+/// Runs dead-store elimination over every block of `f`.
+pub fn dse_function(f: &mut Function) {
+    let taken = f.address_taken_locals();
+    for block in &mut f.blocks {
+        // For each slot+offset, the index of the most recent store that has
+        // not been observed yet. If another store arrives first, the old
+        // one is dead.
+        let mut pending: HashMap<(LocalId, u32), usize> = HashMap::new();
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, op) in block.ops.iter().enumerate() {
+            match op {
+                Op::StoreLocal { local, offset, .. } => {
+                    if let Some(prev) = pending.insert((*local, *offset), i) {
+                        dead.push(prev);
+                    }
+                }
+                Op::LoadLocal { local, offset, .. } => {
+                    pending.remove(&(*local, *offset));
+                }
+                // A call or pointer load can observe address-taken slots.
+                Op::Call { .. } | Op::Load { .. } => {
+                    pending.retain(|(l, _), _| !taken[l.0 as usize]);
+                }
+                _ => {}
+            }
+        }
+        // Stores still pending at block end stay: the slot is live-out.
+        if dead.is_empty() {
+            continue;
+        }
+        dead.sort_unstable();
+        let mut keep = Vec::with_capacity(block.ops.len() - dead.len());
+        let mut d = 0;
+        for (i, op) in block.ops.drain(..).enumerate() {
+            if d < dead.len() && dead[d] == i {
+                d += 1;
+            } else {
+                keep.push(op);
+            }
+        }
+        block.ops = keep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_isa::Width;
+
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::interp::Interpreter;
+    use crate::ir::Module;
+
+    fn store_count(m: &Module) -> usize {
+        m.functions[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, Op::StoreLocal { .. }))
+            .count()
+    }
+
+    #[test]
+    fn removes_overwritten_stores() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, |fb| {
+            let s = fb.local_scalar();
+            let a = fb.const_(1);
+            fb.set(s, a); // dead
+            let b = fb.const_(2);
+            fb.set(s, b); // dead
+            let c = fb.const_(3);
+            fb.set(s, c); // live
+            let r = fb.get(s);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        assert_eq!(store_count(&m), 3);
+        dse_function(&mut m.functions[0]);
+        assert_eq!(store_count(&m), 1);
+        let out = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        assert_eq!(out.return_value, Some(3));
+    }
+
+    #[test]
+    fn keeps_stores_with_intervening_reads() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, |fb| {
+            let s = fb.local_scalar();
+            let a = fb.const_(1);
+            fb.set(s, a);
+            let r1 = fb.get(s); // observes the first store
+            let b = fb.const_(2);
+            fb.set(s, b);
+            let r2 = fb.get(s);
+            let sum = fb.add(r1, r2);
+            fb.ret(Some(sum));
+        });
+        let mut m = mb.finish().unwrap();
+        dse_function(&mut m.functions[0]);
+        assert_eq!(store_count(&m), 2);
+        let out = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        assert_eq!(out.return_value, Some(3));
+    }
+
+    #[test]
+    fn calls_observe_address_taken_slots() {
+        let mut mb = ModuleBuilder::new();
+        let reader = mb.function("reader", 1, true, |fb| {
+            let p = fb.param(0);
+            let pv = fb.get(p);
+            let v = fb.load(Width::B8, pv, 0);
+            fb.ret(Some(v));
+        });
+        mb.function("t", 0, true, |fb| {
+            let s = fb.local_buffer(8);
+            let addr = fb.addr(s);
+            let a = fb.const_(11);
+            fb.store(Width::B8, addr, 0, a);
+            let seen = fb.call(reader, &[addr]);
+            fb.chk(seen);
+            let b = fb.const_(22);
+            fb.store(Width::B8, addr, 0, b);
+            let r = fb.load(Width::B8, addr, 0);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        let before = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        let id = m.function_by_name("t").unwrap().0 as usize;
+        dse_function(&mut m.functions[id]);
+        let after = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        assert_eq!(before.checksum, after.checksum);
+        assert_eq!(after.return_value, Some(22));
+    }
+
+    #[test]
+    fn live_out_stores_survive() {
+        use biaslab_isa::Cond;
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 1, true, |fb| {
+            let p = fb.param(0);
+            let s = fb.local_scalar();
+            let a = fb.const_(5);
+            fb.set(s, a); // live-out: read in the join block
+            let pv = fb.get(p);
+            let zero = fb.const_(0);
+            fb.if_then(Cond::Ne, pv, zero, |fb| {
+                let b = fb.const_(9);
+                fb.set(s, b);
+            });
+            let r = fb.get(s);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        dse_function(&mut m.functions[0]);
+        let zero_case = Interpreter::new(&m).call_by_name("t", &[0]).unwrap();
+        let one_case = Interpreter::new(&m).call_by_name("t", &[1]).unwrap();
+        assert_eq!(zero_case.return_value, Some(5));
+        assert_eq!(one_case.return_value, Some(9));
+    }
+}

@@ -1,0 +1,414 @@
+//! Function inlining (enabled at `O3`).
+//!
+//! Call sites whose callee is small enough and not self-recursive are
+//! replaced by a copy of the callee's CFG. Arguments flow through the
+//! callee's parameter locals (appended to the caller's frame) and the
+//! return value through a fresh result local, so the transformation needs
+//! no SSA machinery: it is pure block surgery.
+
+use crate::ir::{Block, BlockId, Function, LocalId, LocalSlot, Module, Op, Terminator, Val};
+
+/// Upper bound on a caller's size after inlining; stops runaway growth when
+/// small callees call other small callees.
+const GROWTH_LIMIT: usize = 4096;
+
+/// Inlines eligible call sites in every function of `m`.
+///
+/// A callee is eligible when its op count is at most `threshold` and it is
+/// not directly self-recursive. Inlining is applied repeatedly (calls
+/// exposed by earlier inlining are considered too) until no eligible site
+/// remains or the growth limit is reached.
+pub fn inline_functions(m: &mut Module, threshold: usize) {
+    let inlinable: Vec<Option<Function>> = m
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            // Callees containing loops are not inlined: their run time is
+            // dominated by the loop, the call overhead is amortized, and
+            // inlining them only floods the caller's register budget (the
+            // same heuristic gcc's inliner applies).
+            let eligible = !f.blocks.is_empty()
+                && f.op_count() <= threshold
+                && !has_cycle(f)
+                && !f.calls(crate::ir::FuncId(i as u32));
+            eligible.then(|| f.clone())
+        })
+        .collect();
+
+    for f in &mut m.functions {
+        let mut guard = 0;
+        while f.op_count() < GROWTH_LIMIT && guard < 256 {
+            guard += 1;
+            let Some((bi, oi, callee_id)) = find_site(f, &inlinable) else { break };
+            let callee = inlinable[callee_id].as_ref().expect("checked by find_site").clone();
+            inline_at(f, bi, oi, &callee);
+        }
+    }
+}
+
+/// Whether the function's CFG contains a cycle (a real loop, not merely an
+/// index-backward jump to an if/else join block): iterative DFS looking for
+/// a grey-node edge.
+fn has_cycle(f: &Function) -> bool {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; f.blocks.len()];
+    // Stack of (block, next-successor-index).
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    color[0] = Color::Grey;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = f.blocks[b].term.successors();
+        if *next < succs.len() {
+            let s = succs[*next].0 as usize;
+            *next += 1;
+            match color[s] {
+                Color::Grey => return true,
+                Color::White => {
+                    color[s] = Color::Grey;
+                    stack.push((s, 0));
+                }
+                Color::Black => {}
+            }
+        } else {
+            color[b] = Color::Black;
+            stack.pop();
+        }
+    }
+    false
+}
+
+fn find_site(f: &Function, inlinable: &[Option<Function>]) -> Option<(usize, usize, usize)> {
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (oi, op) in block.ops.iter().enumerate() {
+            if let Op::Call { func, .. } = op {
+                let id = func.0 as usize;
+                if inlinable.get(id).is_some_and(Option::is_some) && f.name != {
+                    // Never inline a function into itself (mutual recursion
+                    // through a small helper would otherwise loop forever).
+                    inlinable[id].as_ref().expect("present").name.clone()
+                } {
+                    return Some((bi, oi, id));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn inline_at(f: &mut Function, bi: usize, oi: usize, callee: &Function) {
+    let local_base = f.locals.len() as u32;
+    let val_base = f.next_val;
+    f.next_val += callee.next_val;
+    let block_base = f.blocks.len() as u32;
+    let cont_id = BlockId(block_base + callee.blocks.len() as u32);
+
+    // Result local, if the callee returns a value.
+    let result_local = callee.returns_value.then(|| {
+        f.locals.push(LocalSlot::scalar());
+        LocalId(f.locals.len() as u32 - 1)
+    });
+
+    // Append the callee's locals (params first — they keep their order).
+    for slot in &callee.locals {
+        f.locals.push(slot.clone());
+    }
+    let param_local = |k: u32| LocalId(local_base + if callee.returns_value { 1 } else { 0 } + k);
+    // NOTE: result local was pushed *before* callee locals, so callee local
+    // `l` maps to `local_base + returns_as_u32 + l`.
+    let local_off = local_base + u32::from(callee.returns_value);
+
+    // Split the call block.
+    let call_block = &mut f.blocks[bi];
+    let mut tail_ops: Vec<Op> = call_block.ops.split_off(oi + 1);
+    let call_op = call_block.ops.pop().expect("call op present");
+    let (dst, args) = match call_op {
+        Op::Call { dst, args, .. } => (dst, args),
+        other => unreachable!("expected call at split point, found {other:?}"),
+    };
+
+    // Values defined before the call but used after it can no longer flow
+    // directly (values are block-local); carry them through fresh locals,
+    // renaming the uses in the tail.
+    let pre_defs: std::collections::HashSet<Val> =
+        call_block.ops.iter().filter_map(Op::def).collect();
+    let mut tail_uses: std::collections::HashSet<Val> = std::collections::HashSet::new();
+    for op in &tail_ops {
+        tail_uses.extend(op.uses());
+    }
+    let mut original_term = std::mem::replace(
+        &mut f.blocks[bi].term,
+        Terminator::Jump(BlockId(block_base)),
+    );
+    tail_uses.extend(original_term.uses_for_rewrite());
+    let mut carried_reloads: Vec<Op> = Vec::new();
+    let mut renames: std::collections::HashMap<Val, Val> = std::collections::HashMap::new();
+    for &v in pre_defs.iter().filter(|v| tail_uses.contains(v)) {
+        f.locals.push(LocalSlot::scalar());
+        let carry = LocalId(f.locals.len() as u32 - 1);
+        f.blocks[bi].ops.push(Op::StoreLocal { local: carry, offset: 0, src: v });
+        let fresh = Val(f.next_val);
+        f.next_val += 1;
+        carried_reloads.push(Op::LoadLocal { dst: fresh, local: carry, offset: 0 });
+        renames.insert(v, fresh);
+    }
+    if !renames.is_empty() {
+        for op in &mut tail_ops {
+            op.map_uses(|v| *renames.get(&v).unwrap_or(&v));
+        }
+        original_term.map_uses(|v| *renames.get(&v).unwrap_or(&v));
+    }
+    let call_block = &mut f.blocks[bi];
+    // Pass arguments through the callee's parameter locals.
+    for (k, &arg) in args.iter().enumerate() {
+        call_block.ops.push(Op::StoreLocal { local: param_local(k as u32), offset: 0, src: arg });
+    }
+
+    // Clone callee blocks with remapped ids.
+    for cb in &callee.blocks {
+        let mut ops: Vec<Op> = Vec::with_capacity(cb.ops.len() + 1);
+        for op in &cb.ops {
+            ops.push(remap_op(op, val_base, local_off));
+        }
+        let term = match &cb.term {
+            Terminator::Jump(b) => Terminator::Jump(BlockId(b.0 + block_base)),
+            Terminator::Branch { cond, a, b, then_block, else_block } => Terminator::Branch {
+                cond: *cond,
+                a: Val(a.0 + val_base),
+                b: Val(b.0 + val_base),
+                then_block: BlockId(then_block.0 + block_base),
+                else_block: BlockId(else_block.0 + block_base),
+            },
+            Terminator::Ret { value } => {
+                if let (Some(v), Some(res)) = (value, result_local) {
+                    ops.push(Op::StoreLocal { local: res, offset: 0, src: Val(v.0 + val_base) });
+                }
+                Terminator::Jump(cont_id)
+            }
+        };
+        f.blocks.push(Block { ops, term });
+    }
+
+    // Continuation block: reload carried values and the result (if used),
+    // then the tail.
+    let mut cont_ops = Vec::with_capacity(tail_ops.len() + carried_reloads.len() + 1);
+    cont_ops.extend(carried_reloads);
+    if let (Some(d), Some(res)) = (dst, result_local) {
+        cont_ops.push(Op::LoadLocal { dst: d, local: res, offset: 0 });
+    }
+    cont_ops.extend(tail_ops);
+    f.blocks.push(Block { ops: cont_ops, term: original_term });
+
+    // Loop metadata: the split block can no longer be a single-block body;
+    // callee loops come along with remapped ids.
+    let bi_id = BlockId(bi as u32);
+    f.loops.retain(|l| l.body != bi_id && l.header != bi_id);
+    for l in &callee.loops {
+        f.loops.push(crate::ir::LoopInfo {
+            header: BlockId(l.header.0 + block_base),
+            body: BlockId(l.body.0 + block_base),
+            induction: LocalId(l.induction.0 + local_off),
+        });
+    }
+}
+
+fn remap_op(op: &Op, val_base: u32, local_off: u32) -> Op {
+    let v = |x: Val| Val(x.0 + val_base);
+    let l = |x: LocalId| LocalId(x.0 + local_off);
+    match op {
+        Op::Const { dst, value } => Op::Const { dst: v(*dst), value: *value },
+        Op::Bin { op, dst, a, b } => Op::Bin { op: *op, dst: v(*dst), a: v(*a), b: v(*b) },
+        Op::BinImm { op, dst, a, imm } => Op::BinImm { op: *op, dst: v(*dst), a: v(*a), imm: *imm },
+        Op::LoadLocal { dst, local, offset } => {
+            Op::LoadLocal { dst: v(*dst), local: l(*local), offset: *offset }
+        }
+        Op::StoreLocal { local, offset, src } => {
+            Op::StoreLocal { local: l(*local), offset: *offset, src: v(*src) }
+        }
+        Op::AddrLocal { dst, local } => Op::AddrLocal { dst: v(*dst), local: l(*local) },
+        Op::AddrGlobal { dst, global } => Op::AddrGlobal { dst: v(*dst), global: *global },
+        Op::Load { width, dst, addr, offset } => {
+            Op::Load { width: *width, dst: v(*dst), addr: v(*addr), offset: *offset }
+        }
+        Op::Store { width, addr, offset, src } => {
+            Op::Store { width: *width, addr: v(*addr), offset: *offset, src: v(*src) }
+        }
+        Op::Call { dst, func, args } => Op::Call {
+            dst: dst.map(v),
+            func: *func,
+            args: args.iter().map(|a| v(*a)).collect(),
+        },
+        Op::Chk { src } => Op::Chk { src: v(*src) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::interp::Interpreter;
+    use crate::verify::verify_module;
+
+    fn call_count(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| matches!(o, Op::Call { .. }))
+            .count()
+    }
+
+    #[test]
+    fn inlines_small_callee_and_preserves_semantics() {
+        let mut mb = ModuleBuilder::new();
+        let sq = mb.function("square", 1, true, |fb| {
+            let x = fb.param(0);
+            let v = fb.get(x);
+            let v2 = fb.get(x);
+            let p = fb.mul(v, v2);
+            fb.ret(Some(p));
+        });
+        mb.function("main", 1, true, |fb| {
+            let n = fb.param(0);
+            let nv = fb.get(n);
+            let a = fb.call(sq, &[nv]);
+            let b = fb.add_imm(a, 1);
+            fb.ret(Some(b));
+        });
+        let mut m = mb.finish().unwrap();
+        let expected = Interpreter::new(&m).call_by_name("main", &[9]).unwrap();
+        inline_functions(&mut m, 56);
+        verify_module(&m).unwrap();
+        let main = m.function_by_name("main").unwrap();
+        assert_eq!(call_count(m.func(main)), 0, "call should be inlined");
+        let got = Interpreter::new(&m).call_by_name("main", &[9]).unwrap();
+        assert_eq!(got.return_value, expected.return_value);
+        assert_eq!(got.return_value, Some(82));
+    }
+
+    #[test]
+    fn does_not_inline_recursive_functions() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare("r", 1, true);
+        mb.define(f, |fb| {
+            let n = fb.param(0);
+            let nv = fb.get(n);
+            let one = fb.const_(1);
+            let out = fb.local_scalar();
+            fb.if_then_else(
+                biaslab_isa::Cond::Lt,
+                nv,
+                one,
+                |fb| {
+                    let z = fb.const_(0);
+                    fb.set(out, z);
+                },
+                |fb| {
+                    let v = fb.get(n);
+                    let v1 = fb.add_imm(v, -1);
+                    let r = fb.call(f, &[v1]);
+                    let s = fb.add_imm(r, 1);
+                    fb.set(out, s);
+                },
+            );
+            let r = fb.get(out);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        inline_functions(&mut m, 1000);
+        verify_module(&m).unwrap();
+        let id = m.function_by_name("r").unwrap();
+        assert!(call_count(m.func(id)) > 0, "self-recursion must survive");
+        let got = Interpreter::new(&m).call_by_name("r", &[5]).unwrap();
+        assert_eq!(got.return_value, Some(5));
+    }
+
+    #[test]
+    fn respects_threshold() {
+        let mut mb = ModuleBuilder::new();
+        let big = mb.function("big", 1, true, |fb| {
+            let x = fb.param(0);
+            let mut v = fb.get(x);
+            for _ in 0..100 {
+                v = fb.add_imm(v, 1);
+            }
+            fb.ret(Some(v));
+        });
+        mb.function("main", 0, true, |fb| {
+            let z = fb.const_(0);
+            let r = fb.call(big, &[z]);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        inline_functions(&mut m, 56);
+        let main = m.function_by_name("main").unwrap();
+        assert_eq!(call_count(m.func(main)), 1, "callee above threshold stays a call");
+    }
+
+    #[test]
+    fn inlines_through_one_level_of_helpers() {
+        let mut mb = ModuleBuilder::new();
+        let inc = mb.function("inc", 1, true, |fb| {
+            let x = fb.param(0);
+            let v = fb.get(x);
+            let r = fb.add_imm(v, 1);
+            fb.ret(Some(r));
+        });
+        let twice = mb.function("twice", 1, true, |fb| {
+            let x = fb.param(0);
+            let v = fb.get(x);
+            let a = fb.call(inc, &[v]);
+            let b = fb.call(inc, &[a]);
+            fb.ret(Some(b));
+        });
+        mb.function("main", 0, true, |fb| {
+            let z = fb.const_(10);
+            let r = fb.call(twice, &[z]);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        inline_functions(&mut m, 56);
+        verify_module(&m).unwrap();
+        let main = m.function_by_name("main").unwrap();
+        assert_eq!(call_count(m.func(main)), 0);
+        let got = Interpreter::new(&m).call_by_name("main", &[]).unwrap();
+        assert_eq!(got.return_value, Some(12));
+    }
+
+    #[test]
+    fn inlining_inside_loop_body_drops_loop_metadata() {
+        let mut mb = ModuleBuilder::new();
+        let id_fn = mb.function("id", 1, true, |fb| {
+            let x = fb.param(0);
+            let v = fb.get(x);
+            fb.ret(Some(v));
+        });
+        mb.function("main", 1, true, |fb| {
+            let n = fb.param(0);
+            let acc = fb.local_scalar();
+            let z = fb.const_(0);
+            fb.set(acc, z);
+            let i = fb.local_scalar();
+            fb.counted_loop(i, 0, n, 1, |fb, iv| {
+                let r = fb.call(id_fn, &[iv]);
+                let a = fb.get(acc);
+                let s = fb.add(a, r);
+                fb.set(acc, s);
+            });
+            let r = fb.get(acc);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        assert_eq!(m.functions[1].loops.len(), 1);
+        let expected = Interpreter::new(&m).call_by_name("main", &[10]).unwrap();
+        inline_functions(&mut m, 56);
+        verify_module(&m).unwrap();
+        let main_id = m.function_by_name("main").unwrap();
+        assert!(m.func(main_id).loops.is_empty(), "split body invalidates loop");
+        let got = Interpreter::new(&m).call_by_name("main", &[10]).unwrap();
+        assert_eq!(got.return_value, expected.return_value);
+    }
+}

@@ -1,0 +1,270 @@
+//! Constant folding, algebraic simplification, copy propagation and (at
+//! `O2`+) strength reduction. All rewrites are block-local.
+
+use std::collections::HashMap;
+
+use biaslab_isa::AluOp;
+
+use crate::ir::{Function, Op, Terminator, Val};
+
+/// Runs simplification over every block of `f`.
+///
+/// When `strength` is set, multiplications by powers of two are reduced to
+/// shifts (the classic strength reduction enabled at `O2`).
+pub fn simplify_function(f: &mut Function, strength: bool) {
+    for block in &mut f.blocks {
+        let mut consts: HashMap<Val, u64> = HashMap::new();
+        let mut aliases: HashMap<Val, Val> = HashMap::new();
+        let resolve = |aliases: &HashMap<Val, Val>, mut v: Val| -> Val {
+            while let Some(&next) = aliases.get(&v) {
+                v = next;
+            }
+            v
+        };
+
+        for op in &mut block.ops {
+            // Rewrite uses through the alias map first.
+            op.map_uses(|v| resolve(&aliases, v));
+
+            let rewritten: Option<Op> = match *op {
+                Op::Const { dst, value } => {
+                    consts.insert(dst, value);
+                    None
+                }
+                Op::Bin { op: alu, dst, a, b } => {
+                    match (consts.get(&a).copied(), consts.get(&b).copied()) {
+                        (Some(ca), Some(cb)) => {
+                            let value = alu.eval(ca, cb);
+                            consts.insert(dst, value);
+                            Some(Op::Const { dst, value })
+                        }
+                        (None, Some(cb)) => Some(Op::BinImm { op: alu, dst, a, imm: cb as i64 }),
+                        (Some(ca), None) if alu.is_commutative() => {
+                            Some(Op::BinImm { op: alu, dst, a: b, imm: ca as i64 })
+                        }
+                        _ => None,
+                    }
+                }
+                Op::BinImm { op: alu, dst, a, imm } => {
+                    if let Some(ca) = consts.get(&a).copied() {
+                        let value = alu.eval(ca, imm as u64);
+                        consts.insert(dst, value);
+                        Some(Op::Const { dst, value })
+                    } else {
+                        algebraic(alu, dst, a, imm, strength, &mut aliases, &mut consts)
+                    }
+                }
+                _ => None,
+            };
+            if let Some(new_op) = rewritten {
+                *op = new_op;
+                // A fresh BinImm may itself simplify (e.g. `x * 8` from a
+                // folded const operand); run the algebraic step once more.
+                if let Op::BinImm { op: alu, dst, a, imm } = *op {
+                    if let Some(better) =
+                        algebraic(alu, dst, a, imm, strength, &mut aliases, &mut consts)
+                    {
+                        *op = better;
+                    }
+                }
+            }
+        }
+        match &mut block.term {
+            Terminator::Branch { a, b, .. } => {
+                *a = resolve(&aliases, *a);
+                *b = resolve(&aliases, *b);
+            }
+            Terminator::Ret { value: Some(v) } => *v = resolve(&aliases, *v),
+            _ => {}
+        }
+        // Branch folding on constant operands.
+        if let Terminator::Branch { cond, a, b, then_block, else_block } = block.term.clone() {
+            if let (Some(ca), Some(cb)) = (consts.get(&a), consts.get(&b)) {
+                let target = if cond.eval(*ca, *cb) { then_block } else { else_block };
+                block.term = Terminator::Jump(target);
+            }
+        }
+    }
+}
+
+/// Algebraic identities on `dst = alu(a, imm)`. Returns a replacement op,
+/// or records an alias (making the op dead) and returns `None`… except that
+/// alias-only rewrites still need the op to remain for verifier validity,
+/// so identities that alias return a no-op `BinImm Add a, 0` replacement.
+fn algebraic(
+    alu: AluOp,
+    dst: Val,
+    a: Val,
+    imm: i64,
+    strength: bool,
+    aliases: &mut HashMap<Val, Val>,
+    consts: &mut HashMap<Val, u64>,
+) -> Option<Op> {
+    let alias_to_a = |aliases: &mut HashMap<Val, Val>| {
+        aliases.insert(dst, a);
+        // Keep a trivially-dead def so every use-before-def invariant holds
+        // for any remaining (unrewritten) user; DCE removes it.
+        Some(Op::BinImm { op: AluOp::Add, dst, a, imm: 0 })
+    };
+    match (alu, imm) {
+        (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor, 0) => alias_to_a(aliases),
+        (AluOp::Sll | AluOp::Srl | AluOp::Sra, 0) => alias_to_a(aliases),
+        (AluOp::Mul | AluOp::Div, 1) => alias_to_a(aliases),
+        (AluOp::Mul | AluOp::And, 0) => {
+            consts.insert(dst, 0);
+            Some(Op::Const { dst, value: 0 })
+        }
+        (AluOp::Mul, m) if strength && m > 1 && (m as u64).is_power_of_two() => {
+            Some(Op::BinImm { op: AluOp::Sll, dst, a, imm: (m as u64).trailing_zeros() as i64 })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_isa::Cond;
+
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::Module;
+
+    fn build(f: impl FnOnce(&mut crate::builder::FunctionBuilder)) -> Module {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, f);
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut m = build(|fb| {
+            let a = fb.const_(6);
+            let b = fb.const_(7);
+            let c = fb.mul(a, b);
+            fb.ret(Some(c));
+        });
+        simplify_function(&mut m.functions[0], false);
+        let ops = &m.functions[0].blocks[0].ops;
+        assert!(
+            ops.iter().any(|o| matches!(o, Op::Const { value: 42, .. })),
+            "expected folded 42, got {ops:?}"
+        );
+    }
+
+    #[test]
+    fn const_operand_becomes_immediate() {
+        let mut m = build(|fb| {
+            let s = fb.local_scalar();
+            let x = fb.get(s);
+            let c = fb.const_(5);
+            let y = fb.add(x, c);
+            fb.ret(Some(y));
+        });
+        simplify_function(&mut m.functions[0], false);
+        let ops = &m.functions[0].blocks[0].ops;
+        assert!(
+            ops.iter()
+                .any(|o| matches!(o, Op::BinImm { op: AluOp::Add, imm: 5, .. })),
+            "expected add-immediate, got {ops:?}"
+        );
+    }
+
+    #[test]
+    fn strength_reduction_rewrites_pow2_mul() {
+        let mut m = build(|fb| {
+            let s = fb.local_scalar();
+            let x = fb.get(s);
+            let y = fb.mul_imm(x, 8);
+            fb.ret(Some(y));
+        });
+        let mut with = m.clone();
+        simplify_function(&mut with.functions[0], true);
+        assert!(with.functions[0].blocks[0]
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::BinImm { op: AluOp::Sll, imm: 3, .. })));
+
+        simplify_function(&mut m.functions[0], false);
+        assert!(m.functions[0].blocks[0]
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::BinImm { op: AluOp::Mul, imm: 8, .. })));
+    }
+
+    #[test]
+    fn folds_branches_on_constants() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("t", 0, true, |fb| {
+            let a = fb.const_(1);
+            let b = fb.const_(2);
+            let out = fb.local_scalar();
+            fb.if_then_else(
+                Cond::Lt,
+                a,
+                b,
+                |fb| {
+                    let v = fb.const_(10);
+                    fb.set(out, v);
+                },
+                |fb| {
+                    let v = fb.const_(20);
+                    fb.set(out, v);
+                },
+            );
+            let r = fb.get(out);
+            fb.ret(Some(r));
+        });
+        let mut m = mb.finish().unwrap();
+        simplify_function(&mut m.functions[0], false);
+        assert!(
+            matches!(m.functions[0].blocks[0].term, Terminator::Jump(_)),
+            "constant branch should fold to a jump"
+        );
+    }
+
+    #[test]
+    fn identity_add_zero_is_propagated() {
+        let mut m = build(|fb| {
+            let s = fb.local_scalar();
+            let x = fb.get(s);
+            let y = fb.add_imm(x, 0);
+            let z = fb.add_imm(y, 3);
+            fb.ret(Some(z));
+        });
+        simplify_function(&mut m.functions[0], false);
+        // The add-3 must now read directly from the load's value.
+        let ops = &m.functions[0].blocks[0].ops;
+        let load_dst = ops
+            .iter()
+            .find_map(|o| match o {
+                Op::LoadLocal { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .unwrap();
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::BinImm { imm: 3, a, .. } if *a == load_dst)));
+    }
+
+    #[test]
+    fn semantics_preserved_on_random_expression() {
+        use crate::interp::Interpreter;
+        let m = build(|fb| {
+            let s = fb.local_scalar();
+            let c9 = fb.const_(9);
+            fb.set(s, c9);
+            let x = fb.get(s);
+            let a = fb.mul_imm(x, 16);
+            let b = fb.add_imm(a, 0);
+            let c = fb.bin_imm(AluOp::Xor, b, 0b1010);
+            let d = fb.bin(AluOp::Sub, c, x);
+            fb.ret(Some(d));
+        });
+        let expected = Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        let mut opt = m.clone();
+        simplify_function(&mut opt.functions[0], true);
+        crate::verify::verify_module(&opt).unwrap();
+        let got = Interpreter::new(&opt).call_by_name("t", &[]).unwrap();
+        assert_eq!(got.return_value, expected.return_value);
+    }
+}

@@ -1,0 +1,372 @@
+//! IR well-formedness checking.
+//!
+//! The verifier enforces the structural invariants every later stage
+//! (optimizer, interpreter, code generator) relies on, most importantly the
+//! block-locality of [`Val`]s: each value is defined exactly once, before
+//! use, within a single block.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ir::{BlockId, Function, Module, Op, Terminator, Val};
+
+/// A structural defect found by [`verify_module`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the defect was found, if any.
+    pub function: Option<String>,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(name) => write!(f, "in function `{name}`: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(function: &Function, message: String) -> VerifyError {
+    VerifyError { function: Some(function.name.clone()), message }
+}
+
+/// Verifies every function and the module-level references.
+///
+/// # Errors
+///
+/// Returns the first defect found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    let mut names = HashSet::new();
+    for g in &module.globals {
+        if !names.insert(&g.name) {
+            return Err(VerifyError {
+                function: None,
+                message: format!("duplicate global name `{}`", g.name),
+            });
+        }
+        if !g.align.is_power_of_two() {
+            return Err(VerifyError {
+                function: None,
+                message: format!("global `{}` alignment {} is not a power of two", g.name, g.align),
+            });
+        }
+        if g.init.len() as u32 > g.size {
+            return Err(VerifyError {
+                function: None,
+                message: format!("global `{}` initializer exceeds its size", g.name),
+            });
+        }
+    }
+    let mut fnames = HashSet::new();
+    for f in &module.functions {
+        if !fnames.insert(&f.name) {
+            return Err(VerifyError {
+                function: None,
+                message: format!("duplicate function name `{}`", f.name),
+            });
+        }
+    }
+    for f in &module.functions {
+        verify_function(module, f)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function.
+///
+/// # Errors
+///
+/// Returns the first defect found.
+pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(err(f, "function has no blocks".into()));
+    }
+    if f.param_count > 6 {
+        return Err(err(f, format!("{} parameters exceed the ABI limit of 6", f.param_count)));
+    }
+    if (f.param_count as usize) > f.locals.len() {
+        return Err(err(f, "fewer locals than parameters".into()));
+    }
+    for (i, slot) in f.locals.iter().enumerate() {
+        if !slot.align.is_power_of_two() {
+            return Err(err(f, format!("local {i} alignment {} not a power of two", slot.align)));
+        }
+        if slot.size == 0 {
+            return Err(err(f, format!("local {i} has zero size")));
+        }
+    }
+
+    let mut defined_anywhere: HashSet<Val> = HashSet::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        let mut defined: HashSet<Val> = HashSet::new();
+        for (oi, op) in block.ops.iter().enumerate() {
+            for used in op.uses() {
+                if !defined.contains(&used) {
+                    return Err(err(
+                        f,
+                        format!("{bid} op {oi}: {used} used before definition in its block"),
+                    ));
+                }
+            }
+            self::verify_op(module, f, op).map_err(|m| err(f, format!("{bid} op {oi}: {m}")))?;
+            if let Some(dst) = op.def() {
+                if !defined.insert(dst) {
+                    return Err(err(f, format!("{bid} op {oi}: {dst} defined twice in block")));
+                }
+                if !defined_anywhere.insert(dst) {
+                    return Err(err(
+                        f,
+                        format!("{bid} op {oi}: {dst} defined in more than one block"),
+                    ));
+                }
+                if dst.0 >= f.next_val {
+                    return Err(err(
+                        f,
+                        format!("{bid} op {oi}: {dst} not below next_val {}", f.next_val),
+                    ));
+                }
+            }
+        }
+        for used in block.term.uses() {
+            if !defined.contains(&used) {
+                return Err(err(f, format!("{bid} terminator: {used} used before definition")));
+            }
+        }
+        for succ in block.term.successors() {
+            if succ.0 as usize >= f.blocks.len() {
+                return Err(err(f, format!("{bid} terminator: successor {succ} out of range")));
+            }
+        }
+        if let Terminator::Ret { value } = &block.term {
+            if value.is_some() != f.returns_value {
+                return Err(err(
+                    f,
+                    format!(
+                        "{bid}: return {} value but function {}",
+                        if value.is_some() { "carries a" } else { "lacks a" },
+                        if f.returns_value { "returns one" } else { "returns none" },
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (li, l) in f.loops.iter().enumerate() {
+        if l.header.0 as usize >= f.blocks.len() || l.body.0 as usize >= f.blocks.len() {
+            return Err(err(f, format!("loop {li}: block out of range")));
+        }
+        if l.induction.0 as usize >= f.locals.len() {
+            return Err(err(f, format!("loop {li}: induction local out of range")));
+        }
+    }
+    Ok(())
+}
+
+fn verify_op(module: &Module, f: &Function, op: &Op) -> Result<(), String> {
+    match op {
+        Op::LoadLocal { local, offset, .. } | Op::StoreLocal { local, offset, .. } => {
+            let slot = f
+                .locals
+                .get(local.0 as usize)
+                .ok_or_else(|| format!("local {} out of range", local.0))?;
+            if offset % 8 != 0 {
+                return Err(format!("local access offset {offset} not 8-aligned"));
+            }
+            if offset + 8 > slot.size {
+                return Err(format!(
+                    "local access at {offset} exceeds slot size {}",
+                    slot.size
+                ));
+            }
+        }
+        Op::AddrLocal { local, .. }
+            if local.0 as usize >= f.locals.len() => {
+                return Err(format!("local {} out of range", local.0));
+            }
+        Op::AddrGlobal { global, .. }
+            if global.0 as usize >= module.globals.len() => {
+                return Err(format!("global {} out of range", global.0));
+            }
+        Op::Call { dst, func, args } => {
+            let callee = module
+                .functions
+                .get(func.0 as usize)
+                .ok_or_else(|| format!("callee {} out of range", func.0))?;
+            if args.len() as u32 != callee.param_count {
+                return Err(format!(
+                    "call to `{}` passes {} args, expects {}",
+                    callee.name,
+                    args.len(),
+                    callee.param_count
+                ));
+            }
+            if dst.is_some() && !callee.returns_value {
+                return Err(format!("call to `{}` uses a result it does not return", callee.name));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_isa::AluOp;
+
+    use super::*;
+    use crate::ir::{Block, LocalId, LocalSlot};
+
+    fn func(blocks: Vec<Block>, locals: Vec<LocalSlot>, next_val: u32) -> Function {
+        Function {
+            name: "t".into(),
+            param_count: 0,
+            returns_value: false,
+            locals,
+            blocks,
+            loops: vec![],
+            next_val,
+        }
+    }
+
+    fn module_with(f: Function) -> Module {
+        Module { functions: vec![f], globals: vec![] }
+    }
+
+    #[test]
+    fn accepts_minimal_function() {
+        let m = module_with(func(
+            vec![Block { ops: vec![], term: Terminator::Ret { value: None } }],
+            vec![],
+            0,
+        ));
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let m = module_with(func(
+            vec![Block {
+                ops: vec![Op::Bin { op: AluOp::Add, dst: Val(1), a: Val(0), b: Val(0) }],
+                term: Terminator::Ret { value: None },
+            }],
+            vec![],
+            2,
+        ));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("used before definition"), "{e}");
+    }
+
+    #[test]
+    fn rejects_cross_block_value_use() {
+        let m = module_with(func(
+            vec![
+                Block {
+                    ops: vec![Op::Const { dst: Val(0), value: 1 }],
+                    term: Terminator::Jump(BlockId(1)),
+                },
+                Block {
+                    ops: vec![Op::Chk { src: Val(0) }],
+                    term: Terminator::Ret { value: None },
+                },
+            ],
+            vec![],
+            1,
+        ));
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let m = module_with(func(
+            vec![Block {
+                ops: vec![
+                    Op::Const { dst: Val(0), value: 1 },
+                    Op::Const { dst: Val(0), value: 2 },
+                ],
+                term: Terminator::Ret { value: None },
+            }],
+            vec![],
+            1,
+        ));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("defined twice"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_successor() {
+        let m = module_with(func(
+            vec![Block { ops: vec![], term: Terminator::Jump(BlockId(5)) }],
+            vec![],
+            0,
+        ));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_local_access_past_slot() {
+        let m = module_with(func(
+            vec![Block {
+                ops: vec![Op::LoadLocal { dst: Val(0), local: LocalId(0), offset: 8 }],
+                term: Terminator::Ret { value: None },
+            }],
+            vec![LocalSlot::scalar()],
+            1,
+        ));
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("exceeds slot size"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let callee = Function {
+            name: "callee".into(),
+            param_count: 2,
+            returns_value: false,
+            locals: vec![LocalSlot::scalar(), LocalSlot::scalar()],
+            blocks: vec![Block { ops: vec![], term: Terminator::Ret { value: None } }],
+            loops: vec![],
+            next_val: 0,
+        };
+        let caller = func(
+            vec![Block {
+                ops: vec![Op::Call { dst: None, func: crate::ir::FuncId(0), args: vec![] }],
+                term: Terminator::Ret { value: None },
+            }],
+            vec![],
+            0,
+        );
+        let m = Module { functions: vec![callee, caller], globals: vec![] };
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.to_string().contains("passes 0 args"), "{e}");
+    }
+
+    #[test]
+    fn rejects_mismatched_return() {
+        let mut f = func(
+            vec![Block { ops: vec![], term: Terminator::Ret { value: None } }],
+            vec![],
+            0,
+        );
+        f.returns_value = true;
+        let e = verify_module(&module_with(f)).unwrap_err();
+        assert!(e.to_string().contains("lacks a value"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_globals() {
+        let m = Module {
+            functions: vec![],
+            globals: vec![
+                crate::ir::Global::zeroed("g", 8),
+                crate::ir::Global::zeroed("g", 8),
+            ],
+        };
+        assert!(verify_module(&m).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: the object-file binary format round-trips arbitrary
+//! well-formed objects and rejects corrupted ones without panicking.
+
+use biaslab_isa::{AluOp, Cond, Inst, Reg, Width};
+use biaslab_toolchain::obj::{ObjFormatError, ObjectFile, Reloc, RelocKind};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::r)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm
+        }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, base, offset)| Inst::Load {
+            width: Width::B8,
+            rd,
+            base,
+            offset
+        }),
+        (arb_reg(), arb_reg(), (-1000i32..1000)).prop_map(|(rs1, rs2, units)| Inst::Branch {
+            cond: Cond::Ne,
+            rs1,
+            rs2,
+            offset: units * 4
+        }),
+        (arb_reg(), (-1000i32..1000)).prop_map(|(rd, units)| Inst::Jal { rd, offset: units * 4 }),
+        Just(Inst::Halt),
+        Just(Inst::Nop),
+    ]
+}
+
+fn arb_symbol() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,24}"
+}
+
+fn arb_reloc(code_len: usize) -> impl Strategy<Value = Reloc> {
+    (0..code_len.max(1), arb_symbol(), any::<i32>(), 0u8..3).prop_map(|(at, symbol, addend, kind)| {
+        let kind = match kind {
+            0 => RelocKind::Call { symbol },
+            1 => RelocKind::GpAdd { symbol, addend },
+            _ => RelocKind::AbsAddr { symbol, addend },
+        };
+        Reloc { at, kind }
+    })
+}
+
+fn arb_object() -> impl Strategy<Value = ObjectFile> {
+    (arb_symbol(), proptest::collection::vec(arb_inst(), 1..64), 0u32..4).prop_flat_map(
+        |(symbol, code, align_pow)| {
+            let len = code.len();
+            proptest::collection::vec(arb_reloc(len), 0..6).prop_map(move |relocs| ObjectFile {
+                symbol: symbol.clone(),
+                code: code.clone(),
+                align: 1 << (align_pow + 2),
+                relocs,
+            })
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn serialization_roundtrips(obj in arb_object()) {
+        let bytes = obj.to_bytes();
+        let back = ObjectFile::from_bytes(bytes).expect("well-formed object parses");
+        prop_assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn truncation_never_panics(obj in arb_object(), cut in any::<prop::sample::Index>()) {
+        let full = obj.to_bytes();
+        let len = cut.index(full.len());
+        match ObjectFile::from_bytes(full.slice(0..len)) {
+            Ok(parsed) => {
+                // Only a cut at the very end can still parse — and then it
+                // must equal the original.
+                prop_assert_eq!(parsed, obj);
+            }
+            Err(e) => {
+                prop_assert!(matches!(
+                    e,
+                    ObjFormatError::Truncated | ObjFormatError::BadMagic(_)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ObjectFile::from_bytes(Bytes::from(data));
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected_or_harmless(
+        obj in arb_object(),
+        pos in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut raw = obj.to_bytes().to_vec();
+        let i = pos.index(raw.len());
+        raw[i] ^= flip;
+        // Must never panic; may parse to something different or error.
+        let _ = ObjectFile::from_bytes(Bytes::from(raw));
+    }
+}

@@ -1,0 +1,200 @@
+//! Branch prediction: a gshare direction predictor, a direct-mapped branch
+//! target buffer, and a return-address stack.
+//!
+//! Both tables are indexed by *code address bits*, so permuting the link
+//! order re-aliases branches onto different counters and BTB slots — the
+//! paper's link-order bias channel on real front ends.
+
+use serde::{Deserialize, Serialize};
+
+/// Predictor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchConfig {
+    /// log2 of the gshare pattern-history table size.
+    pub gshare_bits: u32,
+    /// BTB entries (power of two, direct-mapped).
+    pub btb_entries: u32,
+    /// Return-address stack depth.
+    pub ras_depth: u32,
+    /// Pipeline refill penalty for a mispredicted direction or return.
+    pub mispredict_penalty: u32,
+    /// Front-end bubble for a taken transfer that missed in the BTB.
+    pub btb_miss_penalty: u32,
+}
+
+/// The outcome of consulting the predictor for one conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectionPrediction {
+    /// Predicted taken?
+    pub taken: bool,
+}
+
+/// A gshare + BTB + RAS branch prediction unit.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: BranchConfig,
+    /// 2-bit saturating counters.
+    pht: Vec<u8>,
+    /// Global history register.
+    ghr: u64,
+    /// BTB: (tag, target) per direct-mapped entry; tag `u32::MAX` invalid.
+    btb: Vec<(u32, u32)>,
+    ras: Vec<u32>,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-not-taken counters and empty tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `btb_entries` is not a power of two.
+    #[must_use]
+    pub fn new(config: BranchConfig) -> BranchPredictor {
+        assert!(config.btb_entries.is_power_of_two());
+        BranchPredictor {
+            config,
+            pht: vec![1; 1 << config.gshare_bits],
+            ghr: 0,
+            btb: vec![(u32::MAX, 0); config.btb_entries as usize],
+            ras: Vec::with_capacity(config.ras_depth as usize),
+        }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> BranchConfig {
+        self.config
+    }
+
+    fn pht_index(&self, pc: u32) -> usize {
+        let mask = (1u64 << self.config.gshare_bits) - 1;
+        ((u64::from(pc >> 2) ^ self.ghr) & mask) as usize
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    #[must_use]
+    pub fn predict(&self, pc: u32) -> DirectionPrediction {
+        DirectionPrediction { taken: self.pht[self.pht_index(pc)] >= 2 }
+    }
+
+    /// Trains the predictor with the branch's actual direction.
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let idx = self.pht_index(pc);
+        let c = &mut self.pht[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.ghr = (self.ghr << 1) | u64::from(taken);
+    }
+
+    /// Looks up the BTB for the taken transfer at `pc`; returns `true` when
+    /// the target was present (and correct). Installs/updates the entry.
+    pub fn btb_lookup(&mut self, pc: u32, target: u32) -> bool {
+        let idx = ((pc >> 2) & (self.config.btb_entries - 1)) as usize;
+        let hit = self.btb[idx] == (pc, target);
+        self.btb[idx] = (pc, target);
+        hit
+    }
+
+    /// Pushes a return address (on calls).
+    pub fn push_return(&mut self, addr: u32) {
+        if self.ras.len() == self.config.ras_depth as usize {
+            self.ras.remove(0);
+        }
+        self.ras.push(addr);
+    }
+
+    /// Pops the predicted return address (on returns); `None` when empty.
+    pub fn pop_return(&mut self) -> Option<u32> {
+        self.ras.pop()
+    }
+
+    /// Resets all state (between measurement repetitions).
+    pub fn flush(&mut self) {
+        self.pht.fill(1);
+        self.ghr = 0;
+        self.btb.fill((u32::MAX, 0));
+        self.ras.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> BranchPredictor {
+        BranchPredictor::new(BranchConfig {
+            gshare_bits: 6,
+            btb_entries: 16,
+            ras_depth: 4,
+            mispredict_penalty: 12,
+            btb_miss_penalty: 2,
+        })
+    }
+
+    #[test]
+    fn learns_an_always_taken_branch() {
+        let mut p = predictor();
+        let pc = 0x40_0000;
+        // Initially weakly not-taken.
+        assert!(!p.predict(pc).taken);
+        p.update(pc, true);
+        p.update(pc, true);
+        // Note: ghr changed, so the trained index differs; train a few more
+        // times along the same history to saturate the reachable entries.
+        for _ in 0..64 {
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc).taken);
+    }
+
+    #[test]
+    fn btb_conflicts_depend_on_address_bits() {
+        let mut p = predictor();
+        let a = 0x40_0000;
+        let b = a + 16 * 4; // same BTB index (16 entries, pc>>2)
+        assert!(!p.btb_lookup(a, 0x1111));
+        assert!(p.btb_lookup(a, 0x1111));
+        assert!(!p.btb_lookup(b, 0x2222)); // evicts a
+        assert!(!p.btb_lookup(a, 0x1111)); // a must re-install
+        // A branch at a non-conflicting address does not evict.
+        let c = a + 4;
+        assert!(!p.btb_lookup(c, 0x3333));
+        assert!(p.btb_lookup(a, 0x1111));
+    }
+
+    #[test]
+    fn ras_predicts_nested_returns() {
+        let mut p = predictor();
+        p.push_return(100);
+        p.push_return(200);
+        assert_eq!(p.pop_return(), Some(200));
+        assert_eq!(p.pop_return(), Some(100));
+        assert_eq!(p.pop_return(), None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut p = predictor();
+        for i in 0..5 {
+            p.push_return(i);
+        }
+        assert_eq!(p.pop_return(), Some(4));
+        assert_eq!(p.pop_return(), Some(3));
+        assert_eq!(p.pop_return(), Some(2));
+        assert_eq!(p.pop_return(), Some(1));
+        assert_eq!(p.pop_return(), None, "entry 0 was dropped on overflow");
+    }
+
+    #[test]
+    fn flush_resets_learning() {
+        let mut p = predictor();
+        for _ in 0..64 {
+            p.update(0x40_0000, true);
+        }
+        p.flush();
+        assert!(!p.predict(0x40_0000).taken);
+    }
+}

@@ -1,0 +1,185 @@
+//! Set-associative caches with true-LRU replacement.
+//!
+//! The cache's address → set mapping is the central transmission channel of
+//! the paper's biases: moving a data structure (with the environment size)
+//! or a function (with the link order) changes which sets its lines occupy,
+//! and therefore which other lines they evict.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `ways * line`).
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        assert!(self.line.is_power_of_two());
+        let sets = self.size / (self.ways * self.line);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// One level of set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: u32,
+    /// `tags[set * ways + way]`: line tag, or `u32::MAX` when invalid.
+    tags: Vec<u32>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        let entries = (sets * config.ways) as usize;
+        Cache { config, sets, tags: vec![u32::MAX; entries], stamps: vec![0; entries], clock: 0 }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The set index for an address.
+    #[must_use]
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.config.line) & (self.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.config.line / self.sets
+    }
+
+    /// Accesses the line containing `addr`, updating LRU state. Returns
+    /// `true` on hit; on a miss the line is filled (evicting the LRU way).
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.clock += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.config.ways) as usize;
+        let ways = self.config.ways as usize;
+
+        for way in 0..ways {
+            if self.tags[base + way] == tag {
+                self.stamps[base + way] = self.clock;
+                return true;
+            }
+        }
+        // Miss: evict LRU.
+        let victim = (0..ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("cache has at least one way");
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Invalidates all lines (used between measurement repetitions).
+    pub fn flush(&mut self) {
+        self.tags.fill(u32::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        Cache::new(CacheConfig { size: 512, ways: 2, line: 64, hit_latency: 3 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 4);
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(64), 1);
+        assert_eq!(c.set_of(256), 0); // wraps after 4 sets
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1038)); // same 64-byte line
+        assert!(!c.access(0x1040)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 in a 2-way cache.
+        let a = 0 * 256;
+        let b = 1 * 256;
+        let d = 2 * 256;
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a)); // a now MRU
+        assert!(!c.access(d)); // evicts b (LRU)
+        assert!(c.access(a));
+        assert!(!c.access(b)); // b was evicted
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        for i in 0..4u32 {
+            assert!(!c.access(i * 64));
+        }
+        for i in 0..4u32 {
+            assert!(c.access(i * 64), "set {i} retained");
+        }
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.access(0x42);
+        c.flush();
+        assert!(!c.access(0x42));
+    }
+
+    #[test]
+    fn moving_a_buffer_changes_its_sets() {
+        // The bias mechanism in miniature: the same 128-byte buffer at two
+        // different base addresses occupies different sets.
+        let c = tiny();
+        let sets_at = |base: u32| -> Vec<u32> {
+            (0..2).map(|i| c.set_of(base + i * 64)).collect()
+        };
+        assert_ne!(sets_at(0), sets_at(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_is_rejected() {
+        let _ = Cache::new(CacheConfig { size: 384, ways: 2, line: 64, hit_latency: 1 });
+    }
+}

@@ -1,0 +1,54 @@
+//! # biaslab-uarch — a deterministic micro-architectural simulator
+//!
+//! The machine substrate of the `biaslab` reproduction of *Producing Wrong
+//! Data Without Doing Anything Obviously Wrong!* (ASPLOS 2009). It stands
+//! in for the paper's Pentium 4, Core 2 and m5 O3CPU testbeds with three
+//! corresponding [`MachineConfig`] presets.
+//!
+//! The simulator is *mechanistic rather than cycle-exact*: it models the
+//! structures through which memory-layout changes become performance
+//! changes — set-associative caches ([`cache::Cache`]), TLBs
+//! ([`tlb::Tlb`]), an address-indexed branch predictor and BTB
+//! ([`branch::BranchPredictor`]), aligned fetch windows and line/page-split
+//! penalties — and charges simple latencies for each event. That is
+//! exactly the class of mechanism the paper identifies as the source of
+//! measurement bias, so the bias phenomenology (sensitivity to environment
+//! size and link order, with magnitudes comparable to the O2→O3 effect)
+//! reproduces even though absolute cycle counts are model numbers, not
+//! silicon measurements.
+//!
+//! # Examples
+//!
+//! ```
+//! use biaslab_toolchain::{codegen, link::Linker, load::{Environment, Loader},
+//!                         opt, ModuleBuilder, OptLevel};
+//! use biaslab_uarch::{Machine, MachineConfig};
+//!
+//! let mut mb = ModuleBuilder::new();
+//! mb.function("main", 0, true, |fb| {
+//!     let v = fb.const_(21);
+//!     let w = fb.mul_imm(v, 2);
+//!     fb.ret(Some(w));
+//! });
+//! let m = mb.finish()?;
+//! let exe = Linker::new()
+//!     .link(&codegen::compile(&opt::optimize(&m, OptLevel::O2), OptLevel::O2), "main")?;
+//! let process = Loader::new().load(&exe, &Environment::new(), &[])?;
+//! let result = Machine::new(MachineConfig::core2()).run(&exe, process)?;
+//! assert_eq!(result.return_value, 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod counters;
+pub mod machine;
+pub mod profile;
+pub mod tlb;
+
+pub use counters::Counters;
+pub use machine::{Machine, MachineConfig, RunError, RunResult};
+pub use profile::{Profile, ProfileEntry};

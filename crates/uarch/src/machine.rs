@@ -1,0 +1,797 @@
+//! Machine models and the execution engine.
+//!
+//! A [`Machine`] couples the functional MRV32 core with timing models for
+//! the front end (fetch windows, I-cache, I-TLB, branch prediction), the
+//! memory hierarchy (L1D/L2, D-TLB, line/page splits) and long-latency
+//! ALU operations. Three presets mirror the paper's experimental machines:
+//!
+//! * [`MachineConfig::core2`] — wide OoO core, large forgiving caches;
+//! * [`MachineConfig::pentium4`] — long pipeline (expensive mispredicts),
+//!   smaller lower-associativity L1D;
+//! * [`MachineConfig::o3cpu`] — the m5 simulator's default-ish O3CPU with a
+//!   2-way L1D, the machine the paper uses for causal analysis (low
+//!   associativity makes layout conflicts easy to see).
+//!
+//! Everything is deterministic: the same executable, environment and
+//! arguments produce bit-identical counters.
+
+use std::fmt;
+
+use biaslab_isa::{checksum_fold, Inst, Reg};
+use biaslab_toolchain::layout::PAGE_SIZE;
+use biaslab_toolchain::link::Executable;
+use biaslab_toolchain::load::Process;
+use serde::{Deserialize, Serialize};
+
+use crate::branch::{BranchConfig, BranchPredictor};
+use crate::cache::{Cache, CacheConfig};
+use crate::counters::Counters;
+use crate::tlb::{Tlb, TlbConfig};
+
+/// Complete parameterization of a simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable model name.
+    pub name: String,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory latency (beyond L2) in cycles.
+    pub memory_latency: u32,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Branch prediction unit.
+    pub branch: BranchConfig,
+    /// Fetch window size in bytes: a new window is fetched whenever
+    /// execution leaves the current aligned window.
+    pub fetch_bytes: u32,
+    /// Extra cycles for a multiply (beyond the base cycle).
+    pub mul_latency: u32,
+    /// Extra cycles for a divide/remainder.
+    pub div_latency: u32,
+    /// Number of L1D banks (power of two; banks interleave at 8-byte
+    /// granularity). Two accesses issued back-to-back that hit the same
+    /// bank in different lines conflict.
+    pub l1d_banks: u32,
+    /// Stall cycles charged for an L1D bank conflict.
+    pub bank_conflict_penalty: u32,
+    /// Two data accesses within this many retired instructions of each
+    /// other are treated as issuing in the same group for the bank model.
+    pub bank_window: u32,
+    /// Next-line L1D prefetch: on a demand miss, also fill line+1. Off in
+    /// the paper-machine presets (kept stable for the recorded figures);
+    /// the `abl-prefetch` ablation studies its effect on bias.
+    pub l1d_next_line_prefetch: bool,
+    /// Fraction of memory-stall cycles hidden by out-of-order overlap
+    /// (0 = fully exposed, in-order).
+    pub overlap: f64,
+    /// Instruction budget before a run aborts.
+    pub max_instructions: u64,
+}
+
+impl MachineConfig {
+    /// An Intel Core 2-like model.
+    #[must_use]
+    pub fn core2() -> MachineConfig {
+        MachineConfig {
+            name: "core2".into(),
+            l1i: CacheConfig { size: 32 << 10, ways: 8, line: 64, hit_latency: 3 },
+            l1d: CacheConfig { size: 32 << 10, ways: 8, line: 64, hit_latency: 3 },
+            l2: CacheConfig { size: 2 << 20, ways: 8, line: 64, hit_latency: 15 },
+            memory_latency: 200,
+            itlb: TlbConfig { entries: 32, ways: 4, miss_penalty: 20 },
+            dtlb: TlbConfig { entries: 64, ways: 4, miss_penalty: 30 },
+            branch: BranchConfig {
+                gshare_bits: 12,
+                btb_entries: 512,
+                ras_depth: 16,
+                mispredict_penalty: 12,
+                btb_miss_penalty: 2,
+            },
+            fetch_bytes: 16,
+            mul_latency: 2,
+            div_latency: 21,
+            l1d_banks: 8,
+            bank_conflict_penalty: 2,
+            bank_window: 8,
+            l1d_next_line_prefetch: false,
+            overlap: 0.4,
+            max_instructions: 1 << 33,
+        }
+    }
+
+    /// An Intel Pentium 4-like model: long pipeline, small 4-way L1D.
+    #[must_use]
+    pub fn pentium4() -> MachineConfig {
+        MachineConfig {
+            name: "pentium4".into(),
+            l1i: CacheConfig { size: 16 << 10, ways: 4, line: 64, hit_latency: 3 },
+            l1d: CacheConfig { size: 16 << 10, ways: 4, line: 64, hit_latency: 4 },
+            l2: CacheConfig { size: 1 << 20, ways: 8, line: 64, hit_latency: 20 },
+            memory_latency: 250,
+            itlb: TlbConfig { entries: 32, ways: 4, miss_penalty: 25 },
+            dtlb: TlbConfig { entries: 64, ways: 4, miss_penalty: 35 },
+            branch: BranchConfig {
+                gshare_bits: 12,
+                btb_entries: 256,
+                ras_depth: 16,
+                mispredict_penalty: 20,
+                btb_miss_penalty: 3,
+            },
+            fetch_bytes: 16,
+            mul_latency: 3,
+            div_latency: 30,
+            l1d_banks: 8,
+            bank_conflict_penalty: 4,
+            bank_window: 12,
+            l1d_next_line_prefetch: false,
+            overlap: 0.25,
+            max_instructions: 1 << 33,
+        }
+    }
+
+    /// An m5 O3CPU-like model with a 2-way L1D (the simulator the paper
+    /// uses to explain *why* bias arises).
+    #[must_use]
+    pub fn o3cpu() -> MachineConfig {
+        MachineConfig {
+            name: "o3cpu".into(),
+            l1i: CacheConfig { size: 32 << 10, ways: 2, line: 64, hit_latency: 2 },
+            l1d: CacheConfig { size: 32 << 10, ways: 2, line: 64, hit_latency: 2 },
+            l2: CacheConfig { size: 1 << 20, ways: 8, line: 64, hit_latency: 12 },
+            memory_latency: 150,
+            itlb: TlbConfig { entries: 32, ways: 4, miss_penalty: 20 },
+            dtlb: TlbConfig { entries: 64, ways: 4, miss_penalty: 25 },
+            branch: BranchConfig {
+                gshare_bits: 13,
+                btb_entries: 1024,
+                ras_depth: 16,
+                mispredict_penalty: 8,
+                btb_miss_penalty: 1,
+            },
+            fetch_bytes: 32,
+            mul_latency: 2,
+            div_latency: 20,
+            l1d_banks: 4,
+            bank_conflict_penalty: 2,
+            bank_window: 8,
+            l1d_next_line_prefetch: false,
+            overlap: 0.6,
+            max_instructions: 1 << 33,
+        }
+    }
+
+    /// The three paper machines, in the paper's order.
+    #[must_use]
+    pub fn all() -> Vec<MachineConfig> {
+        vec![MachineConfig::pentium4(), MachineConfig::core2(), MachineConfig::o3cpu()]
+    }
+
+    /// Checks the configuration for geometric consistency. [`Machine::new`]
+    /// panics on invalid geometry; call this first when the configuration
+    /// comes from user input (e.g. an ablation sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            if !c.line.is_power_of_two() {
+                return Err(format!("{name}: line size {} not a power of two", c.line));
+            }
+            if c.ways == 0 || c.size == 0 {
+                return Err(format!("{name}: zero ways or size"));
+            }
+            if c.size % (c.ways * c.line) != 0 || !(c.size / (c.ways * c.line)).is_power_of_two() {
+                return Err(format!(
+                    "{name}: {} bytes / {} ways / {} line does not give a power-of-two set count",
+                    c.size, c.ways, c.line
+                ));
+            }
+        }
+        for (name, t) in [("itlb", &self.itlb), ("dtlb", &self.dtlb)] {
+            if t.ways == 0 || t.entries % t.ways != 0 || !(t.entries / t.ways).is_power_of_two() {
+                return Err(format!("{name}: {}x{} is not a power-of-two set layout", t.entries, t.ways));
+            }
+        }
+        if !self.branch.btb_entries.is_power_of_two() {
+            return Err(format!("btb: {} entries not a power of two", self.branch.btb_entries));
+        }
+        if self.branch.gshare_bits == 0 || self.branch.gshare_bits > 24 {
+            return Err(format!("gshare: {} bits outside 1..=24", self.branch.gshare_bits));
+        }
+        if !self.fetch_bytes.is_power_of_two() || self.fetch_bytes < 4 {
+            return Err(format!("fetch window {} invalid", self.fetch_bytes));
+        }
+        if self.l1d_banks > 1 && !self.l1d_banks.is_power_of_two() {
+            return Err(format!("{} banks not a power of two", self.l1d_banks));
+        }
+        if !(0.0..1.0).contains(&self.overlap) {
+            return Err(format!("overlap {} outside [0, 1)", self.overlap));
+        }
+        Ok(())
+    }
+}
+
+/// The result of running a process to `halt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Event counters for the whole run.
+    pub counters: Counters,
+    /// Final architectural checksum.
+    pub checksum: u64,
+    /// `r1` at halt (the entry function's return value).
+    pub return_value: u64,
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The program counter left the text segment.
+    InvalidPc(u32),
+    /// The instruction budget was exhausted.
+    Budget(u64),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidPc(pc) => write!(f, "program counter {pc:#010x} outside text"),
+            RunError::Budget(n) => write!(f, "instruction budget of {n} exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A simulated machine instance (cold caches and predictors).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    bp: BranchPredictor,
+    /// (retired-instruction index, bank, line) of the last two data
+    /// accesses, for the bank-conflict model.
+    last_access: [Option<(u64, u32, u32)>; 2],
+}
+
+impl Machine {
+    /// Creates a cold machine.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            itlb: Tlb::new(config.itlb),
+            dtlb: Tlb::new(config.dtlb),
+            bp: BranchPredictor::new(config.branch),
+            last_access: [None, None],
+            config,
+        }
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Returns all microarchitectural state to cold.
+    pub fn reset(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+        self.itlb.flush();
+        self.dtlb.flush();
+        self.bp.flush();
+        self.last_access = [None, None];
+    }
+
+    fn stall(&self, raw: u32) -> u64 {
+        ((f64::from(raw)) * (1.0 - self.config.overlap)).round() as u64
+    }
+
+    /// Runs `process` against `exe` until `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidPc`] if control leaves the text segment
+    /// (a toolchain bug) or [`RunError::Budget`] if the configured
+    /// instruction budget runs out (likely an infinite loop).
+    pub fn run(&mut self, exe: &Executable, process: Process) -> Result<RunResult, RunError> {
+        self.run_inner(exe, process, None)
+    }
+
+    /// Like [`Machine::run`], additionally attributing every instruction's
+    /// cycles to the function containing it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_profiled(
+        &mut self,
+        exe: &Executable,
+        process: Process,
+    ) -> Result<(RunResult, crate::profile::Profile), RunError> {
+        let mut attr = crate::profile::Attributor::new(exe);
+        let result = self.run_inner(exe, process, Some(&mut attr))?;
+        Ok((result, attr.finish()))
+    }
+
+    fn run_inner(
+        &mut self,
+        exe: &Executable,
+        process: Process,
+        mut attr: Option<&mut crate::profile::Attributor>,
+    ) -> Result<RunResult, RunError> {
+        let mut c = Counters::default();
+        let mut mem = process.mem;
+        let mut regs = [0u64; 32];
+        regs[Reg::SP.index() as usize] = u64::from(process.sp);
+        regs[Reg::GP.index() as usize] = u64::from(process.gp);
+        for (i, &a) in process.args.iter().enumerate() {
+            regs[1 + i] = a;
+        }
+        let mut pc = process.entry;
+        let mut checksum = 0u64;
+        let mut last_window = u32::MAX;
+        let mut attributed: Option<(u32, u64)> = None;
+
+        macro_rules! rd {
+            ($r:expr) => {
+                regs[$r.index() as usize]
+            };
+        }
+        macro_rules! wr {
+            ($r:expr, $v:expr) => {
+                if !$r.is_zero() {
+                    regs[$r.index() as usize] = $v;
+                }
+            };
+        }
+
+        loop {
+            if let Some(a) = attr.as_deref_mut() {
+                if let Some((prev_pc, prev_cycles)) = attributed {
+                    a.record(prev_pc, c.cycles - prev_cycles);
+                }
+                attributed = Some((pc, c.cycles));
+            }
+            if c.instructions >= self.config.max_instructions {
+                return Err(RunError::Budget(self.config.max_instructions));
+            }
+            let inst = exe.inst_at(pc).ok_or(RunError::InvalidPc(pc))?;
+
+            // --- front end -------------------------------------------------
+            let window = pc / self.config.fetch_bytes;
+            if window != last_window {
+                last_window = window;
+                c.fetches += 1;
+                if !self.itlb.access(pc) {
+                    c.itlb_misses += 1;
+                    c.cycles += u64::from(self.config.itlb.miss_penalty);
+                    c.stall_frontend += u64::from(self.config.itlb.miss_penalty);
+                }
+                if !self.l1i.access(pc) {
+                    c.l1i_misses += 1;
+                    let raw = if self.l2.access(pc) {
+                        self.config.l2.hit_latency
+                    } else {
+                        c.l2_misses += 1;
+                        self.config.l2.hit_latency + self.config.memory_latency
+                    };
+                    c.cycles += self.stall(raw);
+                    c.stall_frontend += self.stall(raw);
+                }
+            }
+
+            c.instructions += 1;
+            c.cycles += 1;
+            let next_pc = pc.wrapping_add(4);
+
+            match inst {
+                Inst::Alu { op, rd, rs1, rs2 } => {
+                    wr!(rd, op.eval(rd!(rs1), rd!(rs2)));
+                    c.cycles += u64::from(self.alu_extra(op));
+                    c.stall_compute += u64::from(self.alu_extra(op));
+                }
+                Inst::AluImm { op, rd, rs1, imm } => {
+                    wr!(rd, op.eval(rd!(rs1), op.extend_imm(imm)));
+                    c.cycles += u64::from(self.alu_extra(op));
+                    c.stall_compute += u64::from(self.alu_extra(op));
+                }
+                Inst::Lui { rd, imm } => wr!(rd, u64::from(imm) << 16),
+                Inst::Load { width, rd, base, offset } => {
+                    let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
+                    c.loads += 1;
+                    let idx = c.instructions;
+                    self.data_access(&mut c, addr, width.bytes(), false, idx);
+                    wr!(rd, mem.read_le(addr, width.bytes()));
+                }
+                Inst::Store { width, rs, base, offset } => {
+                    let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
+                    c.stores += 1;
+                    let idx = c.instructions;
+                    self.data_access(&mut c, addr, width.bytes(), true, idx);
+                    mem.write_le(addr, width.bytes(), rd!(rs));
+                }
+                Inst::Branch { cond, rs1, rs2, offset } => {
+                    c.branches += 1;
+                    let taken = cond.eval(rd!(rs1), rd!(rs2));
+                    let predicted = self.bp.predict(pc).taken;
+                    self.bp.update(pc, taken);
+                    if predicted != taken {
+                        c.mispredicts += 1;
+                        c.cycles += u64::from(self.config.branch.mispredict_penalty);
+                        c.stall_branch += u64::from(self.config.branch.mispredict_penalty);
+                    }
+                    if taken {
+                        let target = next_pc.wrapping_add(offset as u32);
+                        if !self.bp.btb_lookup(pc, target) {
+                            c.btb_misses += 1;
+                            c.cycles += u64::from(self.config.branch.btb_miss_penalty);
+                            c.stall_frontend += u64::from(self.config.branch.btb_miss_penalty);
+                        }
+                        pc = target;
+                        continue;
+                    }
+                }
+                Inst::Jal { rd, offset } => {
+                    let target = next_pc.wrapping_add(offset as u32);
+                    if rd == Reg::RA {
+                        self.bp.push_return(next_pc);
+                    }
+                    if !self.bp.btb_lookup(pc, target) {
+                        c.btb_misses += 1;
+                        c.cycles += u64::from(self.config.branch.btb_miss_penalty);
+                        c.stall_frontend += u64::from(self.config.branch.btb_miss_penalty);
+                    }
+                    wr!(rd, u64::from(next_pc));
+                    pc = target;
+                    continue;
+                }
+                Inst::Jalr { rd, rs1, offset } => {
+                    let target = (rd!(rs1) as u32).wrapping_add(offset as i32 as u32);
+                    if rd.is_zero() && rs1 == Reg::RA {
+                        // Return: predicted by the RAS.
+                        if self.bp.pop_return() != Some(target) {
+                            c.ras_mispredicts += 1;
+                            c.cycles += u64::from(self.config.branch.mispredict_penalty);
+                            c.stall_branch += u64::from(self.config.branch.mispredict_penalty);
+                        }
+                    } else {
+                        if rd == Reg::RA {
+                            self.bp.push_return(next_pc);
+                        }
+                        if !self.bp.btb_lookup(pc, target) {
+                            c.btb_misses += 1;
+                            c.cycles += u64::from(self.config.branch.btb_miss_penalty);
+                            c.stall_frontend += u64::from(self.config.branch.btb_miss_penalty);
+                        }
+                    }
+                    wr!(rd, u64::from(next_pc));
+                    pc = target;
+                    continue;
+                }
+                Inst::Chk { rs } => checksum = checksum_fold(checksum, rd!(rs)),
+                Inst::Halt => {
+                    return Ok(RunResult {
+                        counters: c,
+                        checksum,
+                        return_value: regs[1],
+                    });
+                }
+                Inst::Nop => {}
+            }
+            pc = next_pc;
+        }
+    }
+
+    fn alu_extra(&self, op: biaslab_isa::AluOp) -> u32 {
+        use biaslab_isa::AluOp;
+        match op {
+            AluOp::Mul => self.config.mul_latency,
+            AluOp::Div | AluOp::Rem => self.config.div_latency,
+            _ => 0,
+        }
+    }
+
+    /// Charges the timing cost of a data access (possibly split across
+    /// cache lines and pages).
+    ///
+    /// `inst_index` is the retiring instruction's ordinal, used by the bank
+    /// model: two accesses within `bank_window` instructions of each other issue in
+    /// the same group on these wide cores, and conflict when they touch
+    /// the same L1D bank in different lines — the structural hazard whose
+    /// dependence on *address bits 3..6* gives memory layout its
+    /// fine-grained performance texture.
+    fn data_access(&mut self, c: &mut Counters, addr: u32, size: u32, is_store: bool, inst_index: u64) {
+        if self.config.l1d_banks > 1 {
+            let bank = (addr / 8) & (self.config.l1d_banks - 1);
+            let line_no = addr / self.config.l1d.line;
+            for prev in self.last_access.into_iter().flatten() {
+                let (prev_idx, prev_bank, prev_line) = prev;
+                if inst_index.saturating_sub(prev_idx) <= u64::from(self.config.bank_window)
+                    && prev_bank == bank
+                    && prev_line != line_no
+                {
+                    c.bank_conflicts += 1;
+                    c.cycles += u64::from(self.config.bank_conflict_penalty);
+                    c.stall_memory += u64::from(self.config.bank_conflict_penalty);
+                    break;
+                }
+            }
+            self.last_access = [Some((inst_index, bank, line_no)), self.last_access[0]];
+        }
+        let line = self.config.l1d.line;
+        let first_line = addr / line;
+        let last_line = (addr + size - 1) / line;
+        if last_line != first_line {
+            c.line_splits += 1;
+        }
+        if (addr + size - 1) / PAGE_SIZE != addr / PAGE_SIZE {
+            c.page_splits += 1;
+        }
+        let mut a = addr;
+        loop {
+            self.one_line_access(c, a, is_store);
+            let next = (a / line + 1) * line;
+            if next > addr + size - 1 {
+                break;
+            }
+            a = next;
+        }
+    }
+
+    fn one_line_access(&mut self, c: &mut Counters, addr: u32, is_store: bool) {
+        c.l1d_accesses += 1;
+        if !self.dtlb.access(addr) {
+            c.dtlb_misses += 1;
+            c.cycles += u64::from(self.config.dtlb.miss_penalty);
+            c.stall_memory += u64::from(self.config.dtlb.miss_penalty);
+        }
+        if self.l1d.access(addr) {
+            // Loads pay the load-use latency; stores retire via the buffer.
+            if !is_store {
+                c.cycles += u64::from(self.config.l1d.hit_latency - 1);
+                c.stall_memory += u64::from(self.config.l1d.hit_latency - 1);
+            }
+        } else {
+            c.l1d_misses += 1;
+            let raw = if self.l2.access(addr) {
+                self.config.l2.hit_latency
+            } else {
+                c.l2_misses += 1;
+                self.config.l2.hit_latency + self.config.memory_latency
+            };
+            c.cycles += self.stall(raw);
+            c.stall_memory += self.stall(raw);
+            if self.config.l1d_next_line_prefetch {
+                // Fill the next line too (and train L2); the prefetch is
+                // off the critical path, so no demand latency is charged.
+                let next = addr.wrapping_add(self.config.l1d.line) / self.config.l1d.line
+                    * self.config.l1d.line;
+                self.l1d.access(next);
+                self.l2.access(next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::codegen::compile;
+    use biaslab_toolchain::link::Linker;
+    use biaslab_toolchain::load::{Environment, Loader};
+    use biaslab_toolchain::opt::{optimize, OptLevel};
+    use biaslab_toolchain::ModuleBuilder;
+
+    use super::*;
+
+    fn build_exe(level: OptLevel) -> Executable {
+        let mut mb = ModuleBuilder::new();
+        mb.function("main", 1, true, |fb| {
+            let n = fb.param(0);
+            let acc = fb.local_scalar();
+            let z = fb.const_(0);
+            fb.set(acc, z);
+            let i = fb.local_scalar();
+            fb.counted_loop(i, 0, n, 1, |fb, iv| {
+                let a = fb.get(acc);
+                let t = fb.mul_imm(iv, 3);
+                let s = fb.add(a, t);
+                fb.set(acc, s);
+            });
+            let r = fb.get(acc);
+            fb.chk(r);
+            fb.ret(Some(r));
+        });
+        let m = mb.finish().unwrap();
+        Linker::new().link(&compile(&optimize(&m, level), level), "main").unwrap()
+    }
+
+    fn run(exe: &Executable, env: &Environment, args: &[u64]) -> RunResult {
+        let process = Loader::new().load(exe, env, args).unwrap();
+        Machine::new(MachineConfig::core2()).run(exe, process).unwrap()
+    }
+
+    #[test]
+    fn computes_correct_results() {
+        let exe = build_exe(OptLevel::O0);
+        let r = run(&exe, &Environment::new(), &[10]);
+        // sum of 3*i for i in 0..10 = 3*45
+        assert_eq!(r.return_value, 135);
+    }
+
+    #[test]
+    fn all_levels_agree_on_semantics() {
+        let expected = run(&build_exe(OptLevel::O0), &Environment::new(), &[50]);
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3] {
+            let r = run(&build_exe(level), &Environment::new(), &[50]);
+            assert_eq!(r.return_value, expected.return_value, "{level}");
+            assert_eq!(r.checksum, expected.checksum, "{level}");
+        }
+    }
+
+    #[test]
+    fn o2_is_faster_than_o0() {
+        let slow = run(&build_exe(OptLevel::O0), &Environment::new(), &[500]);
+        let fast = run(&build_exe(OptLevel::O2), &Environment::new(), &[500]);
+        assert!(
+            fast.counters.cycles < slow.counters.cycles,
+            "O2 {} vs O0 {}",
+            fast.counters.cycles,
+            slow.counters.cycles
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let exe = build_exe(OptLevel::O2);
+        let env = Environment::of_total_size(512);
+        let a = run(&exe, &env, &[100]);
+        let b = run(&exe, &env, &[100]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn environment_changes_only_timing_not_semantics() {
+        let exe = build_exe(OptLevel::O2);
+        let a = run(&exe, &Environment::of_total_size(0), &[100]);
+        let b = run(&exe, &Environment::of_total_size(4000), &[100]);
+        assert_eq!(a.return_value, b.return_value);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.counters.instructions, b.counters.instructions);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut mb = ModuleBuilder::new();
+        mb.function("spin", 0, false, |fb| {
+            let b = fb.new_block();
+            fb.jump(b);
+            fb.switch_to(b);
+            fb.jump(b);
+        });
+        let m = mb.finish().unwrap();
+        let exe = Linker::new()
+            .link(&compile(&optimize(&m, OptLevel::O0), OptLevel::O0), "spin")
+            .unwrap();
+        let mut config = MachineConfig::core2();
+        config.max_instructions = 10_000;
+        let process = Loader::new().load(&exe, &Environment::new(), &[]).unwrap();
+        let err = Machine::new(config).run(&exe, process).unwrap_err();
+        assert_eq!(err, RunError::Budget(10_000));
+    }
+
+    #[test]
+    fn presets_validate() {
+        for m in MachineConfig::all() {
+            m.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut m = MachineConfig::core2();
+        m.l1d.ways = 3;
+        assert!(m.validate().is_err());
+        let mut m = MachineConfig::core2();
+        m.branch.btb_entries = 100;
+        assert!(m.validate().is_err());
+        let mut m = MachineConfig::core2();
+        m.overlap = 1.5;
+        assert!(m.validate().is_err());
+        let mut m = MachineConfig::core2();
+        m.fetch_bytes = 5;
+        assert!(m.validate().is_err());
+        let mut m = MachineConfig::core2();
+        m.dtlb.ways = 3;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn machines_differ_in_cycle_counts() {
+        let exe = build_exe(OptLevel::O2);
+        let mut cycles = Vec::new();
+        for config in MachineConfig::all() {
+            let process = Loader::new().load(&exe, &Environment::new(), &[200]).unwrap();
+            let r = Machine::new(config).run(&exe, process).unwrap();
+            cycles.push(r.counters.cycles);
+        }
+        assert!(cycles.windows(2).any(|w| w[0] != w[1]), "{cycles:?}");
+    }
+
+    #[test]
+    fn profiling_attributes_cycles_to_functions() {
+        let exe = build_exe(OptLevel::O2);
+        let process = Loader::new().load(&exe, &Environment::new(), &[200]).unwrap();
+        let (result, profile) =
+            Machine::new(MachineConfig::core2()).run_profiled(&exe, process).unwrap();
+        assert_eq!(profile.hottest(), Some("main"));
+        let attributed = profile.total_cycles();
+        // Everything except the final halt instruction is attributed.
+        assert!(attributed <= result.counters.cycles);
+        assert!(
+            attributed >= result.counters.cycles - 10,
+            "attributed {attributed} vs total {}",
+            result.counters.cycles
+        );
+        // Profiling must not change the measurement itself.
+        let process = Loader::new().load(&exe, &Environment::new(), &[200]).unwrap();
+        let plain = Machine::new(MachineConfig::core2()).run(&exe, process).unwrap();
+        assert_eq!(plain.counters, result.counters);
+    }
+
+    #[test]
+    fn stall_categories_account_for_all_extra_cycles() {
+        let exe = build_exe(OptLevel::O0);
+        let process = Loader::new().load(&exe, &Environment::new(), &[300]).unwrap();
+        let r = Machine::new(MachineConfig::pentium4()).run(&exe, process).unwrap();
+        let c = &r.counters;
+        // cycles = 1 per instruction + attributed stalls, exactly.
+        assert_eq!(c.cycles, c.instructions + c.stall_total());
+    }
+
+    #[test]
+    fn next_line_prefetch_reduces_streaming_misses() {
+        let exe = build_exe(OptLevel::O2);
+        let run_with = |prefetch: bool| {
+            let mut config = MachineConfig::core2();
+            config.l1d_next_line_prefetch = prefetch;
+            let process = Loader::new().load(&exe, &Environment::new(), &[400]).unwrap();
+            Machine::new(config).run(&exe, process).unwrap()
+        };
+        let off = run_with(false);
+        let on = run_with(true);
+        assert_eq!(on.checksum, off.checksum, "prefetch never changes results");
+        assert!(
+            on.counters.l1d_misses <= off.counters.l1d_misses,
+            "prefetch must not add demand misses ({} vs {})",
+            on.counters.l1d_misses,
+            off.counters.l1d_misses
+        );
+    }
+
+    #[test]
+    fn counters_are_internally_consistent() {
+        let exe = build_exe(OptLevel::O2);
+        let r = run(&exe, &Environment::new(), &[100]);
+        let c = &r.counters;
+        assert!(c.cycles >= c.instructions);
+        assert!(c.l1d_misses <= c.l1d_accesses);
+        assert!(c.mispredicts <= c.branches);
+        assert!(c.loads + c.stores <= c.l1d_accesses);
+        assert!(c.instructions > 0);
+    }
+}

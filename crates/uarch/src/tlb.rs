@@ -1,0 +1,117 @@
+//! Translation lookaside buffers.
+//!
+//! The simulated machine is physically addressed with an identity mapping,
+//! so the TLB exists purely for its *timing* role: a set-associative cache
+//! over page numbers whose conflicts depend on which pages a run touches —
+//! and the stack pages move with the environment size.
+
+use serde::{Deserialize, Serialize};
+
+use biaslab_toolchain::layout::PAGE_SIZE;
+
+/// Geometry of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Page-walk penalty in cycles on a miss.
+    pub miss_penalty: u32,
+}
+
+/// A set-associative TLB with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: u32,
+    tags: Vec<u32>,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / ways` is not a power of two.
+    #[must_use]
+    pub fn new(config: TlbConfig) -> Tlb {
+        let sets = config.entries / config.ways;
+        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        let n = (sets * config.ways) as usize;
+        Tlb { config, sets, tags: vec![u32::MAX; n], stamps: vec![0; n], clock: 0 }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Looks up the page containing `addr`. Returns `true` on hit; a miss
+    /// installs the translation.
+    pub fn access(&mut self, addr: u32) -> bool {
+        self.clock += 1;
+        let page = addr / PAGE_SIZE;
+        let set = page & (self.sets - 1);
+        let tag = page / self.sets;
+        let base = (set * self.config.ways) as usize;
+        let ways = self.config.ways as usize;
+        for way in 0..ways {
+            if self.tags[base + way] == tag {
+                self.stamps[base + way] = self.clock;
+                return true;
+            }
+        }
+        let victim = (0..ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("TLB has at least one way");
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Invalidates every entry.
+    pub fn flush(&mut self) {
+        self.tags.fill(u32::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig { entries: 8, ways: 2, miss_penalty: 30 })
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tiny();
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FFF));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn conflicting_pages_evict() {
+        let mut t = tiny();
+        // 4 sets; pages 0, 4, 8 share set 0 in a 2-way TLB.
+        assert!(!t.access(0 * PAGE_SIZE));
+        assert!(!t.access(4 * PAGE_SIZE));
+        assert!(!t.access(8 * PAGE_SIZE)); // evicts page 0
+        assert!(!t.access(0 * PAGE_SIZE)); // page 0 gone
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut t = tiny();
+        t.access(0x5000);
+        t.flush();
+        assert!(!t.access(0x5000));
+    }
+}

@@ -1,0 +1,188 @@
+//! `bzip2` — counting sort and move-to-front, the heart of the BWT
+//! compressor: byte-granular loads, data-dependent inner search loops.
+
+use biaslab_isa::{AluOp, Cond, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::{array_addr, const_local, lcg_words, load_idx, store_idx};
+
+const INPUT_BYTES: u64 = 1024;
+
+/// Builds the bzip2 module.
+#[must_use]
+pub fn bzip2() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    // Pseudo-random but compressible-ish input: bytes biased to low values.
+    let words = lcg_words(0xB2122, (INPUT_BYTES / 8) as usize);
+    let bytes: Vec<u8> = words
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .map(|b| b % 23)
+        .collect();
+    let input = mb.global(Global {
+        name: "input".into(),
+        size: INPUT_BYTES as u32,
+        align: 8,
+        init: bytes,
+    });
+    let freq = mb.global(Global::zeroed("freq", 256 * 8));
+
+    // count_pass(): histogram of input bytes into freq, returns total.
+    let count_pass = mb.function("count_pass", 0, true, |fb| {
+        // Clear the histogram.
+        let i = fb.local_scalar();
+        let n256 = const_local(fb, 256);
+        fb.counted_loop(i, 0, n256, 1, |fb, iv| {
+            let base = fb.addr_global(freq);
+            let z = fb.const_(0);
+            store_idx(fb, base, iv, 8, Width::B8, z);
+        });
+        // Count.
+        let j = fb.local_scalar();
+        let nin = const_local(fb, INPUT_BYTES);
+        fb.counted_loop(j, 0, nin, 1, |fb, jv| {
+            let ibase = fb.addr_global(input);
+            let b = load_idx(fb, ibase, jv, 1, Width::B1);
+            let fbase = fb.addr_global(freq);
+            let slot = array_addr(fb, fbase, b, 8);
+            let c = fb.load(Width::B8, slot, 0);
+            let c2 = fb.add_imm(c, 1);
+            fb.store(Width::B8, slot, 0, c2);
+        });
+        // Prefix sum; return the final total.
+        let total = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(total, z);
+        let k = fb.local_scalar();
+        let n256b = const_local(fb, 256);
+        fb.counted_loop(k, 0, n256b, 1, |fb, kv| {
+            let fbase = fb.addr_global(freq);
+            let slot = array_addr(fb, fbase, kv, 8);
+            let c = fb.load(Width::B8, slot, 0);
+            let t = fb.get(total);
+            let t2 = fb.add(t, c);
+            fb.set(total, t2);
+            fb.store(Width::B8, slot, 0, t2);
+        });
+        let r = fb.get(total);
+        fb.ret(Some(r));
+    });
+
+    // mtf_pass(salt) -> checksum of move-to-front positions. The MTF table
+    // lives on the stack (256 bytes), giving the kernel an env-sensitive
+    // hot buffer.
+    let mtf_pass = mb.function("mtf_pass", 1, true, |fb| {
+        let salt = fb.param(0);
+        let table = fb.local_buffer(256);
+        // Initialize the identity permutation.
+        let i = fb.local_scalar();
+        let n256 = const_local(fb, 256);
+        fb.counted_loop(i, 0, n256, 1, |fb, iv| {
+            let tbase = fb.addr(table);
+            store_idx(fb, tbase, iv, 1, Width::B1, iv);
+        });
+        let acc = fb.local_scalar();
+        let sv = fb.get(salt);
+        fb.set(acc, sv);
+        let j = fb.local_scalar();
+        let nin = const_local(fb, INPUT_BYTES);
+        let pos = fb.local_scalar();
+        fb.counted_loop(j, 0, nin, 1, |fb, jv| {
+            let _ = jv;
+            // b = input[j]
+            let jj = fb.get(j);
+            let ibase = fb.addr_global(input);
+            let b = load_idx(fb, ibase, jj, 1, Width::B1);
+            let target = fb.local_scalar();
+            fb.set(target, b);
+            // Find b in the table (data-dependent search).
+            let zp = fb.const_(0);
+            fb.set(pos, zp);
+            fb.while_loop(
+                |fb| {
+                    let p = fb.get(pos);
+                    let tbase = fb.addr(table);
+                    let cur = load_idx(fb, tbase, p, 1, Width::B1);
+                    let want = fb.get(target);
+                    (Cond::Ne, cur, want)
+                },
+                |fb| {
+                    let p = fb.get(pos);
+                    let p2 = fb.add_imm(p, 1);
+                    fb.set(pos, p2);
+                },
+            );
+            // Shift table[0..pos] up by one, put b at the front.
+            let k = fb.local_scalar();
+            fb.counted_loop(k, 0, pos, 1, |fb, kv| {
+                // table[pos-kv] = table[pos-kv-1] — walk from the back.
+                let p = fb.get(pos);
+                let dst = fb.sub(p, kv);
+                let src = fb.add_imm(dst, -1);
+                let tbase = fb.addr(table);
+                let v = load_idx(fb, tbase, src, 1, Width::B1);
+                let tbase2 = fb.addr(table);
+                store_idx(fb, tbase2, dst, 1, Width::B1, v);
+            });
+            let tbase = fb.addr(table);
+            let zero = fb.const_(0);
+            let bv = fb.get(target);
+            store_idx(fb, tbase, zero, 1, Width::B1, bv);
+            // Fold the position into the checksum accumulator.
+            let p = fb.get(pos);
+            let a = fb.get(acc);
+            let rot = fb.bin_imm(AluOp::Sll, a, 1);
+            let hi = fb.bin_imm(AluOp::Srl, a, 63);
+            let rotated = fb.bin(AluOp::Or, rot, hi);
+            let a2 = fb.bin(AluOp::Xor, rotated, p);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let iter = fb.local_scalar();
+        fb.counted_loop(iter, 0, n, 1, |fb, iv| {
+            let total = fb.call(count_pass, &[]);
+            fb.chk(total);
+            let m = fb.call(mtf_pass, &[iv]);
+            fb.chk(m);
+            let a = fb.get(acc);
+            let a2 = fb.add(a, m);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("bzip2 module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn count_pass_counts_all_input_bytes() {
+        let m = bzip2();
+        let out = Interpreter::new(&m).call_by_name("count_pass", &[]).unwrap();
+        assert_eq!(out.return_value, Some(INPUT_BYTES));
+    }
+
+    #[test]
+    fn main_is_deterministic_and_size_sensitive() {
+        let m = bzip2();
+        let a = Interpreter::new(&m).call_by_name("main", &[1]).unwrap();
+        let b = Interpreter::new(&m).call_by_name("main", &[2]).unwrap();
+        assert_ne!(a.checksum, b.checksum);
+    }
+}

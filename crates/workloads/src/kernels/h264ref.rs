@@ -1,0 +1,244 @@
+//! `h264ref` — block motion estimation: sum-of-absolute-differences over
+//! 8×8 pixel blocks against nine candidate offsets, with the branch-heavy
+//! best-candidate tracking of a real encoder's search loop.
+//!
+//! Like a real encoder, the current block is first copied into a stack
+//! buffer; the SAD inner loop then streams the stack copy against the
+//! reference frame in lockstep — the paired stack/global access pattern
+//! whose bank alignment moves with the environment size.
+
+use biaslab_isa::{AluOp, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::{const_local, emit_absdiff, lcg_words, load_idx};
+
+/// Frame side in pixels (one byte per pixel).
+const SIDE: u64 = 32;
+const BLOCK: u64 = 8;
+
+fn frame_bytes(seed: u64) -> Vec<u8> {
+    lcg_words(seed, (SIDE * SIDE / 8) as usize)
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect()
+}
+
+/// Builds the h264ref module.
+#[must_use]
+pub fn h264ref() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    let cur = mb.global(Global {
+        name: "frame_cur".into(),
+        size: (SIDE * SIDE) as u32,
+        align: 8,
+        init: frame_bytes(0x264),
+    });
+    // The reference frame is the current frame shifted by one pixel plus
+    // noise, so motion search has realistic structure to find.
+    let mut ref_bytes = frame_bytes(0x264);
+    ref_bytes.rotate_right(SIDE as usize + 1);
+    for (i, b) in ref_bytes.iter_mut().enumerate() {
+        *b = b.wrapping_add((i as u8) & 3);
+    }
+    let reff = mb.global(Global {
+        name: "frame_ref".into(),
+        size: (SIDE * SIDE) as u32,
+        align: 8,
+        init: ref_bytes,
+    });
+
+    // copy_block(dst, bx, by): copy the 8×8 current block at (bx,by) into
+    // the caller's stack buffer (row-major, 8 bytes per row).
+    let copy_block = mb.function("copy_block", 3, false, |fb| {
+        let dst = fb.param(0);
+        let bx = fb.param(1);
+        let by = fb.param(2);
+        let row = fb.local_scalar();
+        let nb = const_local(fb, BLOCK);
+        let col = fb.local_scalar();
+        fb.counted_loop(row, 0, nb, 1, |fb, rv| {
+            let _ = rv;
+            fb.counted_loop(col, 0, nb, 1, |fb, cv| {
+                let byv = fb.get(by);
+                let rv2 = fb.get(row);
+                let y = fb.add(byv, rv2);
+                let row_off = fb.mul_imm(y, SIDE as i64);
+                let bxv = fb.get(bx);
+                let x = fb.add(bxv, cv);
+                let idx = fb.add(row_off, x);
+                let cbase = fb.addr_global(cur);
+                let p = load_idx(fb, cbase, idx, 1, Width::B1);
+                let dbase = fb.get(dst);
+                let rv3 = fb.get(row);
+                let drow = fb.mul_imm(rv3, BLOCK as i64);
+                let cv2 = fb.get(col);
+                let didx = fb.add(drow, cv2);
+                let daddr = fb.add(dbase, didx);
+                fb.store(Width::B1, daddr, 0, p);
+            });
+        });
+        fb.ret(None);
+    });
+
+    // sad(block, bx, by, ox, oy) -> SAD of the stack block copy against
+    // the reference block at (bx+ox, by+oy). The two byte streams advance
+    // in lockstep.
+    let sad = mb.function("block_sad", 5, true, |fb| {
+        let block = fb.param(0);
+        let bx = fb.param(1);
+        let by = fb.param(2);
+        let ox = fb.param(3);
+        let oy = fb.param(4);
+        let total = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(total, z);
+        let row = fb.local_scalar();
+        let nb = const_local(fb, BLOCK);
+        let col = fb.local_scalar();
+        fb.counted_loop(row, 0, nb, 1, |fb, rv| {
+            let _ = rv;
+            fb.counted_loop(col, 0, nb, 1, |fb, cv| {
+                // Stack-block address.
+                let bbase = fb.get(block);
+                let rv2 = fb.get(row);
+                let brow = fb.mul_imm(rv2, BLOCK as i64);
+                let bidx = fb.add(brow, cv);
+                let baddr = fb.add(bbase, bidx);
+                // Reference address: ref[(by+row+oy)&.. * SIDE + (bx+col+ox)&..]
+                let byv = fb.get(by);
+                let rv3 = fb.get(row);
+                let y0 = fb.add(byv, rv3);
+                let oyv = fb.get(oy);
+                let y1 = fb.add(y0, oyv);
+                let y = fb.bin_imm(AluOp::And, y1, (SIDE - 1) as i64);
+                let rrow = fb.mul_imm(y, SIDE as i64);
+                let bxv = fb.get(bx);
+                let cv2 = fb.get(col);
+                let x0 = fb.add(bxv, cv2);
+                let oxv = fb.get(ox);
+                let x1 = fb.add(x0, oxv);
+                let x = fb.bin_imm(AluOp::And, x1, (SIDE - 1) as i64);
+                let ridx = fb.add(rrow, x);
+                let rbase = fb.addr_global(reff);
+                let raddr = fb.add(rbase, ridx);
+                // Paired loads, back to back.
+                let p_cur = fb.load(Width::B1, baddr, 0);
+                let p_ref = fb.load(Width::B1, raddr, 0);
+                let d = emit_absdiff(fb, p_cur, p_ref);
+                let t = fb.get(total);
+                let t2 = fb.add(t, d);
+                fb.set(total, t2);
+            });
+        });
+        let r = fb.get(total);
+        fb.ret(Some(r));
+    });
+
+    // search(bx, by) -> best (sad << 8 | candidate) over 9 offsets.
+    let search = mb.function("motion_search", 2, true, |fb| {
+        let bx = fb.param(0);
+        let by = fb.param(1);
+        let block = fb.local_buffer((BLOCK * BLOCK) as u32);
+        let bp0 = fb.addr(block);
+        let bxv0 = fb.get(bx);
+        let byv0 = fb.get(by);
+        fb.call_void(copy_block, &[bp0, bxv0, byv0]);
+        let best = fb.local_scalar();
+        let huge = fb.const_(u64::MAX >> 1);
+        fb.set(best, huge);
+        let cand = fb.local_scalar();
+        let nine = const_local(fb, 9);
+        fb.counted_loop(cand, 0, nine, 1, |fb, cv| {
+            // offsets ox,oy in {-1,0,1}
+            let ox0 = fb.bin_imm(AluOp::Rem, cv, 3);
+            let ox = fb.add_imm(ox0, -1);
+            let oy0 = fb.bin_imm(AluOp::Div, cv, 3);
+            let oy = fb.add_imm(oy0, -1);
+            let bp = fb.addr(block);
+            let bxv = fb.get(bx);
+            let byv = fb.get(by);
+            let s = fb.call(sad, &[bp, bxv, byv, ox, oy]);
+            let scored0 = fb.bin_imm(AluOp::Sll, s, 8);
+            let cv2 = fb.get(cand);
+            let scored = fb.add(scored0, cv2);
+            // Track the minimum branch-free to keep the loop body one
+            // block (the branchy version lives in the encoder's caller).
+            let b = fb.get(best);
+            let lt = fb.bin(AluOp::Sltu, scored, b);
+            let diff = fb.sub(scored, b);
+            let sel = fb.mul(lt, diff);
+            let nb = fb.add(b, sel);
+            fb.set(best, nb);
+        });
+        let r = fb.get(best);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let iter = fb.local_scalar();
+        let blocks_per_side = SIDE / BLOCK;
+        let bx = fb.local_scalar();
+        let by = fb.local_scalar();
+        let nbs = const_local(fb, blocks_per_side);
+        let nbs2 = const_local(fb, blocks_per_side);
+        fb.counted_loop(iter, 0, n, 1, |fb, iv| {
+            let _ = iv;
+            fb.counted_loop(by, 0, nbs, 1, |fb, byv| {
+                let _ = byv;
+                fb.counted_loop(bx, 0, nbs2, 1, |fb, bxv| {
+                    let px = fb.mul_imm(bxv, BLOCK as i64);
+                    let byv2 = fb.get(by);
+                    let py = fb.mul_imm(byv2, BLOCK as i64);
+                    let best = fb.call(search, &[px, py]);
+                    let a = fb.get(acc);
+                    let a2 = fb.add(a, best);
+                    fb.set(acc, a2);
+                });
+            });
+            // Mix the iteration index in so successive (otherwise
+            // identical) frames do not cancel under the checksum fold.
+            let a = fb.get(acc);
+            let scaled = fb.mul_imm(a, 31);
+            let it = fb.get(iter);
+            let mixed = fb.add(scaled, it);
+            fb.set(acc, mixed);
+            fb.chk(mixed);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("h264ref module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn search_returns_a_candidate_in_range() {
+        let m = h264ref();
+        let out = Interpreter::new(&m).call_by_name("motion_search", &[16, 16]).unwrap();
+        let cand = out.return_value.unwrap() & 0xFF;
+        assert!(cand < 9, "candidate {cand}");
+    }
+
+    #[test]
+    fn main_is_deterministic_and_iteration_sensitive() {
+        let m = h264ref();
+        let a = Interpreter::new(&m).call_by_name("main", &[1]).unwrap();
+        let a2 = Interpreter::new(&m).call_by_name("main", &[1]).unwrap();
+        let b = Interpreter::new(&m).call_by_name("main", &[2]).unwrap();
+        assert_eq!(a.checksum, a2.checksum);
+        assert_ne!(a.checksum, b.checksum);
+        assert_ne!(b.checksum, 0);
+    }
+}

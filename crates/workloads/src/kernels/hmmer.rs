@@ -1,0 +1,173 @@
+//! `hmmer` — profile-HMM dynamic programming (Viterbi in miniature): a
+//! regular O(states × positions) matrix fill with branch-free max
+//! selection. The match/insert rows live **on the stack**, so the kernel's
+//! hot lines move with the environment size; the single-block inner loop is
+//! prime unrolling material.
+
+use biaslab_isa::{AluOp, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::{const_local, lcg_words, load_idx, store_idx};
+
+/// Profile states per row.
+const STATES: u64 = 512;
+/// Emission-score table: STATES × 16 residues.
+const RESIDUES: u64 = 16;
+
+/// Builds the hmmer module.
+#[must_use]
+pub fn hmmer() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    let emis = mb.global(Global::from_words(
+        "emis",
+        &lcg_words(0x4A3E12, (STATES * RESIDUES) as usize)
+            .iter()
+            .map(|w| w % 4096)
+            .collect::<Vec<_>>(),
+    ));
+    let seq = mb.global(Global::from_words(
+        "seq",
+        &lcg_words(0x5E0, 64)
+            .iter()
+            .map(|w| w % RESIDUES)
+            .collect::<Vec<_>>(),
+    ));
+
+    // score(state, residue) -> emission score (one load).
+    let score = mb.function("emit_score", 2, true, |fb| {
+        let state = fb.param(0);
+        let residue = fb.param(1);
+        let rv = fb.get(residue);
+        let base_idx = fb.mul_imm(rv, STATES as i64);
+        let sv = fb.get(state);
+        let idx = fb.add(base_idx, sv);
+        let ebase = fb.addr_global(emis);
+        let v = load_idx(fb, ebase, idx, 8, Width::B8);
+        fb.ret(Some(v));
+    });
+
+    // viterbi_row(mrow, irow, residue) -> best score in the updated row.
+    // Both rows are caller-stack buffers passed by pointer.
+    let row_fill = mb.function("viterbi_row", 3, true, |fb| {
+        let mrow = fb.param(0);
+        let irow = fb.param(1);
+        let residue = fb.param(2);
+        let best = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(best, z);
+        let prev = fb.local_scalar();
+        fb.set(prev, z);
+        let i = fb.local_scalar();
+        let n = const_local(fb, STATES);
+        fb.counted_loop(i, 0, n, 1, |fb, iv| {
+            // m' = max(prev_m + emis, i + emis/2), branch-free. The
+            // emission table is residue-major, so the emission stream
+            // advances in lockstep with the row streams (HMMER's actual
+            // memory layout for the inner Viterbi loop).
+            let mbase = fb.get(mrow);
+            let moff = fb.mul_imm(iv, 8);
+            let maddr = fb.add(mbase, moff);
+            let rv = fb.get(residue);
+            let erow = fb.mul_imm(rv, STATES as i64);
+            let eidx = fb.add(erow, iv);
+            let ebase = fb.addr_global(emis);
+            let eoff = fb.mul_imm(eidx, 8);
+            let eaddr = fb.add(ebase, eoff);
+            let m_cur = fb.load(Width::B8, maddr, 0);
+            let e = fb.load(Width::B8, eaddr, 0);
+            let ibase = fb.get(irow);
+            let i_cur = load_idx(fb, ibase, iv, 8, Width::B8);
+            let p = fb.get(prev);
+            let cand_m = fb.add(p, e);
+            let e2 = fb.bin_imm(AluOp::Srl, e, 1);
+            let cand_i = fb.add(i_cur, e2);
+            // max(a,b) = a + (a<b)*(b-a)
+            let lt = fb.bin(AluOp::Slt, cand_m, cand_i);
+            let diff = fb.sub(cand_i, cand_m);
+            let sel = fb.mul(lt, diff);
+            let new_m = fb.add(cand_m, sel);
+            // i' = (m_cur + i_cur) / 2 decays toward the match row.
+            let sum = fb.add(m_cur, i_cur);
+            let new_i = fb.bin_imm(AluOp::Srl, sum, 1);
+            let mb2 = fb.get(mrow);
+            store_idx(fb, mb2, iv, 8, Width::B8, new_m);
+            let ib2 = fb.get(irow);
+            store_idx(fb, ib2, iv, 8, Width::B8, new_i);
+            fb.set(prev, new_m);
+            // best = max(best, new_m), branch-free again.
+            let b = fb.get(best);
+            let lt2 = fb.bin(AluOp::Slt, b, new_m);
+            let d2 = fb.sub(new_m, b);
+            let s2 = fb.mul(lt2, d2);
+            let nb = fb.add(b, s2);
+            fb.set(best, nb);
+        });
+        let r = fb.get(best);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        // The DP rows: 128 states × 8 bytes each, on the stack.
+        let mrow = fb.local_buffer((STATES * 8) as u32);
+        let irow = fb.local_buffer((STATES * 8) as u32);
+        // Zero both rows.
+        let i = fb.local_scalar();
+        let ns = const_local(fb, STATES);
+        fb.counted_loop(i, 0, ns, 1, |fb, iv| {
+            let mbase = fb.addr(mrow);
+            let z = fb.const_(0);
+            store_idx(fb, mbase, iv, 8, Width::B8, z);
+            let ibase = fb.addr(irow);
+            let z2 = fb.const_(0);
+            store_idx(fb, ibase, iv, 8, Width::B8, z2);
+        });
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let pos = fb.local_scalar();
+        fb.counted_loop(pos, 0, n, 1, |fb, pv| {
+            // residue = seq[pos % 64]
+            let idx = fb.bin_imm(AluOp::And, pv, 63);
+            let sbase = fb.addr_global(seq);
+            let residue = load_idx(fb, sbase, idx, 8, Width::B8);
+            let mbase = fb.addr(mrow);
+            let ibase = fb.addr(irow);
+            let best = fb.call(row_fill, &[mbase, ibase, residue]);
+            fb.chk(best);
+            let a = fb.get(acc);
+            let a2 = fb.add(a, best);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        let _ = score;
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("hmmer module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn scores_grow_with_sequence_length() {
+        let m = hmmer();
+        let short = Interpreter::new(&m).call_by_name("main", &[2]).unwrap();
+        let long = Interpreter::new(&m).call_by_name("main", &[8]).unwrap();
+        assert!(long.return_value.unwrap() > short.return_value.unwrap());
+    }
+
+    #[test]
+    fn emission_lookup_matches_table() {
+        let m = hmmer();
+        let out = Interpreter::new(&m).call_by_name("emit_score", &[3, 5]).unwrap();
+        let expected = lcg_words(0x4A3E12, (STATES * RESIDUES) as usize)[5 * STATES as usize + 3] % 4096;
+        assert_eq!(out.return_value, Some(expected));
+    }
+}

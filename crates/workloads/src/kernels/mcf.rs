@@ -1,0 +1,187 @@
+//! `mcf` — pointer-chasing cost relaxation over an arc network, the memory
+//! behaviour that makes 429.mcf famously cache-hostile: serial dependent
+//! loads through a linked structure with data-dependent branches.
+
+use biaslab_isa::{AluOp, Cond, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::{array_addr, const_local, lcg_words};
+
+/// 1536 arcs × 24 bytes (head, cost, next) = 36 KiB.
+const ARCS: u64 = 4096;
+const ARC_BYTES: i64 = 24;
+const NODES: u64 = 64;
+
+/// Builds the mcf module.
+#[must_use]
+pub fn mcf() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    // Bake the arc network: arc i = { head: random node, cost: random,
+    // next: random arc or end }. `next` chains are what we pointer-chase.
+    let rnd = lcg_words(0x3CF, ARCS as usize * 3);
+    let mut init = Vec::with_capacity(ARCS as usize * 24);
+    for i in 0..ARCS as usize {
+        let head = rnd[3 * i] % NODES;
+        let cost = rnd[3 * i + 1] % 100_000;
+        // Mostly-random successor; ~1/8 of arcs end the chain (sentinel).
+        let nxt = if rnd[3 * i + 2].is_multiple_of(8) { ARCS } else { rnd[3 * i + 2] % ARCS };
+        init.extend_from_slice(&head.to_le_bytes());
+        init.extend_from_slice(&cost.to_le_bytes());
+        init.extend_from_slice(&nxt.to_le_bytes());
+    }
+    let arcs = mb.global(Global { name: "arcs".into(), size: (ARCS * 24) as u32, align: 8, init });
+    let potential = mb.global(Global::zeroed("potential", (NODES * 8) as u32));
+
+    // chase(start, limit) -> (sum of costs along the chain).
+    let chase = mb.function("arc_chase", 2, true, |fb| {
+        let start = fb.param(0);
+        let limit = fb.param(1);
+        let cur = fb.local_scalar();
+        let sv = fb.get(start);
+        fb.set(cur, sv);
+        let sum = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(sum, z);
+        let steps = fb.local_scalar();
+        fb.set(steps, z);
+        let running = fb.local_scalar();
+        let one = fb.const_(1);
+        fb.set(running, one);
+        fb.while_loop(
+            |fb| {
+                let r = fb.get(running);
+                let zero = fb.const_(0);
+                (Cond::Ne, r, zero)
+            },
+            |fb| {
+                let c = fb.get(cur);
+                let sentinel = fb.const_(ARCS);
+                fb.if_then_else(
+                    Cond::Geu,
+                    c,
+                    sentinel,
+                    |fb| {
+                        let z = fb.const_(0);
+                        fb.set(running, z);
+                    },
+                    |fb| {
+                        let st = fb.get(steps);
+                        let lim = fb.get(limit);
+                        fb.if_then_else(
+                            Cond::Geu,
+                            st,
+                            lim,
+                            |fb| {
+                                let z = fb.const_(0);
+                                fb.set(running, z);
+                            },
+                            |fb| {
+                                let abase = fb.addr_global(arcs);
+                                let c = fb.get(cur);
+                                let arc = array_addr(fb, abase, c, ARC_BYTES);
+                                let head = fb.load(Width::B8, arc, 0);
+                                let cost = fb.load(Width::B8, arc, 8);
+                                let next = fb.load(Width::B8, arc, 16);
+                                // Relax the head node's potential.
+                                let pbase = fb.addr_global(potential);
+                                let slot = array_addr(fb, pbase, head, 8);
+                                let p = fb.load(Width::B8, slot, 0);
+                                let s = fb.get(sum);
+                                let s2 = fb.add(s, cost);
+                                fb.set(sum, s2);
+                                // potential[head] = (p + cost) / 2
+                                let pc = fb.add(p, cost);
+                                let half = fb.bin_imm(AluOp::Srl, pc, 1);
+                                fb.store(Width::B8, slot, 0, half);
+                                fb.set(cur, next);
+                                let st = fb.get(steps);
+                                let st2 = fb.add_imm(st, 1);
+                                fb.set(steps, st2);
+                            },
+                        );
+                    },
+                );
+            },
+        );
+        let r = fb.get(sum);
+        fb.ret(Some(r));
+    });
+
+    // sweep(): one relaxation sweep over all arcs, updating costs from the
+    // node potentials (regular pass — contrasts with the chase's chaos).
+    let sweep = mb.function("arc_sweep", 0, true, |fb| {
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let i = fb.local_scalar();
+        let n = const_local(fb, ARCS);
+        fb.counted_loop(i, 0, n, 1, |fb, iv| {
+            let abase = fb.addr_global(arcs);
+            let arc = array_addr(fb, abase, iv, ARC_BYTES);
+            let head = fb.load(Width::B8, arc, 0);
+            let cost = fb.load(Width::B8, arc, 8);
+            let pbase = fb.addr_global(potential);
+            let slot = array_addr(fb, pbase, head, 8);
+            let p = fb.load(Width::B8, slot, 0);
+            // cost' = (3*cost + p) / 4  (keeps magnitudes bounded)
+            let c3 = fb.mul_imm(cost, 3);
+            let mixed = fb.add(c3, p);
+            let c2 = fb.bin_imm(AluOp::Srl, mixed, 2);
+            fb.store(Width::B8, arc, 8, c2);
+            let a = fb.get(acc);
+            let a2 = fb.add(a, c2);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let iter = fb.local_scalar();
+        fb.counted_loop(iter, 0, n, 1, |fb, iv| {
+            // Chase from a rotating set of start arcs.
+            let start0 = fb.mul_imm(iv, 37);
+            let start = fb.bin_imm(AluOp::Rem, start0, ARCS as i64);
+            let limit = fb.const_(512);
+            let chased = fb.call(chase, &[start, limit]);
+            fb.chk(chased);
+            let swept = fb.call(sweep, &[]);
+            fb.chk(swept);
+            let a = fb.get(acc);
+            let a2 = fb.bin(AluOp::Xor, a, swept);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("mcf module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn chase_terminates_and_accumulates() {
+        let m = mcf();
+        let out = Interpreter::new(&m).call_by_name("arc_chase", &[0, 100_000]).unwrap();
+        assert!(out.return_value.is_some());
+    }
+
+    #[test]
+    fn main_is_input_sensitive() {
+        let m = mcf();
+        let a = Interpreter::new(&m).call_by_name("main", &[2]).unwrap();
+        let b = Interpreter::new(&m).call_by_name("main", &[3]).unwrap();
+        assert_ne!(a.checksum, b.checksum);
+    }
+}

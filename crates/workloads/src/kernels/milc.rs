@@ -1,0 +1,129 @@
+//! `milc` — fixed-point lattice arithmetic: dense, multiply-heavy,
+//! perfectly predictable loops (the QCD su3 multiply in miniature). The
+//! single-block inner loops are exactly what `O3`'s unroller targets.
+
+use biaslab_isa::{AluOp, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::{const_local, lcg_words, load_idx, store_idx};
+
+/// Lattice sites (three vectors of 1024 u64 = 24 KiB total).
+const SITES: u64 = 4096;
+
+/// Builds the milc module.
+#[must_use]
+pub fn milc() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    let a = mb.global(Global::from_words("lat_a", &lcg_words(0x111C, SITES as usize)));
+    let b = mb.global(Global::from_words("lat_b", &lcg_words(0x222C, SITES as usize)));
+    let c = mb.global(Global::zeroed("lat_c", (SITES * 8) as u32));
+
+    // su3_combine(): c[i] = (a[i]*b[i])>>16 + a[i] - (b[i]>>3), elementwise.
+    let combine = mb.function("su3_combine", 0, true, |fb| {
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let i = fb.local_scalar();
+        let n = const_local(fb, SITES);
+        fb.counted_loop(i, 0, n, 1, |fb, iv| {
+            let abase = fb.addr_global(a);
+            let av = load_idx(fb, abase, iv, 8, Width::B8);
+            let bbase = fb.addr_global(b);
+            let bv = load_idx(fb, bbase, iv, 8, Width::B8);
+            let prod = fb.mul(av, bv);
+            let hi = fb.bin_imm(AluOp::Srl, prod, 16);
+            let sum = fb.add(hi, av);
+            let b3 = fb.bin_imm(AluOp::Srl, bv, 3);
+            let out = fb.sub(sum, b3);
+            let cbase = fb.addr_global(c);
+            store_idx(fb, cbase, iv, 8, Width::B8, out);
+            let acc_v = fb.get(acc);
+            let acc2 = fb.add(acc_v, out);
+            fb.set(acc, acc2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    // gauge_shift(): a[i] = c[(i+1) mod SITES] ^ rotl(a[i], 7) — a
+    // neighbour shift with a twist, still single-block and unrollable.
+    let shift = mb.function("gauge_shift", 0, true, |fb| {
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let i = fb.local_scalar();
+        let n = const_local(fb, SITES);
+        fb.counted_loop(i, 0, n, 1, |fb, iv| {
+            let next = fb.add_imm(iv, 1);
+            let wrapped = fb.bin_imm(AluOp::And, next, (SITES - 1) as i64);
+            let cbase = fb.addr_global(c);
+            let cv = load_idx(fb, cbase, wrapped, 8, Width::B8);
+            let abase = fb.addr_global(a);
+            let av = load_idx(fb, abase, iv, 8, Width::B8);
+            let lo = fb.bin_imm(AluOp::Sll, av, 7);
+            let hi = fb.bin_imm(AluOp::Srl, av, 57);
+            let rot = fb.bin(AluOp::Or, lo, hi);
+            let out = fb.bin(AluOp::Xor, cv, rot);
+            let abase2 = fb.addr_global(a);
+            store_idx(fb, abase2, iv, 8, Width::B8, out);
+            let acc_v = fb.get(acc);
+            let acc2 = fb.bin(AluOp::Xor, acc_v, out);
+            fb.set(acc, acc2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let iter = fb.local_scalar();
+        fb.counted_loop(iter, 0, n, 1, |fb, iv| {
+            let _ = iv;
+            let s1 = fb.call(combine, &[]);
+            fb.chk(s1);
+            let s2 = fb.call(shift, &[]);
+            fb.chk(s2);
+            let a_v = fb.get(acc);
+            let a2 = fb.add(a_v, s2);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("milc module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+    use biaslab_toolchain::opt::{optimize, OptLevel};
+
+    use super::*;
+
+    #[test]
+    fn unrolling_applies_to_the_lattice_loops() {
+        let m = milc();
+        let o3 = optimize(&m, OptLevel::O3);
+        let combine_o0 = m.functions.iter().find(|f| f.name == "su3_combine").unwrap();
+        let combine_o3 = o3.functions.iter().find(|f| f.name == "su3_combine").unwrap();
+        assert!(
+            combine_o3.op_count() > combine_o0.op_count(),
+            "O3 should replicate the loop body"
+        );
+    }
+
+    #[test]
+    fn lattice_updates_are_deterministic() {
+        let m = milc();
+        let a = Interpreter::new(&m).call_by_name("main", &[2]).unwrap();
+        let b = Interpreter::new(&m).call_by_name("main", &[2]).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_ne!(a.checksum, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The twelve benchmark kernels, one module per SPEC CPU2006 C program.
+//!
+//! Each `fn <name>() -> Module` builds a verified IR module with an entry
+//! function `main(n)` where `n` scales the work. Kernels are written with
+//! several functions each so that link-order permutations have room to act,
+//! and most keep at least one hot buffer on the stack so that
+//! environment-size changes move it.
+
+mod bzip2;
+mod gcc;
+mod gobmk;
+mod h264ref;
+mod hmmer;
+mod lbm;
+mod libquantum;
+mod mcf;
+mod milc;
+mod perlbench;
+mod sjeng;
+mod sphinx3;
+
+pub use bzip2::bzip2;
+pub use gcc::gcc;
+pub use gobmk::gobmk;
+pub use h264ref::h264ref;
+pub use hmmer::hmmer;
+pub use lbm::lbm;
+pub use libquantum::libquantum;
+pub use mcf::mcf;
+pub use milc::milc;
+pub use perlbench::perlbench;
+pub use sjeng::sjeng;
+pub use sphinx3::sphinx3;
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    #[test]
+    fn every_kernel_builds_and_runs_under_the_interpreter() {
+        for b in crate::suite() {
+            let mut interp = Interpreter::new(b.module());
+            let out = interp
+                .call_by_name(b.entry(), b.args(crate::InputSize::Test))
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            assert!(out.checksum != 0, "{}: checksum should be nonzero", b.name());
+        }
+    }
+
+    #[test]
+    fn checksums_depend_on_input_size() {
+        for b in crate::suite() {
+            let t = b.expected(crate::InputSize::Test);
+            let r = b.expected(crate::InputSize::Ref);
+            assert_ne!(t.checksum, r.checksum, "{}", b.name());
+            assert!(r.ir_ops > t.ir_ops, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn kernels_have_multiple_link_units() {
+        for b in crate::suite() {
+            assert!(
+                b.module().functions.len() >= 3,
+                "{}: needs ≥3 functions for link-order experiments, has {}",
+                b.name(),
+                b.module().functions.len()
+            );
+        }
+    }
+
+    #[test]
+    fn expected_outcomes_are_cached_and_stable() {
+        let suite = crate::suite();
+        let b = &suite[0];
+        let a = b.expected(crate::InputSize::Test);
+        let c = b.expected(crate::InputSize::Test);
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,364 @@
+//! `perlbench` — a hash table plus a bytecode-dispatch interpreter.
+//!
+//! The real 400.perlbench spends its time in the Perl VM's opcode dispatch
+//! and hash tables. The miniature runs a 128-opcode program repeatedly: an
+//! accumulator flows through add/xor/mul/shift opcodes, two opcodes hit an
+//! open-addressing hash table in the data segment, and every step spills
+//! the accumulator into a ring buffer **on the stack** — the buffer whose
+//! cache sets move with the environment size, making this the headline
+//! env-bias benchmark (the paper's Figures 1–3 are perlbench).
+
+use biaslab_isa::{AluOp, Cond, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::{array_addr, const_local, lcg_words, load_idx};
+
+const PROG_LEN: u64 = 256;
+const HTAB_SLOTS: u64 = 4096;
+const RING_BYTES: u32 = 4096; // 256 × 8-byte slots on the stack
+
+/// Builds the perlbench module.
+#[must_use]
+pub fn perlbench() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    let prog = mb.global(Global::from_words("prog", &lcg_words(0x9E10, PROG_LEN as usize)));
+    // Two words per slot: key, value. Key 0 = empty.
+    let htab = mb.global(Global::zeroed("htab", (HTAB_SLOTS * 16) as u32));
+    // Per-opcode handler weights, read on every dispatch.
+    let optable = mb.global(Global::from_words("optable", &lcg_words(0x09, 8)));
+
+    // hash(k) = (k * LCG_MUL) >> 40, folded into the table mask.
+    let hash = mb.function("op_hash", 1, true, |fb| {
+        let k = fb.param(0);
+        let kv = fb.get(k);
+        let m = fb.const_(crate::util::LCG_MUL);
+        let p = fb.mul(kv, m);
+        let s = fb.bin_imm(AluOp::Srl, p, 40);
+        let masked = fb.bin_imm(AluOp::And, s, (HTAB_SLOTS - 1) as i64);
+        fb.ret(Some(masked));
+    });
+
+    // ht_insert(key, value): linear probing; overwrites matching keys.
+    let insert = mb.function("ht_insert", 2, false, |fb| {
+        let key = fb.param(0);
+        let value = fb.param(1);
+        let idx = fb.local_scalar();
+        let kv = fb.get(key);
+        let h = fb.call(hash, &[kv]);
+        fb.set(idx, h);
+        let done = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(done, z);
+        fb.while_loop(
+            |fb| {
+                let d = fb.get(done);
+                let zero = fb.const_(0);
+                (Cond::Eq, d, zero)
+            },
+            |fb| {
+                let base = fb.addr_global(htab);
+                let i = fb.get(idx);
+                let slot = array_addr(fb, base, i, 16);
+                let k = fb.load(Width::B8, slot, 0);
+                let want = fb.get(key);
+                // Empty or matching slot: store and finish.
+                let empty = fb.bin_imm(AluOp::Seq, k, 0);
+                let matches = fb.bin(AluOp::Seq, k, want);
+                let stop = fb.bin(AluOp::Or, empty, matches);
+                let zero = fb.const_(0);
+                fb.if_then_else(
+                    Cond::Ne,
+                    stop,
+                    zero,
+                    |fb| {
+                        let base = fb.addr_global(htab);
+                        let i = fb.get(idx);
+                        let slot = array_addr(fb, base, i, 16);
+                        let kk = fb.get(key);
+                        fb.store(Width::B8, slot, 0, kk);
+                        let vv = fb.get(value);
+                        fb.store(Width::B8, slot, 8, vv);
+                        let one = fb.const_(1);
+                        fb.set(done, one);
+                    },
+                    |fb| {
+                        let i = fb.get(idx);
+                        let next = fb.add_imm(i, 1);
+                        let wrapped = fb.bin_imm(AluOp::And, next, (HTAB_SLOTS - 1) as i64);
+                        fb.set(idx, wrapped);
+                    },
+                );
+            },
+        );
+        fb.ret(None);
+    });
+
+    // ht_lookup(key) -> value (0 when absent).
+    let lookup = mb.function("ht_lookup", 1, true, |fb| {
+        let key = fb.param(0);
+        let idx = fb.local_scalar();
+        let kv = fb.get(key);
+        let h = fb.call(hash, &[kv]);
+        fb.set(idx, h);
+        let result = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(result, z);
+        let probing = fb.local_scalar();
+        let one = fb.const_(1);
+        fb.set(probing, one);
+        fb.while_loop(
+            |fb| {
+                let p = fb.get(probing);
+                let zero = fb.const_(0);
+                (Cond::Ne, p, zero)
+            },
+            |fb| {
+                let base = fb.addr_global(htab);
+                let i = fb.get(idx);
+                let slot = array_addr(fb, base, i, 16);
+                let k = fb.load(Width::B8, slot, 0);
+                let zero = fb.const_(0);
+                fb.if_then_else(
+                    Cond::Eq,
+                    k,
+                    zero,
+                    |fb| {
+                        // Empty slot: miss.
+                        let z = fb.const_(0);
+                        fb.set(probing, z);
+                    },
+                    |fb| {
+                        let base = fb.addr_global(htab);
+                        let i = fb.get(idx);
+                        let slot = array_addr(fb, base, i, 16);
+                        let k = fb.load(Width::B8, slot, 0);
+                        let want = fb.get(key);
+                        fb.if_then_else(
+                            Cond::Eq,
+                            k,
+                            want,
+                            |fb| {
+                                let base = fb.addr_global(htab);
+                                let i = fb.get(idx);
+                                let slot = array_addr(fb, base, i, 16);
+                                let v = fb.load(Width::B8, slot, 8);
+                                fb.set(result, v);
+                                let z = fb.const_(0);
+                                fb.set(probing, z);
+                            },
+                            |fb| {
+                                let i = fb.get(idx);
+                                let next = fb.add_imm(i, 1);
+                                let wrapped =
+                                    fb.bin_imm(AluOp::And, next, (HTAB_SLOTS - 1) as i64);
+                                fb.set(idx, wrapped);
+                            },
+                        );
+                    },
+                );
+            },
+        );
+        let r = fb.get(result);
+        fb.ret(Some(r));
+    });
+
+    // dispatch(op, operand, acc) -> acc'
+    let dispatch = mb.function("op_dispatch", 3, true, |fb| {
+        let op = fb.param(0);
+        let operand = fb.param(1);
+        let acc = fb.param(2);
+        let out = fb.local_scalar();
+        // The VM spills its accumulator to the top of the operand stack
+        // and reads the handler-table header on every dispatch — the
+        // interpreter idiom whose stack/global pairing is layout-bound.
+        let opstack = fb.local_buffer(64);
+        let tbase = fb.addr_global(optable);
+        let sbase = fb.addr(opstack);
+        let w = fb.load(Width::B8, tbase, 0);
+        let a0 = fb.get(acc);
+        let tagged = fb.bin(AluOp::Xor, a0, w);
+        fb.store(Width::B8, sbase, 0, tagged);
+        let opv0 = fb.get(op);
+        let kind = fb.bin_imm(AluOp::Rem, opv0, 6);
+        let sel = fb.local_scalar();
+        fb.set(sel, kind);
+
+        let sv = fb.get(sel);
+        let zero = fb.const_(0);
+        fb.if_then_else(
+            Cond::Eq,
+            sv,
+            zero,
+            |fb| {
+                let a = fb.get(acc);
+                let o = fb.get(operand);
+                let r = fb.add(a, o);
+                fb.set(out, r);
+            },
+            |fb| {
+                let sv = fb.get(sel);
+                let one = fb.const_(1);
+                fb.if_then_else(
+                    Cond::Eq,
+                    sv,
+                    one,
+                    |fb| {
+                        let a = fb.get(acc);
+                        let o = fb.get(operand);
+                        let r = fb.bin(AluOp::Xor, a, o);
+                        fb.set(out, r);
+                    },
+                    |fb| {
+                        let sv = fb.get(sel);
+                        let two = fb.const_(2);
+                        fb.if_then_else(
+                            Cond::Eq,
+                            sv,
+                            two,
+                            |fb| {
+                                let a = fb.get(acc);
+                                let r0 = fb.mul_imm(a, 3);
+                                let o = fb.get(operand);
+                                let r = fb.add(r0, o);
+                                fb.set(out, r);
+                            },
+                            |fb| {
+                                let sv = fb.get(sel);
+                                let three = fb.const_(3);
+                                fb.if_then_else(
+                                    Cond::Eq,
+                                    sv,
+                                    three,
+                                    |fb| {
+                                        // Insert acc under a data-dependent
+                                        // key, so the whole table stays hot.
+                                        let o = fb.get(operand);
+                                        let a = fb.get(acc);
+                                        let mixed = fb.bin(AluOp::Xor, o, a);
+                                        let masked = fb.bin_imm(AluOp::And, mixed, 0xFFF);
+                                        let key = fb.bin_imm(AluOp::Or, masked, 1);
+                                        let a2 = fb.get(acc);
+                                        fb.call_void(insert, &[key, a2]);
+                                        fb.set(out, a2);
+                                    },
+                                    |fb| {
+                                        let sv = fb.get(sel);
+                                        let four = fb.const_(4);
+                                        fb.if_then_else(
+                                            Cond::Eq,
+                                            sv,
+                                            four,
+                                            |fb| {
+                                                let o = fb.get(operand);
+                                                let a0 = fb.get(acc);
+                                                let mixed = fb.bin(AluOp::Xor, o, a0);
+                                                let masked =
+                                                    fb.bin_imm(AluOp::And, mixed, 0xFFF);
+                                                let key = fb.bin_imm(AluOp::Or, masked, 1);
+                                                let v = fb.call(lookup, &[key]);
+                                                let a = fb.get(acc);
+                                                let r = fb.add(a, v);
+                                                fb.set(out, r);
+                                            },
+                                            |fb| {
+                                                let a = fb.get(acc);
+                                                let sh = fb.bin_imm(AluOp::Srl, a, 1);
+                                                let o = fb.get(operand);
+                                                let r = fb.bin(AluOp::Xor, sh, o);
+                                                fb.set(out, r);
+                                            },
+                                        );
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            },
+        );
+        let r0 = fb.get(out);
+        let sbase2 = fb.addr(opstack);
+        let spilled = fb.load(Width::B8, sbase2, 0);
+        let folded = fb.bin_imm(AluOp::Srl, spilled, 61);
+        let r = fb.add(r0, folded);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let ring = fb.local_buffer(RING_BYTES);
+        let acc = fb.local_scalar();
+        let seed = fb.const_(0x5EED);
+        fb.set(acc, seed);
+        let iter = fb.local_scalar();
+        let prog_len = const_local(fb, PROG_LEN);
+        let pc = fb.local_scalar();
+        fb.counted_loop(iter, 0, n, 1, |fb, iv| {
+            let _ = iv;
+            fb.counted_loop(pc, 0, prog_len, 1, |fb, pcv| {
+                // Fetch the opcode and spill the accumulator into the
+                // stack ring back-to-back: the program stream (data
+                // segment) and the ring stream (stack) advance one word
+                // per step each.
+                let base = fb.addr_global(prog);
+                let poff = fb.mul_imm(pcv, 8);
+                let paddr = fb.add(base, poff);
+                let rbase = fb.addr(ring);
+                let slot = fb.bin_imm(AluOp::And, pcv, (RING_BYTES as i64 / 8) - 1);
+                let roff = fb.mul_imm(slot, 8);
+                let raddr = fb.add(rbase, roff);
+                let word = fb.load(Width::B8, paddr, 0);
+                let a0 = fb.get(acc);
+                fb.store(Width::B8, raddr, 0, a0);
+                let operand = fb.bin_imm(AluOp::Srl, word, 3);
+                let a = fb.get(acc);
+                let a2 = fb.call(dispatch, &[word, operand, a]);
+                fb.set(acc, a2);
+            });
+            // Mix the ring back into the accumulator once per program run.
+            let rbase = fb.addr(ring);
+            let it = fb.get(iter);
+            let slot = fb.bin_imm(AluOp::And, it, (RING_BYTES as i64 / 8) - 1);
+            let v = load_idx(fb, rbase, slot, 8, Width::B8);
+            let a = fb.get(acc);
+            let mixed = fb.bin(AluOp::Xor, a, v);
+            fb.set(acc, mixed);
+            let m = fb.get(acc);
+            fb.chk(m);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("perlbench module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn runs_and_checksums_deterministically() {
+        let m = perlbench();
+        let a = Interpreter::new(&m).call_by_name("main", &[5]).unwrap();
+        let b = Interpreter::new(&m).call_by_name("main", &[5]).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_ne!(a.checksum, 0);
+    }
+
+    #[test]
+    fn hash_table_sees_traffic() {
+        let m = perlbench();
+        let mut interp = Interpreter::new(&m);
+        interp.call_by_name("main", &[8]).unwrap();
+        // At least one slot of htab written (key != 0).
+        let htab_idx = m.globals.iter().position(|g| g.name == "htab").unwrap();
+        let base = interp.global_addr(htab_idx);
+        let touched = (0..HTAB_SLOTS).any(|i| interp.memory().read_u64(base + (i * 16) as u32) != 0);
+        assert!(touched);
+    }
+}

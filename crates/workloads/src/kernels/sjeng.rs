@@ -1,0 +1,178 @@
+//! `sjeng` — recursive game-tree search with a transposition table: deep
+//! recursion, hash-scattered loads, and highly data-dependent branches,
+//! like a chess engine's alpha-beta core.
+
+use biaslab_isa::{AluOp, Cond, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::array_addr;
+
+/// Transposition table: 1024 entries × 16 bytes (key, score).
+const TT_SLOTS: u64 = 4096;
+
+/// Builds the sjeng module.
+#[must_use]
+pub fn sjeng() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    let ttable = mb.global(Global::zeroed("ttable", (TT_SLOTS * 16) as u32));
+
+    // evaluate(state) -> static score: bit-mixing "popcount-ish" eval.
+    let evaluate = mb.function("evaluate", 1, true, |fb| {
+        let state = fb.param(0);
+        let s = fb.get(state);
+        let x1 = fb.bin_imm(AluOp::Srl, s, 17);
+        let m1 = fb.bin(AluOp::Xor, s, x1);
+        let m2 = fb.mul_imm(m1, 0x2545);
+        let x2 = fb.bin_imm(AluOp::Srl, m2, 9);
+        let m3 = fb.bin(AluOp::Xor, m2, x2);
+        let score = fb.bin_imm(AluOp::And, m3, 0xFFFF);
+        fb.ret(Some(score));
+    });
+
+    // search(state, depth) -> score. Tries 3 moves per node, takes the max,
+    // and caches results in the transposition table.
+    let search = mb.declare("search", 2, true);
+    mb.define(search, |fb| {
+        let state = fb.param(0);
+        let depth = fb.param(1);
+        let out = fb.local_scalar();
+        let d = fb.get(depth);
+        let zero = fb.const_(0);
+        fb.if_then_else(
+            Cond::Eq,
+            d,
+            zero,
+            |fb| {
+                let s = fb.get(state);
+                let e = fb.call(evaluate, &[s]);
+                fb.set(out, e);
+            },
+            |fb| {
+                // Probe the transposition table.
+                let s = fb.get(state);
+                let d = fb.get(depth);
+                let keyed = fb.mul_imm(s, 31);
+                let key0 = fb.add(keyed, d);
+                let key = fb.bin_imm(AluOp::Or, key0, 1);
+                let key_l = fb.local_scalar();
+                fb.set(key_l, key);
+                let slot_idx = fb.bin_imm(AluOp::And, key, (TT_SLOTS - 1) as i64);
+                let tbase = fb.addr_global(ttable);
+                let slot = array_addr(fb, tbase, slot_idx, 16);
+                let stored_key = fb.load(Width::B8, slot, 0);
+                let want = fb.get(key_l);
+                fb.if_then_else(
+                    Cond::Eq,
+                    stored_key,
+                    want,
+                    |fb| {
+                        // Hit: reuse the cached score.
+                        let key = fb.get(key_l);
+                        let slot_idx = fb.bin_imm(AluOp::And, key, (TT_SLOTS - 1) as i64);
+                        let tbase = fb.addr_global(ttable);
+                        let slot = array_addr(fb, tbase, slot_idx, 16);
+                        let score = fb.load(Width::B8, slot, 8);
+                        fb.set(out, score);
+                    },
+                    |fb| {
+                        // Miss: expand three children.
+                        let best = fb.local_scalar();
+                        let z = fb.const_(0);
+                        fb.set(best, z);
+                        let mv = fb.local_scalar();
+                        let three = crate::util::const_local(fb, 3);
+                        fb.counted_loop(mv, 0, three, 1, |fb, mvv| {
+                            let s = fb.get(state);
+                            let rolled = fb.mul_imm(s, 6364136223846793005u64 as i64);
+                            let child0 = fb.add(rolled, mvv);
+                            let child = fb.bin_imm(AluOp::Xor, child0, 0x9E);
+                            let d = fb.get(depth);
+                            let d1 = fb.add_imm(d, -1);
+                            let score = fb.call(search, &[child, d1]);
+                            // best = max(best, score) branch-free.
+                            let b = fb.get(best);
+                            let lt = fb.bin(AluOp::Slt, b, score);
+                            let diff = fb.sub(score, b);
+                            let sel = fb.mul(lt, diff);
+                            let nb = fb.add(b, sel);
+                            fb.set(best, nb);
+                        });
+                        // Store into the table.
+                        let key = fb.get(key_l);
+                        let slot_idx = fb.bin_imm(AluOp::And, key, (TT_SLOTS - 1) as i64);
+                        let tbase = fb.addr_global(ttable);
+                        let slot = array_addr(fb, tbase, slot_idx, 16);
+                        let k = fb.get(key_l);
+                        fb.store(Width::B8, slot, 0, k);
+                        let b = fb.get(best);
+                        fb.store(Width::B8, slot, 8, b);
+                        fb.set(out, b);
+                    },
+                );
+            },
+        );
+        let r = fb.get(out);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let iter = fb.local_scalar();
+        fb.counted_loop(iter, 0, n, 1, |fb, iv| {
+            let seed = fb.add_imm(iv, 0x1234);
+            let depth = fb.const_(7);
+            let s = fb.call(search, &[seed, depth]);
+            fb.chk(s);
+            let a = fb.get(acc);
+            let a2 = fb.bin(AluOp::Xor, a, s);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("sjeng module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn search_is_deterministic() {
+        let m = sjeng();
+        let a = Interpreter::new(&m).call_by_name("search", &[42, 5]).unwrap();
+        let b = Interpreter::new(&m).call_by_name("search", &[42, 5]).unwrap();
+        assert_eq!(a.return_value, b.return_value);
+    }
+
+    #[test]
+    fn transposition_table_caches_subtrees() {
+        let m = sjeng();
+        let mut interp = Interpreter::new(&m);
+        let cold = interp.call_by_name("search", &[42, 6]).unwrap();
+        let warm_ops_before = cold.ops_executed;
+        let warm = interp.call_by_name("search", &[42, 6]).unwrap();
+        assert_eq!(warm.return_value, cold.return_value);
+        assert!(
+            warm.ops_executed - warm_ops_before < warm_ops_before,
+            "a warm search should reuse cached results"
+        );
+    }
+
+    #[test]
+    fn evaluate_is_bounded() {
+        let m = sjeng();
+        for s in [0u64, 1, u64::MAX] {
+            let out = Interpreter::new(&m).call_by_name("evaluate", &[s]).unwrap();
+            assert!(out.return_value.unwrap() <= 0xFFFF);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! `sphinx3` — acoustic scoring in miniature: dot products between a
+//! stack-resident feature vector (regenerated per frame) and a table of
+//! Gaussian means, with branch-free best tracking over an active list.
+
+use biaslab_isa::{AluOp, Width};
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::{Module, ModuleBuilder};
+
+use crate::util::{const_local, lcg_step, lcg_words, store_idx};
+
+/// Dimensions per feature vector.
+const DIMS: u64 = 32;
+/// Gaussian densities in the codebook.
+const DENSITIES: u64 = 256;
+
+/// Builds the sphinx3 module.
+#[must_use]
+pub fn sphinx3() -> Module {
+    let mut mb = ModuleBuilder::new();
+
+    let means = mb.global(Global::from_words(
+        "means",
+        &lcg_words(0x5F17, (DIMS * DENSITIES) as usize)
+            .iter()
+            .map(|w| w % (1 << 16))
+            .collect::<Vec<_>>(),
+    ));
+
+    // gen_feat(feat_ptr, seed): fill the caller's stack feature vector.
+    let gen_feat = mb.function("gen_feat", 2, false, |fb| {
+        let feat = fb.param(0);
+        let seed = fb.param(1);
+        let state = fb.local_scalar();
+        let sv = fb.get(seed);
+        fb.set(state, sv);
+        let i = fb.local_scalar();
+        let nd = const_local(fb, DIMS);
+        fb.counted_loop(i, 0, nd, 1, |fb, iv| {
+            let s = fb.get(state);
+            let s2 = lcg_step(fb, s);
+            fb.set(state, s2);
+            let v = fb.bin_imm(AluOp::And, s2, 0xFFFF);
+            let base = fb.get(feat);
+            store_idx(fb, base, iv, 8, Width::B8, v);
+        });
+        fb.ret(None);
+    });
+
+    // score_density(feat_ptr, density) -> dot product of the feature with
+    // the density's mean vector (single-block inner loop, unrollable).
+    let score = mb.function("score_density", 2, true, |fb| {
+        let feat = fb.param(0);
+        let density = fb.param(1);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let i = fb.local_scalar();
+        let nd = const_local(fb, DIMS);
+        fb.counted_loop(i, 0, nd, 1, |fb, iv| {
+            // Compute both addresses first so the two loads issue
+            // back-to-back, like a real dot-product's paired streams.
+            let fbase = fb.get(feat);
+            let foff = fb.mul_imm(iv, 8);
+            let faddr = fb.add(fbase, foff);
+            let dv = fb.get(density);
+            let row = fb.mul_imm(dv, DIMS as i64);
+            let idx = fb.add(row, iv);
+            let mbase = fb.addr_global(means);
+            let moff = fb.mul_imm(idx, 8);
+            let maddr = fb.add(mbase, moff);
+            let f = fb.load(Width::B8, faddr, 0);
+            let m = fb.load(Width::B8, maddr, 0);
+            let p = fb.mul(f, m);
+            let scaled = fb.bin_imm(AluOp::Srl, p, 8);
+            let a = fb.get(acc);
+            let a2 = fb.add(a, scaled);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    // best_density(feat_ptr) -> (best_score << 8) | best_index, branch-free.
+    let best = mb.function("best_density", 1, true, |fb| {
+        let feat = fb.param(0);
+        let best_v = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(best_v, z);
+        let best_i = fb.local_scalar();
+        fb.set(best_i, z);
+        let d = fb.local_scalar();
+        let nd = const_local(fb, DENSITIES);
+        fb.counted_loop(d, 0, nd, 1, |fb, dv| {
+            let fp = fb.get(feat);
+            let s = fb.call(score, &[fp, dv]);
+            // if s > best: best = s, best_i = d (branch-free select)
+            let b = fb.get(best_v);
+            let gt = fb.bin(AluOp::Sltu, b, s);
+            let diff = fb.sub(s, b);
+            let sel = fb.mul(gt, diff);
+            let nb = fb.add(b, sel);
+            fb.set(best_v, nb);
+            let bi = fb.get(best_i);
+            let dv2 = fb.get(d);
+            let di = fb.sub(dv2, bi);
+            let seli = fb.mul(gt, di);
+            let nbi = fb.add(bi, seli);
+            fb.set(best_i, nbi);
+        });
+        let bv = fb.get(best_v);
+        let shifted = fb.bin_imm(AluOp::Sll, bv, 8);
+        let bi = fb.get(best_i);
+        let packed = fb.add(shifted, bi);
+        fb.ret(Some(packed));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let feat = fb.local_buffer((DIMS * 8) as u32);
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let frame = fb.local_scalar();
+        fb.counted_loop(frame, 0, n, 1, |fb, fv| {
+            let fp = fb.addr(feat);
+            let seed = fb.add_imm(fv, 0x51);
+            fb.call_void(gen_feat, &[fp, seed]);
+            let fp2 = fb.addr(feat);
+            let b = fb.call(best, &[fp2]);
+            fb.chk(b);
+            let a = fb.get(acc);
+            let a2 = fb.bin(AluOp::Xor, a, b);
+            fb.set(acc, a2);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("sphinx3 module is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::interp::Interpreter;
+
+    use super::*;
+
+    #[test]
+    fn best_density_index_in_range() {
+        let m = sphinx3();
+        let out = Interpreter::new(&m).call_by_name("main", &[2]).unwrap();
+        assert_ne!(out.checksum, 0);
+    }
+
+    #[test]
+    fn scoring_is_frame_sensitive() {
+        let m = sphinx3();
+        let a = Interpreter::new(&m).call_by_name("main", &[1]).unwrap();
+        let b = Interpreter::new(&m).call_by_name("main", &[3]).unwrap();
+        assert_ne!(a.checksum, b.checksum);
+    }
+}

@@ -1,0 +1,219 @@
+//! The benchmark registry.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use biaslab_toolchain::interp::Interpreter;
+use biaslab_toolchain::Module;
+
+use crate::kernels;
+
+/// The input scale of a run: `Test` finishes in tens of thousands of
+/// simulated instructions (CI-friendly); `Ref` is the measurement size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSize {
+    /// Small functional-test input.
+    Test,
+    /// Measurement-scale input.
+    Ref,
+}
+
+/// The semantically-required outcome of a benchmark run, computed by the
+/// reference interpreter: any compiled configuration must reproduce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expected {
+    /// Final checksum.
+    pub checksum: u64,
+    /// Entry function's return value.
+    pub return_value: u64,
+    /// IR operations the reference run executed (a toolchain-independent
+    /// measure of work).
+    pub ir_ops: u64,
+}
+
+/// One miniature SPEC benchmark: an IR module plus its inputs and
+/// (lazily computed) expected outcomes.
+#[derive(Debug)]
+pub struct Benchmark {
+    name: &'static str,
+    description: &'static str,
+    module: Module,
+    test_args: Vec<u64>,
+    ref_args: Vec<u64>,
+    expected: Mutex<HashMap<InputSize, Expected>>,
+}
+
+impl Benchmark {
+    fn new(
+        name: &'static str,
+        description: &'static str,
+        module: Module,
+        test_args: Vec<u64>,
+        ref_args: Vec<u64>,
+    ) -> Benchmark {
+        Benchmark {
+            name,
+            description,
+            module,
+            test_args,
+            ref_args,
+            expected: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The SPEC-style benchmark name, e.g. `"perlbench"`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description of the modelled behaviour.
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The benchmark's IR module.
+    #[must_use]
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The entry function's symbol name.
+    #[must_use]
+    pub fn entry(&self) -> &'static str {
+        "main"
+    }
+
+    /// The entry arguments for the given input size.
+    #[must_use]
+    pub fn args(&self, size: InputSize) -> &[u64] {
+        match size {
+            InputSize::Test => &self.test_args,
+            InputSize::Ref => &self.ref_args,
+        }
+    }
+
+    /// The reference outcome for the given input size, computed once with
+    /// the IR interpreter and cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference interpretation itself fails — that is a bug
+    /// in the kernel, not an experimental condition.
+    #[must_use]
+    pub fn expected(&self, size: InputSize) -> Expected {
+        let mut cache = self.expected.lock().expect("expected-cache mutex");
+        if let Some(e) = cache.get(&size) {
+            return *e;
+        }
+        let mut interp = Interpreter::new(&self.module);
+        let out = interp
+            .call_by_name(self.entry(), self.args(size))
+            .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", self.name));
+        let e = Expected {
+            checksum: out.checksum,
+            return_value: out.return_value.unwrap_or(0),
+            ir_ops: out.ops_executed,
+        };
+        cache.insert(size, e);
+        e
+    }
+}
+
+/// Builds the full 12-benchmark suite, in the paper's listing order.
+#[must_use]
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark::new(
+            "perlbench",
+            "hash table + bytecode-dispatch interpreter",
+            kernels::perlbench(),
+            vec![8],
+            vec![90],
+        ),
+        Benchmark::new(
+            "bzip2",
+            "counting sort + move-to-front transform",
+            kernels::bzip2(),
+            vec![1],
+            vec![3],
+        ),
+        Benchmark::new(
+            "gcc",
+            "expression-tree construction and constant folding",
+            kernels::gcc(),
+            vec![2],
+            vec![14],
+        ),
+        Benchmark::new(
+            "mcf",
+            "pointer-chasing cost relaxation over a network",
+            kernels::mcf(),
+            vec![2],
+            vec![10],
+        ),
+        Benchmark::new(
+            "milc",
+            "fixed-point lattice arithmetic",
+            kernels::milc(),
+            vec![1],
+            vec![5],
+        ),
+        Benchmark::new(
+            "gobmk",
+            "board scanning with recursive flood fill",
+            kernels::gobmk(),
+            vec![1],
+            vec![13],
+        ),
+        Benchmark::new(
+            "hmmer",
+            "dynamic-programming matrix fill on stack rows",
+            kernels::hmmer(),
+            vec![5],
+            vec![48],
+        ),
+        Benchmark::new(
+            "sjeng",
+            "recursive game search + transposition table",
+            kernels::sjeng(),
+            vec![1],
+            vec![8],
+        ),
+        Benchmark::new(
+            "libquantum",
+            "streaming bit manipulation over a register file",
+            kernels::libquantum(),
+            vec![1],
+            vec![3],
+        ),
+        Benchmark::new(
+            "h264ref",
+            "sum-of-absolute-differences motion search",
+            kernels::h264ref(),
+            vec![1],
+            vec![2],
+        ),
+        Benchmark::new(
+            "lbm",
+            "double-buffered stencil relaxation",
+            kernels::lbm(),
+            vec![1],
+            vec![4],
+        ),
+        Benchmark::new(
+            "sphinx3",
+            "dot-product scoring against an active list",
+            kernels::sphinx3(),
+            vec![1],
+            vec![6],
+        ),
+    ]
+}
+
+/// Looks up one benchmark by name.
+#[must_use]
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name() == name)
+}

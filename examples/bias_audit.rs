@@ -1,0 +1,32 @@
+//! Audit an experiment for measurement bias: sweep the two "innocuous"
+//! factors on every machine and report how much each one alone moves the
+//! measured speedup — the check the paper argues every evaluation should
+//! run, packaged as [`biaslab_core::audit::full_audit`].
+//!
+//! ```text
+//! cargo run --release --example bias_audit [benchmark]
+//! ```
+
+use biaslab_core::audit::{full_audit, AuditConfig};
+use biaslab_core::harness::Harness;
+use biaslab_workloads::{benchmark_by_name, InputSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_owned());
+    let bench = benchmark_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}` (try gcc, perlbench, sjeng, …)"));
+    let harness = Harness::new(bench);
+
+    let config = AuditConfig {
+        // Measurement-scale inputs: this is the audit you would publish.
+        size: InputSize::Ref,
+        ..AuditConfig::default()
+    };
+    let report = full_audit(&harness, &config)?;
+    println!("{report}");
+    println!(
+        "Reading: `bias%` is how far the conclusion can move without touching \
+         the system under test; `flips` marks factor values on both sides of 1.0."
+    );
+    Ok(())
+}

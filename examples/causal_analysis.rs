@@ -1,0 +1,58 @@
+//! Drill into *why* an environment-size effect exists using the causal
+//! toolkit: intervene on the suspected mechanism (stack placement), run a
+//! placebo (environment contents), and check that a hardware counter
+//! mediates the effect.
+//!
+//! ```text
+//! cargo run --release --example causal_analysis
+//! ```
+
+use biaslab_core::causal::{CausalExperiment, Intervention, Mediator};
+use biaslab_core::report::sparkline;
+use biaslab_core::setup::ExperimentSetup;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+use biaslab_workloads::{benchmark_by_name, InputSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = biaslab_core::harness::Harness::new(
+        benchmark_by_name("perlbench").expect("in suite"),
+    );
+    let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+
+    println!("Observation: perlbench cycles change with the environment size.");
+    println!("Hypothesis:  the environment moves the stack, and stack placement");
+    println!("             decides L1D bank conflicts between the interpreter's");
+    println!("             stack buffers and its tables.\n");
+
+    let mut experiment = CausalExperiment::new(base, Intervention::StackShift, 512, 32);
+    experiment.mediator = Mediator::BankConflicts;
+    let report = experiment.run(&harness, InputSize::Ref)?;
+
+    let cycles: Vec<f64> = report.curve.iter().map(|p| p.cycles as f64).collect();
+    let conflicts: Vec<f64> =
+        report.curve.iter().map(|p| p.counters.bank_conflicts as f64).collect();
+
+    println!("dose-response (stack shift 0..512 bytes, environment untouched):");
+    println!("  cycles         {}", sparkline(&cycles));
+    println!("  bank conflicts {}", sparkline(&conflicts));
+    println!(
+        "\n  intervention effect : {:.3}% cycle spread",
+        100.0 * report.effect
+    );
+    println!(
+        "  placebo effect      : {:.5}% (same-size environment, different bytes)",
+        100.0 * report.placebo_effect
+    );
+    if let Some(r) = report.mediator_correlation {
+        println!("  mediator correlation: {r:.3} (bank conflicts vs cycles)");
+    }
+    println!(
+        "\nVerdict: the stack-placement mechanism is {}.",
+        if report.confirmed { "CONFIRMED" } else { "NOT confirmed" }
+    );
+    println!(
+        "The environment is innocent; where the loader puts the stack is not."
+    );
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Bring your own workload: build a program against the IR builder API,
+//! wrap it in the measurement harness, and audit it for bias — what a
+//! downstream user does to test *their* system instead of the bundled
+//! miniatures.
+//!
+//! The program is a toy key-value store doing a zipf-ish mix of gets and
+//! puts over an open-addressing table, with a stack-resident write buffer.
+//!
+//! ```text
+//! cargo run --release --example custom_benchmark
+//! ```
+
+use biaslab_isa::{AluOp, Cond, Width};
+use biaslab_toolchain::codegen::compile;
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::link::Linker;
+use biaslab_toolchain::load::{Environment, Loader};
+use biaslab_toolchain::opt::{optimize, OptLevel};
+use biaslab_toolchain::{Module, ModuleBuilder};
+use biaslab_uarch::{Machine, MachineConfig};
+
+const SLOTS: u64 = 2048;
+
+fn build_kv_store() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let table = mb.global(Global::zeroed("kv_table", (SLOTS * 16) as u32));
+
+    let put = mb.function("kv_put", 2, false, |fb| {
+        let key = fb.param(0);
+        let value = fb.param(1);
+        let kv = fb.get(key);
+        let hashed = fb.mul_imm(kv, 0x9E37_79B9);
+        let slot = fb.bin_imm(AluOp::And, hashed, (SLOTS - 1) as i64);
+        let off = fb.mul_imm(slot, 16);
+        let base = fb.addr_global(table);
+        let addr = fb.add(base, off);
+        let kv2 = fb.get(key);
+        fb.store(Width::B8, addr, 0, kv2);
+        let vv = fb.get(value);
+        fb.store(Width::B8, addr, 8, vv);
+        fb.ret(None);
+    });
+
+    let get = mb.function("kv_get", 1, true, |fb| {
+        let key = fb.param(0);
+        let kv = fb.get(key);
+        let hashed = fb.mul_imm(kv, 0x9E37_79B9);
+        let slot = fb.bin_imm(AluOp::And, hashed, (SLOTS - 1) as i64);
+        let off = fb.mul_imm(slot, 16);
+        let base = fb.addr_global(table);
+        let addr = fb.add(base, off);
+        let stored = fb.load(Width::B8, addr, 0);
+        let want = fb.get(key);
+        let out = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(out, z);
+        fb.if_then(Cond::Eq, stored, want, |fb| {
+            let kv3 = fb.get(key);
+            let hashed = fb.mul_imm(kv3, 0x9E37_79B9);
+            let slot = fb.bin_imm(AluOp::And, hashed, (SLOTS - 1) as i64);
+            let off = fb.mul_imm(slot, 16);
+            let base = fb.addr_global(table);
+            let addr = fb.add(base, off);
+            let v = fb.load(Width::B8, addr, 8);
+            fb.set(out, v);
+        });
+        let r = fb.get(out);
+        fb.ret(Some(r));
+    });
+
+    mb.function("main", 1, true, |fb| {
+        let n = fb.param(0);
+        let wbuf = fb.local_buffer(512); // stack-resident write combine buffer
+        let acc = fb.local_scalar();
+        let z = fb.const_(0);
+        fb.set(acc, z);
+        let i = fb.local_scalar();
+        fb.counted_loop(i, 0, n, 1, |fb, iv| {
+            let key = fb.mul_imm(iv, 7);
+            let key = fb.bin_imm(AluOp::And, key, 0xFFFF);
+            let a = fb.get(acc);
+            let val = fb.bin(AluOp::Xor, a, key);
+            fb.call_void(put, &[key, val]);
+            // Buffer the write locally too (the stack-hot structure).
+            let base = fb.addr(wbuf);
+            let slot = fb.bin_imm(AluOp::And, key, 63);
+            let off = fb.mul_imm(slot, 8);
+            let addr = fb.add(base, off);
+            fb.store(Width::B8, addr, 0, val);
+            let got = fb.call(get, &[key]);
+            let a2 = fb.get(acc);
+            let mixed = fb.add(a2, got);
+            fb.set(acc, mixed);
+            fb.chk(mixed);
+        });
+        let r = fb.get(acc);
+        fb.ret(Some(r));
+    });
+
+    mb.finish().expect("kv module is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = build_kv_store();
+
+    // Reference semantics via the interpreter.
+    let mut interp = biaslab_toolchain::interp::Interpreter::new(&module);
+    let expected = interp.call_by_name("main", &[5000])?;
+    println!(
+        "reference: checksum {:#x} over {} IR ops",
+        expected.checksum, expected.ops_executed
+    );
+
+    // Compile + simulate at both levels, under two environment sizes.
+    for level in [OptLevel::O2, OptLevel::O3] {
+        let exe = Linker::new().link(&compile(&optimize(&module, level), level), "main")?;
+        for env_bytes in [0u32, 1960] {
+            let env = if env_bytes == 0 {
+                Environment::new()
+            } else {
+                Environment::of_total_size(env_bytes)
+            };
+            let process = Loader::new().load(&exe, &env, &[5000])?;
+            let result = Machine::new(MachineConfig::core2()).run(&exe, process)?;
+            assert_eq!(result.checksum, expected.checksum, "simulation must match reference");
+            println!(
+                "{level} env={env_bytes:>5}B  cycles {:>9}  bank conflicts {:>6}",
+                result.counters.cycles, result.counters.bank_conflicts
+            );
+        }
+    }
+    println!("\nSame binary, same answer, different cycles: audit before you conclude.");
+    Ok(())
+}

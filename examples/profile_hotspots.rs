@@ -1,0 +1,42 @@
+//! Where do the cycles go? Exact per-function profiles for every
+//! benchmark — the question every performance study starts with, and the
+//! numbers the paper warns can be skewed by the setup used to take them.
+//!
+//! ```text
+//! cargo run --release --example profile_hotspots
+//! ```
+
+use biaslab_core::harness::Harness;
+use biaslab_toolchain::load::Loader;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::{Machine, MachineConfig};
+use biaslab_workloads::{suite, InputSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<12} {:<16} {:>7}  (O2, core2, test inputs)\n", "benchmark", "hottest fn", "share");
+    for bench in suite() {
+        let name = bench.name();
+        let harness = Harness::new(bench);
+        let order: Vec<usize> = (0..harness.object_names().len()).collect();
+        let exe = harness.executable(OptLevel::O2, &order, 0)?;
+        let process = Loader::new().load(
+            &exe,
+            &biaslab_toolchain::load::Environment::new(),
+            harness.benchmark().args(InputSize::Test),
+        )?;
+        let (result, profile) = Machine::new(MachineConfig::core2()).run_profiled(&exe, process)?;
+        let expected = harness.benchmark().expected(InputSize::Test);
+        assert_eq!(result.checksum, expected.checksum, "{name}: verification");
+
+        let hottest = profile.entries.first().expect("something executed");
+        println!(
+            "{:<12} {:<16} {:>6.1}%",
+            name,
+            hottest.name,
+            100.0 * hottest.cycles as f64 / profile.total_cycles() as f64
+        );
+    }
+    println!("\nEach profile is exact (every retired instruction attributed), and each");
+    println!("run was checksum-verified. Try `biaslab run <bench> --profile` for detail.");
+    Ok(())
+}

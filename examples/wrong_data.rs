@@ -1,0 +1,76 @@
+//! The paper's story in one program: a researcher asks "is O3 beneficial?",
+//! measures carefully in one setup, and gets an answer that another —
+//! equally reasonable — setup contradicts. Then the fix: randomized setups
+//! with a confidence interval.
+//!
+//! ```text
+//! cargo run --release --example wrong_data
+//! ```
+
+use biaslab_core::harness::Harness;
+use biaslab_core::randomize::{randomized_eval, RandomizedFactors};
+use biaslab_core::report::fmt_speedup;
+use biaslab_core::setup::{ExperimentSetup, LinkOrder};
+use biaslab_toolchain::load::Environment;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+use biaslab_workloads::{benchmark_by_name, InputSize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = Harness::new(benchmark_by_name("sjeng").expect("in suite"));
+    let machine = MachineConfig::o3cpu();
+    let size = InputSize::Ref;
+
+    println!("Question: is O3 beneficial over O2 for sjeng on the o3cpu model?\n");
+
+    // --- The experiment, done "carefully", twice -------------------------
+    // Researcher A's Makefile happens to hand the objects to the linker in
+    // one order; the shell is nearly bare.
+    let setup_a = ExperimentSetup::default_on(machine.clone(), OptLevel::O2)
+        .with_link_order(LinkOrder::Random(3));
+    // Researcher B keeps a longer $PATH (a ~3 KB environment). Neither
+    // would think to report either fact.
+    let setup_b = ExperimentSetup::default_on(machine.clone(), OptLevel::O2)
+        .with_env(Environment::of_total_size(3000));
+
+    for (who, setup) in [("researcher A", &setup_a), ("researcher B", &setup_b)] {
+        let o2 = harness.measure(setup, size)?;
+        let o3 = harness.measure(&setup.with_opt(OptLevel::O3), size)?;
+        let speedup = o2.cycles() as f64 / o3.cycles() as f64;
+        println!(
+            "{who:13} measures O3 speedup {}  → concludes O3 {}",
+            fmt_speedup(speedup),
+            if speedup > 1.0 { "helps" } else { "hurts" },
+        );
+    }
+
+    println!(
+        "\nNeither did anything obviously wrong; the setups differ only in \
+         environment size and link order.\n"
+    );
+
+    // --- The remedy: setup randomization ----------------------------------
+    let eval = randomized_eval(
+        &harness,
+        &machine,
+        OptLevel::O2,
+        OptLevel::O3,
+        RandomizedFactors::default(),
+        24,
+        2009,
+        size,
+    )?;
+    println!(
+        "randomized evaluation over 24 setups: mean speedup {:.4}, 95% CI [{:.4}, {:.4}]",
+        eval.mean_speedup, eval.ci.lo, eval.ci.hi
+    );
+    println!(
+        "verdict: {}",
+        match eval.verdict() {
+            Some(true) => "O3 helps (the whole interval is above 1)",
+            Some(false) => "O3 hurts (the whole interval is below 1)",
+            None => "cannot tell — the interval straddles 1, and that is the honest answer",
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the whole `biaslab` workspace.
+//!
+//! See the individual crates for full documentation;
+//! `biaslab_core` is the paper's contribution, the rest are substrates.
+
+pub use biaslab_core as core;
+pub use biaslab_isa as isa;
+pub use biaslab_survey as survey;
+pub use biaslab_toolchain as toolchain;
+pub use biaslab_uarch as uarch;
+pub use biaslab_workloads as workloads;

@@ -1,0 +1,319 @@
+//! Differential fuzzing of the whole toolchain: generate random (but
+//! well-formed, always-terminating) IR programs, then check that every
+//! optimization level, compiled and simulated, reproduces the reference
+//! interpreter's checksum and return value exactly.
+//!
+//! This is the test that makes the bias experiments trustworthy: if any
+//! pass, the code generator, the linker, the loader or the machine model
+//! disagreed semantically with the IR, measurements would be comparing
+//! different computations.
+
+use biaslab_isa::{AluOp, Cond, Width};
+use biaslab_toolchain::codegen::compile;
+use biaslab_toolchain::interp::Interpreter;
+use biaslab_toolchain::ir::Global;
+use biaslab_toolchain::link::Linker;
+use biaslab_toolchain::load::{Environment, Loader};
+use biaslab_toolchain::opt::{optimize, OptLevel};
+use biaslab_toolchain::{FunctionBuilder, Module, ModuleBuilder};
+use biaslab_uarch::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// A generated expression over the function's scalar locals.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(u64),
+    Local(usize),
+    Bin(AluOp, Box<Expr>, Box<Expr>),
+    BinImm(AluOp, Box<Expr>, i64),
+    /// Read 8 bytes from the shared global buffer at `(index % 64) * 8`.
+    GlobalLoad(Box<Expr>),
+    /// Read 8 bytes from the function's stack buffer at `(index % 16) * 8`.
+    BufferLoad(Box<Expr>),
+}
+
+/// A generated statement.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Assign(usize, Expr),
+    GlobalStore(Expr, Expr),
+    BufferStore(Expr, Expr),
+    Chk(Expr),
+    If(Cond, Expr, Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Counted loop with a constant trip count and single-block-ish body.
+    Loop(u8, Vec<Stmt>),
+    /// Call the helper function with one argument, assigning the result.
+    CallHelper(usize, Expr),
+}
+
+const N_LOCALS: usize = 4;
+
+fn arb_op() -> impl Strategy<Value = AluOp> {
+    // Skip nothing: every ALU op is total.
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<u64>().prop_map(Expr::Const),
+        (0..N_LOCALS).prop_map(Expr::Local),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (arb_op(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (arb_op(), inner.clone(), any::<i32>())
+                .prop_map(|(op, a, imm)| Expr::BinImm(op, Box::new(a), i64::from(imm))),
+            inner.clone().prop_map(|e| Expr::GlobalLoad(Box::new(e))),
+            inner.prop_map(|e| Expr::BufferLoad(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_simple_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        ((0..N_LOCALS), arb_expr()).prop_map(|(l, e)| Stmt::Assign(l, e)),
+        (arb_expr(), arb_expr()).prop_map(|(i, v)| Stmt::GlobalStore(i, v)),
+        (arb_expr(), arb_expr()).prop_map(|(i, v)| Stmt::BufferStore(i, v)),
+        arb_expr().prop_map(Stmt::Chk),
+        ((0..N_LOCALS), arb_expr()).prop_map(|(l, e)| Stmt::CallHelper(l, e)),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        4 => arb_simple_stmt(),
+        1 => (
+            arb_cond(),
+            arb_expr(),
+            arb_expr(),
+            proptest::collection::vec(arb_simple_stmt(), 0..3),
+            proptest::collection::vec(arb_simple_stmt(), 0..3),
+        )
+            .prop_map(|(c, a, b, t, e)| Stmt::If(c, a, b, t, e)),
+        1 => (1u8..6, proptest::collection::vec(arb_simple_stmt(), 1..4))
+            .prop_map(|(n, body)| Stmt::Loop(n, body)),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = (Vec<Stmt>, Vec<Stmt>)> {
+    (
+        proptest::collection::vec(arb_stmt(), 1..8),
+        proptest::collection::vec(arb_simple_stmt(), 1..5),
+    )
+}
+
+/// Emits an expression in the current block, returning its value.
+fn emit_expr(
+    fb: &mut FunctionBuilder<'_>,
+    locals: &[biaslab_toolchain::ir::LocalId],
+    buffer: biaslab_toolchain::ir::LocalId,
+    global: biaslab_toolchain::ir::GlobalId,
+    expr: &Expr,
+) -> biaslab_toolchain::ir::Val {
+    match expr {
+        Expr::Const(v) => fb.const_(*v),
+        Expr::Local(i) => fb.get(locals[*i]),
+        Expr::Bin(op, a, b) => {
+            let av = emit_expr(fb, locals, buffer, global, a);
+            let bv = emit_expr(fb, locals, buffer, global, b);
+            fb.bin(*op, av, bv)
+        }
+        Expr::BinImm(op, a, imm) => {
+            let av = emit_expr(fb, locals, buffer, global, a);
+            fb.bin_imm(*op, av, *imm)
+        }
+        Expr::GlobalLoad(idx) => {
+            let iv = emit_expr(fb, locals, buffer, global, idx);
+            let masked = fb.bin_imm(AluOp::And, iv, 63);
+            let off = fb.mul_imm(masked, 8);
+            let base = fb.addr_global(global);
+            let addr = fb.add(base, off);
+            fb.load(Width::B8, addr, 0)
+        }
+        Expr::BufferLoad(idx) => {
+            let iv = emit_expr(fb, locals, buffer, global, idx);
+            let masked = fb.bin_imm(AluOp::And, iv, 15);
+            let off = fb.mul_imm(masked, 8);
+            let base = fb.addr(buffer);
+            let addr = fb.add(base, off);
+            fb.load(Width::B8, addr, 0)
+        }
+    }
+}
+
+fn emit_stmts(
+    fb: &mut FunctionBuilder<'_>,
+    locals: &[biaslab_toolchain::ir::LocalId],
+    buffer: biaslab_toolchain::ir::LocalId,
+    global: biaslab_toolchain::ir::GlobalId,
+    helper: Option<biaslab_toolchain::ir::FuncId>,
+    stmts: &[Stmt],
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(l, e) => {
+                let v = emit_expr(fb, locals, buffer, global, e);
+                fb.set(locals[*l], v);
+            }
+            Stmt::GlobalStore(i, v) => {
+                let iv = emit_expr(fb, locals, buffer, global, i);
+                let masked = fb.bin_imm(AluOp::And, iv, 63);
+                let off = fb.mul_imm(masked, 8);
+                let base = fb.addr_global(global);
+                let addr = fb.add(base, off);
+                let vv = emit_expr(fb, locals, buffer, global, v);
+                fb.store(Width::B8, addr, 0, vv);
+            }
+            Stmt::BufferStore(i, v) => {
+                let iv = emit_expr(fb, locals, buffer, global, i);
+                let masked = fb.bin_imm(AluOp::And, iv, 15);
+                let off = fb.mul_imm(masked, 8);
+                let base = fb.addr(buffer);
+                let addr = fb.add(base, off);
+                let vv = emit_expr(fb, locals, buffer, global, v);
+                fb.store(Width::B8, addr, 0, vv);
+            }
+            Stmt::Chk(e) => {
+                let v = emit_expr(fb, locals, buffer, global, e);
+                fb.chk(v);
+            }
+            Stmt::If(c, a, b, then_s, else_s) => {
+                let av = emit_expr(fb, locals, buffer, global, a);
+                let bv = emit_expr(fb, locals, buffer, global, b);
+                fb.if_then_else(
+                    *c,
+                    av,
+                    bv,
+                    |fb| emit_stmts(fb, locals, buffer, global, helper, then_s),
+                    |fb| emit_stmts(fb, locals, buffer, global, helper, else_s),
+                );
+            }
+            Stmt::Loop(n, body) => {
+                let i = fb.local_scalar();
+                let bound = fb.local_scalar();
+                let nb = fb.const_(u64::from(*n));
+                fb.set(bound, nb);
+                fb.counted_loop(i, 0, bound, 1, |fb, _iv| {
+                    emit_stmts(fb, locals, buffer, global, helper, body);
+                });
+            }
+            Stmt::CallHelper(l, e) => {
+                let v = emit_expr(fb, locals, buffer, global, e);
+                if let Some(h) = helper {
+                    let r = fb.call(h, &[v]);
+                    fb.set(locals[*l], r);
+                } else {
+                    // Inside the helper itself: fold the value instead.
+                    fb.set(locals[*l], v);
+                }
+            }
+        }
+    }
+}
+
+fn build_program(main_stmts: &[Stmt], helper_stmts: &[Stmt]) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let global = mb.global(Global::from_words(
+        "shared",
+        &(0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect::<Vec<_>>(),
+    ));
+    let helper = mb.function("helper", 1, true, |fb| {
+        let locals: Vec<_> = (0..N_LOCALS).map(|_| fb.local_scalar()).collect();
+        let p = fb.param(0);
+        let pv = fb.get(p);
+        // Initialize every local: reading an uninitialized slot is
+        // unspecified (see biaslab_toolchain::ir docs), so generated
+        // programs must be fully defined.
+        fb.set(locals[0], pv);
+        for (k, &l) in locals.iter().enumerate().skip(1) {
+            let v = fb.const_((k as u64).wrapping_mul(0x5851_F42D_4C95_7F2D));
+            fb.set(l, v);
+        }
+        let buffer = fb.local_buffer(128);
+        let base = fb.addr(buffer);
+        // Deterministically initialize the stack buffer.
+        for k in 0..16 {
+            let v = fb.const_((k as u64).wrapping_mul(0xABCD_EF01));
+            fb.store(Width::B8, base, (k * 8) as i32, v);
+        }
+        emit_stmts(fb, &locals, buffer, global, None, helper_stmts);
+        let r = fb.get(locals[0]);
+        fb.ret(Some(r));
+    });
+    mb.function("main", 1, true, |fb| {
+        let locals: Vec<_> = (0..N_LOCALS).map(|_| fb.local_scalar()).collect();
+        let p = fb.param(0);
+        let pv = fb.get(p);
+        fb.set(locals[0], pv);
+        let one = fb.const_(1);
+        fb.set(locals[1], one);
+        for (k, &l) in locals.iter().enumerate().skip(2) {
+            let v = fb.const_((k as u64).wrapping_mul(0xD129_0B26_3911_87BB));
+            fb.set(l, v);
+        }
+        let buffer = fb.local_buffer(128);
+        let base = fb.addr(buffer);
+        for k in 0..16 {
+            let v = fb.const_((k as u64).wrapping_mul(0x1234_5678_9ABC));
+            fb.store(Width::B8, base, (k * 8) as i32, v);
+        }
+        emit_stmts(fb, &locals, buffer, global, Some(helper), main_stmts);
+        // Make every local observable.
+        for &l in &locals {
+            let v = fb.get(l);
+            fb.chk(v);
+        }
+        let r = fb.get(locals[0]);
+        fb.ret(Some(r));
+    });
+    mb.finish().expect("generated module is well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compiled_code_matches_the_interpreter((main_s, helper_s) in arb_program()) {
+        let module = build_program(&main_s, &helper_s);
+        let mut interp = Interpreter::new(&module);
+        let expected = interp.call_by_name("main", &[7]).expect("reference runs");
+
+        for level in OptLevel::ALL {
+            let cm = compile(&optimize(&module, level), level);
+            let exe = Linker::new().link(&cm, "main").expect("links");
+            let process = Loader::new()
+                .load(&exe, &Environment::of_total_size(64), &[7])
+                .expect("loads");
+            let result = Machine::new(MachineConfig::core2())
+                .run(&exe, process)
+                .expect("runs to halt");
+            prop_assert_eq!(
+                result.checksum,
+                expected.checksum,
+                "checksum diverged at {} for program {:?} / {:?}",
+                level,
+                main_s,
+                helper_s
+            );
+            prop_assert_eq!(result.return_value, expected.return_value.unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent_on_generated_programs((main_s, helper_s) in arb_program()) {
+        let module = build_program(&main_s, &helper_s);
+        let once = optimize(&module, OptLevel::O2);
+        let twice = optimize(&once, OptLevel::O2);
+        let mut i1 = Interpreter::new(&once);
+        let mut i2 = Interpreter::new(&twice);
+        let a = i1.call_by_name("main", &[3]).expect("runs");
+        let b = i2.call_by_name("main", &[3]).expect("runs");
+        prop_assert_eq!(a.checksum, b.checksum);
+        prop_assert_eq!(a.return_value, b.return_value);
+    }
+}

@@ -1,0 +1,73 @@
+//! Documentation ↔ code consistency: the experiment registry, the design
+//! document and the experiments log must agree about what exists, so a
+//! reader can navigate from any of them to the others.
+
+use biaslab_bench::EXPERIMENTS;
+
+fn read(path: &str) -> String {
+    let root = env!("CARGO_MANIFEST_DIR");
+    std::fs::read_to_string(format!("{root}/{path}"))
+        .unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn every_experiment_id_is_documented() {
+    let design = read("DESIGN.md");
+    let experiments = read("EXPERIMENTS.md");
+    for e in EXPERIMENTS {
+        assert!(
+            design.contains(e.id),
+            "DESIGN.md does not mention experiment `{}`",
+            e.id
+        );
+        assert!(
+            experiments.contains(e.id),
+            "EXPERIMENTS.md does not mention experiment `{}`",
+            e.id
+        );
+    }
+}
+
+#[test]
+fn readme_points_at_the_entry_points() {
+    let readme = read("README.md");
+    for needle in [
+        "cargo test --workspace --release",
+        "repro -- fig3",
+        "EXPERIMENTS.md",
+        "DESIGN.md",
+        "wrong_data",
+        "quickstart",
+    ] {
+        assert!(readme.contains(needle), "README.md lacks `{needle}`");
+    }
+}
+
+#[test]
+fn design_documents_every_substitution_marker() {
+    let design = read("DESIGN.md");
+    // The substitution table must name what the paper used and what we
+    // built for each substituted system.
+    for needle in [
+        "Pentium 4, Core 2",
+        "SPEC CPU2006",
+        "biaslab-uarch",
+        "biaslab-toolchain",
+        "biaslab-workloads",
+        "133",
+    ] {
+        assert!(design.contains(needle), "DESIGN.md lacks `{needle}`");
+    }
+}
+
+#[test]
+fn every_suite_benchmark_appears_in_design() {
+    let design = read("DESIGN.md");
+    for b in biaslab_workloads::suite() {
+        assert!(
+            design.contains(b.name()),
+            "DESIGN.md does not mention benchmark `{}`",
+            b.name()
+        );
+    }
+}

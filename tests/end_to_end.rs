@@ -1,0 +1,90 @@
+//! The workspace's central differential test: every benchmark, compiled at
+//! every optimization level and run on every machine model, must reproduce
+//! the IR interpreter's checksum and return value exactly. Measurement
+//! bias may move *cycles*; it must never move *results*.
+
+use biaslab_core::harness::Harness;
+use biaslab_core::setup::ExperimentSetup;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+use biaslab_workloads::{suite, InputSize};
+
+#[test]
+fn all_benchmarks_verify_at_every_level_on_core2() {
+    for bench in suite() {
+        let name = bench.name();
+        let harness = Harness::new(bench);
+        for level in OptLevel::ALL {
+            let setup = ExperimentSetup::default_on(MachineConfig::core2(), level);
+            harness
+                .measure(&setup, InputSize::Test)
+                .unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn all_benchmarks_verify_on_every_machine_at_o2_and_o3() {
+    for bench in suite() {
+        let name = bench.name();
+        let harness = Harness::new(bench);
+        for machine in MachineConfig::all() {
+            for level in [OptLevel::O2, OptLevel::O3] {
+                let setup = ExperimentSetup::default_on(machine.clone(), level);
+                harness
+                    .measure(&setup, InputSize::Test)
+                    .unwrap_or_else(|e| panic!("{name} on {} at {level}: {e}", machine.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn optimization_reduces_instructions_for_most_benchmarks() {
+    // O2 should retire fewer instructions than O0 almost everywhere
+    // (promotion removes local traffic). Recursion-dominated codes can pay
+    // more in callee-saved save/restores than promotion saves — real
+    // compilers show the same corner — so the bound is: strictly fewer for
+    // at least 10 of 12, and never more than 2% worse.
+    let mut strictly_fewer = 0;
+    for bench in suite() {
+        let name = bench.name();
+        let harness = Harness::new(bench);
+        let o0 = harness
+            .measure(
+                &ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O0),
+                InputSize::Test,
+            )
+            .unwrap();
+        let o2 = harness
+            .measure(
+                &ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2),
+                InputSize::Test,
+            )
+            .unwrap();
+        if o2.counters.instructions < o0.counters.instructions {
+            strictly_fewer += 1;
+        }
+        assert!(
+            (o2.counters.instructions as f64) < 1.02 * o0.counters.instructions as f64,
+            "{name}: O2 {} vs O0 {} exceeds the 2% allowance",
+            o2.counters.instructions,
+            o0.counters.instructions
+        );
+    }
+    assert!(strictly_fewer >= 10, "only {strictly_fewer}/12 benchmarks shrank at O2");
+}
+
+#[test]
+fn text_layout_depends_on_level_but_data_does_not() {
+    let bench = biaslab_workloads::benchmark_by_name("milc").expect("in suite");
+    let harness = Harness::new(bench);
+    let names = harness.object_names();
+    let order: Vec<usize> = (0..names.len()).collect();
+    let e2 = harness.executable(OptLevel::O2, &order, 0).unwrap();
+    let e3 = harness.executable(OptLevel::O3, &order, 0).unwrap();
+    assert_ne!(e2.text_size(), e3.text_size(), "levels produce different code");
+    let g2 = e2.symbol("lat_a").unwrap().addr;
+    let g3 = e3.symbol("lat_a").unwrap().addr;
+    assert_eq!(g2, g3, "data layout is level-independent");
+}

@@ -1,0 +1,119 @@
+//! Failure-injection tests: every error path a user can reach must produce
+//! a typed, descriptive error rather than a panic or a silent wrong answer.
+
+use biaslab_core::harness::{Harness, MeasureError};
+use biaslab_core::setup::ExperimentSetup;
+use biaslab_toolchain::codegen::compile;
+use biaslab_toolchain::link::{LinkError, Linker};
+use biaslab_toolchain::load::{Environment, LoadError, Loader};
+use biaslab_toolchain::opt::{optimize, OptLevel};
+use biaslab_toolchain::ModuleBuilder;
+use biaslab_uarch::{Machine, MachineConfig, RunError};
+use biaslab_workloads::{benchmark_by_name, InputSize};
+
+#[test]
+fn linker_rejects_non_permutation_orders() {
+    let h = Harness::new(benchmark_by_name("milc").expect("known"));
+    let n = h.object_names().len();
+    let err = h.executable(OptLevel::O2, &vec![0; n], 0).unwrap_err();
+    assert_eq!(err, LinkError::BadOrder);
+    let err = h.executable(OptLevel::O2, &[0], 0).unwrap_err();
+    assert_eq!(err, LinkError::BadOrder);
+}
+
+#[test]
+fn linker_rejects_unknown_entry_and_symbols() {
+    let mut mb = ModuleBuilder::new();
+    mb.function("main", 0, false, |fb| fb.ret(None));
+    let m = mb.finish().unwrap();
+    let cm = compile(&optimize(&m, OptLevel::O0), OptLevel::O0);
+    let err = Linker::new().link(&cm, "start").unwrap_err();
+    assert!(matches!(err, LinkError::UnknownEntry(ref s) if s == "start"));
+    assert!(err.to_string().contains("start"));
+
+    // A dangling call relocation must name the missing symbol.
+    let mut broken = cm.clone();
+    broken.objects[0].relocs.push(biaslab_toolchain::obj::Reloc {
+        at: 0,
+        kind: biaslab_toolchain::obj::RelocKind::Call { symbol: "ghost".into() },
+    });
+    // Make the patch target a jal so the reloc is structurally valid.
+    broken.objects[0].code[0] = biaslab_isa::Inst::Jal { rd: biaslab_isa::Reg::RA, offset: 0 };
+    let err = Linker::new().link(&broken, "main").unwrap_err();
+    assert!(matches!(err, LinkError::UnknownSymbol(ref s) if s == "ghost"));
+}
+
+#[test]
+fn loader_errors_are_typed() {
+    let mut mb = ModuleBuilder::new();
+    mb.function("main", 0, false, |fb| fb.ret(None));
+    let m = mb.finish().unwrap();
+    let exe = Linker::new()
+        .link(&compile(&optimize(&m, OptLevel::O0), OptLevel::O0), "main")
+        .unwrap();
+    let err = Loader::new().load(&exe, &Environment::new(), &[0; 7]).unwrap_err();
+    assert_eq!(err, LoadError::TooManyArgs(7));
+    let err = Loader::new()
+        .load(&exe, &Environment::of_total_size(600_000), &[])
+        .unwrap_err();
+    assert!(matches!(err, LoadError::EnvTooLarge(_)));
+    assert!(err.to_string().contains("environment"));
+}
+
+#[test]
+fn runaway_programs_hit_the_budget_not_a_hang() {
+    let mut mb = ModuleBuilder::new();
+    mb.function("spin", 0, false, |fb| {
+        let b = fb.new_block();
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.jump(b);
+    });
+    let m = mb.finish().unwrap();
+    let exe = Linker::new()
+        .link(&compile(&optimize(&m, OptLevel::O2), OptLevel::O2), "spin")
+        .unwrap();
+    let mut config = MachineConfig::o3cpu();
+    config.max_instructions = 5_000;
+    let process = Loader::new().load(&exe, &Environment::new(), &[]).unwrap();
+    let err = Machine::new(config).run(&exe, process).unwrap_err();
+    assert_eq!(err, RunError::Budget(5_000));
+    assert!(err.to_string().contains("budget"));
+}
+
+#[test]
+fn harness_propagates_stage_errors() {
+    let h = Harness::new(benchmark_by_name("hmmer").expect("known"));
+    let mut setup = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+    setup.env = Environment::of_total_size(600_000);
+    let err = h.measure(&setup, InputSize::Test).unwrap_err();
+    assert!(matches!(err, MeasureError::Load(_)), "{err}");
+    assert!(err.to_string().starts_with("load:"));
+}
+
+#[test]
+fn harness_detects_wrong_results() {
+    // Simulate a "toolchain bug" by lying about the arguments: measure with
+    // the Test binary but a setup that runs different work than `expected`
+    // was computed for cannot happen through the public API, so instead
+    // check the error type is constructible and displayed usefully.
+    let err = MeasureError::WrongResult { expected: 0xAB, actual: 0xCD };
+    let text = err.to_string();
+    assert!(text.contains("0xcd") && text.contains("0xab"), "{text}");
+}
+
+#[test]
+fn interpreter_depth_limit_is_an_error_not_a_stack_overflow() {
+    use biaslab_toolchain::interp::{InterpError, Interpreter};
+    let mut mb = ModuleBuilder::new();
+    let f = mb.declare("forever", 1, true);
+    mb.define(f, |fb| {
+        let x = fb.param(0);
+        let v = fb.get(x);
+        let r = fb.call(f, &[v]);
+        fb.ret(Some(r));
+    });
+    let m = mb.finish().unwrap();
+    let err = Interpreter::new(&m).call_by_name("forever", &[1]).unwrap_err();
+    assert_eq!(err, InterpError::DepthExceeded);
+}

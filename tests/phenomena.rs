@@ -1,0 +1,118 @@
+//! Integration tests for the paper's claims themselves: the biases exist,
+//! have the documented structure, and the remedies behave as advertised.
+//! These are shape assertions (who varies, what is periodic, what is
+//! silent), not absolute-number assertions.
+
+use biaslab_core::causal::{CausalExperiment, Intervention, Mediator};
+use biaslab_core::harness::Harness;
+use biaslab_core::randomize::{randomized_eval, RandomizedFactors};
+use biaslab_core::setup::{ExperimentSetup, LinkOrder};
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+use biaslab_workloads::{benchmark_by_name, InputSize};
+
+fn harness(name: &str) -> Harness {
+    Harness::new(benchmark_by_name(name).expect("known benchmark"))
+}
+
+#[test]
+fn stack_shift_bias_is_periodic_in_the_bank_geometry() {
+    // perlbench on o3cpu: the cycle counts as a function of stack shift
+    // must repeat with period 64 (banks × interleave) — the Fig. 7 shape.
+    let h = harness("perlbench");
+    let base = ExperimentSetup::default_on(MachineConfig::o3cpu(), OptLevel::O2);
+    let cycles: Vec<u64> = (0..8u32)
+        .map(|i| {
+            let mut s = base.clone();
+            s.stack_shift = i * 16;
+            h.measure(&s, InputSize::Test).unwrap().counters.cycles
+        })
+        .collect();
+    // Period 64 = 4 steps of 16, up to a few cycles of page-boundary
+    // (TLB) noise as the whole stack drifts across pages.
+    for k in 0..4 {
+        let diff = cycles[k].abs_diff(cycles[k + 4]);
+        assert!(diff <= 16, "period-64 violated at phase {k}: {cycles:?}");
+    }
+    // And not constant: the bias exists (well beyond the noise allowance).
+    let min = *cycles.iter().min().expect("nonempty");
+    let max = *cycles.iter().max().expect("nonempty");
+    assert!(max - min > 1000, "bias too small to be the phenomenon: {cycles:?}");
+}
+
+#[test]
+fn link_order_moves_cycles_on_every_machine() {
+    let h = harness("perlbench");
+    for machine in MachineConfig::all() {
+        let base = ExperimentSetup::default_on(machine.clone(), OptLevel::O2);
+        let mut distinct = std::collections::HashSet::new();
+        for order in [
+            LinkOrder::Default,
+            LinkOrder::Reversed,
+            LinkOrder::Alphabetical,
+            LinkOrder::Random(1),
+            LinkOrder::Random(2),
+        ] {
+            let m = h.measure(&base.with_link_order(order), InputSize::Test).unwrap();
+            distinct.insert(m.counters.cycles);
+        }
+        assert!(
+            distinct.len() > 1,
+            "link order should move cycles on {}",
+            machine.name
+        );
+    }
+}
+
+#[test]
+fn causal_analysis_confirms_stack_and_rejects_placebo() {
+    let h = harness("perlbench");
+    let base = ExperimentSetup::default_on(MachineConfig::o3cpu(), OptLevel::O2);
+    let mut exp = CausalExperiment::new(base, Intervention::StackShift, 256, 16);
+    exp.mediator = Mediator::BankConflicts;
+    let report = exp.run(&h, InputSize::Test).unwrap();
+    assert!(report.confirmed, "stack shift must be identified as causal: {report:?}");
+    assert!(report.placebo_effect < 1e-9, "placebo must be exactly silent");
+    let r = report.mediator_correlation.expect("both series vary");
+    assert!(r > 0.9, "bank conflicts should mediate the effect, r={r}");
+}
+
+#[test]
+fn randomized_evaluation_is_reproducible_and_interval_covers_mean() {
+    let h = harness("gcc");
+    let eval = randomized_eval(
+        &h,
+        &MachineConfig::core2(),
+        OptLevel::O2,
+        OptLevel::O3,
+        RandomizedFactors::default(),
+        8,
+        7,
+        InputSize::Test,
+    )
+    .unwrap();
+    assert!(eval.ci.contains(eval.mean_speedup));
+    assert_eq!(eval.observations.len(), 8);
+    // The same seed replays the same setups bit-for-bit.
+    let again = randomized_eval(
+        &h,
+        &MachineConfig::core2(),
+        OptLevel::O2,
+        OptLevel::O3,
+        RandomizedFactors::default(),
+        8,
+        7,
+        InputSize::Test,
+    )
+    .unwrap();
+    assert_eq!(eval.mean_speedup, again.mean_speedup);
+    assert_eq!(eval.ci, again.ci);
+}
+
+#[test]
+fn survey_regenerates_the_headline_zeroes() {
+    let table = biaslab_survey::tabulate(&biaslab_survey::corpus(0));
+    assert_eq!(table.total_papers, 133);
+    assert_eq!(table.row(biaslab_survey::ReportedAspect::EnvironmentSize).total, 0);
+    assert_eq!(table.row(biaslab_survey::ReportedAspect::LinkOrder).total, 0);
+}

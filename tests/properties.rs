@@ -1,0 +1,93 @@
+//! Property-based integration tests: the semantic invariants hold for
+//! *arbitrary* setup-factor values, not just the swept ones.
+
+use biaslab_core::harness::Harness;
+use biaslab_core::setup::{ExperimentSetup, LinkOrder};
+use biaslab_toolchain::load::Environment;
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::MachineConfig;
+use biaslab_workloads::{benchmark_by_name, InputSize};
+use proptest::prelude::*;
+
+fn quick_config() -> ProptestConfig {
+    // Each case compiles nothing new (caches) but simulates ~10^5
+    // instructions; keep the case count modest.
+    ProptestConfig { cases: 8, ..ProptestConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(quick_config())]
+
+    #[test]
+    fn any_environment_size_preserves_semantics(bytes in 23u32..6000) {
+        let h = Harness::new(benchmark_by_name("hmmer").expect("known"));
+        let base = ExperimentSetup::default_on(MachineConfig::o3cpu(), OptLevel::O2);
+        let reference = h.measure(&base, InputSize::Test).expect("baseline");
+        let m = h
+            .measure(&base.with_env(Environment::of_total_size(bytes)), InputSize::Test)
+            .expect("env measurement");
+        prop_assert_eq!(m.checksum, reference.checksum);
+        prop_assert_eq!(m.counters.instructions, reference.counters.instructions);
+    }
+
+    #[test]
+    fn any_link_order_preserves_semantics(seed in any::<u64>()) {
+        let h = Harness::new(benchmark_by_name("milc").expect("known"));
+        let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O3);
+        let reference = h.measure(&base, InputSize::Test).expect("baseline");
+        let m = h
+            .measure(&base.with_link_order(LinkOrder::Random(seed)), InputSize::Test)
+            .expect("order measurement");
+        prop_assert_eq!(m.checksum, reference.checksum);
+    }
+
+    #[test]
+    fn any_stack_shift_preserves_semantics(shift in 0u32..4096) {
+        let h = Harness::new(benchmark_by_name("libquantum").expect("known"));
+        let mut setup = ExperimentSetup::default_on(MachineConfig::pentium4(), OptLevel::O1);
+        setup.stack_shift = shift;
+        let m = h.measure(&setup, InputSize::Test).expect("shifted measurement");
+        let expected = h.benchmark().expected(InputSize::Test);
+        prop_assert_eq!(m.checksum, expected.checksum);
+    }
+
+    #[test]
+    fn random_orders_resolve_to_permutations(seed in any::<u64>(), n in 1usize..40) {
+        let names: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut p = LinkOrder::Random(seed).resolve(&refs);
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn environment_footprint_is_exact(bytes in 23u32..100_000) {
+        prop_assert_eq!(Environment::of_total_size(bytes).stack_bytes(), bytes);
+    }
+
+    #[test]
+    fn bootstrap_ci_always_contains_the_sample_mean(
+        data in proptest::collection::vec(0.5f64..2.0, 3..40),
+        seed in any::<u64>(),
+    ) {
+        let mean = biaslab_core::stats::Summary::of(&data).mean;
+        let ci = biaslab_core::stats::bootstrap_ci_mean(&data, 0.95, 500, seed);
+        // Percentile bootstrap over resampled means brackets the point
+        // estimate for any sample.
+        prop_assert!(ci.lo <= mean + 1e-9 && mean - 1e-9 <= ci.hi);
+    }
+
+    #[test]
+    fn violin_quantiles_are_monotone(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let v = biaslab_core::stats::ViolinSummary::of(&data);
+        for w in v.values.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}
