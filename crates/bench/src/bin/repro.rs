@@ -1,18 +1,27 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro list              # available experiment ids
-//! repro fig3              # regenerate one experiment at full size
-//! repro fig3 --quick      # reduced size (CI-friendly)
-//! repro all [--quick]     # everything, in paper order
+//! repro list                    # available experiment ids
+//! repro fig3                    # regenerate one experiment at full size
+//! repro fig3 --effort quick     # reduced size (CI-friendly); --quick works too
+//! repro all [--effort quick]    # everything, in paper order
 //! ```
+//!
+//! Measurements persist under `results/measurements.jsonl` (set
+//! `BIASLAB_RESULTS_DIR` to relocate): an interrupted `repro all` resumes
+//! from what it already measured. `--no-resume` makes a run ephemeral — it
+//! neither reads nor rewrites the results file. Cache and timing
+//! instrumentation is reported per experiment on stderr; experiment output
+//! on stdout is byte-identical with or without the cache.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use biaslab_bench::{run_experiment, Effort, EXPERIMENTS};
+use biaslab_core::Orchestrator;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment-id | all | list> [--quick]");
+    eprintln!("usage: repro <experiment-id | all | list> [--effort quick|full] [--no-resume]");
     eprintln!("experiments:");
     for e in EXPERIMENTS {
         eprintln!("  {:12} {}", e.id, e.title);
@@ -20,15 +29,83 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Parses `--quick` / `--effort quick|full` (the last one given wins).
+fn parse_effort(args: &[String]) -> Option<Effort> {
+    let mut effort = Effort::Full;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--effort" => match it.next().map(String::as_str) {
+                Some("quick") => effort = Effort::Quick,
+                Some("full") => effort = Effort::Full,
+                other => {
+                    eprintln!("--effort takes `quick` or `full`, got {other:?}");
+                    return None;
+                }
+            },
+            _ => {}
+        }
+    }
+    Some(effort)
+}
+
+fn results_path() -> PathBuf {
+    std::env::var_os("BIASLAB_RESULTS_DIR")
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+        .join("measurements.jsonl")
+}
+
+fn run_one(id: &str, title: &str, effort: Effort, persist: bool) {
+    let orch = Orchestrator::global();
+    let before = orch.stats();
+    let start = std::time::Instant::now();
+    let output = run_experiment(id, effort).expect("registered experiment");
+    println!("{output}");
+    let spent = start.elapsed();
+    let path = results_path();
+    if persist {
+        if let Err(e) = orch.save(&path) {
+            eprintln!(
+                "warning: could not persist results to {}: {e}",
+                path.display()
+            );
+        }
+    }
+    eprintln!(
+        "[repro] {id} ({title}): {:.2}s, {}",
+        spent.as_secs_f64(),
+        orch.stats().delta(&before)
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let effort = if quick { Effort::Quick } else { Effort::Full };
+    let Some(effort) = parse_effort(&args) else {
+        return usage();
+    };
+    let resume = !args.iter().any(|a| a == "--no-resume");
+    let mut effort_value_next = false;
+    let targets: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            let is_effort_value = std::mem::replace(&mut effort_value_next, **a == "--effort");
+            !a.starts_with("--") && !is_effort_value
+        })
+        .collect();
 
     let Some(&target) = targets.first() else {
         return usage();
     };
+
+    if target != "list" && resume {
+        let path = results_path();
+        match Orchestrator::global().load(&path) {
+            Ok(0) => {}
+            Ok(n) => eprintln!("[repro] resumed {n} measurement(s) from {}", path.display()),
+            Err(e) => eprintln!("warning: could not read {}: {e}", path.display()),
+        }
+    }
 
     match target.as_str() {
         "list" => {
@@ -42,19 +119,23 @@ fn main() -> ExitCode {
                 println!("================================================================");
                 println!("== {} — {}", e.id, e.title);
                 println!("================================================================");
-                println!("{}", (e.run)(effort));
+                run_one(e.id, e.title, effort, resume);
             }
+            eprintln!("[repro] totals: {}", Orchestrator::global().stats());
             ExitCode::SUCCESS
         }
-        id => match run_experiment(id, effort) {
-            Some(output) => {
-                println!("{output}");
-                ExitCode::SUCCESS
-            }
-            None => {
+        id => {
+            if !EXPERIMENTS.iter().any(|e| e.id == id) {
                 eprintln!("unknown experiment `{id}`\n");
-                usage()
+                return usage();
             }
-        },
+            let title = EXPERIMENTS
+                .iter()
+                .find(|e| e.id == id)
+                .expect("checked")
+                .title;
+            run_one(id, title, effort, resume);
+            ExitCode::SUCCESS
+        }
     }
 }

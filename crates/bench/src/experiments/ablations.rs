@@ -18,12 +18,21 @@ pub(crate) fn abl_align(effort: Effort) -> String {
     let h = harness("perlbench");
     let orders = link_figs_orders(effort.points(17));
     let mut out = String::new();
-    let _ = writeln!(out, "abl-align: link-order cycle spread per optimization level (core2)\n");
-    let mut table = Table::new(vec!["level", "align", "min-cycles", "max-cycles", "spread%"]);
+    let _ = writeln!(
+        out,
+        "abl-align: link-order cycle spread per optimization level (core2)\n"
+    );
+    let mut table = Table::new(vec![
+        "level",
+        "align",
+        "min-cycles",
+        "max-cycles",
+        "spread%",
+    ]);
     for level in OptLevel::ALL {
         let base = base_setup(MachineConfig::core2(), level);
         let setups: Vec<_> = orders.iter().map(|&o| base.with_link_order(o)).collect();
-        let results = h.measure_sweep(&setups, effort.input());
+        let results = biaslab_core::Orchestrator::global().sweep(&h, &setups, effort.input());
         let cycles: Vec<f64> = results
             .into_iter()
             .map(|r| r.expect("verified").cycles() as f64)
@@ -54,7 +63,10 @@ pub(crate) fn abl_aslr(effort: Effort) -> String {
     let base = base_setup(MachineConfig::core2(), OptLevel::O2);
     let n = effort.points(24);
     let mut out = String::new();
-    let _ = writeln!(out, "abl-aslr: code-offset vs environment-size bias (perlbench, core2)\n");
+    let _ = writeln!(
+        out,
+        "abl-aslr: code-offset vs environment-size bias (perlbench, core2)\n"
+    );
 
     // Environment sweep.
     let envs = env_points(n, 176);
@@ -111,7 +123,10 @@ pub(crate) fn abl_aslr(effort: Effort) -> String {
 /// conflicts are absorbed by high associativity and exposed by low.
 pub(crate) fn abl_machine(effort: Effort) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "abl-machine: env-size bias vs L1D associativity (perlbench)\n");
+    let _ = writeln!(
+        out,
+        "abl-machine: env-size bias vs L1D associativity (perlbench)\n"
+    );
     let n = effort.points(16);
     let envs = env_points(n, 256);
     let mut table = Table::new(vec!["l1d-ways", "min", "max", "bias%"]);
@@ -147,10 +162,18 @@ pub(crate) fn abl_machine(effort: Effort) -> String {
 pub(crate) fn abl_warmup(effort: Effort) -> String {
     use biaslab_core::harness::CachePolicy;
     let mut out = String::new();
-    let _ = writeln!(out, "abl-warmup: cold vs warm repetitions (core2)
-");
+    let _ = writeln!(
+        out,
+        "abl-warmup: cold vs warm repetitions (core2)
+"
+    );
     let mut table = Table::new(vec![
-        "benchmark", "cold-cycles", "warm-cycles", "warmup%", "speedup-cold", "speedup-warm",
+        "benchmark",
+        "cold-cycles",
+        "warm-cycles",
+        "warmup%",
+        "speedup-cold",
+        "speedup-warm",
     ]);
     for name in ["perlbench", "milc", "mcf"] {
         let h = harness(name);
@@ -189,14 +212,21 @@ Reading: warm-up is a few percent here; cold/warm choice is one          more se
 /// recorded paper-machine presets) shrink the layout-conflict channel?
 pub(crate) fn abl_prefetch(effort: Effort) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "abl-prefetch: env-size bias with and without next-line prefetch (o3cpu)
-");
+    let _ = writeln!(
+        out,
+        "abl-prefetch: env-size bias with and without next-line prefetch (o3cpu)
+"
+    );
     let n = effort.points(16);
     let envs = env_points(n, 176);
     let mut table = Table::new(vec!["prefetch", "benchmark", "min", "max", "bias%"]);
     for prefetch in [false, true] {
         let mut machine = MachineConfig::o3cpu();
-        machine.name = if prefetch { "o3cpu+pf".into() } else { "o3cpu".into() };
+        machine.name = if prefetch {
+            "o3cpu+pf".into()
+        } else {
+            "o3cpu".into()
+        };
         machine.l1d_next_line_prefetch = prefetch;
         for name in ["perlbench", "mcf"] {
             let h = harness(name);

@@ -22,10 +22,16 @@ pub(crate) fn fig7(effort: Effort) -> String {
     let report = exp.run(&h, effort.input()).expect("experiment runs");
 
     let mut out = String::new();
-    let _ = writeln!(out, "fig7: perlbench cycles vs direct stack shift (o3cpu)\n");
+    let _ = writeln!(
+        out,
+        "fig7: perlbench cycles vs direct stack shift (o3cpu)\n"
+    );
     let cycles: Vec<f64> = report.curve.iter().map(|p| p.cycles as f64).collect();
-    let conflicts: Vec<f64> =
-        report.curve.iter().map(|p| p.counters.bank_conflicts as f64).collect();
+    let conflicts: Vec<f64> = report
+        .curve
+        .iter()
+        .map(|p| p.counters.bank_conflicts as f64)
+        .collect();
     let _ = writeln!(out, "cycles:         {}", sparkline(&cycles));
     let _ = writeln!(out, "bank conflicts: {}", sparkline(&conflicts));
     let _ = writeln!(
@@ -33,11 +39,16 @@ pub(crate) fn fig7(effort: Effort) -> String {
         "effect {:.3}%  placebo {:.5}%  mediator correlation {:?}  confirmed: {}\n",
         100.0 * report.effect,
         100.0 * report.placebo_effect,
-        report.mediator_correlation.map(|c| (c * 1000.0).round() / 1000.0),
+        report
+            .mediator_correlation
+            .map(|c| (c * 1000.0).round() / 1000.0),
         report.confirmed,
     );
-    let pts: Vec<(f64, f64)> =
-        report.curve.iter().map(|p| (f64::from(p.dose), p.cycles as f64)).collect();
+    let pts: Vec<(f64, f64)> = report
+        .curve
+        .iter()
+        .map(|p| (f64::from(p.dose), p.cycles as f64))
+        .collect();
     out.push_str(&render_series("fig7-cycles-vs-stack-shift", &pts));
     out
 }
@@ -55,8 +66,11 @@ pub(crate) fn fig8(effort: Effort) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "fig8: perlbench cycles vs code-base shift (core2)\n");
     let cycles: Vec<f64> = report.curve.iter().map(|p| p.cycles as f64).collect();
-    let mispredicts: Vec<f64> =
-        report.curve.iter().map(|p| p.counters.mispredicts as f64).collect();
+    let mispredicts: Vec<f64> = report
+        .curve
+        .iter()
+        .map(|p| p.counters.mispredicts as f64)
+        .collect();
     let _ = writeln!(out, "cycles:      {}", sparkline(&cycles));
     let _ = writeln!(out, "mispredicts: {}", sparkline(&mispredicts));
     let _ = writeln!(
@@ -64,11 +78,16 @@ pub(crate) fn fig8(effort: Effort) -> String {
         "effect {:.3}%  placebo {:.5}%  mediator correlation {:?}  confirmed: {}\n",
         100.0 * report.effect,
         100.0 * report.placebo_effect,
-        report.mediator_correlation.map(|c| (c * 1000.0).round() / 1000.0),
+        report
+            .mediator_correlation
+            .map(|c| (c * 1000.0).round() / 1000.0),
         report.confirmed,
     );
-    let pts: Vec<(f64, f64)> =
-        report.curve.iter().map(|p| (f64::from(p.dose), p.cycles as f64)).collect();
+    let pts: Vec<(f64, f64)> = report
+        .curve
+        .iter()
+        .map(|p| (f64::from(p.dose), p.cycles as f64))
+        .collect();
     out.push_str(&render_series("fig8-cycles-vs-code-shift", &pts));
     out
 }
@@ -81,9 +100,17 @@ pub(crate) fn fig10(effort: Effort) -> String {
     let steps = effort.points(24) as u32;
 
     let mut out = String::new();
-    let _ = writeln!(out, "fig10: causal analysis of the environment-size effect (perlbench, o3cpu)\n");
-    let mut table =
-        Table::new(vec!["intervention", "effect%", "placebo%", "mediator-r", "verdict"]);
+    let _ = writeln!(
+        out,
+        "fig10: causal analysis of the environment-size effect (perlbench, o3cpu)\n"
+    );
+    let mut table = Table::new(vec![
+        "intervention",
+        "effect%",
+        "placebo%",
+        "mediator-r",
+        "verdict",
+    ]);
     for (intervention, mediator) in [
         (Intervention::EnvironmentSize, Mediator::BankConflicts),
         (Intervention::StackShift, Mediator::BankConflicts),
@@ -98,7 +125,11 @@ pub(crate) fn fig10(effort: Effort) -> String {
             format!("{:.5}", 100.0 * r.placebo_effect),
             r.mediator_correlation
                 .map_or("n/a".to_owned(), |c| format!("{c:.3}")),
-            if r.confirmed { "causal".to_owned() } else { "not shown".to_owned() },
+            if r.confirmed {
+                "causal".to_owned()
+            } else {
+                "not shown".to_owned()
+            },
         ]);
     }
     let _ = write!(out, "{table}");

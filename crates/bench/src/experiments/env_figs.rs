@@ -23,7 +23,7 @@ pub(crate) fn fig1(effort: Effort) -> String {
     for opt in [OptLevel::O2, OptLevel::O3] {
         let base = base_setup(MachineConfig::core2(), opt);
         let setups: Vec<_> = envs.iter().map(|e| base.with_env(e.clone())).collect();
-        let results = h.measure_sweep(&setups, effort.input());
+        let results = biaslab_core::Orchestrator::global().sweep(&h, &setups, effort.input());
         let mut points = Vec::with_capacity(n);
         for (env, r) in envs.iter().zip(results) {
             let m = r.expect("measurement verified");
@@ -79,7 +79,10 @@ pub(crate) fn fig2(effort: Effort) -> String {
             .map(|e| f64::from(e.stack_bytes()))
             .zip(speedups.iter().copied())
             .collect();
-        out.push_str(&render_series(&format!("speedup-{}", machine.name), &points));
+        out.push_str(&render_series(
+            &format!("speedup-{}", machine.name),
+            &points,
+        ));
     }
     out
 }
@@ -132,8 +135,20 @@ pub(crate) fn fig4(effort: Effort) -> String {
     let n = effort.points(24);
     let envs = env_points(n, 176);
     let mut out = String::new();
-    let _ = writeln!(out, "fig4: O3 speedup across environment sizes, all benchmarks (core2)\n");
-    let mut table = Table::new(vec!["benchmark", "min", "p25", "median", "p75", "max", "bias%", "flips"]);
+    let _ = writeln!(
+        out,
+        "fig4: O3 speedup across environment sizes, all benchmarks (core2)\n"
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "min",
+        "p25",
+        "median",
+        "p75",
+        "max",
+        "bias%",
+        "flips",
+    ]);
     for b in suite() {
         let name = b.name();
         let h = biaslab_core::harness::Harness::new(b);

@@ -15,7 +15,11 @@ use super::{base_setup, harness, Effort};
 /// The link orders a sweep visits: the three "somebody's Makefile" orders
 /// plus seeded random permutations.
 pub(crate) fn orders(n_random: usize) -> Vec<LinkOrder> {
-    let mut v = vec![LinkOrder::Default, LinkOrder::Reversed, LinkOrder::Alphabetical];
+    let mut v = vec![
+        LinkOrder::Default,
+        LinkOrder::Reversed,
+        LinkOrder::Alphabetical,
+    ];
     v.extend((0..n_random as u64).map(LinkOrder::Random));
     v
 }
@@ -30,8 +34,11 @@ pub(crate) fn fig5(effort: Effort) -> String {
     let mut per_level: Vec<(OptLevel, Summary)> = Vec::new();
     for opt in [OptLevel::O2, OptLevel::O3] {
         let base = base_setup(MachineConfig::core2(), opt);
-        let setups: Vec<_> = all_orders.iter().map(|&o| base.with_link_order(o)).collect();
-        let results = h.measure_sweep(&setups, effort.input());
+        let setups: Vec<_> = all_orders
+            .iter()
+            .map(|&o| base.with_link_order(o))
+            .collect();
+        let results = biaslab_core::Orchestrator::global().sweep(&h, &setups, effort.input());
         let cycles: Vec<f64> = results
             .into_iter()
             .map(|r| r.expect("verified").cycles() as f64)
@@ -62,17 +69,37 @@ pub(crate) fn fig5(effort: Effort) -> String {
 pub(crate) fn fig6(effort: Effort) -> String {
     let all_orders = orders(effort.points(29));
     let mut out = String::new();
-    let _ = writeln!(out, "fig6: O3 speedup across link orders, all benchmarks (core2)\n");
-    let mut table =
-        Table::new(vec!["benchmark", "min", "p25", "median", "p75", "max", "bias%", "flips"]);
+    let _ = writeln!(
+        out,
+        "fig6: O3 speedup across link orders, all benchmarks (core2)\n"
+    );
+    let mut table = Table::new(vec![
+        "benchmark",
+        "min",
+        "p25",
+        "median",
+        "p75",
+        "max",
+        "bias%",
+        "flips",
+    ]);
     for b in suite() {
         let name = b.name();
         let h = biaslab_core::harness::Harness::new(b);
         let base = base_setup(MachineConfig::core2(), OptLevel::O2);
-        let setups: Vec<_> = all_orders.iter().map(|&o| base.with_link_order(o)).collect();
-        let report =
-            sweep_factor(&h, "link order", &setups, OptLevel::O2, OptLevel::O3, effort.input())
-                .expect("sweep succeeds");
+        let setups: Vec<_> = all_orders
+            .iter()
+            .map(|&o| base.with_link_order(o))
+            .collect();
+        let report = sweep_factor(
+            &h,
+            "link order",
+            &setups,
+            OptLevel::O2,
+            OptLevel::O3,
+            effort.input(),
+        )
+        .expect("sweep succeeds");
         let v = &report.violin;
         table.row(vec![
             name.to_owned(),

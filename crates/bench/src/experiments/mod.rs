@@ -14,7 +14,7 @@ use biaslab_core::setup::ExperimentSetup;
 use biaslab_toolchain::load::Environment;
 use biaslab_toolchain::OptLevel;
 use biaslab_uarch::MachineConfig;
-use biaslab_workloads::{benchmark_by_name, InputSize};
+use biaslab_workloads::InputSize;
 
 /// How much work to spend: `Full` regenerates the figure at measurement
 /// size; `Quick` shrinks inputs and sweeps for CI and Criterion.
@@ -60,7 +60,11 @@ pub struct ExperimentInfo {
 /// Every reproducible table and figure, in the paper's order, followed by
 /// the ablations this reproduction adds.
 pub static EXPERIMENTS: &[ExperimentInfo] = &[
-    ExperimentInfo { id: "table1", title: "experimental setup inventory", run: tables::table1 },
+    ExperimentInfo {
+        id: "table1",
+        title: "experimental setup inventory",
+        run: tables::table1,
+    },
     ExperimentInfo {
         id: "fig1",
         title: "perlbench cycles (O2/O3) vs environment size, core2",
@@ -101,7 +105,11 @@ pub static EXPERIMENTS: &[ExperimentInfo] = &[
         title: "cause of link-order bias: code-shift dose response",
         run: causal_figs::fig8,
     },
-    ExperimentInfo { id: "table2", title: "literature survey of 133 papers", run: tables::table2 },
+    ExperimentInfo {
+        id: "table2",
+        title: "literature survey of 133 papers",
+        run: tables::table2,
+    },
     ExperimentInfo {
         id: "fig9",
         title: "setup randomization: CI behaviour vs number of setups",
@@ -142,19 +150,26 @@ pub static EXPERIMENTS: &[ExperimentInfo] = &[
 /// Runs the experiment with the given id, if it exists.
 #[must_use]
 pub fn run_experiment(id: &str, effort: Effort) -> Option<String> {
-    EXPERIMENTS.iter().find(|e| e.id == id).map(|e| (e.run)(effort))
+    EXPERIMENTS
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| (e.run)(effort))
 }
 
 // ---- shared helpers --------------------------------------------------------
 
-/// A harness for a named suite benchmark.
+/// The shared harness for a named suite benchmark: experiments draw from
+/// the global orchestrator's registry, so compile/link caches and the
+/// measurement cache carry across experiments in one `repro all` run.
 ///
 /// # Panics
 ///
 /// Panics on an unknown name (experiment code, not user input).
 #[must_use]
-pub(crate) fn harness(name: &str) -> Harness {
-    Harness::new(benchmark_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}")))
+pub(crate) fn harness(name: &str) -> std::sync::Arc<Harness> {
+    biaslab_core::Orchestrator::global()
+        .harness(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
 }
 
 /// Environment sizes `0, step, 2·step, …` with `n` points.
@@ -190,8 +205,10 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), n, "duplicate experiment ids");
         for required in ["table1", "table2"].iter().chain(
-            ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"]
-                .iter(),
+            [
+                "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            ]
+            .iter(),
         ) {
             assert!(ids.contains(required), "missing {required}");
         }

@@ -24,8 +24,15 @@ pub(crate) fn fig9(effort: Effort) -> String {
     };
     for bench in ["perlbench", "sjeng", "gcc"] {
         let h = harness(bench);
-        let mut table =
-            Table::new(vec!["setups", "mean-speedup", "ci-lo", "ci-hi", "ci-width", "verdict", "single-setup-disagree%"]);
+        let mut table = Table::new(vec![
+            "setups",
+            "mean-speedup",
+            "ci-lo",
+            "ci-hi",
+            "ci-width",
+            "verdict",
+            "single-setup-disagree%",
+        ]);
         let mut last_mean = 1.0;
         for &n in counts {
             let eval = randomized_eval(

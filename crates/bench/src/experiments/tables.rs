@@ -17,7 +17,14 @@ pub(crate) fn table1(_effort: Effort) -> String {
     let _ = writeln!(out, "table1: experimental setup\n");
 
     let mut machines = Table::new(vec![
-        "machine", "L1D", "ways", "L2", "DTLB", "BTB", "mispredict", "banks",
+        "machine",
+        "L1D",
+        "ways",
+        "L2",
+        "DTLB",
+        "BTB",
+        "mispredict",
+        "banks",
     ]);
     for m in MachineConfig::all() {
         machines.row(vec![
@@ -60,7 +67,11 @@ pub(crate) fn table2(_effort: Effort) -> String {
     let records = corpus(2009);
     let table = tabulate(&records);
     let mut out = String::new();
-    let _ = writeln!(out, "table2: survey of {} papers (ASPLOS, PACT, PLDI, CGO)\n", records.len());
+    let _ = writeln!(
+        out,
+        "table2: survey of {} papers (ASPLOS, PACT, PLDI, CGO)\n",
+        records.len()
+    );
     let _ = writeln!(out, "{table}");
     let _ = writeln!(
         out,
@@ -78,7 +89,14 @@ mod tests {
     #[test]
     fn table1_lists_machines_and_benchmarks() {
         let out = table1(Effort::Quick);
-        for s in ["pentium4", "core2", "o3cpu", "perlbench", "sphinx3", "O0/O1/O2/O3"] {
+        for s in [
+            "pentium4",
+            "core2",
+            "o3cpu",
+            "perlbench",
+            "sphinx3",
+            "O0/O1/O2/O3",
+        ] {
             assert!(out.contains(s), "{s} missing");
         }
     }

@@ -102,7 +102,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             match cmd.as_str() {
                 "disasm" => Ok(Command::Disasm { bench, opt }),
                 "ir" => Ok(Command::Ir { bench, opt }),
-                "audit" => Ok(Command::Audit { bench, machine, size }),
+                "audit" => Ok(Command::Audit {
+                    bench,
+                    machine,
+                    size,
+                }),
                 _ => Ok(Command::Run(RunArgs {
                     bench,
                     opt,
@@ -151,10 +155,14 @@ fn parse_order(s: &str) -> Result<LinkOrder, String> {
         "alpha" | "alphabetical" => Ok(LinkOrder::Alphabetical),
         other => {
             if let Some(seed) = other.strip_prefix("rand:") {
-                let seed = seed.parse::<u64>().map_err(|_| format!("bad seed in `{other}`"))?;
+                let seed = seed
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed in `{other}`"))?;
                 Ok(LinkOrder::Random(seed))
             } else {
-                Err(format!("unknown order `{other}` (default, reversed, alpha, rand:<seed>)"))
+                Err(format!(
+                    "unknown order `{other}` (default, reversed, alpha, rand:<seed>)"
+                ))
             }
         }
     }
@@ -181,7 +189,9 @@ mod tests {
             "run perlbench --opt O3 --machine o3cpu --env 612 --order rand:7 --size ref --profile",
         ))
         .unwrap();
-        let Command::Run(a) = cmd else { panic!("expected run") };
+        let Command::Run(a) = cmd else {
+            panic!("expected run")
+        };
         assert_eq!(a.bench, "perlbench");
         assert_eq!(a.opt, OptLevel::O3);
         assert_eq!(a.machine, "o3cpu");
@@ -193,7 +203,9 @@ mod tests {
 
     #[test]
     fn run_defaults_are_sane() {
-        let Command::Run(a) = parse(&argv("run hmmer")).unwrap() else { panic!() };
+        let Command::Run(a) = parse(&argv("run hmmer")).unwrap() else {
+            panic!()
+        };
         assert_eq!(a.opt, OptLevel::O2);
         assert_eq!(a.machine, "core2");
         assert_eq!(a.env_bytes, 0);
@@ -216,7 +228,10 @@ mod tests {
     fn parses_ir() {
         assert_eq!(
             parse(&argv("ir sjeng --opt O3")).unwrap(),
-            Command::Ir { bench: "sjeng".into(), opt: OptLevel::O3 }
+            Command::Ir {
+                bench: "sjeng".into(),
+                opt: OptLevel::O3
+            }
         );
     }
 
@@ -224,10 +239,16 @@ mod tests {
     fn parses_disasm_and_audit() {
         assert_eq!(
             parse(&argv("disasm milc --opt O0")).unwrap(),
-            Command::Disasm { bench: "milc".into(), opt: OptLevel::O0 }
+            Command::Disasm {
+                bench: "milc".into(),
+                opt: OptLevel::O0
+            }
         );
-        let Command::Audit { bench, machine, size } =
-            parse(&argv("audit gcc --machine pentium4 --size ref")).unwrap()
+        let Command::Audit {
+            bench,
+            machine,
+            size,
+        } = parse(&argv("audit gcc --machine pentium4 --size ref")).unwrap()
         else {
             panic!()
         };

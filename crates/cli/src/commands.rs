@@ -3,6 +3,7 @@
 use biaslab_core::harness::Harness;
 use biaslab_core::report::Table;
 use biaslab_core::setup::ExperimentSetup;
+use biaslab_core::Orchestrator;
 use biaslab_toolchain::load::{Environment, Loader};
 use biaslab_toolchain::OptLevel;
 use biaslab_uarch::{Machine, MachineConfig};
@@ -19,7 +20,11 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Run(args) => run_bench(&args),
         Command::Disasm { bench, opt } => disasm(&bench, opt),
         Command::Ir { bench, opt } => print_ir(&bench, opt),
-        Command::Audit { bench, machine, size } => audit(&bench, &machine, size),
+        Command::Audit {
+            bench,
+            machine,
+            size,
+        } => audit(&bench, &machine, size),
     }
 }
 
@@ -37,7 +42,15 @@ fn list() -> Result<(), String> {
 }
 
 fn machines() -> Result<(), String> {
-    let mut table = Table::new(vec!["machine", "L1D", "ways", "L2", "BTB", "mispredict", "banks"]);
+    let mut table = Table::new(vec![
+        "machine",
+        "L1D",
+        "ways",
+        "L2",
+        "BTB",
+        "mispredict",
+        "banks",
+    ]);
     for m in MachineConfig::all() {
         table.row(vec![
             m.name.clone(),
@@ -60,14 +73,20 @@ fn survey() -> Result<(), String> {
 }
 
 fn lookup(bench: &str) -> Result<biaslab_workloads::Benchmark, String> {
-    benchmark_by_name(bench).ok_or_else(|| {
-        format!("unknown benchmark `{bench}` — `biaslab list` shows the suite")
-    })
+    benchmark_by_name(bench)
+        .ok_or_else(|| format!("unknown benchmark `{bench}` — `biaslab list` shows the suite"))
+}
+
+/// The orchestrator-registry harness for a benchmark, so repeated CLI
+/// invocations within one process (and the audit sweeps) share caches.
+fn shared_harness(bench: &str) -> Result<std::sync::Arc<Harness>, String> {
+    Orchestrator::global()
+        .harness(bench)
+        .ok_or_else(|| format!("unknown benchmark `{bench}` — `biaslab list` shows the suite"))
 }
 
 fn run_bench(args: &RunArgs) -> Result<(), String> {
-    let bench = lookup(&args.bench)?;
-    let harness = Harness::new(bench);
+    let harness = shared_harness(&args.bench)?;
     let machine_config = parse_machine(&args.machine)?;
     let mut setup = ExperimentSetup::default_on(machine_config.clone(), args.opt);
     setup.link_order = args.order;
@@ -97,22 +116,35 @@ fn run_bench(args: &RunArgs) -> Result<(), String> {
                 result.checksum, expected.checksum
             ));
         }
-        println!("{} @ {} on {} [{}]", args.bench, args.opt, args.machine, setup.summary());
+        println!(
+            "{} @ {} on {} [{}]",
+            args.bench,
+            args.opt,
+            args.machine,
+            setup.summary()
+        );
         println!("{}\n", result.counters);
         println!("{profile}");
     } else {
-        let m = harness.measure(&setup, args.size).map_err(|e| e.to_string())?;
-        println!("{} @ {} on {} [{}]", args.bench, args.opt, args.machine, m.setup);
+        let m = Orchestrator::global()
+            .measure(&harness, &setup, args.size)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{} @ {} on {} [{}]",
+            args.bench, args.opt, args.machine, m.setup
+        );
         println!("{}", m.counters);
     }
     Ok(())
 }
 
 fn disasm(bench: &str, opt: OptLevel) -> Result<(), String> {
-    let harness = Harness::new(lookup(bench)?);
+    let harness = shared_harness(bench)?;
     let names = harness.object_names();
     let order: Vec<usize> = (0..names.len()).collect();
-    let exe = harness.executable(opt, &order, 0).map_err(|e| e.to_string())?;
+    let exe = harness
+        .executable(opt, &order, 0)
+        .map_err(|e| e.to_string())?;
     print!("{}", exe.disassemble());
     Ok(())
 }
@@ -125,7 +157,7 @@ fn print_ir(bench: &str, opt: OptLevel) -> Result<(), String> {
 }
 
 fn audit(bench: &str, machine: &str, size: InputSize) -> Result<(), String> {
-    let harness = Harness::new(lookup(bench)?);
+    let harness = shared_harness(bench)?;
     let machine_config = parse_machine(machine)?;
     let config = biaslab_core::audit::AuditConfig {
         machines: vec![machine_config],

@@ -42,10 +42,14 @@ impl Default for AuditConfig {
             base_opt: OptLevel::O2,
             test_opt: OptLevel::O3,
             env_sizes: (0..16).map(|i| i * 176).collect(),
-            link_orders: [LinkOrder::Default, LinkOrder::Reversed, LinkOrder::Alphabetical]
-                .into_iter()
-                .chain((0..9).map(LinkOrder::Random))
-                .collect(),
+            link_orders: [
+                LinkOrder::Default,
+                LinkOrder::Reversed,
+                LinkOrder::Alphabetical,
+            ]
+            .into_iter()
+            .chain((0..9).map(LinkOrder::Random))
+            .collect(),
             size: InputSize::Test,
         }
     }
@@ -111,7 +115,9 @@ impl fmt::Display for AuditReport {
             "bias audit: {} ({} vs {})\n",
             self.benchmark, self.levels.1, self.levels.0
         )?;
-        let mut table = Table::new(vec!["machine", "factor", "min", "max", "bias%", "flips", "shape"]);
+        let mut table = Table::new(vec![
+            "machine", "factor", "min", "max", "bias%", "flips", "shape",
+        ]);
         for row in &self.rows {
             table.row(vec![
                 row.machine.clone(),
@@ -142,8 +148,11 @@ pub fn full_audit(harness: &Harness, config: &AuditConfig) -> Result<AuditReport
             .env_sizes
             .iter()
             .map(|&bytes| {
-                let env =
-                    if bytes < 23 { Environment::new() } else { Environment::of_total_size(bytes) };
+                let env = if bytes < 23 {
+                    Environment::new()
+                } else {
+                    Environment::of_total_size(bytes)
+                };
                 base.with_env(env)
             })
             .collect();
@@ -155,10 +164,16 @@ pub fn full_audit(harness: &Harness, config: &AuditConfig) -> Result<AuditReport
             config.test_opt,
             config.size,
         )?;
-        rows.push(AuditRow { machine: machine.name.clone(), report: env_report });
+        rows.push(AuditRow {
+            machine: machine.name.clone(),
+            report: env_report,
+        });
 
-        let order_setups: Vec<_> =
-            config.link_orders.iter().map(|&o| base.with_link_order(o)).collect();
+        let order_setups: Vec<_> = config
+            .link_orders
+            .iter()
+            .map(|&o| base.with_link_order(o))
+            .collect();
         let link_report = sweep_factor(
             harness,
             "link order",
@@ -167,7 +182,10 @@ pub fn full_audit(harness: &Harness, config: &AuditConfig) -> Result<AuditReport
             config.test_opt,
             config.size,
         )?;
-        rows.push(AuditRow { machine: machine.name.clone(), report: link_report });
+        rows.push(AuditRow {
+            machine: machine.name.clone(),
+            report: link_report,
+        });
     }
     Ok(AuditReport {
         benchmark: harness.benchmark().name().to_owned(),
@@ -186,7 +204,11 @@ mod tests {
         AuditConfig {
             machines: vec![MachineConfig::o3cpu()],
             env_sizes: vec![0, 176, 352, 528],
-            link_orders: vec![LinkOrder::Default, LinkOrder::Reversed, LinkOrder::Random(1)],
+            link_orders: vec![
+                LinkOrder::Default,
+                LinkOrder::Reversed,
+                LinkOrder::Random(1),
+            ],
             ..AuditConfig::default()
         }
     }
@@ -227,14 +249,20 @@ mod tests {
         let flipping = AuditReport {
             benchmark: "x".into(),
             levels: (OptLevel::O2, OptLevel::O3),
-            rows: vec![AuditRow { machine: "m".into(), report: mk(&[0.99, 1.01]) }],
+            rows: vec![AuditRow {
+                machine: "m".into(),
+                report: mk(&[0.99, 1.01]),
+            }],
         };
         assert!(flipping.any_flip());
         assert!(flipping.verdict().contains("UNSAFE"));
         let stable = AuditReport {
             benchmark: "x".into(),
             levels: (OptLevel::O2, OptLevel::O3),
-            rows: vec![AuditRow { machine: "m".into(), report: mk(&[1.01, 1.02]) }],
+            rows: vec![AuditRow {
+                machine: "m".into(),
+                report: mk(&[1.01, 1.02]),
+            }],
         };
         assert!(!stable.any_flip());
         assert!(stable.verdict().contains("report it alongside"));

@@ -118,7 +118,7 @@ pub fn sweep_factor(
         all.push(s.with_opt(base_opt));
         all.push(s.with_opt(test_opt));
     }
-    let results = harness.measure_sweep(&all, size);
+    let results = crate::orchestrator::Orchestrator::global().sweep(harness, &all, size);
     let mut observations = Vec::with_capacity(setups.len());
     let mut iter = results.into_iter();
     for s in setups {
@@ -190,7 +190,11 @@ mod tests {
         assert_eq!(report.observations.len(), 4);
         assert!(report.bias_magnitude >= 0.0);
         for o in &report.observations {
-            assert!(o.speedup > 0.5 && o.speedup < 2.0, "plausible speedup, got {}", o.speedup);
+            assert!(
+                o.speedup > 0.5 && o.speedup < 2.0,
+                "plausible speedup, got {}",
+                o.speedup
+            );
         }
     }
 
@@ -201,8 +205,15 @@ mod tests {
         let setups: Vec<_> = (0..3)
             .map(|i| base.with_link_order(LinkOrder::Random(i)))
             .collect();
-        let report = sweep_factor(&h, "link order", &setups, OptLevel::O2, OptLevel::O3, InputSize::Test)
-            .unwrap();
+        let report = sweep_factor(
+            &h,
+            "link order",
+            &setups,
+            OptLevel::O2,
+            OptLevel::O3,
+            InputSize::Test,
+        )
+        .unwrap();
         assert_eq!(report.speedups().len(), 3);
     }
 }

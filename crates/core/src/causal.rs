@@ -63,7 +63,11 @@ impl Intervention {
         match self {
             Intervention::StackShift => s.stack_shift = dose,
             Intervention::EnvironmentSize => {
-                s.env = if dose < 23 { Environment::new() } else { Environment::of_total_size(dose) };
+                s.env = if dose < 23 {
+                    Environment::new()
+                } else {
+                    Environment::of_total_size(dose)
+                };
             }
             Intervention::CodeShift => s.text_offset = dose & !3,
             Intervention::EnvironmentContent => {
@@ -165,7 +169,12 @@ impl CausalExperiment {
     /// A conventional experiment: doses `0..max` in `steps` steps,
     /// mediator and ratio defaulted.
     #[must_use]
-    pub fn new(base: ExperimentSetup, intervention: Intervention, max_dose: u32, steps: u32) -> Self {
+    pub fn new(
+        base: ExperimentSetup,
+        intervention: Intervention,
+        max_dose: u32,
+        steps: u32,
+    ) -> Self {
         let doses = (0..=steps).map(|i| i * max_dose / steps.max(1)).collect();
         CausalExperiment {
             base,
@@ -188,7 +197,10 @@ impl CausalExperiment {
         let effect = relative_spread(&curve);
         let placebo_effect = relative_spread(&placebo);
 
-        let med: Vec<f64> = curve.iter().map(|p| self.mediator.read(&p.counters) as f64).collect();
+        let med: Vec<f64> = curve
+            .iter()
+            .map(|p| self.mediator.read(&p.counters) as f64)
+            .collect();
         let cyc: Vec<f64> = curve.iter().map(|p| p.cycles as f64).collect();
         let mediator_correlation = pearson(&med, &cyc);
 
@@ -209,13 +221,20 @@ impl CausalExperiment {
         intervention: Intervention,
         size: InputSize,
     ) -> Result<Vec<DosePoint>, MeasureError> {
-        let setups: Vec<ExperimentSetup> =
-            self.doses.iter().map(|&d| intervention.apply(&self.base, d)).collect();
-        let results = harness.measure_sweep(&setups, size);
+        let setups: Vec<ExperimentSetup> = self
+            .doses
+            .iter()
+            .map(|&d| intervention.apply(&self.base, d))
+            .collect();
+        let results = crate::orchestrator::Orchestrator::global().sweep(harness, &setups, size);
         let mut curve = Vec::with_capacity(self.doses.len());
         for (dose, result) in self.doses.iter().zip(results) {
             let m = result?;
-            curve.push(DosePoint { dose: *dose, cycles: m.counters.cycles, counters: m.counters });
+            curve.push(DosePoint {
+                dose: *dose,
+                cycles: m.counters.cycles,
+                counters: m.counters,
+            });
         }
         Ok(curve)
     }

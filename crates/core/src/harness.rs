@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use biaslab_toolchain::codegen;
 use biaslab_toolchain::link::{Executable, LinkError, Linker};
@@ -108,6 +108,8 @@ impl From<RunError> for MeasureError {
 }
 
 type LinkKey = (OptLevel, Vec<usize>, u32);
+/// A once-initialized link outcome; see the `linked` field.
+type LinkCell = Arc<OnceLock<Result<Arc<Executable>, LinkError>>>;
 
 /// A measurement harness for one benchmark.
 ///
@@ -130,14 +132,21 @@ type LinkKey = (OptLevel, Vec<usize>, u32);
 pub struct Harness {
     bench: Benchmark,
     compiled: Mutex<HashMap<OptLevel, Arc<biaslab_toolchain::obj::CompiledModule>>>,
-    linked: Mutex<HashMap<LinkKey, Arc<Executable>>>,
+    // Each entry is a once-cell so concurrent first requests for the same
+    // (level, order, offset) link exactly once: the map lock is held only to
+    // fetch the cell, never across the link itself.
+    linked: Mutex<HashMap<LinkKey, LinkCell>>,
 }
 
 impl Harness {
     /// Creates a harness around a benchmark.
     #[must_use]
     pub fn new(bench: Benchmark) -> Harness {
-        Harness { bench, compiled: Mutex::new(HashMap::new()), linked: Mutex::new(HashMap::new()) }
+        Harness {
+            bench,
+            compiled: Mutex::new(HashMap::new()),
+            linked: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The benchmark under measurement.
@@ -184,18 +193,16 @@ impl Harness {
         text_offset: u32,
     ) -> Result<Arc<Executable>, LinkError> {
         let key = (level, order.to_vec(), text_offset);
-        if let Some(exe) = self.linked.lock().get(&key) {
-            return Ok(exe.clone());
-        }
-        let cm = self.compiled(level);
-        let exe = Arc::new(
+        let cell = self.linked.lock().entry(key).or_default().clone();
+        cell.get_or_init(|| {
+            let cm = self.compiled(level);
             Linker::new()
                 .object_order(order.to_vec())
                 .text_offset(text_offset)
-                .link(&cm, self.bench.entry())?,
-        );
-        self.linked.lock().insert(key, exe.clone());
-        Ok(exe)
+                .link(&cm, self.bench.entry())
+                .map(Arc::new)
+        })
+        .clone()
     }
 
     /// Takes one verified measurement under `setup`.
@@ -213,9 +220,11 @@ impl Harness {
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let order = setup.link_order.resolve(&name_refs);
         let exe = self.executable(setup.opt, &order, setup.text_offset)?;
-        let process = Loader::new()
-            .stack_shift(setup.stack_shift)
-            .load(&exe, &setup.env, self.bench.args(size))?;
+        let process = Loader::new().stack_shift(setup.stack_shift).load(
+            &exe,
+            &setup.env,
+            self.bench.args(size),
+        )?;
         let mut machine = Machine::new(setup.machine.clone());
         let result = machine.run(&exe, process)?;
 
@@ -263,9 +272,11 @@ impl Harness {
             if policy == CachePolicy::Cold {
                 machine.reset();
             }
-            let process = Loader::new()
-                .stack_shift(setup.stack_shift)
-                .load(&exe, &setup.env, self.bench.args(size))?;
+            let process = Loader::new().stack_shift(setup.stack_shift).load(
+                &exe,
+                &setup.env,
+                self.bench.args(size),
+            )?;
             let result = machine.run(&exe, process)?;
             if result.checksum != expected.checksum || result.return_value != expected.return_value
             {
@@ -299,7 +310,9 @@ impl Harness {
         }
         let _ = self.bench.expected(size);
 
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(16);
         let n = setups.len();
         let results: Vec<Mutex<Option<Result<Measurement, MeasureError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
@@ -342,7 +355,9 @@ mod tests {
         let h = harness("hmmer");
         for level in OptLevel::ALL {
             let setup = ExperimentSetup::default_on(MachineConfig::core2(), level);
-            let m = h.measure(&setup, InputSize::Test).unwrap_or_else(|e| panic!("{level}: {e}"));
+            let m = h
+                .measure(&setup, InputSize::Test)
+                .unwrap_or_else(|e| panic!("{level}: {e}"));
             assert!(m.cycles() > 0);
         }
     }
@@ -360,12 +375,31 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_executable_requests_link_once_and_share() {
+        let h = harness("hmmer");
+        let order: Vec<usize> = (0..h.object_names().len()).collect();
+        let exes: Vec<Arc<Executable>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| h.executable(OptLevel::O2, &order, 0).unwrap()))
+                .collect();
+            handles.into_iter().map(|j| j.join().unwrap()).collect()
+        })
+        .unwrap();
+        // With the old check-then-link cache, racing requests each linked a
+        // private executable; the once-cell guarantees a single shared one.
+        assert!(exes.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
     fn environment_does_not_change_the_verified_result() {
         let h = harness("sphinx3");
         let base = ExperimentSetup::default_on(MachineConfig::o3cpu(), OptLevel::O2);
         let m1 = h.measure(&base, InputSize::Test).unwrap();
         let m2 = h
-            .measure(&base.with_env(Environment::of_total_size(1000)), InputSize::Test)
+            .measure(
+                &base.with_env(Environment::of_total_size(1000)),
+                InputSize::Test,
+            )
             .unwrap();
         assert_eq!(m1.checksum, m2.checksum);
         assert_eq!(m1.counters.instructions, m2.counters.instructions);
@@ -377,7 +411,10 @@ mod tests {
         let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O3);
         let m1 = h.measure(&base, InputSize::Test).unwrap();
         let m2 = h
-            .measure(&base.with_link_order(LinkOrder::Random(11)), InputSize::Test)
+            .measure(
+                &base.with_link_order(LinkOrder::Random(11)),
+                InputSize::Test,
+            )
             .unwrap();
         assert_eq!(m1.checksum, m2.checksum);
     }
@@ -386,17 +423,27 @@ mod tests {
     fn cold_repetitions_are_identical_and_warm_ones_are_faster() {
         let h = harness("milc");
         let setup = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
-        let cold = h.measure_repeated(&setup, InputSize::Test, 3, CachePolicy::Cold).unwrap();
+        let cold = h
+            .measure_repeated(&setup, InputSize::Test, 3, CachePolicy::Cold)
+            .unwrap();
         assert!(cold.windows(2).all(|w| w[0].counters == w[1].counters));
-        let warm = h.measure_repeated(&setup, InputSize::Test, 3, CachePolicy::Warm).unwrap();
-        assert_eq!(warm[0].counters, cold[0].counters, "first warm rep is a cold run");
+        let warm = h
+            .measure_repeated(&setup, InputSize::Test, 3, CachePolicy::Warm)
+            .unwrap();
+        assert_eq!(
+            warm[0].counters, cold[0].counters,
+            "first warm rep is a cold run"
+        );
         assert!(
             warm[1].counters.cycles < warm[0].counters.cycles,
             "warm caches must help: {} vs {}",
             warm[1].counters.cycles,
             warm[0].counters.cycles
         );
-        assert_eq!(warm[1].checksum, warm[0].checksum, "warmth never changes results");
+        assert_eq!(
+            warm[1].checksum, warm[0].checksum,
+            "warmth never changes results"
+        );
     }
 
     #[test]

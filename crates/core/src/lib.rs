@@ -10,6 +10,9 @@
 //! * [`harness`] — verified measurement: compile → link → load → simulate,
 //!   with every run checked against the IR interpreter's reference
 //!   outcome, plus caching and parallel sweeps;
+//! * [`orchestrator`] — cross-experiment sweep orchestration: a
+//!   process-wide measurement cache, work-stealing execution, persistence
+//!   under `results/` and per-experiment instrumentation;
 //! * [`stats`] — bootstrap confidence intervals, permutation tests,
 //!   quantiles and violin summaries;
 //! * [`bias`] — factor sweeps, bias magnitude, and conclusion-flip
@@ -55,6 +58,7 @@ pub mod audit;
 pub mod bias;
 pub mod causal;
 pub mod harness;
+pub mod orchestrator;
 pub mod randomize;
 pub mod report;
 pub mod setup;
@@ -62,4 +66,5 @@ pub mod stats;
 
 pub use bias::BiasReport;
 pub use harness::{CachePolicy, Harness, MeasureError, Measurement};
+pub use orchestrator::{MeasureKey, Orchestrator, OrchestratorStats};
 pub use setup::{ExperimentSetup, LinkOrder};

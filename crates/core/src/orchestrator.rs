@@ -1,0 +1,777 @@
+//! Cross-experiment sweep orchestration: one measurement cache, one worker
+//! pool, one place to resume from.
+//!
+//! Every experiment in the suite boils down to "measure this benchmark under
+//! these setups". Before the orchestrator each experiment owned a private
+//! [`Harness`] and re-simulated configurations other experiments (or earlier
+//! runs of `repro all`) had already measured. The orchestrator generalizes
+//! [`Harness::measure_sweep`] across experiments:
+//!
+//! - a **process-wide cache** of verified measurements, keyed by every
+//!   timing-relevant setup factor (benchmark, machine configuration,
+//!   optimization level, link order, text offset, stack shift, environment,
+//!   input size);
+//! - **work-stealing parallel execution** over the deduplicated set of
+//!   uncached setups;
+//! - **persistence**: records round-trip through a JSON-lines file under
+//!   `results/`, so an interrupted `repro all` resumes instead of
+//!   restarting;
+//! - **instrumentation**: hit/miss/simulation counts and wall/busy time,
+//!   reported per experiment (on stderr — experiment stdout is
+//!   byte-identical to the serial path).
+//!
+//! Caching is sound because the simulator is deterministic and the key
+//! covers every factor that can change a run. Machine configuration and
+//! environment are folded to FNV-64 digests of their `Debug` forms: equal
+//! digests from unequal configs are astronomically unlikely, and each
+//! cached [`Measurement`] still carries its human-readable setup summary as
+//! a cross-check. Warm-cache repetition studies
+//! ([`Harness::measure_repeated`] with [`crate::harness::CachePolicy::Warm`])
+//! never go through the cache: their later repetitions depend on machine
+//! state, not just the setup.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::Counters;
+use biaslab_workloads::{benchmark_by_name, InputSize};
+use parking_lot::Mutex;
+
+use crate::harness::{Harness, MeasureError, Measurement};
+use crate::setup::{ExperimentSetup, LinkOrder};
+
+/// FNV-1a over a string — the digest used to fold free-form setup factors
+/// (machine config, environment) into the cache key.
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key: every factor that can influence a measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeasureKey {
+    /// Benchmark name.
+    pub bench: String,
+    /// FNV-64 digest of the machine configuration's `Debug` form.
+    pub machine: u64,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Link order of the benchmark's objects.
+    pub link_order: LinkOrder,
+    /// Linker text-base offset in bytes.
+    pub text_offset: u32,
+    /// Loader stack shift in bytes.
+    pub stack_shift: u32,
+    /// FNV-64 digest of the environment's `Debug` form.
+    pub env: u64,
+    /// Input size.
+    pub size: InputSize,
+}
+
+impl MeasureKey {
+    /// Builds the key for measuring `bench` under `setup` at `size`.
+    #[must_use]
+    pub fn new(bench: &str, setup: &ExperimentSetup, size: InputSize) -> MeasureKey {
+        MeasureKey {
+            bench: bench.to_owned(),
+            machine: fnv64(&format!("{:?}", setup.machine)),
+            opt: setup.opt,
+            link_order: setup.link_order,
+            text_offset: setup.text_offset,
+            stack_shift: setup.stack_shift,
+            env: fnv64(&format!("{:?}", setup.env)),
+            size,
+        }
+    }
+}
+
+/// A snapshot of the orchestrator's instrumentation counters.
+///
+/// Subtract two snapshots ([`OrchestratorStats::delta`]) to report one
+/// experiment's share.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrchestratorStats {
+    /// Measurement requests served from the cache.
+    pub hits: u64,
+    /// Measurement requests that missed the cache.
+    pub misses: u64,
+    /// Simulations actually run (≤ `misses`: duplicate requests within one
+    /// sweep simulate once).
+    pub simulated: u64,
+    /// Records restored from a persisted results file.
+    pub loaded: u64,
+    /// Sweeps executed.
+    pub sweeps: u64,
+    /// Wall-clock time spent inside sweeps, in microseconds.
+    pub sweep_wall_us: u64,
+    /// Summed worker busy time across sweeps, in microseconds.
+    pub busy_us: u64,
+    /// Entries in the cache at snapshot time.
+    pub cached: u64,
+}
+
+impl OrchestratorStats {
+    /// Counter increments since an `earlier` snapshot (`cached` stays
+    /// absolute: it is a level, not a counter).
+    #[must_use]
+    pub fn delta(&self, earlier: &OrchestratorStats) -> OrchestratorStats {
+        OrchestratorStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            simulated: self.simulated - earlier.simulated,
+            loaded: self.loaded - earlier.loaded,
+            sweeps: self.sweeps - earlier.sweeps,
+            sweep_wall_us: self.sweep_wall_us - earlier.sweep_wall_us,
+            busy_us: self.busy_us - earlier.busy_us,
+            cached: self.cached,
+        }
+    }
+}
+
+impl fmt::Display for OrchestratorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache {} hit / {} miss ({} simulated, {} in cache), \
+             {} sweep(s) in {:.2}s wall / {:.2}s busy",
+            self.hits,
+            self.misses,
+            self.simulated,
+            self.cached,
+            self.sweeps,
+            self.sweep_wall_us as f64 / 1e6,
+            self.busy_us as f64 / 1e6,
+        )
+    }
+}
+
+/// The process-wide sweep orchestrator (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::orchestrator::Orchestrator;
+/// use biaslab_core::setup::ExperimentSetup;
+/// use biaslab_toolchain::OptLevel;
+/// use biaslab_uarch::MachineConfig;
+/// use biaslab_workloads::InputSize;
+///
+/// let orch = Orchestrator::new();
+/// let h = orch.harness("hmmer").expect("known benchmark");
+/// let setup = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+/// let first = orch.measure(&h, &setup, InputSize::Test)?;
+/// let again = orch.measure(&h, &setup, InputSize::Test)?; // a cache hit
+/// assert_eq!(first.counters, again.counters);
+/// assert_eq!(orch.stats().hits, 1);
+/// # Ok::<(), biaslab_core::harness::MeasureError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Orchestrator {
+    harnesses: Mutex<HashMap<String, Arc<Harness>>>,
+    cache: Mutex<HashMap<MeasureKey, Result<Measurement, MeasureError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    simulated: AtomicU64,
+    loaded: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_wall_us: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+impl Orchestrator {
+    /// A fresh orchestrator with an empty cache (tests use this; the
+    /// experiment suite shares [`Orchestrator::global`]).
+    #[must_use]
+    pub fn new() -> Orchestrator {
+        Orchestrator::default()
+    }
+
+    /// The process-wide orchestrator every experiment shares.
+    #[must_use]
+    pub fn global() -> &'static Orchestrator {
+        static GLOBAL: OnceLock<Orchestrator> = OnceLock::new();
+        GLOBAL.get_or_init(Orchestrator::new)
+    }
+
+    /// The shared harness for a benchmark, or `None` for an unknown name.
+    /// One harness per benchmark means compile and link caches are shared
+    /// by every experiment in the process.
+    #[must_use]
+    pub fn harness(&self, name: &str) -> Option<Arc<Harness>> {
+        let mut reg = self.harnesses.lock();
+        if let Some(h) = reg.get(name) {
+            return Some(h.clone());
+        }
+        let h = Arc::new(Harness::new(benchmark_by_name(name)?));
+        reg.insert(name.to_owned(), h.clone());
+        Some(h.clone())
+    }
+
+    /// Takes (or recalls) one verified measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`MeasureError`] — errors are cached too, so
+    /// a failing configuration fails fast on re-request.
+    pub fn measure(
+        &self,
+        harness: &Harness,
+        setup: &ExperimentSetup,
+        size: InputSize,
+    ) -> Result<Measurement, MeasureError> {
+        let key = MeasureKey::new(harness.benchmark().name(), setup, size);
+        if let Some(r) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return r.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let r = harness.measure(setup, size);
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        self.busy_us
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.cache.lock().insert(key, r.clone());
+        r
+    }
+
+    /// Measures many setups, preserving request order.
+    ///
+    /// Cached setups are recalled; the rest are deduplicated and distributed
+    /// over a work-stealing worker pool (so duplicate requests within one
+    /// sweep simulate exactly once). Results are per-setup so one failing
+    /// setup does not poison a sweep.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        harness: &Harness,
+        setups: &[ExperimentSetup],
+        size: InputSize,
+    ) -> Vec<Result<Measurement, MeasureError>> {
+        let sweep_start = Instant::now();
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let bench = harness.benchmark().name();
+        let keys: Vec<MeasureKey> = setups
+            .iter()
+            .map(|s| MeasureKey::new(bench, s, size))
+            .collect();
+
+        // Split requests into cached and to-simulate under one lock pass.
+        let mut work: Vec<(MeasureKey, ExperimentSetup)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            let mut claimed: std::collections::HashSet<&MeasureKey> =
+                std::collections::HashSet::new();
+            for (key, setup) in keys.iter().zip(setups) {
+                if cache.contains_key(key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if claimed.insert(key) {
+                        work.push((key.clone(), setup.clone()));
+                    }
+                }
+            }
+        }
+
+        if !work.is_empty() {
+            // Pre-warm compilation serially: `Harness::compiled` serializes
+            // on a lock anyway, and warming here keeps workers measuring.
+            let mut warmed: Vec<OptLevel> = work.iter().map(|(k, _)| k.opt).collect();
+            warmed.sort_unstable();
+            warmed.dedup();
+            for level in warmed {
+                let _ = harness.compiled(level);
+            }
+
+            let threads = std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(16)
+                .min(work.len());
+            let slots: Vec<Mutex<Option<Result<Measurement, MeasureError>>>> =
+                (0..work.len()).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            crossbeam::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= work.len() {
+                            break;
+                        }
+                        let start = Instant::now();
+                        let r = harness.measure(&work[i].1, size);
+                        self.simulated.fetch_add(1, Ordering::Relaxed);
+                        self.busy_us
+                            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                        *slots[i].lock() = Some(r);
+                    });
+                }
+            })
+            .expect("sweep worker panicked");
+
+            let mut cache = self.cache.lock();
+            for ((key, _), slot) in work.iter().zip(slots) {
+                cache.insert(key.clone(), slot.into_inner().expect("every index visited"));
+            }
+        }
+
+        let cache = self.cache.lock();
+        let out = keys
+            .iter()
+            .map(|k| cache.get(k).expect("measured or cached above").clone())
+            .collect();
+        self.sweep_wall_us
+            .fetch_add(sweep_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// A snapshot of the instrumentation counters.
+    #[must_use]
+    pub fn stats(&self) -> OrchestratorStats {
+        OrchestratorStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            sweep_wall_us: self.sweep_wall_us.load(Ordering::Relaxed),
+            busy_us: self.busy_us.load(Ordering::Relaxed),
+            cached: self.cache.lock().len() as u64,
+        }
+    }
+
+    /// Persists every successful cached measurement as JSON lines (see the
+    /// module docs; `counters` is the array form of [`Counters`] in
+    /// declaration order). The file is written to a sibling temp path and
+    /// renamed into place, so readers never see a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing or renaming.
+    pub fn save(&self, path: &Path) -> std::io::Result<usize> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        let mut written = 0usize;
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            let cache = self.cache.lock();
+            // Deterministic file order: sort by the record line itself.
+            let mut lines: Vec<String> = cache
+                .iter()
+                .filter_map(|(k, r)| r.as_ref().ok().map(|m| record_line(k, m)))
+                .collect();
+            lines.sort_unstable();
+            for line in lines {
+                writeln!(f, "{line}")?;
+                written += 1;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(written)
+    }
+
+    /// Restores measurements persisted by [`Orchestrator::save`]. Lines
+    /// that fail to parse (foreign versions, truncation) are skipped;
+    /// already-cached keys are left untouched. Returns how many records
+    /// were restored. A missing file restores zero records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut restored = 0usize;
+        let mut cache = self.cache.lock();
+        for line in text.lines() {
+            let Some((key, m)) = parse_record(line) else {
+                continue;
+            };
+            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
+                slot.insert(Ok(m));
+                restored += 1;
+            }
+        }
+        self.loaded.fetch_add(restored as u64, Ordering::Relaxed);
+        Ok(restored)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence format (hand-rolled: the offline serde stand-in has no JSON
+// backend). One record per line:
+//
+//   {"v":1,"bench":"hmmer","machine":123,"opt":"O2","order":"rand:7",
+//    "text_offset":0,"stack_shift":0,"env":456,"size":"test",
+//    "setup":"core2/O2/env=0B/order=default","checksum":789,
+//    "counters":[...]}
+//
+// `counters` lists every `Counters` field in declaration order.
+
+const RECORD_VERSION: u64 = 1;
+
+fn order_str(o: LinkOrder) -> String {
+    match o {
+        LinkOrder::Default => "default".to_owned(),
+        LinkOrder::Reversed => "reversed".to_owned(),
+        LinkOrder::Alphabetical => "alpha".to_owned(),
+        LinkOrder::Random(seed) => format!("rand:{seed}"),
+    }
+}
+
+fn parse_order(s: &str) -> Option<LinkOrder> {
+    match s {
+        "default" => Some(LinkOrder::Default),
+        "reversed" => Some(LinkOrder::Reversed),
+        "alpha" => Some(LinkOrder::Alphabetical),
+        _ => s.strip_prefix("rand:")?.parse().ok().map(LinkOrder::Random),
+    }
+}
+
+fn size_str(s: InputSize) -> &'static str {
+    match s {
+        InputSize::Test => "test",
+        InputSize::Ref => "ref",
+    }
+}
+
+fn parse_size(s: &str) -> Option<InputSize> {
+    match s {
+        "test" => Some(InputSize::Test),
+        "ref" => Some(InputSize::Ref),
+        _ => None,
+    }
+}
+
+fn counters_to_vec(c: &Counters) -> Vec<u64> {
+    vec![
+        c.cycles,
+        c.instructions,
+        c.fetches,
+        c.l1i_misses,
+        c.l1d_accesses,
+        c.l1d_misses,
+        c.l2_misses,
+        c.itlb_misses,
+        c.dtlb_misses,
+        c.branches,
+        c.mispredicts,
+        c.btb_misses,
+        c.ras_mispredicts,
+        c.bank_conflicts,
+        c.line_splits,
+        c.page_splits,
+        c.loads,
+        c.stores,
+        c.stall_frontend,
+        c.stall_memory,
+        c.stall_branch,
+        c.stall_compute,
+    ]
+}
+
+fn counters_from_vec(v: &[u64]) -> Option<Counters> {
+    let [cycles, instructions, fetches, l1i_misses, l1d_accesses, l1d_misses, l2_misses, itlb_misses, dtlb_misses, branches, mispredicts, btb_misses, ras_mispredicts, bank_conflicts, line_splits, page_splits, loads, stores, stall_frontend, stall_memory, stall_branch, stall_compute] =
+        *v
+    else {
+        return None;
+    };
+    Some(Counters {
+        cycles,
+        instructions,
+        fetches,
+        l1i_misses,
+        l1d_accesses,
+        l1d_misses,
+        l2_misses,
+        itlb_misses,
+        dtlb_misses,
+        branches,
+        mispredicts,
+        btb_misses,
+        ras_mispredicts,
+        bank_conflicts,
+        line_splits,
+        page_splits,
+        loads,
+        stores,
+        stall_frontend,
+        stall_memory,
+        stall_branch,
+        stall_compute,
+    })
+}
+
+fn record_line(k: &MeasureKey, m: &Measurement) -> String {
+    let counters = counters_to_vec(&m.counters)
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"v\":{},\"bench\":\"{}\",\"machine\":{},\"opt\":\"{}\",",
+            "\"order\":\"{}\",\"text_offset\":{},\"stack_shift\":{},",
+            "\"env\":{},\"size\":\"{}\",\"setup\":\"{}\",\"checksum\":{},",
+            "\"counters\":[{}]}}"
+        ),
+        RECORD_VERSION,
+        k.bench,
+        k.machine,
+        k.opt,
+        order_str(k.link_order),
+        k.text_offset,
+        k.stack_shift,
+        k.env,
+        size_str(k.size),
+        m.setup,
+        m.checksum,
+        counters,
+    )
+}
+
+/// Extracts the raw text of `"key":<value>` from a record line. Values this
+/// writer produces never contain `,` inside strings, so scanning to the
+/// next `,"` or closing brace is exact for them; foreign lines simply fail
+/// to parse and are skipped by the caller.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = if rest.starts_with('[') {
+        rest.find(']')? + 1
+    } else {
+        rest.find(",\"")
+            .unwrap_or_else(|| rest.rfind('}').unwrap_or(rest.len()))
+    };
+    Some(&rest[..end])
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field(line, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn parse_record(line: &str) -> Option<(MeasureKey, Measurement)> {
+    if field_u64(line, "v")? != RECORD_VERSION {
+        return None;
+    }
+    let key = MeasureKey {
+        bench: field_str(line, "bench")?.to_owned(),
+        machine: field_u64(line, "machine")?,
+        opt: OptLevel::ALL
+            .into_iter()
+            .find(|l| l.to_string() == field_str(line, "opt").unwrap_or(""))?,
+        link_order: parse_order(field_str(line, "order")?)?,
+        text_offset: field_u64(line, "text_offset")? as u32,
+        stack_shift: field_u64(line, "stack_shift")? as u32,
+        env: field_u64(line, "env")?,
+        size: parse_size(field_str(line, "size")?)?,
+    };
+    let counters: Vec<u64> = field(line, "counters")?
+        .strip_prefix('[')?
+        .strip_suffix(']')?
+        .split(',')
+        .map(|n| n.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    let m = Measurement {
+        setup: field_str(line, "setup")?.to_owned(),
+        counters: counters_from_vec(&counters)?,
+        checksum: field_u64(line, "checksum")?,
+    };
+    Some((key, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::load::Environment;
+    use biaslab_uarch::MachineConfig;
+
+    use super::*;
+
+    fn env_setups(n: usize) -> Vec<ExperimentSetup> {
+        let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+        (0..n)
+            .map(|i| base.with_env(Environment::of_total_size(64 * i as u32 + 64)))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_measurements() {
+        let orch = Orchestrator::new();
+        let h = orch.harness("hmmer").expect("known benchmark");
+        let setups = env_setups(8);
+        let swept = orch.sweep(&h, &setups, InputSize::Test);
+        for (setup, got) in setups.iter().zip(&swept) {
+            let serial = h
+                .measure(setup, InputSize::Test)
+                .expect("serial measurement");
+            let got = got.as_ref().expect("swept measurement");
+            assert_eq!(got.counters, serial.counters, "{}", setup.summary());
+            assert_eq!(got.checksum, serial.checksum);
+            assert_eq!(got.setup, serial.setup);
+        }
+    }
+
+    #[test]
+    fn second_request_hits_the_cache_without_resimulating() {
+        let orch = Orchestrator::new();
+        let h = orch.harness("milc").expect("known benchmark");
+        let setups = env_setups(4);
+        let first = orch.sweep(&h, &setups, InputSize::Test);
+        let after_first = orch.stats();
+        assert_eq!(after_first.simulated, 4);
+        assert_eq!(after_first.misses, 4);
+
+        let second = orch.sweep(&h, &setups, InputSize::Test);
+        let after_second = orch.stats();
+        assert_eq!(
+            after_second.simulated, 4,
+            "no re-simulation on a warm cache"
+        );
+        assert_eq!(after_second.hits, 4);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(
+                a.as_ref().expect("ok").counters,
+                b.as_ref().expect("ok").counters
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_sweep_simulate_once() {
+        let orch = Orchestrator::new();
+        let h = orch.harness("hmmer").expect("known benchmark");
+        let one = env_setups(1);
+        let doubled = vec![one[0].clone(), one[0].clone(), one[0].clone()];
+        let results = orch.sweep(&h, &doubled, InputSize::Test);
+        assert_eq!(results.len(), 3);
+        assert_eq!(orch.stats().simulated, 1);
+        assert_eq!(orch.stats().misses, 3);
+    }
+
+    #[test]
+    fn distinct_factors_get_distinct_keys() {
+        let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+        let k = |s: &ExperimentSetup| MeasureKey::new("b", s, InputSize::Test);
+        assert_ne!(k(&base), k(&base.with_opt(OptLevel::O3)));
+        assert_ne!(k(&base), k(&base.with_env(Environment::of_total_size(128))));
+        assert_ne!(k(&base), k(&base.with_link_order(LinkOrder::Random(1))));
+        assert_ne!(
+            k(&base),
+            MeasureKey::new(
+                "b",
+                &ExperimentSetup::default_on(MachineConfig::o3cpu(), OptLevel::O2),
+                InputSize::Test
+            )
+        );
+        assert_ne!(k(&base), MeasureKey::new("b", &base, InputSize::Ref));
+        assert_eq!(k(&base), k(&base.clone()));
+    }
+
+    #[test]
+    fn records_roundtrip_through_the_results_file() {
+        let orch = Orchestrator::new();
+        let h = orch.harness("sphinx3").expect("known benchmark");
+        let mut setups = env_setups(3);
+        setups[1] = setups[1].with_link_order(LinkOrder::Random(7));
+        let originals = orch.sweep(&h, &setups, InputSize::Test);
+
+        let dir = std::env::temp_dir().join(format!("biaslab-orch-{}", std::process::id()));
+        let path = dir.join("measurements.jsonl");
+        let written = orch.save(&path).expect("save");
+        assert_eq!(written, 3);
+
+        let fresh = Orchestrator::new();
+        assert_eq!(fresh.load(&path).expect("load"), 3);
+        let restored = fresh.sweep(&h, &setups, InputSize::Test);
+        let stats = fresh.stats();
+        assert_eq!(
+            stats.simulated, 0,
+            "everything served from the restored cache"
+        );
+        assert_eq!(stats.loaded, 3);
+        for (a, b) in originals.iter().zip(&restored) {
+            let (a, b) = (a.as_ref().expect("ok"), b.as_ref().expect("ok"));
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(a.setup, b.setup);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_a_missing_file_restores_nothing() {
+        let orch = Orchestrator::new();
+        let n = orch
+            .load(Path::new("/nonexistent/biaslab/results.jsonl"))
+            .expect("ok");
+        assert_eq!(n, 0);
+        assert_eq!(orch.stats().loaded, 0);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        let line = "{\"v\":99,\"bench\":\"x\"}";
+        assert!(parse_record(line).is_none());
+        assert!(parse_record("not json at all").is_none());
+        assert!(parse_record("").is_none());
+    }
+
+    #[test]
+    fn record_lines_parse_back_exactly() {
+        let key = MeasureKey {
+            bench: "hmmer".to_owned(),
+            machine: 0xdead_beef,
+            opt: OptLevel::O3,
+            link_order: LinkOrder::Random(42),
+            text_offset: 64,
+            stack_shift: 128,
+            env: u64::MAX,
+            size: InputSize::Ref,
+        };
+        let m = Measurement {
+            setup: "core2/O3/env=612B/order=rand(42)".to_owned(),
+            counters: Counters {
+                cycles: 123,
+                instructions: 45,
+                ..Counters::default()
+            },
+            checksum: u64::MAX - 1,
+        };
+        let (k2, m2) = parse_record(&record_line(&key, &m)).expect("roundtrip");
+        assert_eq!(key, k2);
+        assert_eq!(m.counters, m2.counters);
+        assert_eq!(m.checksum, m2.checksum);
+        assert_eq!(m.setup, m2.setup);
+    }
+
+    #[test]
+    fn global_is_a_singleton_and_shares_harnesses() {
+        let a = Orchestrator::global();
+        let b = Orchestrator::global();
+        assert!(std::ptr::eq(a, b));
+        let h1 = a.harness("hmmer").expect("known");
+        let h2 = b.harness("hmmer").expect("known");
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert!(a.harness("no-such-benchmark").is_none());
+    }
+}

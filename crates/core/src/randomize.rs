@@ -53,7 +53,10 @@ impl RandomizedFactors {
     /// layout randomization.
     #[must_use]
     pub fn all() -> RandomizedFactors {
-        RandomizedFactors { code_offset: true, ..RandomizedFactors::default() }
+        RandomizedFactors {
+            code_offset: true,
+            ..RandomizedFactors::default()
+        }
     }
 }
 
@@ -69,7 +72,11 @@ pub fn random_setup(
     if factors.environment {
         let bytes = rng.gen_range(0..=factors.max_env_bytes);
         // Sizes below the minimum non-empty footprint collapse to empty.
-        setup.env = if bytes < 23 { Environment::new() } else { Environment::of_total_size(bytes) };
+        setup.env = if bytes < 23 {
+            Environment::new()
+        } else {
+            Environment::of_total_size(bytes)
+        };
     }
     if factors.link_order {
         setup.link_order = LinkOrder::Random(rng.gen());
@@ -109,7 +116,13 @@ impl RandomizedEval {
     /// Descriptive summary of the per-setup speedups.
     #[must_use]
     pub fn summary(&self) -> Summary {
-        Summary::of(&self.observations.iter().map(|o| o.speedup).collect::<Vec<_>>())
+        Summary::of(
+            &self
+                .observations
+                .iter()
+                .map(|o| o.speedup)
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -146,7 +159,7 @@ pub fn randomized_eval(
         all.push(s.clone());
         all.push(s.with_opt(test_opt));
     }
-    let results = harness.measure_sweep(&all, size);
+    let results = crate::orchestrator::Orchestrator::global().sweep(harness, &all, size);
     let mut observations = Vec::with_capacity(n_setups);
     let mut iter = results.into_iter();
     for s in &setups {
@@ -162,7 +175,11 @@ pub fn randomized_eval(
     let speedups: Vec<f64> = observations.iter().map(|o| o.speedup).collect();
     let mean_speedup = Summary::of(&speedups).mean;
     let ci = bootstrap_ci_mean(&speedups, 0.95, 2000, seed ^ 0x5EED);
-    Ok(RandomizedEval { observations, mean_speedup, ci })
+    Ok(RandomizedEval {
+        observations,
+        mean_speedup,
+        ci,
+    })
 }
 
 /// How often a single-setup experiment reaches a different conclusion than
@@ -175,7 +192,10 @@ pub fn randomized_eval(
 pub fn single_setup_disagreement_rate(speedups: &[f64], pooled_mean: f64) -> f64 {
     assert!(!speedups.is_empty());
     let pooled_helps = pooled_mean > 1.0;
-    let disagree = speedups.iter().filter(|&&s| (s > 1.0) != pooled_helps).count();
+    let disagree = speedups
+        .iter()
+        .filter(|&&s| (s > 1.0) != pooled_helps)
+        .count();
     disagree as f64 / speedups.len() as f64
 }
 
@@ -217,7 +237,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut seen_nonzero = false;
         for _ in 0..8 {
-            let s = random_setup(&mut rng, MachineConfig::core2(), OptLevel::O2, RandomizedFactors::all());
+            let s = random_setup(
+                &mut rng,
+                MachineConfig::core2(),
+                OptLevel::O2,
+                RandomizedFactors::all(),
+            );
             assert_eq!(s.text_offset % 4, 0);
             seen_nonzero |= s.text_offset != 0;
         }
@@ -268,7 +293,11 @@ mod tests {
         let mk = |lo: f64, hi: f64| RandomizedEval {
             observations: vec![],
             mean_speedup: (lo + hi) / 2.0,
-            ci: Ci { lo, hi, confidence: 0.95 },
+            ci: Ci {
+                lo,
+                hi,
+                confidence: 0.95,
+            },
         };
         assert_eq!(mk(1.01, 1.05).verdict(), Some(true));
         assert_eq!(mk(0.91, 0.95).verdict(), Some(false));

@@ -26,7 +26,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(headers: Vec<&str>) -> Table {
-        Table { headers: headers.into_iter().map(str::to_owned).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -68,7 +71,11 @@ impl std::fmt::Display for Table {
                     f.write_str("  ")?;
                 }
                 // Right-align numeric-looking cells, left-align the rest.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                {
                     write!(f, "{cell:>w$}")?;
                 } else {
                     write!(f, "{cell:<w$}")?;

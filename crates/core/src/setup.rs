@@ -97,19 +97,28 @@ impl ExperimentSetup {
     /// comparison the O2-vs-O3 experiments make.
     #[must_use]
     pub fn with_opt(&self, opt: OptLevel) -> ExperimentSetup {
-        ExperimentSetup { opt, ..self.clone() }
+        ExperimentSetup {
+            opt,
+            ..self.clone()
+        }
     }
 
     /// Returns this setup with the environment replaced.
     #[must_use]
     pub fn with_env(&self, env: Environment) -> ExperimentSetup {
-        ExperimentSetup { env, ..self.clone() }
+        ExperimentSetup {
+            env,
+            ..self.clone()
+        }
     }
 
     /// Returns this setup with the link order replaced.
     #[must_use]
     pub fn with_link_order(&self, link_order: LinkOrder) -> ExperimentSetup {
-        ExperimentSetup { link_order, ..self.clone() }
+        ExperimentSetup {
+            link_order,
+            ..self.clone()
+        }
     }
 
     /// A short human-readable summary, e.g. `core2/O3/env=612B/order=rand(7)`.
@@ -154,7 +163,10 @@ mod tests {
     #[test]
     fn random_orders_differ_by_seed_and_repeat_by_seed() {
         let names = ["a", "b", "c", "d", "e", "f", "g"];
-        assert_eq!(LinkOrder::Random(5).resolve(&names), LinkOrder::Random(5).resolve(&names));
+        assert_eq!(
+            LinkOrder::Random(5).resolve(&names),
+            LinkOrder::Random(5).resolve(&names)
+        );
         let distinct = (0..20)
             .map(|s| LinkOrder::Random(s).resolve(&names))
             .collect::<std::collections::HashSet<_>>();

@@ -104,7 +104,10 @@ pub fn quantile(data: &[f64], p: f64) -> f64 {
 #[must_use]
 pub fn geometric_mean(data: &[f64]) -> f64 {
     assert!(!data.is_empty());
-    assert!(data.iter().all(|&x| x > 0.0), "geometric mean needs positive data");
+    assert!(
+        data.iter().all(|&x| x > 0.0),
+        "geometric mean needs positive data"
+    );
     (data.iter().map(|x| x.ln()).sum::<f64>() / data.len() as f64).exp()
 }
 
@@ -165,7 +168,11 @@ pub fn bootstrap_ci_mean(data: &[f64], confidence: f64, resamples: usize, seed: 
         means.push(sum / n as f64);
     }
     let alpha = (1.0 - confidence) / 2.0;
-    Ci { lo: quantile(&means, alpha), hi: quantile(&means, 1.0 - alpha), confidence }
+    Ci {
+        lo: quantile(&means, alpha),
+        hi: quantile(&means, 1.0 - alpha),
+        confidence,
+    }
 }
 
 /// Two-sample permutation test for a difference in means. Returns the
@@ -242,7 +249,10 @@ impl ViolinSummary {
         for (v, &p) in values.iter_mut().zip(&Self::LEVELS) {
             *v = quantile(data, p);
         }
-        ViolinSummary { levels: Self::LEVELS, values }
+        ViolinSummary {
+            levels: Self::LEVELS,
+            values,
+        }
     }
 
     /// Minimum (0th percentile).
@@ -300,7 +310,10 @@ mod tests {
         assert_eq!(quantile(&data, 1.0), 40.0);
         assert!((quantile(&data, 0.5) - 25.0).abs() < 1e-12);
         // Order must not matter.
-        assert_eq!(quantile(&[40.0, 10.0, 30.0, 20.0], 0.5), quantile(&data, 0.5));
+        assert_eq!(
+            quantile(&[40.0, 10.0, 30.0, 20.0], 0.5),
+            quantile(&data, 0.5)
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ fn reg_at(word: u32, lo: u32) -> Reg {
 }
 
 fn pack_r(op: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
-    (op << 26) | ((rd.index() as u32) << 21) | ((rs1.index() as u32) << 16) | ((rs2.index() as u32) << 11)
+    (op << 26)
+        | ((rd.index() as u32) << 21)
+        | ((rs1.index() as u32) << 16)
+        | ((rs2.index() as u32) << 11)
 }
 
 fn pack_i(op: u32, rd: Reg, rs1: Reg, imm: i16) -> u32 {
@@ -70,7 +73,10 @@ fn pack_i(op: u32, rd: Reg, rs1: Reg, imm: i16) -> u32 {
 }
 
 fn branch_units(offset: i32) -> u32 {
-    assert!(offset % 4 == 0, "branch offset {offset} not a multiple of 4");
+    assert!(
+        offset % 4 == 0,
+        "branch offset {offset} not a multiple of 4"
+    );
     let units = offset / 4;
     assert!(
         (-(1 << 15)..(1 << 15)).contains(&units),
@@ -116,7 +122,12 @@ pub fn encode(inst: Inst) -> u32 {
             pack_i(OP_ALUI_BASE + idx, rd, rs1, imm)
         }
         Inst::Lui { rd, imm } => (OP_LUI << 26) | ((rd.index() as u32) << 21) | imm as u32,
-        Inst::Load { width, rd, base, offset } => {
+        Inst::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
             let op = OP_LOAD_BASE
                 + match width {
                     Width::B1 => 0,
@@ -125,7 +136,12 @@ pub fn encode(inst: Inst) -> u32 {
                 };
             pack_i(op, rd, base, offset)
         }
-        Inst::Store { width, rs, base, offset } => {
+        Inst::Store {
+            width,
+            rs,
+            base,
+            offset,
+        } => {
             let op = OP_STORE_BASE
                 + match width {
                     Width::B1 => 0,
@@ -134,8 +150,16 @@ pub fn encode(inst: Inst) -> u32 {
                 };
             pack_i(op, rs, base, offset)
         }
-        Inst::Branch { cond, rs1, rs2, offset } => {
-            let idx = Cond::ALL.iter().position(|&c| c == cond).expect("cond in ALL") as u32;
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let idx = Cond::ALL
+                .iter()
+                .position(|&c| c == cond)
+                .expect("cond in ALL") as u32;
             ((OP_BRANCH_BASE + idx) << 26)
                 | ((rs1.index() as u32) << 21)
                 | ((rs2.index() as u32) << 16)
@@ -165,16 +189,34 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
         OP_ALU => {
             let funct = field(word, 0, 11) as usize;
             let alu = *AluOp::ALL.get(funct).ok_or(DecodeError { word })?;
-            Inst::Alu { op: alu, rd: reg_at(word, 21), rs1: reg_at(word, 16), rs2: reg_at(word, 11) }
+            Inst::Alu {
+                op: alu,
+                rd: reg_at(word, 21),
+                rs1: reg_at(word, 16),
+                rs2: reg_at(word, 11),
+            }
         }
-        OP_LUI => Inst::Lui { rd: reg_at(word, 21), imm: word as u16 },
+        OP_LUI => Inst::Lui {
+            rd: reg_at(word, 21),
+            imm: word as u16,
+        },
         op if (OP_LOAD_BASE..OP_LOAD_BASE + 3).contains(&op) => {
             let width = [Width::B1, Width::B4, Width::B8][(op - OP_LOAD_BASE) as usize];
-            Inst::Load { width, rd: reg_at(word, 21), base: reg_at(word, 16), offset: imm16 }
+            Inst::Load {
+                width,
+                rd: reg_at(word, 21),
+                base: reg_at(word, 16),
+                offset: imm16,
+            }
         }
         op if (OP_STORE_BASE..OP_STORE_BASE + 3).contains(&op) => {
             let width = [Width::B1, Width::B4, Width::B8][(op - OP_STORE_BASE) as usize];
-            Inst::Store { width, rs: reg_at(word, 21), base: reg_at(word, 16), offset: imm16 }
+            Inst::Store {
+                width,
+                rs: reg_at(word, 21),
+                base: reg_at(word, 16),
+                offset: imm16,
+            }
         }
         op if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&op) => {
             let cond = Cond::ALL[(op - OP_BRANCH_BASE) as usize];
@@ -189,16 +231,30 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             let raw = field(word, 0, 21);
             // Sign-extend the 21-bit field.
             let units = ((raw << 11) as i32) >> 11;
-            Inst::Jal { rd: reg_at(word, 21), offset: units * 4 }
+            Inst::Jal {
+                rd: reg_at(word, 21),
+                offset: units * 4,
+            }
         }
-        OP_JALR => Inst::Jalr { rd: reg_at(word, 21), rs1: reg_at(word, 16), offset: imm16 },
+        OP_JALR => Inst::Jalr {
+            rd: reg_at(word, 21),
+            rs1: reg_at(word, 16),
+            offset: imm16,
+        },
         op if (OP_ALUI_BASE..OP_ALUI_BASE + AluOp::ALL.len() as u32).contains(&op) => {
             let alu = AluOp::ALL[(op - OP_ALUI_BASE) as usize];
-            Inst::AluImm { op: alu, rd: reg_at(word, 21), rs1: reg_at(word, 16), imm: imm16 }
+            Inst::AluImm {
+                op: alu,
+                rd: reg_at(word, 21),
+                rs1: reg_at(word, 16),
+                imm: imm16,
+            }
         }
         OP_HALT => Inst::Halt,
         OP_NOP => Inst::Nop,
-        OP_CHK => Inst::Chk { rs: reg_at(word, 21) },
+        OP_CHK => Inst::Chk {
+            rs: reg_at(word, 21),
+        },
         _ => return Err(DecodeError { word }),
     };
     Ok(inst)
@@ -216,37 +272,98 @@ mod tests {
     #[test]
     fn roundtrip_alu_all_ops() {
         for op in AluOp::ALL {
-            roundtrip(Inst::Alu { op, rd: Reg::r(1), rs1: Reg::r(2), rs2: Reg::r(3) });
-            roundtrip(Inst::AluImm { op, rd: Reg::r(4), rs1: Reg::r(5), imm: -7 });
-            roundtrip(Inst::AluImm { op, rd: Reg::r(4), rs1: Reg::r(5), imm: i16::MAX });
-            roundtrip(Inst::AluImm { op, rd: Reg::r(4), rs1: Reg::r(5), imm: i16::MIN });
+            roundtrip(Inst::Alu {
+                op,
+                rd: Reg::r(1),
+                rs1: Reg::r(2),
+                rs2: Reg::r(3),
+            });
+            roundtrip(Inst::AluImm {
+                op,
+                rd: Reg::r(4),
+                rs1: Reg::r(5),
+                imm: -7,
+            });
+            roundtrip(Inst::AluImm {
+                op,
+                rd: Reg::r(4),
+                rs1: Reg::r(5),
+                imm: i16::MAX,
+            });
+            roundtrip(Inst::AluImm {
+                op,
+                rd: Reg::r(4),
+                rs1: Reg::r(5),
+                imm: i16::MIN,
+            });
         }
     }
 
     #[test]
     fn roundtrip_memory_all_widths() {
         for width in [Width::B1, Width::B4, Width::B8] {
-            roundtrip(Inst::Load { width, rd: Reg::r(9), base: Reg::SP, offset: -32 });
-            roundtrip(Inst::Store { width, rs: Reg::r(9), base: Reg::GP, offset: 1024 });
+            roundtrip(Inst::Load {
+                width,
+                rd: Reg::r(9),
+                base: Reg::SP,
+                offset: -32,
+            });
+            roundtrip(Inst::Store {
+                width,
+                rs: Reg::r(9),
+                base: Reg::GP,
+                offset: 1024,
+            });
         }
     }
 
     #[test]
     fn roundtrip_branches_all_conds() {
         for cond in Cond::ALL {
-            roundtrip(Inst::Branch { cond, rs1: Reg::r(6), rs2: Reg::r(7), offset: -64 });
-            roundtrip(Inst::Branch { cond, rs1: Reg::r(6), rs2: Reg::r(7), offset: 131068 });
-            roundtrip(Inst::Branch { cond, rs1: Reg::r(6), rs2: Reg::r(7), offset: -131072 });
+            roundtrip(Inst::Branch {
+                cond,
+                rs1: Reg::r(6),
+                rs2: Reg::r(7),
+                offset: -64,
+            });
+            roundtrip(Inst::Branch {
+                cond,
+                rs1: Reg::r(6),
+                rs2: Reg::r(7),
+                offset: 131068,
+            });
+            roundtrip(Inst::Branch {
+                cond,
+                rs1: Reg::r(6),
+                rs2: Reg::r(7),
+                offset: -131072,
+            });
         }
     }
 
     #[test]
     fn roundtrip_jumps_and_misc() {
-        roundtrip(Inst::Jal { rd: Reg::RA, offset: 4 * ((1 << 20) - 1) });
-        roundtrip(Inst::Jal { rd: Reg::RA, offset: -4 * (1 << 20) });
-        roundtrip(Inst::Jal { rd: Reg::ZERO, offset: -8 });
-        roundtrip(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
-        roundtrip(Inst::Lui { rd: Reg::r(12), imm: 0xBEEF });
+        roundtrip(Inst::Jal {
+            rd: Reg::RA,
+            offset: 4 * ((1 << 20) - 1),
+        });
+        roundtrip(Inst::Jal {
+            rd: Reg::RA,
+            offset: -4 * (1 << 20),
+        });
+        roundtrip(Inst::Jal {
+            rd: Reg::ZERO,
+            offset: -8,
+        });
+        roundtrip(Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        });
+        roundtrip(Inst::Lui {
+            rd: Reg::r(12),
+            imm: 0xBEEF,
+        });
         roundtrip(Inst::Chk { rs: Reg::r(20) });
         roundtrip(Inst::Halt);
         roundtrip(Inst::Nop);
@@ -268,18 +385,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a multiple of 4")]
     fn misaligned_branch_offset_panics() {
-        let _ = encode(Inst::Branch { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: 2 });
+        let _ = encode(Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            offset: 2,
+        });
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn oversized_branch_offset_panics() {
-        let _ = encode(Inst::Branch { cond: Cond::Eq, rs1: Reg::ZERO, rs2: Reg::ZERO, offset: 1 << 20 });
+        let _ = encode(Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            offset: 1 << 20,
+        });
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn oversized_jal_offset_panics() {
-        let _ = encode(Inst::Jal { rd: Reg::RA, offset: 4 << 20 });
+        let _ = encode(Inst::Jal {
+            rd: Reg::RA,
+            offset: 4 << 20,
+        });
     }
 }

@@ -158,13 +158,7 @@ impl AluOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            AluOp::Add
-                | AluOp::Mul
-                | AluOp::And
-                | AluOp::Or
-                | AluOp::Xor
-                | AluOp::Seq
-                | AluOp::Sne
+            AluOp::Add | AluOp::Mul | AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Seq | AluOp::Sne
         )
     }
 }
@@ -427,13 +421,28 @@ impl fmt::Display for Inst {
                 write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic())
             }
             Inst::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
-            Inst::Load { width, rd, base, offset } => {
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
                 write!(f, "l{} {rd}, {offset}({base})", width.mnemonic())
             }
-            Inst::Store { width, rs, base, offset } => {
+            Inst::Store {
+                width,
+                rs,
+                base,
+                offset,
+            } => {
                 write!(f, "s{} {rs}, {offset}({base})", width.mnemonic())
             }
-            Inst::Branch { cond, rs1, rs2, offset } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "b{} {rs1}, {rs2}, {offset}", cond.mnemonic())
             }
             Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
@@ -493,7 +502,11 @@ mod tests {
         for cond in Cond::ALL {
             assert_eq!(cond.negate().negate(), cond);
             for (a, b) in [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0), (0, u64::MAX)] {
-                assert_eq!(cond.eval(a, b), !cond.negate().eval(a, b), "{cond:?} {a} {b}");
+                assert_eq!(
+                    cond.eval(a, b),
+                    !cond.negate().eval(a, b),
+                    "{cond:?} {a} {b}"
+                );
             }
         }
     }
@@ -514,39 +527,78 @@ mod tests {
 
     #[test]
     fn def_and_uses() {
-        let add = Inst::Alu { op: AluOp::Add, rd: Reg::r(3), rs1: Reg::r(1), rs2: Reg::r(2) };
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            rd: Reg::r(3),
+            rs1: Reg::r(1),
+            rs2: Reg::r(2),
+        };
         assert_eq!(add.def(), Some(Reg::r(3)));
         assert_eq!(add.uses(), vec![Reg::r(1), Reg::r(2)]);
 
         // Writes to the zero register define nothing.
-        let to_zero = Inst::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::r(1), imm: 0 };
+        let to_zero = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::r(1),
+            imm: 0,
+        };
         assert_eq!(to_zero.def(), None);
 
-        let store = Inst::Store { width: Width::B8, rs: Reg::r(4), base: Reg::SP, offset: -8 };
+        let store = Inst::Store {
+            width: Width::B8,
+            rs: Reg::r(4),
+            base: Reg::SP,
+            offset: -8,
+        };
         assert_eq!(store.def(), None);
         assert_eq!(store.uses(), vec![Reg::r(4), Reg::SP]);
     }
 
     #[test]
     fn classification() {
-        let br = Inst::Branch { cond: Cond::Eq, rs1: Reg::r(1), rs2: Reg::r(2), offset: 8 };
+        let br = Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg::r(1),
+            rs2: Reg::r(2),
+            offset: 8,
+        };
         assert!(br.is_control());
         assert!(br.is_branch());
         assert!(!br.is_memory());
         assert!(Inst::Halt.is_control());
         assert!(!Inst::Nop.is_control());
-        let ld = Inst::Load { width: Width::B8, rd: Reg::r(1), base: Reg::SP, offset: 0 };
+        let ld = Inst::Load {
+            width: Width::B8,
+            rd: Reg::r(1),
+            base: Reg::SP,
+            offset: 0,
+        };
         assert!(ld.is_memory());
         assert!(!ld.is_branch());
     }
 
     #[test]
     fn disassembly_formats() {
-        let ld = Inst::Load { width: Width::B4, rd: Reg::r(2), base: Reg::FP, offset: -12 };
+        let ld = Inst::Load {
+            width: Width::B4,
+            rd: Reg::r(2),
+            base: Reg::FP,
+            offset: -12,
+        };
         assert_eq!(ld.to_string(), "lw r2, -12(fp)");
-        let br = Inst::Branch { cond: Cond::Ltu, rs1: Reg::r(1), rs2: Reg::r(2), offset: -16 };
+        let br = Inst::Branch {
+            cond: Cond::Ltu,
+            rs1: Reg::r(1),
+            rs2: Reg::r(2),
+            offset: -16,
+        };
         assert_eq!(br.to_string(), "bltu r1, r2, -16");
-        let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        let ret = Inst::Jalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            offset: 0,
+        };
         assert_eq!(ret.to_string(), "jalr r0, 0(ra)");
     }
 

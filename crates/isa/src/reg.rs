@@ -52,7 +52,10 @@ impl Reg {
     /// Panics if `index >= 32`.
     #[must_use]
     pub fn r(index: u8) -> Reg {
-        assert!((index as usize) < Reg::COUNT, "register index {index} out of range");
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range"
+        );
         Reg(index)
     }
 

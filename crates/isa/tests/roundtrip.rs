@@ -30,20 +30,45 @@ fn arb_jal_offset() -> impl Strategy<Value = i32> {
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (arb_aluop(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (arb_aluop(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (arb_aluop(), arb_reg(), arb_reg(), any::<i16>())
             .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
-        (arb_width(), arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(width, rd, base, offset)| Inst::Load { width, rd, base, offset }),
-        (arb_width(), arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(width, rs, base, offset)| Inst::Store { width, rs, base, offset }),
-        (arb_cond(), arb_reg(), arb_reg(), arb_branch_offset())
-            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),
+        (arb_width(), arb_reg(), arb_reg(), any::<i16>()).prop_map(|(width, rd, base, offset)| {
+            Inst::Load {
+                width,
+                rd,
+                base,
+                offset,
+            }
+        }),
+        (arb_width(), arb_reg(), arb_reg(), any::<i16>()).prop_map(|(width, rs, base, offset)| {
+            Inst::Store {
+                width,
+                rs,
+                base,
+                offset,
+            }
+        }),
+        (arb_cond(), arb_reg(), arb_reg(), arb_branch_offset()).prop_map(
+            |(cond, rs1, rs2, offset)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset
+            }
+        ),
         (arb_reg(), arb_jal_offset()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (arb_reg(), arb_reg(), any::<i16>())
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         arb_reg().prop_map(|rs| Inst::Chk { rs }),
         Just(Inst::Halt),
         Just(Inst::Nop),

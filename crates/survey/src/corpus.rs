@@ -191,13 +191,20 @@ mod tests {
     #[test]
     fn corpus_has_exactly_133_papers() {
         assert_eq!(corpus(0).len(), CORPUS_SIZE);
-        assert_eq!(Venue::ALL.iter().map(|v| v.paper_count()).sum::<usize>(), CORPUS_SIZE);
+        assert_eq!(
+            Venue::ALL.iter().map(|v| v.paper_count()).sum::<usize>(),
+            CORPUS_SIZE
+        );
     }
 
     #[test]
     fn nobody_reports_env_size_or_link_order() {
         for p in corpus(42) {
-            assert!(!p.reports(ReportedAspect::EnvironmentSize), "paper {}", p.id);
+            assert!(
+                !p.reports(ReportedAspect::EnvironmentSize),
+                "paper {}",
+                p.id
+            );
             assert!(!p.reports(ReportedAspect::LinkOrder), "paper {}", p.id);
         }
     }
@@ -220,7 +227,10 @@ mod tests {
         // …but the aggregates are identical (checked above for one seed;
         // spot-check a second).
         let c2 = corpus(2);
-        let bench = c2.iter().filter(|p| p.reports(ReportedAspect::Benchmarks)).count();
+        let bench = c2
+            .iter()
+            .filter(|p| p.reports(ReportedAspect::Benchmarks))
+            .count();
         assert_eq!(bench, CORPUS_SIZE);
     }
 

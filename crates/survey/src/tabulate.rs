@@ -47,7 +47,10 @@ impl SurveyTable {
 pub fn tabulate(records: &[PaperRecord]) -> SurveyTable {
     let mut venue_counts = [0usize; 4];
     for p in records {
-        let vi = Venue::ALL.iter().position(|&v| v == p.venue).expect("known venue");
+        let vi = Venue::ALL
+            .iter()
+            .position(|&v| v == p.venue)
+            .expect("known venue");
         venue_counts[vi] += 1;
     }
     let rows = ReportedAspect::ALL
@@ -55,7 +58,10 @@ pub fn tabulate(records: &[PaperRecord]) -> SurveyTable {
         .map(|&aspect| {
             let mut per_venue = [0usize; 4];
             for p in records.iter().filter(|p| p.reports(aspect)) {
-                let vi = Venue::ALL.iter().position(|&v| v == p.venue).expect("known venue");
+                let vi = Venue::ALL
+                    .iter()
+                    .position(|&v| v == p.venue)
+                    .expect("known venue");
                 per_venue[vi] += 1;
             }
             let total = per_venue.iter().sum();
@@ -67,7 +73,11 @@ pub fn tabulate(records: &[PaperRecord]) -> SurveyTable {
             }
         })
         .collect();
-    SurveyTable { venue_counts, total_papers: records.len(), rows }
+    SurveyTable {
+        venue_counts,
+        total_papers: records.len(),
+        rows,
+    }
 }
 
 impl fmt::Display for SurveyTable {

@@ -57,7 +57,9 @@ impl ModuleBuilder {
     /// Creates an empty builder.
     #[must_use]
     pub fn new() -> ModuleBuilder {
-        ModuleBuilder { module: Module::new() }
+        ModuleBuilder {
+            module: Module::new(),
+        }
     }
 
     /// Adds a global and returns its id.
@@ -110,7 +112,11 @@ impl ModuleBuilder {
     /// Panics if the function already has a body.
     pub fn define(&mut self, id: FuncId, build: impl FnOnce(&mut FunctionBuilder)) {
         let func = &mut self.module.functions[id.0 as usize];
-        assert!(func.blocks.is_empty(), "function {} already defined", func.name);
+        assert!(
+            func.blocks.is_empty(),
+            "function {} already defined",
+            func.name
+        );
         let mut fb = FunctionBuilder::new(func);
         build(&mut fb);
         fb.finish();
@@ -167,7 +173,10 @@ impl<'a> FunctionBuilder<'a> {
         FunctionBuilder {
             func,
             current: BlockId(0),
-            blocks: vec![PendingBlock { ops: Vec::new(), term: None }],
+            blocks: vec![PendingBlock {
+                ops: Vec::new(),
+                term: None,
+            }],
             terminated: false,
         }
     }
@@ -199,7 +208,10 @@ impl<'a> FunctionBuilder<'a> {
     /// Panics if `index` is not a valid parameter index.
     #[must_use]
     pub fn param(&self, index: u32) -> LocalId {
-        assert!(index < self.func.param_count, "parameter {index} out of range");
+        assert!(
+            index < self.func.param_count,
+            "parameter {index} out of range"
+        );
         LocalId(index)
     }
 
@@ -221,7 +233,10 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Creates a new (empty, unterminated) block.
     pub fn new_block(&mut self) -> BlockId {
-        self.blocks.push(PendingBlock { ops: Vec::new(), term: None });
+        self.blocks.push(PendingBlock {
+            ops: Vec::new(),
+            term: None,
+        });
         BlockId(self.blocks.len() as u32 - 1)
     }
 
@@ -301,13 +316,21 @@ impl<'a> FunctionBuilder<'a> {
     /// Reads the scalar stored in `local`.
     pub fn get(&mut self, local: LocalId) -> Val {
         let dst = self.fresh();
-        self.push(Op::LoadLocal { dst, local, offset: 0 });
+        self.push(Op::LoadLocal {
+            dst,
+            local,
+            offset: 0,
+        });
         dst
     }
 
     /// Writes `src` to `local`.
     pub fn set(&mut self, local: LocalId, src: Val) {
-        self.push(Op::StoreLocal { local, offset: 0, src });
+        self.push(Op::StoreLocal {
+            local,
+            offset: 0,
+            src,
+        });
     }
 
     /// Takes the address of `local` (pinning it to the stack).
@@ -327,25 +350,43 @@ impl<'a> FunctionBuilder<'a> {
     /// Loads `width` bytes from `addr + offset` (zero-extended).
     pub fn load(&mut self, width: Width, addr: Val, offset: i32) -> Val {
         let dst = self.fresh();
-        self.push(Op::Load { width, dst, addr, offset });
+        self.push(Op::Load {
+            width,
+            dst,
+            addr,
+            offset,
+        });
         dst
     }
 
     /// Stores `src` (truncated to `width`) at `addr + offset`.
     pub fn store(&mut self, width: Width, addr: Val, offset: i32, src: Val) {
-        self.push(Op::Store { width, addr, offset, src });
+        self.push(Op::Store {
+            width,
+            addr,
+            offset,
+            src,
+        });
     }
 
     /// Calls `func` and returns its result value.
     pub fn call(&mut self, func: FuncId, args: &[Val]) -> Val {
         let dst = self.fresh();
-        self.push(Op::Call { dst: Some(dst), func, args: args.to_vec() });
+        self.push(Op::Call {
+            dst: Some(dst),
+            func,
+            args: args.to_vec(),
+        });
         dst
     }
 
     /// Calls `func`, discarding any result.
     pub fn call_void(&mut self, func: FuncId, args: &[Val]) {
-        self.push(Op::Call { dst: None, func, args: args.to_vec() });
+        self.push(Op::Call {
+            dst: None,
+            func,
+            args: args.to_vec(),
+        });
     }
 
     /// Folds `src` into the machine checksum.
@@ -356,7 +397,11 @@ impl<'a> FunctionBuilder<'a> {
     // ----- terminators ------------------------------------------------------
 
     fn terminate(&mut self, term: Terminator) {
-        assert!(!self.terminated, "block {} already terminated", self.current);
+        assert!(
+            !self.terminated,
+            "block {} already terminated",
+            self.current
+        );
         self.blocks[self.current.0 as usize].term = Some(term);
         self.terminated = true;
     }
@@ -368,7 +413,13 @@ impl<'a> FunctionBuilder<'a> {
 
     /// Terminates the current block with a conditional branch.
     pub fn branch(&mut self, cond: Cond, a: Val, b: Val, then_block: BlockId, else_block: BlockId) {
-        self.terminate(Terminator::Branch { cond, a, b, then_block, else_block });
+        self.terminate(Terminator::Branch {
+            cond,
+            a,
+            b,
+            then_block,
+            else_block,
+        });
     }
 
     /// Terminates the current block with a return.
@@ -471,7 +522,11 @@ impl<'a> FunctionBuilder<'a> {
         self.jump(header);
 
         if single_block {
-            self.func.loops.push(LoopInfo { header, body: body_block, induction: i });
+            self.func.loops.push(LoopInfo {
+                header,
+                body: body_block,
+                induction: i,
+            });
         }
         self.switch_to(exit);
     }

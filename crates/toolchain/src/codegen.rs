@@ -48,7 +48,11 @@ pub fn compile(module: &Module, level: OptLevel) -> CompiledModule {
         .iter()
         .map(|f| compile_function(module, f, level))
         .collect();
-    CompiledModule { objects, globals: module.globals.clone(), level }
+    CompiledModule {
+        objects,
+        globals: module.globals.clone(),
+        level,
+    }
 }
 
 /// Where a local slot lives at run time.
@@ -82,7 +86,13 @@ struct FuncCtx {
 impl FuncCtx {
     fn emit(&mut self, inst: Inst) -> usize {
         // Peephole: a register move onto itself is a no-op.
-        if let Inst::Alu { op: AluOp::Add, rd, rs1, rs2 } = inst {
+        if let Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        } = inst
+        {
             if rd == rs1 && rs2 == Reg::ZERO && !self.insts.is_empty() {
                 return self.insts.len() - 1;
             }
@@ -190,11 +200,31 @@ pub fn compile_function(module: &Module, f: &Function, level: OptLevel) -> Objec
     };
 
     // --- prologue -----------------------------------------------------------
-    ctx.emit(Inst::AluImm { op: AluOp::Sub, rd: Reg::SP, rs1: Reg::SP, imm: frame as i16 });
+    ctx.emit(Inst::AluImm {
+        op: AluOp::Sub,
+        rd: Reg::SP,
+        rs1: Reg::SP,
+        imm: frame as i16,
+    });
     if save_ra_fp {
-        ctx.emit(Inst::Store { width: Width::B8, rs: Reg::RA, base: Reg::SP, offset: ra_off as i16 });
-        ctx.emit(Inst::Store { width: Width::B8, rs: Reg::FP, base: Reg::SP, offset: fp_off as i16 });
-        ctx.emit(Inst::AluImm { op: AluOp::Add, rd: Reg::FP, rs1: Reg::SP, imm: frame as i16 });
+        ctx.emit(Inst::Store {
+            width: Width::B8,
+            rs: Reg::RA,
+            base: Reg::SP,
+            offset: ra_off as i16,
+        });
+        ctx.emit(Inst::Store {
+            width: Width::B8,
+            rs: Reg::FP,
+            base: Reg::SP,
+            offset: fp_off as i16,
+        });
+        ctx.emit(Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::FP,
+            rs1: Reg::SP,
+            imm: frame as i16,
+        });
     }
     for (k, &reg) in saved.iter().enumerate() {
         ctx.emit(Inst::Store {
@@ -209,10 +239,20 @@ pub fn compile_function(module: &Module, f: &Function, level: OptLevel) -> Objec
         let arg = Reg::r(1 + p as u8);
         match ctx.homes[p as usize] {
             Home::Mem(off) => {
-                ctx.emit(Inst::Store { width: Width::B8, rs: arg, base: Reg::SP, offset: off as i16 });
+                ctx.emit(Inst::Store {
+                    width: Width::B8,
+                    rs: arg,
+                    base: Reg::SP,
+                    offset: off as i16,
+                });
             }
             Home::Reg(home) => {
-                ctx.emit(Inst::Alu { op: AluOp::Add, rd: home, rs1: arg, rs2: Reg::ZERO });
+                ctx.emit(Inst::Alu {
+                    op: AluOp::Add,
+                    rd: home,
+                    rs1: arg,
+                    rs2: Reg::ZERO,
+                });
             }
         }
     }
@@ -300,12 +340,19 @@ impl BlockAlloc {
         if let Some(r) = self.free.pop() {
             return r;
         }
-        // Evict the value with the farthest next use.
+        // Evict the value with the farthest next use. Ties are broken by
+        // register index: the map's own iteration order varies per process
+        // and must not leak into the emitted code.
         let victim_reg = self
             .reg_val
             .iter()
             .filter(|(r, _)| !self.pinned.contains(r))
-            .max_by_key(|(_, v)| self.next_use(**v).unwrap_or(usize::MAX))
+            .max_by_key(|(r, v)| {
+                (
+                    self.next_use(**v).unwrap_or(usize::MAX),
+                    std::cmp::Reverse(r.index()),
+                )
+            })
             .map(|(r, _)| *r)
             .expect("a non-pinned temp register must exist");
         let victim = self.reg_val[&victim_reg];
@@ -324,7 +371,12 @@ impl BlockAlloc {
             st.slot = Some(slot);
         }
         let off = ctx.spill_addr(st.slot.expect("just set"));
-        ctx.emit(Inst::Store { width: Width::B8, rs: reg, base: Reg::SP, offset: off });
+        ctx.emit(Inst::Store {
+            width: Width::B8,
+            rs: reg,
+            base: Reg::SP,
+            offset: off,
+        });
         self.reg_val.remove(&reg);
     }
 
@@ -341,7 +393,12 @@ impl BlockAlloc {
             .unwrap_or_else(|| panic!("use of value {v} with no location"));
         let reg = self.alloc_reg(ctx);
         let off = ctx.spill_addr(slot);
-        ctx.emit(Inst::Load { width: Width::B8, rd: reg, base: Reg::SP, offset: off });
+        ctx.emit(Inst::Load {
+            width: Width::B8,
+            rd: reg,
+            base: Reg::SP,
+            offset: off,
+        });
         let st = self.state.get_mut(&v).expect("checked above");
         st.reg = Some(reg);
         self.reg_val.insert(reg, v);
@@ -352,7 +409,14 @@ impl BlockAlloc {
     /// Allocates a destination register for a fresh definition.
     fn def_reg(&mut self, ctx: &mut FuncCtx, v: Val) -> Reg {
         let reg = self.alloc_reg(ctx);
-        self.state.insert(v, VState { reg: Some(reg), slot: None, aliased: false });
+        self.state.insert(
+            v,
+            VState {
+                reg: Some(reg),
+                slot: None,
+                aliased: false,
+            },
+        );
         self.reg_val.insert(reg, v);
         self.pinned.push(reg);
         reg
@@ -360,7 +424,14 @@ impl BlockAlloc {
 
     /// Records that `v` lives in a promoted local's register.
     fn def_alias(&mut self, v: Val, reg: Reg) {
-        self.state.insert(v, VState { reg: Some(reg), slot: None, aliased: true });
+        self.state.insert(
+            v,
+            VState {
+                reg: Some(reg),
+                slot: None,
+                aliased: true,
+            },
+        );
     }
 
     /// Pops the current-position use of each operand and frees dead values.
@@ -397,12 +468,15 @@ impl BlockAlloc {
     /// Spills every live temporary (for a call boundary). Aliased values
     /// survive in callee-saved registers.
     fn spill_all(&mut self, ctx: &mut FuncCtx) {
-        let live: Vec<Val> = self
+        let mut live: Vec<Val> = self
             .state
             .iter()
             .filter(|(_, st)| st.reg.is_some() && !st.aliased)
             .map(|(v, _)| *v)
             .collect();
+        // Spill in value order: the map's iteration order is process-random
+        // and would otherwise reorder the emitted stores and slot choices.
+        live.sort_unstable();
         for v in live {
             self.spill_val(ctx, v);
         }
@@ -416,11 +490,21 @@ impl BlockAlloc {
         let st = &self.state[&v];
         if st.aliased {
             let reg = st.reg.expect("aliased value has register");
-            ctx.emit(Inst::Alu { op: AluOp::Add, rd: dst, rs1: reg, rs2: Reg::ZERO });
+            ctx.emit(Inst::Alu {
+                op: AluOp::Add,
+                rd: dst,
+                rs1: reg,
+                rs2: Reg::ZERO,
+            });
         } else {
             let slot = st.slot.expect("spilled value has slot");
             let off = ctx.spill_addr(slot);
-            ctx.emit(Inst::Load { width: Width::B8, rd: dst, base: Reg::SP, offset: off });
+            ctx.emit(Inst::Load {
+                width: Width::B8,
+                rd: dst,
+                base: Reg::SP,
+                offset: off,
+            });
         }
     }
 }
@@ -429,13 +513,26 @@ impl BlockAlloc {
 fn materialize(ctx: &mut FuncCtx, rd: Reg, value: u64) {
     let as_i64 = value as i64;
     if (-(1 << 15)..(1 << 15)).contains(&as_i64) {
-        ctx.emit(Inst::AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: as_i64 as i16 });
+        ctx.emit(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1: Reg::ZERO,
+            imm: as_i64 as i16,
+        });
         return;
     }
     if value <= u64::from(u32::MAX) {
-        ctx.emit(Inst::Lui { rd, imm: (value >> 16) as u16 });
+        ctx.emit(Inst::Lui {
+            rd,
+            imm: (value >> 16) as u16,
+        });
         if value & 0xFFFF != 0 {
-            ctx.emit(Inst::AluImm { op: AluOp::Or, rd, rs1: rd, imm: (value & 0xFFFF) as u16 as i16 });
+            ctx.emit(Inst::AluImm {
+                op: AluOp::Or,
+                rd,
+                rs1: rd,
+                imm: (value & 0xFFFF) as u16 as i16,
+            });
         }
         return;
     }
@@ -443,15 +540,40 @@ fn materialize(ctx: &mut FuncCtx, rd: Reg, value: u64) {
     let c = |k: u32| ((value >> (16 * k)) & 0xFFFF) as u16;
     ctx.emit(Inst::Lui { rd, imm: c(3) });
     if c(2) != 0 {
-        ctx.emit(Inst::AluImm { op: AluOp::Or, rd, rs1: rd, imm: c(2) as i16 });
+        ctx.emit(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1: rd,
+            imm: c(2) as i16,
+        });
     }
-    ctx.emit(Inst::AluImm { op: AluOp::Sll, rd, rs1: rd, imm: 16 });
+    ctx.emit(Inst::AluImm {
+        op: AluOp::Sll,
+        rd,
+        rs1: rd,
+        imm: 16,
+    });
     if c(1) != 0 {
-        ctx.emit(Inst::AluImm { op: AluOp::Or, rd, rs1: rd, imm: c(1) as i16 });
+        ctx.emit(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1: rd,
+            imm: c(1) as i16,
+        });
     }
-    ctx.emit(Inst::AluImm { op: AluOp::Sll, rd, rs1: rd, imm: 16 });
+    ctx.emit(Inst::AluImm {
+        op: AluOp::Sll,
+        rd,
+        rs1: rd,
+        imm: 16,
+    });
     if c(0) != 0 {
-        ctx.emit(Inst::AluImm { op: AluOp::Or, rd, rs1: rd, imm: c(0) as i16 });
+        ctx.emit(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1: rd,
+            imm: c(0) as i16,
+        });
     }
 }
 
@@ -496,16 +618,31 @@ fn emit_block(
                 let ra = alloc.ensure_reg(ctx, *a);
                 let rb = alloc.ensure_reg(ctx, *b);
                 let rd = alloc.def_reg(ctx, *dst);
-                ctx.emit(Inst::Alu { op: *op, rd, rs1: ra, rs2: rb });
+                ctx.emit(Inst::Alu {
+                    op: *op,
+                    rd,
+                    rs1: ra,
+                    rs2: rb,
+                });
             }
             Op::BinImm { op, dst, a, imm } => {
                 let ra = alloc.ensure_reg(ctx, *a);
                 let rd = alloc.def_reg(ctx, *dst);
                 if imm_fits(*op, *imm) {
-                    ctx.emit(Inst::AluImm { op: *op, rd, rs1: ra, imm: *imm as i16 });
+                    ctx.emit(Inst::AluImm {
+                        op: *op,
+                        rd,
+                        rs1: ra,
+                        imm: *imm as i16,
+                    });
                 } else {
                     materialize(ctx, rd, *imm as u64);
-                    ctx.emit(Inst::Alu { op: *op, rd, rs1: ra, rs2: rd });
+                    ctx.emit(Inst::Alu {
+                        op: *op,
+                        rd,
+                        rs1: ra,
+                        rs2: rd,
+                    });
                 }
             }
             Op::LoadLocal { dst, local, offset } => match ctx.homes[local.0 as usize] {
@@ -523,7 +660,12 @@ fn emit_block(
                         alloc.def_alias(*dst, home);
                     } else {
                         let rd = alloc.def_reg(ctx, *dst);
-                        ctx.emit(Inst::Alu { op: AluOp::Add, rd, rs1: home, rs2: Reg::ZERO });
+                        ctx.emit(Inst::Alu {
+                            op: AluOp::Add,
+                            rd,
+                            rs1: home,
+                            rs2: Reg::ZERO,
+                        });
                     }
                 }
             },
@@ -539,7 +681,12 @@ fn emit_block(
                         });
                     }
                     Home::Reg(home) => {
-                        ctx.emit(Inst::Alu { op: AluOp::Add, rd: home, rs1: rs, rs2: Reg::ZERO });
+                        ctx.emit(Inst::Alu {
+                            op: AluOp::Add,
+                            rd: home,
+                            rs1: rs,
+                            rs2: Reg::ZERO,
+                        });
                     }
                 }
             }
@@ -548,7 +695,12 @@ fn emit_block(
                     unreachable!("address-taken locals are never promoted")
                 };
                 let rd = alloc.def_reg(ctx, *dst);
-                ctx.emit(Inst::AluImm { op: AluOp::Add, rd, rs1: Reg::SP, imm: base as i16 });
+                ctx.emit(Inst::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: Reg::SP,
+                    imm: base as i16,
+                });
             }
             Op::AddrGlobal { dst, global } => {
                 // Medium-model addressing: a lui/ori pair patched with the
@@ -556,7 +708,12 @@ fn emit_block(
                 // the ±32 KiB gp window.
                 let rd = alloc.def_reg(ctx, *dst);
                 let at = ctx.emit(Inst::Lui { rd, imm: 0 });
-                ctx.emit(Inst::AluImm { op: AluOp::Or, rd, rs1: rd, imm: 0 });
+                ctx.emit(Inst::AluImm {
+                    op: AluOp::Or,
+                    rd,
+                    rs1: rd,
+                    imm: 0,
+                });
                 ctx.relocs.push(Reloc {
                     at,
                     kind: RelocKind::AbsAddr {
@@ -565,28 +722,68 @@ fn emit_block(
                     },
                 });
             }
-            Op::Load { width, dst, addr, offset } => {
+            Op::Load {
+                width,
+                dst,
+                addr,
+                offset,
+            } => {
                 let ra = alloc.ensure_reg(ctx, *addr);
                 let rd = alloc.def_reg(ctx, *dst);
                 if (-(1 << 15)..(1 << 15)).contains(offset) {
-                    ctx.emit(Inst::Load { width: *width, rd, base: ra, offset: *offset as i16 });
+                    ctx.emit(Inst::Load {
+                        width: *width,
+                        rd,
+                        base: ra,
+                        offset: *offset as i16,
+                    });
                 } else {
                     materialize(ctx, rd, *offset as i64 as u64);
-                    ctx.emit(Inst::Alu { op: AluOp::Add, rd, rs1: rd, rs2: ra });
-                    ctx.emit(Inst::Load { width: *width, rd, base: rd, offset: 0 });
+                    ctx.emit(Inst::Alu {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        rs2: ra,
+                    });
+                    ctx.emit(Inst::Load {
+                        width: *width,
+                        rd,
+                        base: rd,
+                        offset: 0,
+                    });
                 }
             }
-            Op::Store { width, addr, offset, src } => {
+            Op::Store {
+                width,
+                addr,
+                offset,
+                src,
+            } => {
                 let ra = alloc.ensure_reg(ctx, *addr);
                 let rs = alloc.ensure_reg(ctx, *src);
                 if (-(1 << 15)..(1 << 15)).contains(offset) {
-                    ctx.emit(Inst::Store { width: *width, rs, base: ra, offset: *offset as i16 });
+                    ctx.emit(Inst::Store {
+                        width: *width,
+                        rs,
+                        base: ra,
+                        offset: *offset as i16,
+                    });
                 } else {
                     // Compute the address in a scratch register.
                     let scratch = alloc.alloc_reg(ctx);
                     materialize(ctx, scratch, *offset as i64 as u64);
-                    ctx.emit(Inst::Alu { op: AluOp::Add, rd: scratch, rs1: scratch, rs2: ra });
-                    ctx.emit(Inst::Store { width: *width, rs, base: scratch, offset: 0 });
+                    ctx.emit(Inst::Alu {
+                        op: AluOp::Add,
+                        rd: scratch,
+                        rs1: scratch,
+                        rs2: ra,
+                    });
+                    ctx.emit(Inst::Store {
+                        width: *width,
+                        rs,
+                        base: scratch,
+                        offset: 0,
+                    });
                     alloc.free.push(scratch);
                 }
             }
@@ -600,7 +797,10 @@ fn emit_block(
                 for (k, &a) in args.iter().enumerate() {
                     alloc.load_arg(ctx, k, a);
                 }
-                let at = ctx.emit(Inst::Jal { rd: Reg::RA, offset: 0 });
+                let at = ctx.emit(Inst::Jal {
+                    rd: Reg::RA,
+                    offset: 0,
+                });
                 ctx.relocs.push(Reloc {
                     at,
                     kind: RelocKind::Call {
@@ -611,7 +811,14 @@ fn emit_block(
                     // The result arrives in r1; claim it for `d`.
                     let r1 = Reg::r(1);
                     alloc.free.retain(|&r| r != r1);
-                    alloc.state.insert(*d, VState { reg: Some(r1), slot: None, aliased: false });
+                    alloc.state.insert(
+                        *d,
+                        VState {
+                            reg: Some(r1),
+                            slot: None,
+                            aliased: false,
+                        },
+                    );
                     alloc.reg_val.insert(r1, *d);
                 }
             }
@@ -628,25 +835,56 @@ fn emit_block(
     match &block.term {
         Terminator::Jump(target) => {
             if target.0 as usize != bi + 1 {
-                let at = ctx.emit(Inst::Jal { rd: Reg::ZERO, offset: 0 });
-                ctx.fixups.push(Fixup { at, target: *target });
+                let at = ctx.emit(Inst::Jal {
+                    rd: Reg::ZERO,
+                    offset: 0,
+                });
+                ctx.fixups.push(Fixup {
+                    at,
+                    target: *target,
+                });
             }
         }
-        Terminator::Branch { cond, a, b, then_block, else_block } => {
+        Terminator::Branch {
+            cond,
+            a,
+            b,
+            then_block,
+            else_block,
+        } => {
             let ra = alloc.ensure_reg(ctx, *a);
             let rb = alloc.ensure_reg(ctx, *b);
-            let at = ctx.emit(Inst::Branch { cond: *cond, rs1: ra, rs2: rb, offset: 0 });
-            ctx.fixups.push(Fixup { at, target: *then_block });
+            let at = ctx.emit(Inst::Branch {
+                cond: *cond,
+                rs1: ra,
+                rs2: rb,
+                offset: 0,
+            });
+            ctx.fixups.push(Fixup {
+                at,
+                target: *then_block,
+            });
             if else_block.0 as usize != bi + 1 {
-                let at = ctx.emit(Inst::Jal { rd: Reg::ZERO, offset: 0 });
-                ctx.fixups.push(Fixup { at, target: *else_block });
+                let at = ctx.emit(Inst::Jal {
+                    rd: Reg::ZERO,
+                    offset: 0,
+                });
+                ctx.fixups.push(Fixup {
+                    at,
+                    target: *else_block,
+                });
             }
         }
         Terminator::Ret { value } => {
             if let Some(v) = value {
                 let rv = alloc.ensure_reg(ctx, *v);
                 if rv != Reg::r(1) {
-                    ctx.emit(Inst::Alu { op: AluOp::Add, rd: Reg::r(1), rs1: rv, rs2: Reg::ZERO });
+                    ctx.emit(Inst::Alu {
+                        op: AluOp::Add,
+                        rd: Reg::r(1),
+                        rs1: rv,
+                        rs2: Reg::ZERO,
+                    });
                 }
             }
             // Epilogue: restore saved registers, fp/ra, pop the frame.
@@ -659,11 +897,30 @@ fn emit_block(
                 });
             }
             if ctx.save_ra_fp {
-                ctx.emit(Inst::Load { width: Width::B8, rd: Reg::FP, base: Reg::SP, offset: fp_off as i16 });
-                ctx.emit(Inst::Load { width: Width::B8, rd: Reg::RA, base: Reg::SP, offset: ra_off as i16 });
+                ctx.emit(Inst::Load {
+                    width: Width::B8,
+                    rd: Reg::FP,
+                    base: Reg::SP,
+                    offset: fp_off as i16,
+                });
+                ctx.emit(Inst::Load {
+                    width: Width::B8,
+                    rd: Reg::RA,
+                    base: Reg::SP,
+                    offset: ra_off as i16,
+                });
             }
-            ctx.emit(Inst::AluImm { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: ctx.frame as i16 });
-            ctx.emit(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 });
+            ctx.emit(Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::SP,
+                rs1: Reg::SP,
+                imm: ctx.frame as i16,
+            });
+            ctx.emit(Inst::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            });
         }
     }
     alloc.retire(term_pos, &block.term.uses(), None);
@@ -805,7 +1062,8 @@ mod tests {
             for inst in &ctx.insts {
                 match *inst {
                     Inst::AluImm { op, rd, rs1, imm } => {
-                        regs[rd.index() as usize] = op.eval(regs[rs1.index() as usize], op.extend_imm(imm));
+                        regs[rd.index() as usize] =
+                            op.eval(regs[rs1.index() as usize], op.extend_imm(imm));
                     }
                     Inst::Lui { rd, imm } => regs[rd.index() as usize] = u64::from(imm) << 16,
                     other => panic!("unexpected {other}"),

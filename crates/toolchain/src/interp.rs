@@ -136,7 +136,11 @@ impl<'m> Interpreter<'m> {
     /// Returns a resource-limit error if fuel or call depth is exceeded.
     pub fn call(&mut self, id: FuncId, args: &[u64]) -> Result<Outcome, InterpError> {
         let ret = self.exec_function(id, args, STACK_TOP)?;
-        Ok(Outcome { return_value: ret, checksum: self.checksum, ops_executed: self.ops })
+        Ok(Outcome {
+            return_value: ret,
+            checksum: self.checksum,
+            ops_executed: self.ops,
+        })
     }
 
     fn burn(&mut self) -> Result<(), InterpError> {
@@ -214,11 +218,21 @@ impl<'m> Interpreter<'m> {
                     Op::AddrGlobal { dst, global } => {
                         vals[dst.0 as usize] = u64::from(self.global_addrs[global.0 as usize]);
                     }
-                    Op::Load { width, dst, addr, offset } => {
+                    Op::Load {
+                        width,
+                        dst,
+                        addr,
+                        offset,
+                    } => {
                         let a = (vals[addr.0 as usize] as u32).wrapping_add(*offset as u32);
                         vals[dst.0 as usize] = self.mem.read_le(a, width.bytes());
                     }
-                    Op::Store { width, addr, offset, src } => {
+                    Op::Store {
+                        width,
+                        addr,
+                        offset,
+                        src,
+                    } => {
                         let a = (vals[addr.0 as usize] as u32).wrapping_add(*offset as u32);
                         self.mem.write_le(a, width.bytes(), vals[src.0 as usize]);
                     }
@@ -237,7 +251,13 @@ impl<'m> Interpreter<'m> {
             self.burn()?;
             match &b.term {
                 Terminator::Jump(t) => block = t.0 as usize,
-                Terminator::Branch { cond, a, b: rhs, then_block, else_block } => {
+                Terminator::Branch {
+                    cond,
+                    a,
+                    b: rhs,
+                    then_block,
+                    else_block,
+                } => {
                     block = if cond.eval(vals[a.0 as usize], vals[rhs.0 as usize]) {
                         then_block.0 as usize
                     } else {
@@ -327,9 +347,15 @@ mod tests {
         });
         let m = mb.finish().unwrap();
         let mut interp = Interpreter::new(&m);
-        assert_eq!(interp.call_by_name("f", &[1]).unwrap().return_value, Some(21));
+        assert_eq!(
+            interp.call_by_name("f", &[1]).unwrap().return_value,
+            Some(21)
+        );
         // Store persisted.
-        assert_eq!(interp.call_by_name("f", &[1]).unwrap().return_value, Some(22));
+        assert_eq!(
+            interp.call_by_name("f", &[1]).unwrap().return_value,
+            Some(22)
+        );
     }
 
     #[test]
@@ -398,7 +424,10 @@ mod tests {
         let m = mb.finish().unwrap();
         let mut interp = Interpreter::new(&m);
         interp.set_fuel(1000);
-        assert_eq!(interp.call_by_name("spin", &[]), Err(InterpError::FuelExhausted));
+        assert_eq!(
+            interp.call_by_name("spin", &[]),
+            Err(InterpError::FuelExhausted)
+        );
     }
 
     #[test]

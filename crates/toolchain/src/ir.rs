@@ -186,7 +186,10 @@ impl Op {
     #[must_use]
     pub fn uses(&self) -> Vec<Val> {
         match self {
-            Op::Const { .. } | Op::AddrLocal { .. } | Op::AddrGlobal { .. } | Op::LoadLocal { .. } => {
+            Op::Const { .. }
+            | Op::AddrLocal { .. }
+            | Op::AddrGlobal { .. }
+            | Op::LoadLocal { .. } => {
                 vec![]
             }
             Op::Bin { a, b, .. } => vec![*a, *b],
@@ -202,7 +205,10 @@ impl Op {
     /// Rewrites every used value through `f` (definitions are untouched).
     pub fn map_uses(&mut self, mut f: impl FnMut(Val) -> Val) {
         match self {
-            Op::Const { .. } | Op::AddrLocal { .. } | Op::AddrGlobal { .. } | Op::LoadLocal { .. } => {}
+            Op::Const { .. }
+            | Op::AddrLocal { .. }
+            | Op::AddrGlobal { .. }
+            | Op::LoadLocal { .. } => {}
             Op::Bin { a, b, .. } => {
                 *a = f(*a);
                 *b = f(*b);
@@ -277,7 +283,11 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(b) => vec![*b],
-            Terminator::Branch { then_block, else_block, .. } => vec![*then_block, *else_block],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
             Terminator::Ret { .. } => vec![],
         }
     }
@@ -307,7 +317,11 @@ impl Terminator {
     pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Jump(b) => *b = f(*b),
-            Terminator::Branch { then_block, else_block, .. } => {
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
                 *then_block = f(*then_block);
                 *else_block = f(*else_block);
             }
@@ -444,7 +458,12 @@ impl Global {
     /// A zero-initialized global of `size` bytes, 16-aligned.
     #[must_use]
     pub fn zeroed(name: impl Into<String>, size: u32) -> Global {
-        Global { name: name.into(), size, align: 16, init: Vec::new() }
+        Global {
+            name: name.into(),
+            size,
+            align: 16,
+            init: Vec::new(),
+        }
     }
 
     /// A global initialized from 64-bit words.
@@ -454,7 +473,12 @@ impl Global {
         for w in words {
             init.extend_from_slice(&w.to_le_bytes());
         }
-        Global { name: name.into(), size: init.len() as u32, align: 16, init }
+        Global {
+            name: name.into(),
+            size: init.len() as u32,
+            align: 16,
+            init,
+        }
     }
 }
 
@@ -471,7 +495,10 @@ impl Module {
     /// An empty module.
     #[must_use]
     pub fn new() -> Module {
-        Module { functions: Vec::new(), globals: Vec::new() }
+        Module {
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
     }
 
     /// Looks up a function by name.
@@ -505,7 +532,12 @@ mod tests {
     use super::*;
 
     fn sample_op() -> Op {
-        Op::Bin { op: AluOp::Add, dst: Val(2), a: Val(0), b: Val(1) }
+        Op::Bin {
+            op: AluOp::Add,
+            dst: Val(2),
+            a: Val(0),
+            b: Val(1),
+        }
     }
 
     #[test]
@@ -514,7 +546,12 @@ mod tests {
         assert_eq!(op.def(), Some(Val(2)));
         assert_eq!(op.uses(), vec![Val(0), Val(1)]);
 
-        let store = Op::Store { width: Width::B8, addr: Val(3), offset: 0, src: Val(4) };
+        let store = Op::Store {
+            width: Width::B8,
+            addr: Val(3),
+            offset: 0,
+            src: Val(4),
+        };
         assert_eq!(store.def(), None);
         assert_eq!(store.uses(), vec![Val(3), Val(4)]);
         assert!(store.has_side_effect());
@@ -525,7 +562,15 @@ mod tests {
     fn op_map_uses_rewrites_operands_only() {
         let mut op = sample_op();
         op.map_uses(|v| Val(v.0 + 10));
-        assert_eq!(op, Op::Bin { op: AluOp::Add, dst: Val(2), a: Val(10), b: Val(11) });
+        assert_eq!(
+            op,
+            Op::Bin {
+                op: AluOp::Add,
+                dst: Val(2),
+                a: Val(10),
+                b: Val(11)
+            }
+        );
     }
 
     #[test]
@@ -550,7 +595,10 @@ mod tests {
             returns_value: false,
             locals: vec![LocalSlot::scalar(), LocalSlot::buffer(64)],
             blocks: vec![Block {
-                ops: vec![Op::AddrLocal { dst: Val(0), local: LocalId(1) }],
+                ops: vec![Op::AddrLocal {
+                    dst: Val(0),
+                    local: LocalId(1),
+                }],
                 term: Terminator::Ret { value: None },
             }],
             loops: vec![],
@@ -568,7 +616,10 @@ mod tests {
             param_count: 0,
             returns_value: false,
             locals: vec![],
-            blocks: vec![Block { ops: vec![], term: Terminator::Ret { value: None } }],
+            blocks: vec![Block {
+                ops: vec![],
+                term: Terminator::Ret { value: None },
+            }],
             loops: vec![],
             next_val: 0,
         });
@@ -602,10 +653,20 @@ impl fmt::Display for Op {
             }
             Op::AddrLocal { dst, local } => write!(f, "{dst} = &local[{}]", local.0),
             Op::AddrGlobal { dst, global } => write!(f, "{dst} = &global[{}]", global.0),
-            Op::Load { width, dst, addr, offset } => {
+            Op::Load {
+                width,
+                dst,
+                addr,
+                offset,
+            } => {
                 write!(f, "{dst} = load.{} {addr}+{offset}", width.mnemonic())
             }
-            Op::Store { width, addr, offset, src } => {
+            Op::Store {
+                width,
+                addr,
+                offset,
+                src,
+            } => {
                 write!(f, "store.{} {addr}+{offset}, {src}", width.mnemonic())
             }
             Op::Call { dst, func, args } => {
@@ -631,8 +692,18 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Terminator::Jump(b) => write!(f, "jump {b}"),
-            Terminator::Branch { cond, a, b, then_block, else_block } => {
-                write!(f, "br.{} {a}, {b} ? {then_block} : {else_block}", cond.mnemonic())
+            Terminator::Branch {
+                cond,
+                a,
+                b,
+                then_block,
+                else_block,
+            } => {
+                write!(
+                    f,
+                    "br.{} {a}, {b} ? {then_block} : {else_block}",
+                    cond.mnemonic()
+                )
             }
             Terminator::Ret { value: Some(v) } => write!(f, "ret {v}"),
             Terminator::Ret { value: None } => f.write_str("ret"),
@@ -664,7 +735,11 @@ impl fmt::Display for Function {
 impl fmt::Display for Module {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (gi, g) in self.globals.iter().enumerate() {
-            writeln!(f, "global[{gi}] {} : {} bytes (align {})", g.name, g.size, g.align)?;
+            writeln!(
+                f,
+                "global[{gi}] {} : {} bytes (align {})",
+                g.name, g.size, g.align
+            )?;
         }
         for func in &self.functions {
             writeln!(f)?;

@@ -72,7 +72,9 @@ impl Executable {
         if addr < self.text_base || !addr.is_multiple_of(4) {
             return None;
         }
-        self.insts.get(((addr - self.text_base) / 4) as usize).copied()
+        self.insts
+            .get(((addr - self.text_base) / 4) as usize)
+            .copied()
     }
 
     /// Base address of the data segment.
@@ -233,7 +235,9 @@ impl Linker {
         let order: Vec<usize> = match &self.order {
             Some(o) => {
                 let mut seen = vec![false; n];
-                if o.len() != n || o.iter().any(|&i| i >= n || std::mem::replace(&mut seen[i], true))
+                if o.len() != n
+                    || o.iter()
+                        .any(|&i| i >= n || std::mem::replace(&mut seen[i], true))
                 {
                     return Err(LinkError::BadOrder);
                 }
@@ -343,13 +347,25 @@ impl Linker {
         }
 
         // Symbol table: shim, functions, globals.
-        let mut symbols = vec![Symbol { name: "__start".into(), addr: text_base, size: shim_len }];
+        let mut symbols = vec![Symbol {
+            name: "__start".into(),
+            addr: text_base,
+            size: shim_len,
+        }];
         for &(idx, base) in &placed {
             let obj = &cm.objects[idx];
-            symbols.push(Symbol { name: obj.symbol.clone(), addr: base, size: obj.size() });
+            symbols.push(Symbol {
+                name: obj.symbol.clone(),
+                addr: base,
+                size: obj.size(),
+            });
         }
         for (g, &a) in cm.globals.iter().zip(&global_addrs) {
-            symbols.push(Symbol { name: g.name.clone(), addr: a, size: g.size });
+            symbols.push(Symbol {
+                name: g.name.clone(),
+                addr: a,
+                size: g.size,
+            });
         }
 
         Ok(Executable {
@@ -426,13 +442,19 @@ mod tests {
     fn link_order_moves_function_addresses() {
         let cm = compiled(OptLevel::O2);
         let e1 = Linker::new().link(&cm, "main").unwrap();
-        let e2 = Linker::new().object_order(vec![1, 0]).link(&cm, "main").unwrap();
+        let e2 = Linker::new()
+            .object_order(vec![1, 0])
+            .link(&cm, "main")
+            .unwrap();
         assert_ne!(
             e1.symbol("main").unwrap().addr,
             e2.symbol("main").unwrap().addr
         );
         // Globals do not move with link order.
-        assert_eq!(e1.symbol("tbl").unwrap().addr, e2.symbol("tbl").unwrap().addr);
+        assert_eq!(
+            e1.symbol("tbl").unwrap().addr,
+            e2.symbol("tbl").unwrap().addr
+        );
     }
 
     #[test]
@@ -452,11 +474,17 @@ mod tests {
     fn bad_order_is_rejected() {
         let cm = compiled(OptLevel::O2);
         assert_eq!(
-            Linker::new().object_order(vec![0, 0]).link(&cm, "main").unwrap_err(),
+            Linker::new()
+                .object_order(vec![0, 0])
+                .link(&cm, "main")
+                .unwrap_err(),
             LinkError::BadOrder
         );
         assert_eq!(
-            Linker::new().object_order(vec![0]).link(&cm, "main").unwrap_err(),
+            Linker::new()
+                .object_order(vec![0])
+                .link(&cm, "main")
+                .unwrap_err(),
             LinkError::BadOrder
         );
     }
@@ -494,7 +522,12 @@ mod tests {
         // A 300 KiB filler pushes `far` outside the ±32 KiB gp window;
         // medium-model addressing must still reach it.
         let mut mb = crate::builder::ModuleBuilder::new();
-        mb.global(Global { name: "filler".into(), size: 300 << 10, align: 16, init: vec![] });
+        mb.global(Global {
+            name: "filler".into(),
+            size: 300 << 10,
+            align: 16,
+            init: vec![],
+        });
         let far = mb.global(Global::from_words("far", &[0xFEED]));
         mb.function("main", 0, true, |fb| {
             let base = fb.addr_global(far);
@@ -542,17 +575,32 @@ mod tests {
                     }
                 }
                 Inst::Lui { rd, imm } => regs[rd.index() as usize] = u64::from(imm) << 16,
-                Inst::Load { width, rd, base, offset } => {
+                Inst::Load {
+                    width,
+                    rd,
+                    base,
+                    offset,
+                } => {
                     let a = (regs[base.index() as usize] as u32).wrapping_add(offset as i32 as u32);
                     if !rd.is_zero() {
                         regs[rd.index() as usize] = mem.read_le(a, width.bytes());
                     }
                 }
-                Inst::Store { width, rs, base, offset } => {
+                Inst::Store {
+                    width,
+                    rs,
+                    base,
+                    offset,
+                } => {
                     let a = (regs[base.index() as usize] as u32).wrapping_add(offset as i32 as u32);
                     mem.write_le(a, width.bytes(), regs[rs.index() as usize]);
                 }
-                Inst::Branch { cond, rs1, rs2, offset } => {
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
                     if cond.eval(regs[rs1.index() as usize], regs[rs2.index() as usize]) {
                         pc = next.wrapping_add(offset as u32);
                         continue;
@@ -606,7 +654,13 @@ mod tests {
                 },
             ],
             align: 4,
-            relocs: vec![Reloc { at: 0, kind: RelocKind::GpAdd { symbol: "tbl".into(), addend: 0 } }],
+            relocs: vec![Reloc {
+                at: 0,
+                kind: RelocKind::GpAdd {
+                    symbol: "tbl".into(),
+                    addend: 0,
+                },
+            }],
         };
         cm.objects.push(obj);
         let exe = Linker::new().link(&cm, "main").unwrap();

@@ -39,7 +39,10 @@ impl EnvVar {
     /// Creates a variable.
     #[must_use]
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> EnvVar {
-        EnvVar { name: name.into(), value: value.into() }
+        EnvVar {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 
     /// Bytes this variable occupies on the stack (`NAME=VALUE\0`).
@@ -104,7 +107,10 @@ impl Environment {
         assert!(bytes >= 23, "minimum non-empty environment is 23 bytes");
         let value_len = bytes - 16 - 6; // "BIAS=" + NUL = 6, pointers = 16
         let mut env = Environment::new();
-        env.push(EnvVar::new("BIAS", fill.to_string().repeat(value_len as usize)));
+        env.push(EnvVar::new(
+            "BIAS",
+            fill.to_string().repeat(value_len as usize),
+        ));
         debug_assert_eq!(env.stack_bytes(), bytes);
         env
     }
@@ -131,7 +137,9 @@ impl Environment {
 
 impl FromIterator<EnvVar> for Environment {
     fn from_iter<T: IntoIterator<Item = EnvVar>>(iter: T) -> Environment {
-        Environment { vars: iter.into_iter().collect() }
+        Environment {
+            vars: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -270,7 +278,9 @@ mod tests {
 
     #[test]
     fn empty_environment_gives_aligned_top_stack() {
-        let p = Loader::new().load(&tiny_exe(), &Environment::new(), &[]).unwrap();
+        let p = Loader::new()
+            .load(&tiny_exe(), &Environment::new(), &[])
+            .unwrap();
         // Only the 8-byte envp NULL sits above sp.
         assert_eq!(p.sp, align_down(STACK_TOP - 8, 16));
         assert_eq!(p.sp % 16, 0);
@@ -279,17 +289,27 @@ mod tests {
     #[test]
     fn environment_size_moves_sp_down() {
         let exe = tiny_exe();
-        let p0 = Loader::new().load(&exe, &Environment::of_total_size(0), &[]).unwrap();
-        let p1 = Loader::new().load(&exe, &Environment::of_total_size(100), &[]).unwrap();
-        let p2 = Loader::new().load(&exe, &Environment::of_total_size(612), &[]).unwrap();
+        let p0 = Loader::new()
+            .load(&exe, &Environment::of_total_size(0), &[])
+            .unwrap();
+        let p1 = Loader::new()
+            .load(&exe, &Environment::of_total_size(100), &[])
+            .unwrap();
+        let p2 = Loader::new()
+            .load(&exe, &Environment::of_total_size(612), &[])
+            .unwrap();
         assert!(p1.sp < p0.sp);
         assert!(p2.sp < p1.sp);
         // One extra byte can change sp (this is the paper's point): find a
         // size where it does.
         let mut moved = false;
         for n in 100..150 {
-            let a = Loader::new().load(&exe, &Environment::of_total_size(n), &[]).unwrap();
-            let b = Loader::new().load(&exe, &Environment::of_total_size(n + 1), &[]).unwrap();
+            let a = Loader::new()
+                .load(&exe, &Environment::of_total_size(n), &[])
+                .unwrap();
+            let b = Loader::new()
+                .load(&exe, &Environment::of_total_size(n + 1), &[])
+                .unwrap();
             if a.sp != b.sp {
                 moved = true;
                 break;
@@ -322,7 +342,10 @@ mod tests {
     fn stack_shift_moves_sp_without_env() {
         let exe = tiny_exe();
         let a = Loader::new().load(&exe, &Environment::new(), &[]).unwrap();
-        let b = Loader::new().stack_shift(64).load(&exe, &Environment::new(), &[]).unwrap();
+        let b = Loader::new()
+            .stack_shift(64)
+            .load(&exe, &Environment::new(), &[])
+            .unwrap();
         assert_eq!(a.sp - b.sp, 64);
     }
 
@@ -344,7 +367,9 @@ mod tests {
     #[test]
     fn too_many_args_rejected() {
         let exe = tiny_exe();
-        let err = Loader::new().load(&exe, &Environment::new(), &[0; 7]).unwrap_err();
+        let err = Loader::new()
+            .load(&exe, &Environment::new(), &[0; 7])
+            .unwrap_err();
         assert_eq!(err, LoadError::TooManyArgs(7));
     }
 

@@ -30,7 +30,9 @@ impl PagedMem {
     /// Creates an empty memory.
     #[must_use]
     pub fn new() -> PagedMem {
-        PagedMem { pages: HashMap::new() }
+        PagedMem {
+            pages: HashMap::new(),
+        }
     }
 
     /// Number of pages currently mapped.
@@ -122,7 +124,9 @@ impl PagedMem {
     /// Reads `len` bytes starting at `addr`.
     #[must_use]
     pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i)))
+            .collect()
     }
 }
 

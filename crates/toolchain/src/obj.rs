@@ -145,7 +145,9 @@ impl ObjectFile {
             let at = get_u32(&mut data)? as usize;
             let tag = get_u8(&mut data)?;
             let kind = match tag {
-                0 => RelocKind::Call { symbol: get_str(&mut data)? },
+                0 => RelocKind::Call {
+                    symbol: get_str(&mut data)?,
+                },
                 1 | 2 => {
                     let symbol = get_str(&mut data)?;
                     if data.remaining() < 4 {
@@ -162,7 +164,12 @@ impl ObjectFile {
             };
             relocs.push(Reloc { at, kind });
         }
-        Ok(ObjectFile { symbol, code, align, relocs })
+        Ok(ObjectFile {
+            symbol,
+            code,
+            align,
+            relocs,
+        })
     }
 }
 
@@ -261,15 +268,42 @@ mod tests {
         ObjectFile {
             symbol: "f".into(),
             code: vec![
-                Inst::AluImm { op: AluOp::Add, rd: Reg::r(1), rs1: Reg::ZERO, imm: 5 },
-                Inst::Jal { rd: Reg::RA, offset: 0 },
-                Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+                Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::r(1),
+                    rs1: Reg::ZERO,
+                    imm: 5,
+                },
+                Inst::Jal {
+                    rd: Reg::RA,
+                    offset: 0,
+                },
+                Inst::Jalr {
+                    rd: Reg::ZERO,
+                    rs1: Reg::RA,
+                    offset: 0,
+                },
             ],
             align: 16,
             relocs: vec![
-                Reloc { at: 1, kind: RelocKind::Call { symbol: "g".into() } },
-                Reloc { at: 0, kind: RelocKind::GpAdd { symbol: "tbl".into(), addend: 8 } },
-                Reloc { at: 0, kind: RelocKind::AbsAddr { symbol: "big".into(), addend: -4 } },
+                Reloc {
+                    at: 1,
+                    kind: RelocKind::Call { symbol: "g".into() },
+                },
+                Reloc {
+                    at: 0,
+                    kind: RelocKind::GpAdd {
+                        symbol: "tbl".into(),
+                        addend: 8,
+                    },
+                },
+                Reloc {
+                    at: 0,
+                    kind: RelocKind::AbsAddr {
+                        symbol: "big".into(),
+                        addend: -4,
+                    },
+                },
             ],
         }
     }

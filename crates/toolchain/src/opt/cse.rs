@@ -47,20 +47,33 @@ pub fn cse_function(f: &mut Function) {
             let key = match op {
                 Op::Const { value, .. } => Some(Key::Const(*value)),
                 Op::Bin { op: alu, a, b, .. } => {
-                    let (a, b) = if alu.is_commutative() && b < a { (*b, *a) } else { (*a, *b) };
+                    let (a, b) = if alu.is_commutative() && b < a {
+                        (*b, *a)
+                    } else {
+                        (*a, *b)
+                    };
                     Some(Key::Bin(*alu, a, b))
                 }
-                Op::BinImm { op: alu, a, imm, .. } => Some(Key::BinImm(*alu, *a, *imm)),
+                Op::BinImm {
+                    op: alu, a, imm, ..
+                } => Some(Key::BinImm(*alu, *a, *imm)),
                 Op::AddrLocal { local, .. } => Some(Key::AddrLocal(*local)),
                 Op::AddrGlobal { global, .. } => Some(Key::AddrGlobal(global.0)),
                 Op::LoadLocal { local, offset, .. } => {
                     let g = *local_gen.entry(*local).or_insert(0);
-                    let g = if address_taken[local.0 as usize] { g.max(mem_gen) } else { g };
+                    let g = if address_taken[local.0 as usize] {
+                        g.max(mem_gen)
+                    } else {
+                        g
+                    };
                     Some(Key::LoadLocal(*local, *offset, g))
                 }
-                Op::Load { width, addr, offset, .. } => {
-                    Some(Key::Load(*width, *addr, *offset, mem_gen))
-                }
+                Op::Load {
+                    width,
+                    addr,
+                    offset,
+                    ..
+                } => Some(Key::Load(*width, *addr, *offset, mem_gen)),
                 _ => None,
             };
 
@@ -85,7 +98,12 @@ pub fn cse_function(f: &mut Function) {
                     aliases.insert(dst, prior);
                     // Leave a trivially-dead op so the def still exists for
                     // the verifier; DCE collects it.
-                    *op = Op::BinImm { op: AluOp::Add, dst, a: prior, imm: 0 };
+                    *op = Op::BinImm {
+                        op: AluOp::Add,
+                        dst,
+                        a: prior,
+                        imm: 0,
+                    };
                 } else {
                     table.insert(key, dst);
                 }
@@ -137,7 +155,11 @@ mod tests {
         crate::verify::verify_module(&m).unwrap();
         let after = Interpreter::new(&m).call_by_name("t", &[7]).unwrap();
         assert_eq!(after.return_value, before.return_value);
-        assert_eq!(count_loads(&m.functions[0]), 1, "duplicate load should merge");
+        assert_eq!(
+            count_loads(&m.functions[0]),
+            1,
+            "duplicate load should merge"
+        );
     }
 
     #[test]

@@ -19,9 +19,9 @@ pub fn dce_function(f: &mut Function) {
         let mut removed = false;
         for block in &mut f.blocks {
             let before = block.ops.len();
-            block.ops.retain(|op| {
-                op.has_side_effect() || op.def().is_none_or(|d| used.contains(&d))
-            });
+            block
+                .ops
+                .retain(|op| op.has_side_effect() || op.def().is_none_or(|d| used.contains(&d)));
             removed |= block.ops.len() != before;
         }
         if !removed {
@@ -70,16 +70,16 @@ pub fn remove_unreachable_blocks(f: &mut Function) {
             .map_successors(|b| remap[b.0 as usize].expect("successor of reachable block"));
     }
     f.blocks = kept;
-    f.loops.retain_mut(|l| {
-        match (remap[l.header.0 as usize], remap[l.body.0 as usize]) {
+    f.loops.retain_mut(
+        |l| match (remap[l.header.0 as usize], remap[l.body.0 as usize]) {
             (Some(h), Some(b)) => {
                 l.header = h;
                 l.body = b;
                 true
             }
             _ => false,
-        }
-    });
+        },
+    );
 }
 
 #[cfg(test)]
@@ -172,7 +172,9 @@ mod tests {
         verify_module(&m).unwrap();
         // Terminators all point at valid blocks and the function still
         // computes 10.
-        let out = crate::interp::Interpreter::new(&m).call_by_name("t", &[]).unwrap();
+        let out = crate::interp::Interpreter::new(&m)
+            .call_by_name("t", &[])
+            .unwrap();
         assert_eq!(out.return_value, Some(10));
     }
 
@@ -200,6 +202,9 @@ mod tests {
         let before = m.functions[0].clone();
         remove_unreachable_blocks(&mut m.functions[0]);
         assert_eq!(m.functions[0], before);
-        assert!(matches!(m.functions[0].blocks[0].term, Terminator::Ret { .. }));
+        assert!(matches!(
+            m.functions[0].blocks[0].term,
+            Terminator::Ret { .. }
+        ));
     }
 }

@@ -40,8 +40,13 @@ pub fn inline_functions(m: &mut Module, threshold: usize) {
         let mut guard = 0;
         while f.op_count() < GROWTH_LIMIT && guard < 256 {
             guard += 1;
-            let Some((bi, oi, callee_id)) = find_site(f, &inlinable) else { break };
-            let callee = inlinable[callee_id].as_ref().expect("checked by find_site").clone();
+            let Some((bi, oi, callee_id)) = find_site(f, &inlinable) else {
+                break;
+            };
+            let callee = inlinable[callee_id]
+                .as_ref()
+                .expect("checked by find_site")
+                .clone();
             inline_at(f, bi, oi, &callee);
         }
     }
@@ -87,11 +92,13 @@ fn find_site(f: &Function, inlinable: &[Option<Function>]) -> Option<(usize, usi
         for (oi, op) in block.ops.iter().enumerate() {
             if let Op::Call { func, .. } = op {
                 let id = func.0 as usize;
-                if inlinable.get(id).is_some_and(Option::is_some) && f.name != {
-                    // Never inline a function into itself (mutual recursion
-                    // through a small helper would otherwise loop forever).
-                    inlinable[id].as_ref().expect("present").name.clone()
-                } {
+                if inlinable.get(id).is_some_and(Option::is_some)
+                    && f.name != {
+                        // Never inline a function into itself (mutual recursion
+                        // through a small helper would otherwise loop forever).
+                        inlinable[id].as_ref().expect("present").name.clone()
+                    }
+                {
                     return Some((bi, oi, id));
                 }
             }
@@ -147,13 +154,29 @@ fn inline_at(f: &mut Function, bi: usize, oi: usize, callee: &Function) {
     tail_uses.extend(original_term.uses_for_rewrite());
     let mut carried_reloads: Vec<Op> = Vec::new();
     let mut renames: std::collections::HashMap<Val, Val> = std::collections::HashMap::new();
-    for &v in pre_defs.iter().filter(|v| tail_uses.contains(v)) {
+    // Carry in value order: set iteration order is process-random and the
+    // emitted store/reload sequence (hence code layout) must not depend on it.
+    let mut carried_vals: Vec<Val> = pre_defs
+        .iter()
+        .filter(|v| tail_uses.contains(v))
+        .copied()
+        .collect();
+    carried_vals.sort_unstable();
+    for v in carried_vals {
         f.locals.push(LocalSlot::scalar());
         let carry = LocalId(f.locals.len() as u32 - 1);
-        f.blocks[bi].ops.push(Op::StoreLocal { local: carry, offset: 0, src: v });
+        f.blocks[bi].ops.push(Op::StoreLocal {
+            local: carry,
+            offset: 0,
+            src: v,
+        });
         let fresh = Val(f.next_val);
         f.next_val += 1;
-        carried_reloads.push(Op::LoadLocal { dst: fresh, local: carry, offset: 0 });
+        carried_reloads.push(Op::LoadLocal {
+            dst: fresh,
+            local: carry,
+            offset: 0,
+        });
         renames.insert(v, fresh);
     }
     if !renames.is_empty() {
@@ -165,7 +188,11 @@ fn inline_at(f: &mut Function, bi: usize, oi: usize, callee: &Function) {
     let call_block = &mut f.blocks[bi];
     // Pass arguments through the callee's parameter locals.
     for (k, &arg) in args.iter().enumerate() {
-        call_block.ops.push(Op::StoreLocal { local: param_local(k as u32), offset: 0, src: arg });
+        call_block.ops.push(Op::StoreLocal {
+            local: param_local(k as u32),
+            offset: 0,
+            src: arg,
+        });
     }
 
     // Clone callee blocks with remapped ids.
@@ -176,7 +203,13 @@ fn inline_at(f: &mut Function, bi: usize, oi: usize, callee: &Function) {
         }
         let term = match &cb.term {
             Terminator::Jump(b) => Terminator::Jump(BlockId(b.0 + block_base)),
-            Terminator::Branch { cond, a, b, then_block, else_block } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                a,
+                b,
+                then_block,
+                else_block,
+            } => Terminator::Branch {
                 cond: *cond,
                 a: Val(a.0 + val_base),
                 b: Val(b.0 + val_base),
@@ -185,7 +218,11 @@ fn inline_at(f: &mut Function, bi: usize, oi: usize, callee: &Function) {
             },
             Terminator::Ret { value } => {
                 if let (Some(v), Some(res)) = (value, result_local) {
-                    ops.push(Op::StoreLocal { local: res, offset: 0, src: Val(v.0 + val_base) });
+                    ops.push(Op::StoreLocal {
+                        local: res,
+                        offset: 0,
+                        src: Val(v.0 + val_base),
+                    });
                 }
                 Terminator::Jump(cont_id)
             }
@@ -198,10 +235,17 @@ fn inline_at(f: &mut Function, bi: usize, oi: usize, callee: &Function) {
     let mut cont_ops = Vec::with_capacity(tail_ops.len() + carried_reloads.len() + 1);
     cont_ops.extend(carried_reloads);
     if let (Some(d), Some(res)) = (dst, result_local) {
-        cont_ops.push(Op::LoadLocal { dst: d, local: res, offset: 0 });
+        cont_ops.push(Op::LoadLocal {
+            dst: d,
+            local: res,
+            offset: 0,
+        });
     }
     cont_ops.extend(tail_ops);
-    f.blocks.push(Block { ops: cont_ops, term: original_term });
+    f.blocks.push(Block {
+        ops: cont_ops,
+        term: original_term,
+    });
 
     // Loop metadata: the split block can no longer be a single-block body;
     // callee loops come along with remapped ids.
@@ -220,23 +264,62 @@ fn remap_op(op: &Op, val_base: u32, local_off: u32) -> Op {
     let v = |x: Val| Val(x.0 + val_base);
     let l = |x: LocalId| LocalId(x.0 + local_off);
     match op {
-        Op::Const { dst, value } => Op::Const { dst: v(*dst), value: *value },
-        Op::Bin { op, dst, a, b } => Op::Bin { op: *op, dst: v(*dst), a: v(*a), b: v(*b) },
-        Op::BinImm { op, dst, a, imm } => Op::BinImm { op: *op, dst: v(*dst), a: v(*a), imm: *imm },
-        Op::LoadLocal { dst, local, offset } => {
-            Op::LoadLocal { dst: v(*dst), local: l(*local), offset: *offset }
-        }
-        Op::StoreLocal { local, offset, src } => {
-            Op::StoreLocal { local: l(*local), offset: *offset, src: v(*src) }
-        }
-        Op::AddrLocal { dst, local } => Op::AddrLocal { dst: v(*dst), local: l(*local) },
-        Op::AddrGlobal { dst, global } => Op::AddrGlobal { dst: v(*dst), global: *global },
-        Op::Load { width, dst, addr, offset } => {
-            Op::Load { width: *width, dst: v(*dst), addr: v(*addr), offset: *offset }
-        }
-        Op::Store { width, addr, offset, src } => {
-            Op::Store { width: *width, addr: v(*addr), offset: *offset, src: v(*src) }
-        }
+        Op::Const { dst, value } => Op::Const {
+            dst: v(*dst),
+            value: *value,
+        },
+        Op::Bin { op, dst, a, b } => Op::Bin {
+            op: *op,
+            dst: v(*dst),
+            a: v(*a),
+            b: v(*b),
+        },
+        Op::BinImm { op, dst, a, imm } => Op::BinImm {
+            op: *op,
+            dst: v(*dst),
+            a: v(*a),
+            imm: *imm,
+        },
+        Op::LoadLocal { dst, local, offset } => Op::LoadLocal {
+            dst: v(*dst),
+            local: l(*local),
+            offset: *offset,
+        },
+        Op::StoreLocal { local, offset, src } => Op::StoreLocal {
+            local: l(*local),
+            offset: *offset,
+            src: v(*src),
+        },
+        Op::AddrLocal { dst, local } => Op::AddrLocal {
+            dst: v(*dst),
+            local: l(*local),
+        },
+        Op::AddrGlobal { dst, global } => Op::AddrGlobal {
+            dst: v(*dst),
+            global: *global,
+        },
+        Op::Load {
+            width,
+            dst,
+            addr,
+            offset,
+        } => Op::Load {
+            width: *width,
+            dst: v(*dst),
+            addr: v(*addr),
+            offset: *offset,
+        },
+        Op::Store {
+            width,
+            addr,
+            offset,
+            src,
+        } => Op::Store {
+            width: *width,
+            addr: v(*addr),
+            offset: *offset,
+            src: v(*src),
+        },
         Op::Call { dst, func, args } => Op::Call {
             dst: dst.map(v),
             func: *func,
@@ -345,7 +428,11 @@ mod tests {
         let mut m = mb.finish().unwrap();
         inline_functions(&mut m, 56);
         let main = m.function_by_name("main").unwrap();
-        assert_eq!(call_count(m.func(main)), 1, "callee above threshold stays a call");
+        assert_eq!(
+            call_count(m.func(main)),
+            1,
+            "callee above threshold stays a call"
+        );
     }
 
     #[test]
@@ -407,7 +494,10 @@ mod tests {
         inline_functions(&mut m, 56);
         verify_module(&m).unwrap();
         let main_id = m.function_by_name("main").unwrap();
-        assert!(m.func(main_id).loops.is_empty(), "split body invalidates loop");
+        assert!(
+            m.func(main_id).loops.is_empty(),
+            "split body invalidates loop"
+        );
         let got = Interpreter::new(&m).call_by_name("main", &[10]).unwrap();
         assert_eq!(got.return_value, expected.return_value);
     }

@@ -176,8 +176,7 @@ mod tests {
         let baseline = Interpreter::new(&m).call_by_name("main", &[37]).unwrap();
         for level in OptLevel::ALL {
             let opt = optimize(&m, level);
-            crate::verify::verify_module(&opt)
-                .unwrap_or_else(|e| panic!("{level}: {e}"));
+            crate::verify::verify_module(&opt).unwrap_or_else(|e| panic!("{level}: {e}"));
             let out = Interpreter::new(&opt).call_by_name("main", &[37]).unwrap();
             assert_eq!(out.return_value, baseline.return_value, "{level}");
             assert_eq!(out.checksum, baseline.checksum, "{level}");

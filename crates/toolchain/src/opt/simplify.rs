@@ -38,14 +38,27 @@ pub fn simplify_function(f: &mut Function, strength: bool) {
                             consts.insert(dst, value);
                             Some(Op::Const { dst, value })
                         }
-                        (None, Some(cb)) => Some(Op::BinImm { op: alu, dst, a, imm: cb as i64 }),
-                        (Some(ca), None) if alu.is_commutative() => {
-                            Some(Op::BinImm { op: alu, dst, a: b, imm: ca as i64 })
-                        }
+                        (None, Some(cb)) => Some(Op::BinImm {
+                            op: alu,
+                            dst,
+                            a,
+                            imm: cb as i64,
+                        }),
+                        (Some(ca), None) if alu.is_commutative() => Some(Op::BinImm {
+                            op: alu,
+                            dst,
+                            a: b,
+                            imm: ca as i64,
+                        }),
                         _ => None,
                     }
                 }
-                Op::BinImm { op: alu, dst, a, imm } => {
+                Op::BinImm {
+                    op: alu,
+                    dst,
+                    a,
+                    imm,
+                } => {
                     if let Some(ca) = consts.get(&a).copied() {
                         let value = alu.eval(ca, imm as u64);
                         consts.insert(dst, value);
@@ -60,7 +73,13 @@ pub fn simplify_function(f: &mut Function, strength: bool) {
                 *op = new_op;
                 // A fresh BinImm may itself simplify (e.g. `x * 8` from a
                 // folded const operand); run the algebraic step once more.
-                if let Op::BinImm { op: alu, dst, a, imm } = *op {
+                if let Op::BinImm {
+                    op: alu,
+                    dst,
+                    a,
+                    imm,
+                } = *op
+                {
                     if let Some(better) =
                         algebraic(alu, dst, a, imm, strength, &mut aliases, &mut consts)
                     {
@@ -78,9 +97,20 @@ pub fn simplify_function(f: &mut Function, strength: bool) {
             _ => {}
         }
         // Branch folding on constant operands.
-        if let Terminator::Branch { cond, a, b, then_block, else_block } = block.term.clone() {
+        if let Terminator::Branch {
+            cond,
+            a,
+            b,
+            then_block,
+            else_block,
+        } = block.term.clone()
+        {
             if let (Some(ca), Some(cb)) = (consts.get(&a), consts.get(&b)) {
-                let target = if cond.eval(*ca, *cb) { then_block } else { else_block };
+                let target = if cond.eval(*ca, *cb) {
+                    then_block
+                } else {
+                    else_block
+                };
                 block.term = Terminator::Jump(target);
             }
         }
@@ -104,7 +134,12 @@ fn algebraic(
         aliases.insert(dst, a);
         // Keep a trivially-dead def so every use-before-def invariant holds
         // for any remaining (unrewritten) user; DCE removes it.
-        Some(Op::BinImm { op: AluOp::Add, dst, a, imm: 0 })
+        Some(Op::BinImm {
+            op: AluOp::Add,
+            dst,
+            a,
+            imm: 0,
+        })
     };
     match (alu, imm) {
         (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor, 0) => alias_to_a(aliases),
@@ -114,9 +149,12 @@ fn algebraic(
             consts.insert(dst, 0);
             Some(Op::Const { dst, value: 0 })
         }
-        (AluOp::Mul, m) if strength && m > 1 && (m as u64).is_power_of_two() => {
-            Some(Op::BinImm { op: AluOp::Sll, dst, a, imm: (m as u64).trailing_zeros() as i64 })
-        }
+        (AluOp::Mul, m) if strength && m > 1 && (m as u64).is_power_of_two() => Some(Op::BinImm {
+            op: AluOp::Sll,
+            dst,
+            a,
+            imm: (m as u64).trailing_zeros() as i64,
+        }),
         _ => None,
     }
 }
@@ -163,8 +201,14 @@ mod tests {
         simplify_function(&mut m.functions[0], false);
         let ops = &m.functions[0].blocks[0].ops;
         assert!(
-            ops.iter()
-                .any(|o| matches!(o, Op::BinImm { op: AluOp::Add, imm: 5, .. })),
+            ops.iter().any(|o| matches!(
+                o,
+                Op::BinImm {
+                    op: AluOp::Add,
+                    imm: 5,
+                    ..
+                }
+            )),
             "expected add-immediate, got {ops:?}"
         );
     }
@@ -179,16 +223,24 @@ mod tests {
         });
         let mut with = m.clone();
         simplify_function(&mut with.functions[0], true);
-        assert!(with.functions[0].blocks[0]
-            .ops
-            .iter()
-            .any(|o| matches!(o, Op::BinImm { op: AluOp::Sll, imm: 3, .. })));
+        assert!(with.functions[0].blocks[0].ops.iter().any(|o| matches!(
+            o,
+            Op::BinImm {
+                op: AluOp::Sll,
+                imm: 3,
+                ..
+            }
+        )));
 
         simplify_function(&mut m.functions[0], false);
-        assert!(m.functions[0].blocks[0]
-            .ops
-            .iter()
-            .any(|o| matches!(o, Op::BinImm { op: AluOp::Mul, imm: 8, .. })));
+        assert!(m.functions[0].blocks[0].ops.iter().any(|o| matches!(
+            o,
+            Op::BinImm {
+                op: AluOp::Mul,
+                imm: 8,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -59,17 +59,25 @@ fn validate(f: &Function, l: &LoopInfo) -> Option<Shape> {
 
     // Header: exactly [load induction, load bound] + branch body/exit.
     let (iv, bv, bound) = match header.ops.as_slice() {
-        [Op::LoadLocal { dst: iv, local: li, offset: 0 }, Op::LoadLocal { dst: bv, local: lb, offset: 0 }]
-            if *li == l.induction =>
-        {
-            (*iv, *bv, *lb)
-        }
+        [Op::LoadLocal {
+            dst: iv,
+            local: li,
+            offset: 0,
+        }, Op::LoadLocal {
+            dst: bv,
+            local: lb,
+            offset: 0,
+        }] if *li == l.induction => (*iv, *bv, *lb),
         _ => return None,
     };
     let (positive, exit) = match header.term {
-        Terminator::Branch { cond: Cond::Lt, a, b, then_block, else_block }
-            if then_block == l.body =>
-        {
+        Terminator::Branch {
+            cond: Cond::Lt,
+            a,
+            b,
+            then_block,
+            else_block,
+        } if then_block == l.body => {
             if a == iv && b == bv {
                 (true, else_block)
             } else if a == bv && b == iv {
@@ -91,9 +99,22 @@ fn validate(f: &Function, l: &LoopInfo) -> Option<Shape> {
     }
     let step = match (&body.ops[n - 3], &body.ops[n - 2], &body.ops[n - 1]) {
         (
-            Op::LoadLocal { dst: t, local: li, offset: 0 },
-            Op::BinImm { op: AluOp::Add, dst: t2, a, imm },
-            Op::StoreLocal { local: ls, offset: 0, src },
+            Op::LoadLocal {
+                dst: t,
+                local: li,
+                offset: 0,
+            },
+            Op::BinImm {
+                op: AluOp::Add,
+                dst: t2,
+                a,
+                imm,
+            },
+            Op::StoreLocal {
+                local: ls,
+                offset: 0,
+                src,
+            },
         ) if *li == l.induction && *ls == l.induction && a == t && src == t2 => *imm,
         _ => return None,
     };
@@ -126,7 +147,12 @@ fn validate(f: &Function, l: &LoopInfo) -> Option<Shape> {
         }
     }
     let _ = exit;
-    Some(Shape { bound, step, positive, exit })
+    Some(Shape {
+        bound,
+        step,
+        positive,
+        exit,
+    })
 }
 
 fn unroll_one(f: &mut Function, l: &LoopInfo, factor: u32) {
@@ -142,7 +168,8 @@ fn unroll_one(f: &mut Function, l: &LoopInfo, factor: u32) {
         if BlockId(bi as u32) == l.body {
             continue;
         }
-        b.term.map_successors(|s| if s == l.header { guard_id } else { s });
+        b.term
+            .map_successors(|s| if s == l.header { guard_id } else { s });
     }
 
     // Guard block: if `i + (K-1)*step` still satisfies the test, take the
@@ -152,9 +179,22 @@ fn unroll_one(f: &mut Function, l: &LoopInfo, factor: u32) {
     let probe = f.fresh_val();
     let lookahead = (factor as i64 - 1) * shape.step;
     let guard_ops = vec![
-        Op::LoadLocal { dst: iv, local: l.induction, offset: 0 },
-        Op::LoadLocal { dst: bv, local: shape.bound, offset: 0 },
-        Op::BinImm { op: AluOp::Add, dst: probe, a: iv, imm: lookahead },
+        Op::LoadLocal {
+            dst: iv,
+            local: l.induction,
+            offset: 0,
+        },
+        Op::LoadLocal {
+            dst: bv,
+            local: shape.bound,
+            offset: 0,
+        },
+        Op::BinImm {
+            op: AluOp::Add,
+            dst: probe,
+            a: iv,
+            imm: lookahead,
+        },
     ];
     let guard_term = if shape.positive {
         Terminator::Branch {
@@ -173,7 +213,10 @@ fn unroll_one(f: &mut Function, l: &LoopInfo, factor: u32) {
             else_block: l.header,
         }
     };
-    f.blocks.push(Block { ops: guard_ops, term: guard_term });
+    f.blocks.push(Block {
+        ops: guard_ops,
+        term: guard_term,
+    });
 
     // Body clones: clone k jumps to clone k+1; the last jumps to the guard.
     let body_ops = f.blocks[l.body.0 as usize].ops.clone();
@@ -190,8 +233,15 @@ fn unroll_one(f: &mut Function, l: &LoopInfo, factor: u32) {
             }
             ops.push(cloned);
         }
-        let next = if k + 1 == factor { guard_id } else { BlockId(first_clone + k + 1) };
-        f.blocks.push(Block { ops, term: Terminator::Jump(next) });
+        let next = if k + 1 == factor {
+            guard_id
+        } else {
+            BlockId(first_clone + k + 1)
+        };
+        f.blocks.push(Block {
+            ops,
+            term: Terminator::Jump(next),
+        });
     }
 }
 
@@ -306,8 +356,12 @@ mod tests {
         unroll_loops(&mut u, 3);
         verify_module(&u).unwrap();
         for n in [0u64, 1, 2, 3, 7, 30] {
-            let a = Interpreter::new(&m).call_by_name("countdown", &[n]).unwrap();
-            let b = Interpreter::new(&u).call_by_name("countdown", &[n]).unwrap();
+            let a = Interpreter::new(&m)
+                .call_by_name("countdown", &[n])
+                .unwrap();
+            let b = Interpreter::new(&u)
+                .call_by_name("countdown", &[n])
+                .unwrap();
             assert_eq!(a.return_value, b.return_value, "n={n}");
         }
     }
@@ -327,7 +381,11 @@ mod tests {
         m.functions[0].loops[0].body = bad_body;
         let before_blocks = m.functions[0].blocks.len();
         unroll_loops(&mut m, 4);
-        assert_eq!(m.functions[0].blocks.len(), before_blocks, "invalid loop untouched");
+        assert_eq!(
+            m.functions[0].blocks.len(),
+            before_blocks,
+            "invalid loop untouched"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err(function: &Function, message: String) -> VerifyError {
-    VerifyError { function: Some(function.name.clone()), message }
+    VerifyError {
+        function: Some(function.name.clone()),
+        message,
+    }
 }
 
 /// Verifies every function and the module-level references.
@@ -51,7 +54,10 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
         if !g.align.is_power_of_two() {
             return Err(VerifyError {
                 function: None,
-                message: format!("global `{}` alignment {} is not a power of two", g.name, g.align),
+                message: format!(
+                    "global `{}` alignment {} is not a power of two",
+                    g.name, g.align
+                ),
             });
         }
         if g.init.len() as u32 > g.size {
@@ -86,14 +92,20 @@ pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError>
         return Err(err(f, "function has no blocks".into()));
     }
     if f.param_count > 6 {
-        return Err(err(f, format!("{} parameters exceed the ABI limit of 6", f.param_count)));
+        return Err(err(
+            f,
+            format!("{} parameters exceed the ABI limit of 6", f.param_count),
+        ));
     }
     if (f.param_count as usize) > f.locals.len() {
         return Err(err(f, "fewer locals than parameters".into()));
     }
     for (i, slot) in f.locals.iter().enumerate() {
         if !slot.align.is_power_of_two() {
-            return Err(err(f, format!("local {i} alignment {} not a power of two", slot.align)));
+            return Err(err(
+                f,
+                format!("local {i} alignment {} not a power of two", slot.align),
+            ));
         }
         if slot.size == 0 {
             return Err(err(f, format!("local {i} has zero size")));
@@ -116,7 +128,10 @@ pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError>
             self::verify_op(module, f, op).map_err(|m| err(f, format!("{bid} op {oi}: {m}")))?;
             if let Some(dst) = op.def() {
                 if !defined.insert(dst) {
-                    return Err(err(f, format!("{bid} op {oi}: {dst} defined twice in block")));
+                    return Err(err(
+                        f,
+                        format!("{bid} op {oi}: {dst} defined twice in block"),
+                    ));
                 }
                 if !defined_anywhere.insert(dst) {
                     return Err(err(
@@ -134,12 +149,18 @@ pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError>
         }
         for used in block.term.uses() {
             if !defined.contains(&used) {
-                return Err(err(f, format!("{bid} terminator: {used} used before definition")));
+                return Err(err(
+                    f,
+                    format!("{bid} terminator: {used} used before definition"),
+                ));
             }
         }
         for succ in block.term.successors() {
             if succ.0 as usize >= f.blocks.len() {
-                return Err(err(f, format!("{bid} terminator: successor {succ} out of range")));
+                return Err(err(
+                    f,
+                    format!("{bid} terminator: successor {succ} out of range"),
+                ));
             }
         }
         if let Terminator::Ret { value } = &block.term {
@@ -148,8 +169,16 @@ pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError>
                     f,
                     format!(
                         "{bid}: return {} value but function {}",
-                        if value.is_some() { "carries a" } else { "lacks a" },
-                        if f.returns_value { "returns one" } else { "returns none" },
+                        if value.is_some() {
+                            "carries a"
+                        } else {
+                            "lacks a"
+                        },
+                        if f.returns_value {
+                            "returns one"
+                        } else {
+                            "returns none"
+                        },
                     ),
                 ));
             }
@@ -184,14 +213,12 @@ fn verify_op(module: &Module, f: &Function, op: &Op) -> Result<(), String> {
                 ));
             }
         }
-        Op::AddrLocal { local, .. }
-            if local.0 as usize >= f.locals.len() => {
-                return Err(format!("local {} out of range", local.0));
-            }
-        Op::AddrGlobal { global, .. }
-            if global.0 as usize >= module.globals.len() => {
-                return Err(format!("global {} out of range", global.0));
-            }
+        Op::AddrLocal { local, .. } if local.0 as usize >= f.locals.len() => {
+            return Err(format!("local {} out of range", local.0));
+        }
+        Op::AddrGlobal { global, .. } if global.0 as usize >= module.globals.len() => {
+            return Err(format!("global {} out of range", global.0));
+        }
         Op::Call { dst, func, args } => {
             let callee = module
                 .functions
@@ -206,7 +233,10 @@ fn verify_op(module: &Module, f: &Function, op: &Op) -> Result<(), String> {
                 ));
             }
             if dst.is_some() && !callee.returns_value {
-                return Err(format!("call to `{}` uses a result it does not return", callee.name));
+                return Err(format!(
+                    "call to `{}` uses a result it does not return",
+                    callee.name
+                ));
             }
         }
         _ => {}
@@ -234,13 +264,19 @@ mod tests {
     }
 
     fn module_with(f: Function) -> Module {
-        Module { functions: vec![f], globals: vec![] }
+        Module {
+            functions: vec![f],
+            globals: vec![],
+        }
     }
 
     #[test]
     fn accepts_minimal_function() {
         let m = module_with(func(
-            vec![Block { ops: vec![], term: Terminator::Ret { value: None } }],
+            vec![Block {
+                ops: vec![],
+                term: Terminator::Ret { value: None },
+            }],
             vec![],
             0,
         ));
@@ -251,7 +287,12 @@ mod tests {
     fn rejects_use_before_def() {
         let m = module_with(func(
             vec![Block {
-                ops: vec![Op::Bin { op: AluOp::Add, dst: Val(1), a: Val(0), b: Val(0) }],
+                ops: vec![Op::Bin {
+                    op: AluOp::Add,
+                    dst: Val(1),
+                    a: Val(0),
+                    b: Val(0),
+                }],
                 term: Terminator::Ret { value: None },
             }],
             vec![],
@@ -266,7 +307,10 @@ mod tests {
         let m = module_with(func(
             vec![
                 Block {
-                    ops: vec![Op::Const { dst: Val(0), value: 1 }],
+                    ops: vec![Op::Const {
+                        dst: Val(0),
+                        value: 1,
+                    }],
                     term: Terminator::Jump(BlockId(1)),
                 },
                 Block {
@@ -285,8 +329,14 @@ mod tests {
         let m = module_with(func(
             vec![Block {
                 ops: vec![
-                    Op::Const { dst: Val(0), value: 1 },
-                    Op::Const { dst: Val(0), value: 2 },
+                    Op::Const {
+                        dst: Val(0),
+                        value: 1,
+                    },
+                    Op::Const {
+                        dst: Val(0),
+                        value: 2,
+                    },
                 ],
                 term: Terminator::Ret { value: None },
             }],
@@ -300,7 +350,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_successor() {
         let m = module_with(func(
-            vec![Block { ops: vec![], term: Terminator::Jump(BlockId(5)) }],
+            vec![Block {
+                ops: vec![],
+                term: Terminator::Jump(BlockId(5)),
+            }],
             vec![],
             0,
         ));
@@ -312,7 +365,11 @@ mod tests {
     fn rejects_local_access_past_slot() {
         let m = module_with(func(
             vec![Block {
-                ops: vec![Op::LoadLocal { dst: Val(0), local: LocalId(0), offset: 8 }],
+                ops: vec![Op::LoadLocal {
+                    dst: Val(0),
+                    local: LocalId(0),
+                    offset: 8,
+                }],
                 term: Terminator::Ret { value: None },
             }],
             vec![LocalSlot::scalar()],
@@ -329,19 +386,29 @@ mod tests {
             param_count: 2,
             returns_value: false,
             locals: vec![LocalSlot::scalar(), LocalSlot::scalar()],
-            blocks: vec![Block { ops: vec![], term: Terminator::Ret { value: None } }],
+            blocks: vec![Block {
+                ops: vec![],
+                term: Terminator::Ret { value: None },
+            }],
             loops: vec![],
             next_val: 0,
         };
         let caller = func(
             vec![Block {
-                ops: vec![Op::Call { dst: None, func: crate::ir::FuncId(0), args: vec![] }],
+                ops: vec![Op::Call {
+                    dst: None,
+                    func: crate::ir::FuncId(0),
+                    args: vec![],
+                }],
                 term: Terminator::Ret { value: None },
             }],
             vec![],
             0,
         );
-        let m = Module { functions: vec![callee, caller], globals: vec![] };
+        let m = Module {
+            functions: vec![callee, caller],
+            globals: vec![],
+        };
         let e = verify_module(&m).unwrap_err();
         assert!(e.to_string().contains("passes 0 args"), "{e}");
     }
@@ -349,7 +416,10 @@ mod tests {
     #[test]
     fn rejects_mismatched_return() {
         let mut f = func(
-            vec![Block { ops: vec![], term: Terminator::Ret { value: None } }],
+            vec![Block {
+                ops: vec![],
+                term: Terminator::Ret { value: None },
+            }],
             vec![],
             0,
         );

@@ -36,7 +36,10 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             rs2,
             offset: units * 4
         }),
-        (arb_reg(), (-1000i32..1000)).prop_map(|(rd, units)| Inst::Jal { rd, offset: units * 4 }),
+        (arb_reg(), (-1000i32..1000)).prop_map(|(rd, units)| Inst::Jal {
+            rd,
+            offset: units * 4
+        }),
         Just(Inst::Halt),
         Just(Inst::Nop),
     ]
@@ -47,19 +50,25 @@ fn arb_symbol() -> impl Strategy<Value = String> {
 }
 
 fn arb_reloc(code_len: usize) -> impl Strategy<Value = Reloc> {
-    (0..code_len.max(1), arb_symbol(), any::<i32>(), 0u8..3).prop_map(|(at, symbol, addend, kind)| {
-        let kind = match kind {
-            0 => RelocKind::Call { symbol },
-            1 => RelocKind::GpAdd { symbol, addend },
-            _ => RelocKind::AbsAddr { symbol, addend },
-        };
-        Reloc { at, kind }
-    })
+    (0..code_len.max(1), arb_symbol(), any::<i32>(), 0u8..3).prop_map(
+        |(at, symbol, addend, kind)| {
+            let kind = match kind {
+                0 => RelocKind::Call { symbol },
+                1 => RelocKind::GpAdd { symbol, addend },
+                _ => RelocKind::AbsAddr { symbol, addend },
+            };
+            Reloc { at, kind }
+        },
+    )
 }
 
 fn arb_object() -> impl Strategy<Value = ObjectFile> {
-    (arb_symbol(), proptest::collection::vec(arb_inst(), 1..64), 0u32..4).prop_flat_map(
-        |(symbol, code, align_pow)| {
+    (
+        arb_symbol(),
+        proptest::collection::vec(arb_inst(), 1..64),
+        0u32..4,
+    )
+        .prop_flat_map(|(symbol, code, align_pow)| {
             let len = code.len();
             proptest::collection::vec(arb_reloc(len), 0..6).prop_map(move |relocs| ObjectFile {
                 symbol: symbol.clone(),
@@ -67,8 +76,7 @@ fn arb_object() -> impl Strategy<Value = ObjectFile> {
                 align: 1 << (align_pow + 2),
                 relocs,
             })
-        },
-    )
+        })
 }
 
 proptest! {

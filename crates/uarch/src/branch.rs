@@ -74,7 +74,9 @@ impl BranchPredictor {
     /// Predicts the direction of the conditional branch at `pc`.
     #[must_use]
     pub fn predict(&self, pc: u32) -> DirectionPrediction {
-        DirectionPrediction { taken: self.pht[self.pht_index(pc)] >= 2 }
+        DirectionPrediction {
+            taken: self.pht[self.pht_index(pc)] >= 2,
+        }
     }
 
     /// Trains the predictor with the branch's actual direction.
@@ -159,7 +161,7 @@ mod tests {
         assert!(p.btb_lookup(a, 0x1111));
         assert!(!p.btb_lookup(b, 0x2222)); // evicts a
         assert!(!p.btb_lookup(a, 0x1111)); // a must re-install
-        // A branch at a non-conflicting address does not evict.
+                                           // A branch at a non-conflicting address does not evict.
         let c = a + 4;
         assert!(!p.btb_lookup(c, 0x3333));
         assert!(p.btb_lookup(a, 0x1111));

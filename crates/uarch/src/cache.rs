@@ -54,7 +54,13 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Cache {
         let sets = config.sets();
         let entries = (sets * config.ways) as usize;
-        Cache { config, sets, tags: vec![u32::MAX; entries], stamps: vec![0; entries], clock: 0 }
+        Cache {
+            config,
+            sets,
+            tags: vec![u32::MAX; entries],
+            stamps: vec![0; entries],
+            clock: 0,
+        }
     }
 
     /// The configured geometry.
@@ -111,7 +117,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B lines = 512 B.
-        Cache::new(CacheConfig { size: 512, ways: 2, line: 64, hit_latency: 3 })
+        Cache::new(CacheConfig {
+            size: 512,
+            ways: 2,
+            line: 64,
+            hit_latency: 3,
+        })
     }
 
     #[test]
@@ -171,15 +182,18 @@ mod tests {
         // The bias mechanism in miniature: the same 128-byte buffer at two
         // different base addresses occupies different sets.
         let c = tiny();
-        let sets_at = |base: u32| -> Vec<u32> {
-            (0..2).map(|i| c.set_of(base + i * 64)).collect()
-        };
+        let sets_at = |base: u32| -> Vec<u32> { (0..2).map(|i| c.set_of(base + i * 64)).collect() };
         assert_ne!(sets_at(0), sets_at(128));
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_is_rejected() {
-        let _ = Cache::new(CacheConfig { size: 384, ways: 2, line: 64, hit_latency: 1 });
+        let _ = Cache::new(CacheConfig {
+            size: 384,
+            ways: 2,
+            line: 64,
+            hit_latency: 1,
+        });
     }
 }

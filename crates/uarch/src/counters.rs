@@ -190,8 +190,16 @@ mod tests {
 
     #[test]
     fn addition_accumulates_fieldwise() {
-        let a = Counters { cycles: 1, loads: 2, ..Counters::default() };
-        let b = Counters { cycles: 10, stores: 3, ..Counters::default() };
+        let a = Counters {
+            cycles: 1,
+            loads: 2,
+            ..Counters::default()
+        };
+        let b = Counters {
+            cycles: 10,
+            stores: 3,
+            ..Counters::default()
+        };
         let s = a + b;
         assert_eq!(s.cycles, 11);
         assert_eq!(s.loads, 2);

@@ -80,12 +80,35 @@ impl MachineConfig {
     pub fn core2() -> MachineConfig {
         MachineConfig {
             name: "core2".into(),
-            l1i: CacheConfig { size: 32 << 10, ways: 8, line: 64, hit_latency: 3 },
-            l1d: CacheConfig { size: 32 << 10, ways: 8, line: 64, hit_latency: 3 },
-            l2: CacheConfig { size: 2 << 20, ways: 8, line: 64, hit_latency: 15 },
+            l1i: CacheConfig {
+                size: 32 << 10,
+                ways: 8,
+                line: 64,
+                hit_latency: 3,
+            },
+            l1d: CacheConfig {
+                size: 32 << 10,
+                ways: 8,
+                line: 64,
+                hit_latency: 3,
+            },
+            l2: CacheConfig {
+                size: 2 << 20,
+                ways: 8,
+                line: 64,
+                hit_latency: 15,
+            },
             memory_latency: 200,
-            itlb: TlbConfig { entries: 32, ways: 4, miss_penalty: 20 },
-            dtlb: TlbConfig { entries: 64, ways: 4, miss_penalty: 30 },
+            itlb: TlbConfig {
+                entries: 32,
+                ways: 4,
+                miss_penalty: 20,
+            },
+            dtlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                miss_penalty: 30,
+            },
             branch: BranchConfig {
                 gshare_bits: 12,
                 btb_entries: 512,
@@ -110,12 +133,35 @@ impl MachineConfig {
     pub fn pentium4() -> MachineConfig {
         MachineConfig {
             name: "pentium4".into(),
-            l1i: CacheConfig { size: 16 << 10, ways: 4, line: 64, hit_latency: 3 },
-            l1d: CacheConfig { size: 16 << 10, ways: 4, line: 64, hit_latency: 4 },
-            l2: CacheConfig { size: 1 << 20, ways: 8, line: 64, hit_latency: 20 },
+            l1i: CacheConfig {
+                size: 16 << 10,
+                ways: 4,
+                line: 64,
+                hit_latency: 3,
+            },
+            l1d: CacheConfig {
+                size: 16 << 10,
+                ways: 4,
+                line: 64,
+                hit_latency: 4,
+            },
+            l2: CacheConfig {
+                size: 1 << 20,
+                ways: 8,
+                line: 64,
+                hit_latency: 20,
+            },
             memory_latency: 250,
-            itlb: TlbConfig { entries: 32, ways: 4, miss_penalty: 25 },
-            dtlb: TlbConfig { entries: 64, ways: 4, miss_penalty: 35 },
+            itlb: TlbConfig {
+                entries: 32,
+                ways: 4,
+                miss_penalty: 25,
+            },
+            dtlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                miss_penalty: 35,
+            },
             branch: BranchConfig {
                 gshare_bits: 12,
                 btb_entries: 256,
@@ -141,12 +187,35 @@ impl MachineConfig {
     pub fn o3cpu() -> MachineConfig {
         MachineConfig {
             name: "o3cpu".into(),
-            l1i: CacheConfig { size: 32 << 10, ways: 2, line: 64, hit_latency: 2 },
-            l1d: CacheConfig { size: 32 << 10, ways: 2, line: 64, hit_latency: 2 },
-            l2: CacheConfig { size: 1 << 20, ways: 8, line: 64, hit_latency: 12 },
+            l1i: CacheConfig {
+                size: 32 << 10,
+                ways: 2,
+                line: 64,
+                hit_latency: 2,
+            },
+            l1d: CacheConfig {
+                size: 32 << 10,
+                ways: 2,
+                line: 64,
+                hit_latency: 2,
+            },
+            l2: CacheConfig {
+                size: 1 << 20,
+                ways: 8,
+                line: 64,
+                hit_latency: 12,
+            },
             memory_latency: 150,
-            itlb: TlbConfig { entries: 32, ways: 4, miss_penalty: 20 },
-            dtlb: TlbConfig { entries: 64, ways: 4, miss_penalty: 25 },
+            itlb: TlbConfig {
+                entries: 32,
+                ways: 4,
+                miss_penalty: 20,
+            },
+            dtlb: TlbConfig {
+                entries: 64,
+                ways: 4,
+                miss_penalty: 25,
+            },
             branch: BranchConfig {
                 gshare_bits: 13,
                 btb_entries: 1024,
@@ -169,7 +238,11 @@ impl MachineConfig {
     /// The three paper machines, in the paper's order.
     #[must_use]
     pub fn all() -> Vec<MachineConfig> {
-        vec![MachineConfig::pentium4(), MachineConfig::core2(), MachineConfig::o3cpu()]
+        vec![
+            MachineConfig::pentium4(),
+            MachineConfig::core2(),
+            MachineConfig::o3cpu(),
+        ]
     }
 
     /// Checks the configuration for geometric consistency. [`Machine::new`]
@@ -196,14 +269,23 @@ impl MachineConfig {
         }
         for (name, t) in [("itlb", &self.itlb), ("dtlb", &self.dtlb)] {
             if t.ways == 0 || t.entries % t.ways != 0 || !(t.entries / t.ways).is_power_of_two() {
-                return Err(format!("{name}: {}x{} is not a power-of-two set layout", t.entries, t.ways));
+                return Err(format!(
+                    "{name}: {}x{} is not a power-of-two set layout",
+                    t.entries, t.ways
+                ));
             }
         }
         if !self.branch.btb_entries.is_power_of_two() {
-            return Err(format!("btb: {} entries not a power of two", self.branch.btb_entries));
+            return Err(format!(
+                "btb: {} entries not a power of two",
+                self.branch.btb_entries
+            ));
         }
         if self.branch.gshare_bits == 0 || self.branch.gshare_bits > 24 {
-            return Err(format!("gshare: {} bits outside 1..=24", self.branch.gshare_bits));
+            return Err(format!(
+                "gshare: {} bits outside 1..=24",
+                self.branch.gshare_bits
+            ));
         }
         if !self.fetch_bytes.is_power_of_two() || self.fetch_bytes < 4 {
             return Err(format!("fetch window {} invalid", self.fetch_bytes));
@@ -411,21 +493,36 @@ impl Machine {
                     c.stall_compute += u64::from(self.alu_extra(op));
                 }
                 Inst::Lui { rd, imm } => wr!(rd, u64::from(imm) << 16),
-                Inst::Load { width, rd, base, offset } => {
+                Inst::Load {
+                    width,
+                    rd,
+                    base,
+                    offset,
+                } => {
                     let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
                     c.loads += 1;
                     let idx = c.instructions;
                     self.data_access(&mut c, addr, width.bytes(), false, idx);
                     wr!(rd, mem.read_le(addr, width.bytes()));
                 }
-                Inst::Store { width, rs, base, offset } => {
+                Inst::Store {
+                    width,
+                    rs,
+                    base,
+                    offset,
+                } => {
                     let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
                     c.stores += 1;
                     let idx = c.instructions;
                     self.data_access(&mut c, addr, width.bytes(), true, idx);
                     mem.write_le(addr, width.bytes(), rd!(rs));
                 }
-                Inst::Branch { cond, rs1, rs2, offset } => {
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
                     c.branches += 1;
                     let taken = cond.eval(rd!(rs1), rd!(rs2));
                     let predicted = self.bp.predict(pc).taken;
@@ -515,7 +612,14 @@ impl Machine {
     /// the same L1D bank in different lines — the structural hazard whose
     /// dependence on *address bits 3..6* gives memory layout its
     /// fine-grained performance texture.
-    fn data_access(&mut self, c: &mut Counters, addr: u32, size: u32, is_store: bool, inst_index: u64) {
+    fn data_access(
+        &mut self,
+        c: &mut Counters,
+        addr: u32,
+        size: u32,
+        is_store: bool,
+        inst_index: u64,
+    ) {
         if self.config.l1d_banks > 1 {
             let bank = (addr / 8) & (self.config.l1d_banks - 1);
             let line_no = addr / self.config.l1d.line;
@@ -617,12 +721,16 @@ mod tests {
             fb.ret(Some(r));
         });
         let m = mb.finish().unwrap();
-        Linker::new().link(&compile(&optimize(&m, level), level), "main").unwrap()
+        Linker::new()
+            .link(&compile(&optimize(&m, level), level), "main")
+            .unwrap()
     }
 
     fn run(exe: &Executable, env: &Environment, args: &[u64]) -> RunResult {
         let process = Loader::new().load(exe, env, args).unwrap();
-        Machine::new(MachineConfig::core2()).run(exe, process).unwrap()
+        Machine::new(MachineConfig::core2())
+            .run(exe, process)
+            .unwrap()
     }
 
     #[test]
@@ -725,7 +833,9 @@ mod tests {
         let exe = build_exe(OptLevel::O2);
         let mut cycles = Vec::new();
         for config in MachineConfig::all() {
-            let process = Loader::new().load(&exe, &Environment::new(), &[200]).unwrap();
+            let process = Loader::new()
+                .load(&exe, &Environment::new(), &[200])
+                .unwrap();
             let r = Machine::new(config).run(&exe, process).unwrap();
             cycles.push(r.counters.cycles);
         }
@@ -735,9 +845,12 @@ mod tests {
     #[test]
     fn profiling_attributes_cycles_to_functions() {
         let exe = build_exe(OptLevel::O2);
-        let process = Loader::new().load(&exe, &Environment::new(), &[200]).unwrap();
-        let (result, profile) =
-            Machine::new(MachineConfig::core2()).run_profiled(&exe, process).unwrap();
+        let process = Loader::new()
+            .load(&exe, &Environment::new(), &[200])
+            .unwrap();
+        let (result, profile) = Machine::new(MachineConfig::core2())
+            .run_profiled(&exe, process)
+            .unwrap();
         assert_eq!(profile.hottest(), Some("main"));
         let attributed = profile.total_cycles();
         // Everything except the final halt instruction is attributed.
@@ -748,16 +861,24 @@ mod tests {
             result.counters.cycles
         );
         // Profiling must not change the measurement itself.
-        let process = Loader::new().load(&exe, &Environment::new(), &[200]).unwrap();
-        let plain = Machine::new(MachineConfig::core2()).run(&exe, process).unwrap();
+        let process = Loader::new()
+            .load(&exe, &Environment::new(), &[200])
+            .unwrap();
+        let plain = Machine::new(MachineConfig::core2())
+            .run(&exe, process)
+            .unwrap();
         assert_eq!(plain.counters, result.counters);
     }
 
     #[test]
     fn stall_categories_account_for_all_extra_cycles() {
         let exe = build_exe(OptLevel::O0);
-        let process = Loader::new().load(&exe, &Environment::new(), &[300]).unwrap();
-        let r = Machine::new(MachineConfig::pentium4()).run(&exe, process).unwrap();
+        let process = Loader::new()
+            .load(&exe, &Environment::new(), &[300])
+            .unwrap();
+        let r = Machine::new(MachineConfig::pentium4())
+            .run(&exe, process)
+            .unwrap();
         let c = &r.counters;
         // cycles = 1 per instruction + attributed stalls, exactly.
         assert_eq!(c.cycles, c.instructions + c.stall_total());
@@ -769,7 +890,9 @@ mod tests {
         let run_with = |prefetch: bool| {
             let mut config = MachineConfig::core2();
             config.l1d_next_line_prefetch = prefetch;
-            let process = Loader::new().load(&exe, &Environment::new(), &[400]).unwrap();
+            let process = Loader::new()
+                .load(&exe, &Environment::new(), &[400])
+                .unwrap();
             Machine::new(config).run(&exe, process).unwrap()
         };
         let off = run_with(false);

@@ -52,7 +52,11 @@ impl Profile {
 impl fmt::Display for Profile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total_cycles().max(1);
-        writeln!(f, "{:<24} {:>12} {:>12} {:>7}", "function", "cycles", "instructions", "share")?;
+        writeln!(
+            f,
+            "{:<24} {:>12} {:>12} {:>7}",
+            "function", "cycles", "instructions", "share"
+        )?;
         for e in &self.entries {
             writeln!(
                 f,
@@ -90,7 +94,12 @@ impl Attributor {
             .collect();
         ranges.sort_by_key(|r| r.0);
         let n = ranges.len();
-        Attributor { ranges, cycles: vec![0; n], instructions: vec![0; n], last: 0 }
+        Attributor {
+            ranges,
+            cycles: vec![0; n],
+            instructions: vec![0; n],
+            last: 0,
+        }
     }
 
     pub(crate) fn record(&mut self, pc: u32, cycles: u64) {
@@ -149,8 +158,16 @@ mod tests {
     fn display_formats_shares() {
         let p = Profile {
             entries: vec![
-                ProfileEntry { name: "hot".into(), cycles: 75, instructions: 10 },
-                ProfileEntry { name: "cold".into(), cycles: 25, instructions: 5 },
+                ProfileEntry {
+                    name: "hot".into(),
+                    cycles: 75,
+                    instructions: 10,
+                },
+                ProfileEntry {
+                    name: "cold".into(),
+                    cycles: 25,
+                    instructions: 5,
+                },
             ],
         };
         let text = p.to_string();

@@ -39,9 +39,18 @@ impl Tlb {
     #[must_use]
     pub fn new(config: TlbConfig) -> Tlb {
         let sets = config.entries / config.ways;
-        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
         let n = (sets * config.ways) as usize;
-        Tlb { config, sets, tags: vec![u32::MAX; n], stamps: vec![0; n], clock: 0 }
+        Tlb {
+            config,
+            sets,
+            tags: vec![u32::MAX; n],
+            stamps: vec![0; n],
+            clock: 0,
+        }
     }
 
     /// The configured geometry.
@@ -86,7 +95,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries: 8, ways: 2, miss_penalty: 30 })
+        Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+            miss_penalty: 30,
+        })
     }
 
     #[test]

@@ -8,7 +8,12 @@ use proptest::prelude::*;
 
 fn small_cache() -> Cache {
     // 8 sets × 2 ways × 64 B.
-    Cache::new(CacheConfig { size: 1024, ways: 2, line: 64, hit_latency: 1 })
+    Cache::new(CacheConfig {
+        size: 1024,
+        ways: 2,
+        line: 64,
+        hit_latency: 1,
+    })
 }
 
 proptest! {

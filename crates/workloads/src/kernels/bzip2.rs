@@ -174,7 +174,9 @@ mod tests {
     #[test]
     fn count_pass_counts_all_input_bytes() {
         let m = bzip2();
-        let out = Interpreter::new(&m).call_by_name("count_pass", &[]).unwrap();
+        let out = Interpreter::new(&m)
+            .call_by_name("count_pass", &[])
+            .unwrap();
         assert_eq!(out.return_value, Some(INPUT_BYTES));
     }
 

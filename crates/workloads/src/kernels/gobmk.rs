@@ -19,8 +19,10 @@ pub fn gobmk() -> Module {
 
     let board = mb.global(Global::zeroed("board", CELLS as u32));
     let marks = mb.global(Global::zeroed("marks", CELLS as u32));
-    let rand_tbl =
-        mb.global(Global::from_words("rand_tbl", &lcg_words(0x60B, (CELLS / 8) as usize)));
+    let rand_tbl = mb.global(Global::from_words(
+        "rand_tbl",
+        &lcg_words(0x60B, (CELLS / 8) as usize),
+    ));
 
     // reseed(salt): refill the board with ~25% stones derived from the
     // random table and the salt; clears marks.

@@ -226,7 +226,9 @@ mod tests {
     #[test]
     fn search_returns_a_candidate_in_range() {
         let m = h264ref();
-        let out = Interpreter::new(&m).call_by_name("motion_search", &[16, 16]).unwrap();
+        let out = Interpreter::new(&m)
+            .call_by_name("motion_search", &[16, 16])
+            .unwrap();
         let cand = out.return_value.unwrap() & 0xFF;
         assert!(cand < 9, "candidate {cand}");
     }

@@ -166,8 +166,11 @@ mod tests {
     #[test]
     fn emission_lookup_matches_table() {
         let m = hmmer();
-        let out = Interpreter::new(&m).call_by_name("emit_score", &[3, 5]).unwrap();
-        let expected = lcg_words(0x4A3E12, (STATES * RESIDUES) as usize)[5 * STATES as usize + 3] % 4096;
+        let out = Interpreter::new(&m)
+            .call_by_name("emit_score", &[3, 5])
+            .unwrap();
+        let expected =
+            lcg_words(0x4A3E12, (STATES * RESIDUES) as usize)[5 * STATES as usize + 3] % 4096;
         assert_eq!(out.return_value, Some(expected));
     }
 }

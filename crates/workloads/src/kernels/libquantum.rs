@@ -16,7 +16,10 @@ const AMPS: u64 = 8192;
 pub fn libquantum() -> Module {
     let mut mb = ModuleBuilder::new();
 
-    let qreg = mb.global(Global::from_words("qreg", &lcg_words(0x9A27, AMPS as usize)));
+    let qreg = mb.global(Global::from_words(
+        "qreg",
+        &lcg_words(0x9A27, AMPS as usize),
+    ));
 
     // gate_not(mask): amp[i] ^= mask — one streaming pass.
     let gate_not = mb.function("gate_not", 1, true, |fb| {
@@ -132,12 +135,20 @@ mod tests {
         let m = libquantum();
         let mut interp = Interpreter::new(&m);
         // A mask-0 pass sums the register without changing it.
-        let before = interp.call_by_name("gate_not", &[0]).unwrap().return_value.unwrap();
+        let before = interp
+            .call_by_name("gate_not", &[0])
+            .unwrap()
+            .return_value
+            .unwrap();
         // NOT twice with the same mask is the identity…
         interp.call_by_name("gate_not", &[0xABCD]).unwrap();
         interp.call_by_name("gate_not", &[0xABCD]).unwrap();
         // …so a final mask-0 pass sums the original values again.
-        let after = interp.call_by_name("gate_not", &[0]).unwrap().return_value.unwrap();
+        let after = interp
+            .call_by_name("gate_not", &[0])
+            .unwrap()
+            .return_value
+            .unwrap();
         assert_eq!(before, after);
     }
 

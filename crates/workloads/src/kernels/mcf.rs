@@ -26,12 +26,21 @@ pub fn mcf() -> Module {
         let head = rnd[3 * i] % NODES;
         let cost = rnd[3 * i + 1] % 100_000;
         // Mostly-random successor; ~1/8 of arcs end the chain (sentinel).
-        let nxt = if rnd[3 * i + 2].is_multiple_of(8) { ARCS } else { rnd[3 * i + 2] % ARCS };
+        let nxt = if rnd[3 * i + 2].is_multiple_of(8) {
+            ARCS
+        } else {
+            rnd[3 * i + 2] % ARCS
+        };
         init.extend_from_slice(&head.to_le_bytes());
         init.extend_from_slice(&cost.to_le_bytes());
         init.extend_from_slice(&nxt.to_le_bytes());
     }
-    let arcs = mb.global(Global { name: "arcs".into(), size: (ARCS * 24) as u32, align: 8, init });
+    let arcs = mb.global(Global {
+        name: "arcs".into(),
+        size: (ARCS * 24) as u32,
+        align: 8,
+        init,
+    });
     let potential = mb.global(Global::zeroed("potential", (NODES * 8) as u32));
 
     // chase(start, limit) -> (sum of costs along the chain).
@@ -173,7 +182,9 @@ mod tests {
     #[test]
     fn chase_terminates_and_accumulates() {
         let m = mcf();
-        let out = Interpreter::new(&m).call_by_name("arc_chase", &[0, 100_000]).unwrap();
+        let out = Interpreter::new(&m)
+            .call_by_name("arc_chase", &[0, 100_000])
+            .unwrap();
         assert!(out.return_value.is_some());
     }
 

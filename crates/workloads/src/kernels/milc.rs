@@ -16,8 +16,14 @@ const SITES: u64 = 4096;
 pub fn milc() -> Module {
     let mut mb = ModuleBuilder::new();
 
-    let a = mb.global(Global::from_words("lat_a", &lcg_words(0x111C, SITES as usize)));
-    let b = mb.global(Global::from_words("lat_b", &lcg_words(0x222C, SITES as usize)));
+    let a = mb.global(Global::from_words(
+        "lat_a",
+        &lcg_words(0x111C, SITES as usize),
+    ));
+    let b = mb.global(Global::from_words(
+        "lat_b",
+        &lcg_words(0x222C, SITES as usize),
+    ));
     let c = mb.global(Global::zeroed("lat_c", (SITES * 8) as u32));
 
     // su3_combine(): c[i] = (a[i]*b[i])>>16 + a[i] - (b[i]>>3), elementwise.
@@ -110,8 +116,16 @@ mod tests {
     fn unrolling_applies_to_the_lattice_loops() {
         let m = milc();
         let o3 = optimize(&m, OptLevel::O3);
-        let combine_o0 = m.functions.iter().find(|f| f.name == "su3_combine").unwrap();
-        let combine_o3 = o3.functions.iter().find(|f| f.name == "su3_combine").unwrap();
+        let combine_o0 = m
+            .functions
+            .iter()
+            .find(|f| f.name == "su3_combine")
+            .unwrap();
+        let combine_o3 = o3
+            .functions
+            .iter()
+            .find(|f| f.name == "su3_combine")
+            .unwrap();
         assert!(
             combine_o3.op_count() > combine_o0.op_count(),
             "O3 should replicate the loop body"

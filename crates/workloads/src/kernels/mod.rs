@@ -43,7 +43,11 @@ mod tests {
             let out = interp
                 .call_by_name(b.entry(), b.args(crate::InputSize::Test))
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
-            assert!(out.checksum != 0, "{}: checksum should be nonzero", b.name());
+            assert!(
+                out.checksum != 0,
+                "{}: checksum should be nonzero",
+                b.name()
+            );
         }
     }
 

@@ -23,7 +23,10 @@ const RING_BYTES: u32 = 4096; // 256 × 8-byte slots on the stack
 pub fn perlbench() -> Module {
     let mut mb = ModuleBuilder::new();
 
-    let prog = mb.global(Global::from_words("prog", &lcg_words(0x9E10, PROG_LEN as usize)));
+    let prog = mb.global(Global::from_words(
+        "prog",
+        &lcg_words(0x9E10, PROG_LEN as usize),
+    ));
     // Two words per slot: key, value. Key 0 = empty.
     let htab = mb.global(Global::zeroed("htab", (HTAB_SLOTS * 16) as u32));
     // Per-opcode handler weights, read on every dispatch.
@@ -151,8 +154,7 @@ pub fn perlbench() -> Module {
                             |fb| {
                                 let i = fb.get(idx);
                                 let next = fb.add_imm(i, 1);
-                                let wrapped =
-                                    fb.bin_imm(AluOp::And, next, (HTAB_SLOTS - 1) as i64);
+                                let wrapped = fb.bin_imm(AluOp::And, next, (HTAB_SLOTS - 1) as i64);
                                 fb.set(idx, wrapped);
                             },
                         );
@@ -254,8 +256,7 @@ pub fn perlbench() -> Module {
                                                 let o = fb.get(operand);
                                                 let a0 = fb.get(acc);
                                                 let mixed = fb.bin(AluOp::Xor, o, a0);
-                                                let masked =
-                                                    fb.bin_imm(AluOp::And, mixed, 0xFFF);
+                                                let masked = fb.bin_imm(AluOp::And, mixed, 0xFFF);
                                                 let key = fb.bin_imm(AluOp::Or, masked, 1);
                                                 let v = fb.call(lookup, &[key]);
                                                 let a = fb.get(acc);
@@ -358,7 +359,8 @@ mod tests {
         // At least one slot of htab written (key != 0).
         let htab_idx = m.globals.iter().position(|g| g.name == "htab").unwrap();
         let base = interp.global_addr(htab_idx);
-        let touched = (0..HTAB_SLOTS).any(|i| interp.memory().read_u64(base + (i * 16) as u32) != 0);
+        let touched =
+            (0..HTAB_SLOTS).any(|i| interp.memory().read_u64(base + (i * 16) as u32) != 0);
         assert!(touched);
     }
 }

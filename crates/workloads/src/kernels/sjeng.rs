@@ -148,8 +148,12 @@ mod tests {
     #[test]
     fn search_is_deterministic() {
         let m = sjeng();
-        let a = Interpreter::new(&m).call_by_name("search", &[42, 5]).unwrap();
-        let b = Interpreter::new(&m).call_by_name("search", &[42, 5]).unwrap();
+        let a = Interpreter::new(&m)
+            .call_by_name("search", &[42, 5])
+            .unwrap();
+        let b = Interpreter::new(&m)
+            .call_by_name("search", &[42, 5])
+            .unwrap();
         assert_eq!(a.return_value, b.return_value);
     }
 

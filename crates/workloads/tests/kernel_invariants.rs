@@ -40,8 +40,14 @@ fn gobmk_marks_exactly_the_stones() {
     interp.call_by_name("board_reseed", &[3]).unwrap();
     let board = global_addr(&interp, &m, "board");
     let marks = global_addr(&interp, &m, "marks");
-    let stones: u32 = (0..1024).map(|i| u32::from(interp.memory().read_u8(board + i))).sum();
-    let scanned = interp.call_by_name("board_scan", &[]).unwrap().return_value.unwrap();
+    let stones: u32 = (0..1024)
+        .map(|i| u32::from(interp.memory().read_u8(board + i)))
+        .sum();
+    let scanned = interp
+        .call_by_name("board_scan", &[])
+        .unwrap()
+        .return_value
+        .unwrap();
     // Flood fill visits each stone exactly once, so the total region size
     // equals the stone count…
     assert_eq!(scanned, u64::from(stones));
@@ -88,7 +94,10 @@ fn sjeng_table_entries_are_tagged_consistently() {
             assert_eq!(key & 4095, u64::from(i), "slot {i}: key in the wrong slot");
         }
     }
-    assert!(filled > 100, "the search should populate the table, got {filled}");
+    assert!(
+        filled > 100,
+        "the search should populate the table, got {filled}"
+    );
 }
 
 #[test]
@@ -137,9 +146,21 @@ fn gcc_fold_is_idempotent_per_tree() {
     let b = benchmark_by_name("gcc").expect("in suite");
     let m = b.module().clone();
     let mut interp = Interpreter::new(&m);
-    let root = interp.call_by_name("tree_build", &[5, 42]).unwrap().return_value.unwrap();
-    let first = interp.call_by_name("tree_fold", &[root]).unwrap().return_value.unwrap();
-    let second = interp.call_by_name("tree_fold", &[root]).unwrap().return_value.unwrap();
+    let root = interp
+        .call_by_name("tree_build", &[5, 42])
+        .unwrap()
+        .return_value
+        .unwrap();
+    let first = interp
+        .call_by_name("tree_fold", &[root])
+        .unwrap()
+        .return_value
+        .unwrap();
+    let second = interp
+        .call_by_name("tree_fold", &[root])
+        .unwrap()
+        .return_value
+        .unwrap();
     assert_eq!(first, second, "fold must be idempotent on a folded tree");
 }
 
@@ -159,7 +180,11 @@ fn sphinx3_best_density_is_in_range_for_many_frames() {
         let mut i2 = Interpreter::new(&m);
         // A null feature pointer reads zero-page memory (defined: zeros),
         // so the dot product must be zero.
-        let s = i2.call_by_name("score_density", &[0, d]).unwrap().return_value.unwrap();
+        let s = i2
+            .call_by_name("score_density", &[0, d])
+            .unwrap()
+            .return_value
+            .unwrap();
         assert_eq!(s, 0, "zero features give zero score for density {d}");
     }
 }
@@ -177,10 +202,16 @@ fn perlbench_hash_table_keys_stay_tagged() {
         if key != 0 {
             filled += 1;
             assert_eq!(key & 1, 1, "slot {i}: inserted keys carry the low tag bit");
-            assert!(key <= 0xFFF | 1, "slot {i}: key {key:#x} exceeds the masked range");
+            assert!(
+                key <= 0xFFF | 1,
+                "slot {i}: key {key:#x} exceeds the masked range"
+            );
         }
     }
-    assert!(filled > 20, "the interpreter should populate the table, got {filled}");
+    assert!(
+        filled > 20,
+        "the interpreter should populate the table, got {filled}"
+    );
 }
 
 #[test]
@@ -195,7 +226,10 @@ fn lbm_cells_remain_bounded_by_construction() {
         let g = global_addr(&interp, &m, gname);
         for i in 0..(80 * 80) {
             let v = interp.memory().read_u64(g + i * 8);
-            assert!(v < 1 << 25, "{gname}[{i}] = {v} exceeded the clamp envelope");
+            assert!(
+                v < 1 << 25,
+                "{gname}[{i}] = {v} exceeded the clamp envelope"
+            );
         }
     }
 }

@@ -15,9 +15,8 @@ use biaslab_uarch::MachineConfig;
 use biaslab_workloads::{benchmark_by_name, InputSize};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let harness = biaslab_core::harness::Harness::new(
-        benchmark_by_name("perlbench").expect("in suite"),
-    );
+    let harness =
+        biaslab_core::harness::Harness::new(benchmark_by_name("perlbench").expect("in suite"));
     let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
 
     println!("Observation: perlbench cycles change with the environment size.");
@@ -30,8 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = experiment.run(&harness, InputSize::Ref)?;
 
     let cycles: Vec<f64> = report.curve.iter().map(|p| p.cycles as f64).collect();
-    let conflicts: Vec<f64> =
-        report.curve.iter().map(|p| p.counters.bank_conflicts as f64).collect();
+    let conflicts: Vec<f64> = report
+        .curve
+        .iter()
+        .map(|p| p.counters.bank_conflicts as f64)
+        .collect();
 
     println!("dose-response (stack shift 0..512 bytes, environment untouched):");
     println!("  cycles         {}", sparkline(&cycles));
@@ -49,10 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nVerdict: the stack-placement mechanism is {}.",
-        if report.confirmed { "CONFIRMED" } else { "NOT confirmed" }
+        if report.confirmed {
+            "CONFIRMED"
+        } else {
+            "NOT confirmed"
+        }
     );
-    println!(
-        "The environment is innocent; where the loader puts the stack is not."
-    );
+    println!("The environment is innocent; where the loader puts the stack is not.");
     Ok(())
 }

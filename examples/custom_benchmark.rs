@@ -122,7 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let process = Loader::new().load(&exe, &env, &[5000])?;
             let result = Machine::new(MachineConfig::core2()).run(&exe, process)?;
-            assert_eq!(result.checksum, expected.checksum, "simulation must match reference");
+            assert_eq!(
+                result.checksum, expected.checksum,
+                "simulation must match reference"
+            );
             println!(
                 "{level} env={env_bytes:>5}B  cycles {:>9}  bank conflicts {:>6}",
                 result.counters.cycles, result.counters.bank_conflicts

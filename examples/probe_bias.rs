@@ -6,15 +6,27 @@ use biaslab_uarch::MachineConfig;
 use biaslab_workloads::{benchmark_by_name, InputSize};
 
 fn main() {
-    for mach in [MachineConfig::o3cpu(), MachineConfig::core2(), MachineConfig::pentium4()] {
+    for mach in [
+        MachineConfig::o3cpu(),
+        MachineConfig::core2(),
+        MachineConfig::pentium4(),
+    ] {
         for bname in ["perlbench", "hmmer", "mcf", "bzip2", "sphinx3"] {
             let h = Harness::new(benchmark_by_name(bname).unwrap());
             let base = ExperimentSetup::default_on(mach.clone(), OptLevel::O2);
             let mut speedups = vec![];
             for env in 0..24 {
-                let env = if env == 0 { Environment::new() } else { Environment::of_total_size(env * 170) };
-                let o2 = h.measure(&base.with_env(env.clone()), InputSize::Ref).unwrap();
-                let o3 = h.measure(&base.with_env(env).with_opt(OptLevel::O3), InputSize::Ref).unwrap();
+                let env = if env == 0 {
+                    Environment::new()
+                } else {
+                    Environment::of_total_size(env * 170)
+                };
+                let o2 = h
+                    .measure(&base.with_env(env.clone()), InputSize::Ref)
+                    .unwrap();
+                let o3 = h
+                    .measure(&base.with_env(env).with_opt(OptLevel::O3), InputSize::Ref)
+                    .unwrap();
                 speedups.push(o2.cycles() as f64 / o3.cycles() as f64);
             }
             let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
@@ -23,13 +35,24 @@ fn main() {
             for seed in 0..12 {
                 let s = base.with_link_order(LinkOrder::Random(seed));
                 let o2 = h.measure(&s, InputSize::Ref).unwrap();
-                let o3 = h.measure(&s.with_opt(OptLevel::O3), InputSize::Ref).unwrap();
+                let o3 = h
+                    .measure(&s.with_opt(OptLevel::O3), InputSize::Ref)
+                    .unwrap();
                 ls.push(o2.cycles() as f64 / o3.cycles() as f64);
             }
             let lmin = ls.iter().cloned().fold(f64::MAX, f64::min);
             let lmax = ls.iter().cloned().fold(f64::MIN, f64::max);
-            println!("{:9} {:10} env:[{:.4},{:.4}] {:5.2}%   link:[{:.4},{:.4}] {:5.2}%",
-                mach.name, bname, min, max, 100.0*(max-min)/min, lmin, lmax, 100.0*(lmax-lmin)/lmin);
+            println!(
+                "{:9} {:10} env:[{:.4},{:.4}] {:5.2}%   link:[{:.4},{:.4}] {:5.2}%",
+                mach.name,
+                bname,
+                min,
+                max,
+                100.0 * (max - min) / min,
+                lmin,
+                lmax,
+                100.0 * (lmax - lmin) / lmin
+            );
         }
     }
 }

@@ -13,7 +13,10 @@ use biaslab_uarch::{Machine, MachineConfig};
 use biaslab_workloads::{suite, InputSize};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<12} {:<16} {:>7}  (O2, core2, test inputs)\n", "benchmark", "hottest fn", "share");
+    println!(
+        "{:<12} {:<16} {:>7}  (O2, core2, test inputs)\n",
+        "benchmark", "hottest fn", "share"
+    );
     for bench in suite() {
         let name = bench.name();
         let harness = Harness::new(bench);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full verification pipeline, runnable locally or from CI.
+# Fails on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace --release"
+cargo test -q --workspace --release
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --release --workspace -- -D warnings
+
+echo "==> repro all --effort quick (smoke, ephemeral)"
+./target/release/repro all --effort quick --no-resume > /dev/null
+
+echo "==> OK"

@@ -32,7 +32,10 @@ fn environment_changes_cycles_but_not_instructions_or_results() {
     let mut any_cycle_change = false;
     for bytes in [600u32, 1200, 1816, 2424] {
         let m = h
-            .measure(&base.with_env(Environment::of_total_size(bytes)), InputSize::Test)
+            .measure(
+                &base.with_env(Environment::of_total_size(bytes)),
+                InputSize::Test,
+            )
             .unwrap();
         assert_eq!(m.checksum, a.checksum, "env must not change results");
         assert_eq!(
@@ -41,7 +44,10 @@ fn environment_changes_cycles_but_not_instructions_or_results() {
         );
         any_cycle_change |= m.counters.cycles != a.counters.cycles;
     }
-    assert!(any_cycle_change, "the environment-size bias should be visible in cycles");
+    assert!(
+        any_cycle_change,
+        "the environment-size bias should be visible in cycles"
+    );
 }
 
 #[test]
@@ -52,13 +58,19 @@ fn link_order_changes_cycles_but_not_instruction_count() {
     let mut any_cycle_change = false;
     for seed in 0..6 {
         let m = h
-            .measure(&base.with_link_order(LinkOrder::Random(seed)), InputSize::Test)
+            .measure(
+                &base.with_link_order(LinkOrder::Random(seed)),
+                InputSize::Test,
+            )
             .unwrap();
         assert_eq!(m.checksum, a.checksum);
         assert_eq!(m.counters.instructions, a.counters.instructions);
         any_cycle_change |= m.counters.cycles != a.counters.cycles;
     }
-    assert!(any_cycle_change, "the link-order bias should be visible in cycles");
+    assert!(
+        any_cycle_change,
+        "the link-order bias should be visible in cycles"
+    );
 }
 
 #[test]
@@ -71,11 +83,44 @@ fn loader_stack_shift_equals_equivalent_environment() {
     // Environment block of 488 bytes → sp drops by 496 versus the empty
     // env's 16 (both after 16-byte alignment): equivalent shift is 480.
     let env = h
-        .measure(&base.with_env(Environment::of_total_size(488)), InputSize::Test)
+        .measure(
+            &base.with_env(Environment::of_total_size(488)),
+            InputSize::Test,
+        )
         .unwrap();
     let mut shifted = base.clone();
     shifted.stack_shift = 480;
     let shift = h.measure(&shifted, InputSize::Test).unwrap();
     assert_eq!(env.counters.cycles, shift.counters.cycles);
     assert_eq!(env.counters.bank_conflicts, shift.counters.bank_conflicts);
+}
+
+#[test]
+fn orchestrated_sweep_is_counter_identical_to_serial_measurement() {
+    // The orchestrator's parallel, cached sweep must be invisible in the
+    // data: counter-for-counter identical to a serial `measure` loop.
+    let orch = biaslab_core::Orchestrator::global();
+    let shared = orch.harness("perlbench").expect("known benchmark");
+    let serial = harness("perlbench");
+    let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O3);
+    let setups: Vec<ExperimentSetup> = (0..6u32)
+        .map(|i| {
+            base.with_env(Environment::of_total_size(112 * i + 112))
+                .with_link_order(LinkOrder::Random(u64::from(i)))
+        })
+        .collect();
+    let swept = orch.sweep(&shared, &setups, InputSize::Test);
+    // And a second pass, which must serve from the cache with the same data.
+    let cached = orch.sweep(&shared, &setups, InputSize::Test);
+    for ((setup, a), b) in setups.iter().zip(&swept).zip(&cached) {
+        let reference = serial
+            .measure(setup, InputSize::Test)
+            .expect("serial measurement");
+        let a = a.as_ref().expect("swept measurement");
+        let b = b.as_ref().expect("cached measurement");
+        assert_eq!(a.counters, reference.counters, "{}", setup.summary());
+        assert_eq!(a.checksum, reference.checksum);
+        assert_eq!(a.setup, reference.setup);
+        assert_eq!(b.counters, reference.counters);
+    }
 }

@@ -64,10 +64,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
-            (arb_op(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
-            (arb_op(), inner.clone(), any::<i32>())
-                .prop_map(|(op, a, imm)| Expr::BinImm(op, Box::new(a), i64::from(imm))),
+            (arb_op(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (arb_op(), inner.clone(), any::<i32>()).prop_map(|(op, a, imm)| Expr::BinImm(
+                op,
+                Box::new(a),
+                i64::from(imm)
+            )),
             inner.clone().prop_map(|e| Expr::GlobalLoad(Box::new(e))),
             inner.prop_map(|e| Expr::BufferLoad(Box::new(e))),
         ]
@@ -220,7 +226,9 @@ fn build_program(main_stmts: &[Stmt], helper_stmts: &[Stmt]) -> Module {
     let mut mb = ModuleBuilder::new();
     let global = mb.global(Global::from_words(
         "shared",
-        &(0..64u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect::<Vec<_>>(),
+        &(0..64u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect::<Vec<_>>(),
     ));
     let helper = mb.function("helper", 1, true, |fb| {
         let locals: Vec<_> = (0..N_LOCALS).map(|_| fb.local_scalar()).collect();
@@ -315,5 +323,84 @@ proptest! {
         let b = i2.call_by_name("main", &[3]).expect("runs");
         prop_assert_eq!(a.checksum, b.checksum);
         prop_assert_eq!(a.return_value, b.return_value);
+    }
+}
+
+/// The shrunk failure case persisted in `differential_fuzz.proptest-regressions`,
+/// pinned as a deterministic test. It stresses shift amounts far above 63
+/// (`Srl` by 14183447834374820825, `Sra` by 7184846453245133485, `Sll` of a
+/// local by itself) combined with `Rem` by an arbitrary local — exactly where
+/// codegen, interpreter and simulator could disagree about shift-amount
+/// masking and division semantics. Re-run here on every test invocation so
+/// the case keeps protecting the differential property even though the
+/// in-tree proptest runner cannot replay upstream persistence seeds.
+#[test]
+fn persisted_regression_oversized_shifts_and_rem() {
+    use AluOp::{Add, Mul, Or, Rem, Seq, Sll, Sltu, Sra, Srl};
+    use Expr::{BufferLoad, Const, GlobalLoad, Local};
+
+    fn bin(op: AluOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+    fn bin_imm(op: AluOp, a: Expr, imm: i64) -> Expr {
+        Expr::BinImm(op, Box::new(a), imm)
+    }
+    fn gload(e: Expr) -> Expr {
+        GlobalLoad(Box::new(e))
+    }
+
+    let main_s = vec![Stmt::Loop(
+        4,
+        vec![
+            Stmt::CallHelper(
+                2,
+                BufferLoad(Box::new(bin(Add, Const(0), Const(561_642_148_961_857)))),
+            ),
+            Stmt::GlobalStore(
+                bin(
+                    Srl,
+                    bin(Rem, Const(15_559_282_242_201_632_897), Local(1)),
+                    Const(14_183_447_834_374_820_825),
+                ),
+                bin_imm(Or, Local(0), -1_560_769_220),
+            ),
+        ],
+    )];
+    let helper_s = vec![
+        Stmt::GlobalStore(
+            bin(
+                Rem,
+                bin(Sra, Local(2), Const(7_184_846_453_245_133_485)),
+                bin_imm(Mul, Local(2), -1_475_204_456),
+            ),
+            bin(
+                Sltu,
+                Const(9_670_513_826_353_932_834),
+                bin_imm(Seq, gload(Local(0)), -1_771_842_522),
+            ),
+        ),
+        Stmt::Chk(gload(Local(1))),
+        Stmt::Assign(2, Const(15_980_160_137_135_460_660)),
+        Stmt::Chk(bin(Sll, Local(0), Local(0))),
+    ];
+
+    let module = build_program(&main_s, &helper_s);
+    let mut interp = Interpreter::new(&module);
+    let expected = interp.call_by_name("main", &[7]).expect("reference runs");
+
+    for level in OptLevel::ALL {
+        let cm = compile(&optimize(&module, level), level);
+        let exe = Linker::new().link(&cm, "main").expect("links");
+        let process = Loader::new()
+            .load(&exe, &Environment::of_total_size(64), &[7])
+            .expect("loads");
+        let result = Machine::new(MachineConfig::core2())
+            .run(&exe, process)
+            .expect("runs to halt");
+        assert_eq!(
+            result.checksum, expected.checksum,
+            "checksum diverged at {level}"
+        );
+        assert_eq!(result.return_value, expected.return_value.unwrap_or(0));
     }
 }

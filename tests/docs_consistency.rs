@@ -6,8 +6,7 @@ use biaslab_bench::EXPERIMENTS;
 
 fn read(path: &str) -> String {
     let root = env!("CARGO_MANIFEST_DIR");
-    std::fs::read_to_string(format!("{root}/{path}"))
-        .unwrap_or_else(|e| panic!("{path}: {e}"))
+    std::fs::read_to_string(format!("{root}/{path}")).unwrap_or_else(|e| panic!("{path}: {e}"))
 }
 
 #[test]

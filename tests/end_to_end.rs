@@ -72,7 +72,10 @@ fn optimization_reduces_instructions_for_most_benchmarks() {
             o0.counters.instructions
         );
     }
-    assert!(strictly_fewer >= 10, "only {strictly_fewer}/12 benchmarks shrank at O2");
+    assert!(
+        strictly_fewer >= 10,
+        "only {strictly_fewer}/12 benchmarks shrank at O2"
+    );
 }
 
 #[test]
@@ -83,7 +86,11 @@ fn text_layout_depends_on_level_but_data_does_not() {
     let order: Vec<usize> = (0..names.len()).collect();
     let e2 = harness.executable(OptLevel::O2, &order, 0).unwrap();
     let e3 = harness.executable(OptLevel::O3, &order, 0).unwrap();
-    assert_ne!(e2.text_size(), e3.text_size(), "levels produce different code");
+    assert_ne!(
+        e2.text_size(),
+        e3.text_size(),
+        "levels produce different code"
+    );
     let g2 = e2.symbol("lat_a").unwrap().addr;
     let g3 = e3.symbol("lat_a").unwrap().addr;
     assert_eq!(g2, g3, "data layout is level-independent");

@@ -33,12 +33,19 @@ fn linker_rejects_unknown_entry_and_symbols() {
 
     // A dangling call relocation must name the missing symbol.
     let mut broken = cm.clone();
-    broken.objects[0].relocs.push(biaslab_toolchain::obj::Reloc {
-        at: 0,
-        kind: biaslab_toolchain::obj::RelocKind::Call { symbol: "ghost".into() },
-    });
+    broken.objects[0]
+        .relocs
+        .push(biaslab_toolchain::obj::Reloc {
+            at: 0,
+            kind: biaslab_toolchain::obj::RelocKind::Call {
+                symbol: "ghost".into(),
+            },
+        });
     // Make the patch target a jal so the reloc is structurally valid.
-    broken.objects[0].code[0] = biaslab_isa::Inst::Jal { rd: biaslab_isa::Reg::RA, offset: 0 };
+    broken.objects[0].code[0] = biaslab_isa::Inst::Jal {
+        rd: biaslab_isa::Reg::RA,
+        offset: 0,
+    };
     let err = Linker::new().link(&broken, "main").unwrap_err();
     assert!(matches!(err, LinkError::UnknownSymbol(ref s) if s == "ghost"));
 }
@@ -51,7 +58,9 @@ fn loader_errors_are_typed() {
     let exe = Linker::new()
         .link(&compile(&optimize(&m, OptLevel::O0), OptLevel::O0), "main")
         .unwrap();
-    let err = Loader::new().load(&exe, &Environment::new(), &[0; 7]).unwrap_err();
+    let err = Loader::new()
+        .load(&exe, &Environment::new(), &[0; 7])
+        .unwrap_err();
     assert_eq!(err, LoadError::TooManyArgs(7));
     let err = Loader::new()
         .load(&exe, &Environment::of_total_size(600_000), &[])
@@ -97,7 +106,10 @@ fn harness_detects_wrong_results() {
     // the Test binary but a setup that runs different work than `expected`
     // was computed for cannot happen through the public API, so instead
     // check the error type is constructible and displayed usefully.
-    let err = MeasureError::WrongResult { expected: 0xAB, actual: 0xCD };
+    let err = MeasureError::WrongResult {
+        expected: 0xAB,
+        actual: 0xCD,
+    };
     let text = err.to_string();
     assert!(text.contains("0xcd") && text.contains("0xab"), "{text}");
 }
@@ -114,6 +126,8 @@ fn interpreter_depth_limit_is_an_error_not_a_stack_overflow() {
         fb.ret(Some(r));
     });
     let m = mb.finish().unwrap();
-    let err = Interpreter::new(&m).call_by_name("forever", &[1]).unwrap_err();
+    let err = Interpreter::new(&m)
+        .call_by_name("forever", &[1])
+        .unwrap_err();
     assert_eq!(err, InterpError::DepthExceeded);
 }

@@ -37,7 +37,10 @@ fn stack_shift_bias_is_periodic_in_the_bank_geometry() {
     // And not constant: the bias exists (well beyond the noise allowance).
     let min = *cycles.iter().min().expect("nonempty");
     let max = *cycles.iter().max().expect("nonempty");
-    assert!(max - min > 1000, "bias too small to be the phenomenon: {cycles:?}");
+    assert!(
+        max - min > 1000,
+        "bias too small to be the phenomenon: {cycles:?}"
+    );
 }
 
 #[test]
@@ -53,7 +56,9 @@ fn link_order_moves_cycles_on_every_machine() {
             LinkOrder::Random(1),
             LinkOrder::Random(2),
         ] {
-            let m = h.measure(&base.with_link_order(order), InputSize::Test).unwrap();
+            let m = h
+                .measure(&base.with_link_order(order), InputSize::Test)
+                .unwrap();
             distinct.insert(m.counters.cycles);
         }
         assert!(
@@ -71,8 +76,14 @@ fn causal_analysis_confirms_stack_and_rejects_placebo() {
     let mut exp = CausalExperiment::new(base, Intervention::StackShift, 256, 16);
     exp.mediator = Mediator::BankConflicts;
     let report = exp.run(&h, InputSize::Test).unwrap();
-    assert!(report.confirmed, "stack shift must be identified as causal: {report:?}");
-    assert!(report.placebo_effect < 1e-9, "placebo must be exactly silent");
+    assert!(
+        report.confirmed,
+        "stack shift must be identified as causal: {report:?}"
+    );
+    assert!(
+        report.placebo_effect < 1e-9,
+        "placebo must be exactly silent"
+    );
     let r = report.mediator_correlation.expect("both series vary");
     assert!(r > 0.9, "bank conflicts should mediate the effect, r={r}");
 }
@@ -113,6 +124,14 @@ fn randomized_evaluation_is_reproducible_and_interval_covers_mean() {
 fn survey_regenerates_the_headline_zeroes() {
     let table = biaslab_survey::tabulate(&biaslab_survey::corpus(0));
     assert_eq!(table.total_papers, 133);
-    assert_eq!(table.row(biaslab_survey::ReportedAspect::EnvironmentSize).total, 0);
-    assert_eq!(table.row(biaslab_survey::ReportedAspect::LinkOrder).total, 0);
+    assert_eq!(
+        table
+            .row(biaslab_survey::ReportedAspect::EnvironmentSize)
+            .total,
+        0
+    );
+    assert_eq!(
+        table.row(biaslab_survey::ReportedAspect::LinkOrder).total,
+        0
+    );
 }

@@ -12,7 +12,10 @@ use proptest::prelude::*;
 fn quick_config() -> ProptestConfig {
     // Each case compiles nothing new (caches) but simulates ~10^5
     // instructions; keep the case count modest.
-    ProptestConfig { cases: 8, ..ProptestConfig::default() }
+    ProptestConfig {
+        cases: 8,
+        ..ProptestConfig::default()
+    }
 }
 
 proptest! {

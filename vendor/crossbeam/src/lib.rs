@@ -1,0 +1,74 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` with the 0.8 call shape (`scope.spawn`
+//! closures receive the scope again, the outer call returns a `Result`
+//! that is `Err` if any scoped thread panicked), implemented on
+//! `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// A panic payload from a scoped worker.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle: spawn scoped threads that may borrow from the caller.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives the scope again, so
+    /// workers can spawn further workers (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope; all spawned workers are joined before this
+/// returns. Returns `Err` with the first panic payload if any worker (or
+/// the closure itself) panicked.
+///
+/// # Errors
+///
+/// Returns the panic payload of the scope body or of a panicked worker.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let hits = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_an_err() {
+        let out = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(out.is_err());
+    }
+}

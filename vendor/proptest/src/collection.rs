@@ -1,0 +1,47 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for vectors with lengths drawn from `len` (half-open).
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Vectors of `element` values with a length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_bounds() {
+        let strat = vec(0u8..5, 2..9);
+        let mut rng = TestRng::deterministic("vec");
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let v = strat.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 3, "length should vary: {lens:?}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic property testing: each `proptest!` test derives its RNG
+//! seed from the test's own name, generates `config.cases` inputs from
+//! the declared strategies, and runs the body as a plain assertion block.
+//! There is no shrinking — tests that want a readable failure include the
+//! offending inputs in their assertion messages, which the fuzz tests in
+//! this workspace already do.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything a property test needs, plus `prop` as an alias for the
+/// crate root (so `prop::sample::Index` resolves).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            let strat = ($($strat,)+);
+            for _ in 0..config.cases {
+                let ($($pat,)+) = $crate::Strategy::generate(&strat, &mut rng);
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        assert!($cond, $($arg)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($arg:tt)+) => {
+        assert_eq!($left, $right, $($arg)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($arg:tt)+) => {
+        assert_ne!($left, $right, $($arg)+)
+    };
+}
+
+/// A weighted (`w => strategy`) or uniform (`strategy, ...`) choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::from_parts(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::from_parts(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn generated_evens_are_even(v in arb_even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_mixes_arms(v in prop_oneof![Just(1u8), Just(2u8)], w in 0u8..3) {
+            prop_assert!(v == 1 || v == 2);
+            prop_assert!(w < 3, "w was {}", w);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_override_applies(pair in (any::<bool>(), "[ab]{2}")) {
+            let (flag, s) = pair;
+            prop_assert!(flag || !flag);
+            prop_assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_via_full_path() {
+        let strat = crate::collection::vec(0u8..9, 1..5);
+        let mut rng = TestRng::deterministic("full_path");
+        let v = crate::Strategy::generate(&strat, &mut rng);
+        assert!(!v.is_empty() && v.len() < 5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Sampling helpers: `prop::sample::Index`.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection of yet-unknown length: draw one via
+/// `any::<Index>()`, then project with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Projects onto `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = TestRng::deterministic("index");
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..50 {
+                let i = any::<Index>().generate(&mut rng);
+                assert!(i.index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&'static str` is itself a `Strategy<Value = String>`, interpreting
+//! the subset of regex syntax the workspace uses: literal characters,
+//! `[...]` character classes with ranges, and `{m}` / `{m,n}` repetition
+//! of the preceding atom. Unsupported syntax panics at generation time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+        match c {
+            ']' => break,
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.peek() {
+                        // A '-' right before ']' is a literal dash.
+                        Some(']') | None => {
+                            out.push(lo);
+                            out.push('-');
+                        }
+                        Some(&hi) => {
+                            chars.next();
+                            assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                            out.extend(lo..=hi);
+                        }
+                    }
+                } else {
+                    out.push(lo);
+                }
+            }
+        }
+    }
+    assert!(!out.is_empty(), "empty class in {pattern:?}");
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (u32, u32) {
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unterminated repetition in {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("bad repetition {{{spec}}} in {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((m, n)) => (parse(m), parse(n)),
+        None => {
+            let m = parse(&spec);
+            (m, m)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                let choices = parse_class(&mut chars, pattern);
+                atoms.push(Atom {
+                    choices,
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let (min, max) = parse_repeat(&mut chars, pattern);
+                assert!(min <= max, "inverted repetition in {pattern:?}");
+                let last = atoms
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("repetition with no atom in {pattern:?}"));
+                last.min = min;
+                last.max = max;
+            }
+            '*' | '+' | '?' | '(' | ')' | '|' | '.' | '\\' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            literal => atoms.push(Atom {
+                choices: vec![literal],
+                min: 1,
+                max: 1,
+            }),
+        }
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let span = u64::from(atom.max - atom.min) + 1;
+            let n = atom.min + rng.below(span) as u32;
+            for _ in 0..n {
+                let pick = rng.below(atom.choices.len() as u64) as usize;
+                out.push(atom.choices[pick]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern_generates_valid_names() {
+        let strat = "[a-z_][a-z0-9_]{0,24}";
+        let mut rng = TestRng::deterministic("ident");
+        let mut max_len = 0;
+        for _ in 0..300 {
+            let s = strat.generate(&mut rng);
+            assert!((1..=25).contains(&s.len()), "bad length for {s:?}");
+            let mut cs = s.chars();
+            let head = cs.next().expect("nonempty");
+            assert!(head.is_ascii_lowercase() || head == '_');
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            max_len = max_len.max(s.len());
+        }
+        assert!(max_len > 5, "repetition should vary lengths");
+    }
+
+    #[test]
+    fn literals_and_exact_repeats() {
+        let mut rng = TestRng::deterministic("lit");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("[x]{3}".generate(&mut rng), "xxx");
+    }
+}

@@ -1,0 +1,137 @@
+//! Test configuration and the deterministic RNG that drives generation.
+
+/// Per-test configuration. Only `cases` is consulted by the runner; the
+/// other fields exist so `..ProptestConfig::default()` updates work.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented, so
+    /// failing inputs are reported unshrunk (the `Debug` of the inputs
+    /// appears in the assertion message when the test includes it).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// xoshiro256** seeded from a test-name hash: every run of a given test
+/// explores the same case sequence, so failures are reproducible without
+/// a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// An RNG seeded from `name` (normally `stringify!` of the test fn).
+    #[must_use]
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the name, then SplitMix64 to fill the state.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = h;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix(&mut state);
+        }
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw in `0..n` via rejection sampling (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is an empty range");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_names_diverge() {
+        let mut a = TestRng::deterministic("t1");
+        let mut b = TestRng::deterministic("t2");
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn below_stays_in_bounds_and_covers() {
+        let mut rng = TestRng::deterministic("bounds");
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = rng.below(7) as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn f64_unit_is_half_open() {
+        let mut rng = TestRng::deterministic("unit");
+        for _ in 0..1000 {
+            let v = rng.f64_unit();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Sequence helpers.
+
+use crate::Rng;
+
+/// Slice shuffling (the only `seq` API the workspace uses).
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

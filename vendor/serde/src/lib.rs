@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace only
+//! uses serde for `#[derive(Serialize, Deserialize)]` markers (no code
+//! path serializes through serde), so this crate re-exports no-op derive
+//! macros under the expected names. Actual persistence in the workspace
+//! is hand-rolled JSON (see `biaslab_core::orchestrator`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
