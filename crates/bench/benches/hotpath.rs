@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the measure path's hot loops: paged-memory access,
+//! cache/TLB way scans, the simulator with and without attribution, and a
+//! cold orchestrator sweep. `scripts/bench.sh` records these per PR so the
+//! perf trajectory is visible; `simulate` throughput is the number every
+//! figure's wall time hangs on.
+
+use biaslab_core::setup::ExperimentSetup;
+use biaslab_core::Orchestrator;
+use biaslab_toolchain::codegen::compile;
+use biaslab_toolchain::link::Linker;
+use biaslab_toolchain::load::{Environment, Loader};
+use biaslab_toolchain::mem::PagedMem;
+use biaslab_toolchain::opt::{optimize, OptLevel};
+use biaslab_uarch::cache::{Cache, CacheConfig};
+use biaslab_uarch::{Machine, MachineConfig};
+use biaslab_workloads::{benchmark_by_name, InputSize};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+fn bench_mem(c: &mut Criterion) {
+    // Sequential word traffic on one page: the last-page cache's best case.
+    c.bench_function("mem-seq-u32-rw", |b| {
+        let mut mem = PagedMem::new();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1024u32 {
+                mem.write_u32(0x1000_0000 + i * 4, i);
+                acc = acc.wrapping_add(mem.read_u32(0x1000_0000 + i * 4));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    // Strided traffic across many pages, including stack-height addresses:
+    // exercises the two-level table walk rather than the last-page cache.
+    c.bench_function("mem-page-stride-rw", |b| {
+        let mut mem = PagedMem::new();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..256u32 {
+                let addr = 0x1000_0000 + i * 0x1_1000;
+                mem.write_u64(addr, u64::from(i));
+                acc = acc.wrapping_add(mem.read_u64(addr));
+                acc = acc.wrapping_add(mem.read_u64(0x7FFE_0000 + i * 8));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    // Fresh process image at stack height: page mapping must stay cheap.
+    c.bench_function("mem-fresh-image", |b| {
+        b.iter(|| {
+            let mut mem = PagedMem::new();
+            mem.write_u64(0x7FFE_FFF0, 1);
+            mem.write_u64(0x0040_0000, 2);
+            std::hint::black_box(mem.mapped_pages())
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    // A conflict-heavy scan: hits and LRU evictions in one loop.
+    c.bench_function("cache-way-scan", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size: 32 * 1024,
+            ways: 8,
+            line: 64,
+            hit_latency: 3,
+        });
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..4096u32 {
+                hits += u32::from(cache.access(i * 64 * 7));
+            }
+            std::hint::black_box(hits)
+        })
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let bench = benchmark_by_name("hmmer").expect("known");
+    let module = bench.module().clone();
+    let cm = compile(&optimize(&module, OptLevel::O2), OptLevel::O2);
+    let exe = Linker::new().link(&cm, "main").expect("links");
+    let env = Environment::new();
+
+    // The unprofiled run: attribution bookkeeping compiled out.
+    c.bench_function("simulate-unprofiled", |b| {
+        b.iter(|| {
+            let process = Loader::new().load(&exe, &env, &[2]).expect("loads");
+            let mut machine = Machine::new(MachineConfig::core2());
+            std::hint::black_box(machine.run(&exe, process).expect("runs"))
+        })
+    });
+
+    // The profiled run pays for per-instruction attribution.
+    c.bench_function("simulate-profiled", |b| {
+        b.iter(|| {
+            let process = Loader::new().load(&exe, &env, &[2]).expect("loads");
+            let mut machine = Machine::new(MachineConfig::core2());
+            std::hint::black_box(machine.run_profiled(&exe, process).expect("runs"))
+        })
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    // A cold cross-setup sweep on a fresh orchestrator: the macro number
+    // behind every figure (compile + link + load + simulate × setups).
+    let mut group = c.benchmark_group("orchestrator");
+    group.sample_size(5);
+    group.bench_function("cold-sweep-8", |b| {
+        b.iter(|| {
+            let orch = Orchestrator::new();
+            let h = orch.harness("hmmer").expect("known");
+            let base = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+            let setups: Vec<ExperimentSetup> = (0..8)
+                .map(|i| base.with_env(Environment::of_total_size(64 * i + 64)))
+                .collect();
+            std::hint::black_box(orch.sweep(&h, &setups, InputSize::Test))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_mem, bench_cache, bench_machine, bench_sweep
+}
+criterion_main!(benches);

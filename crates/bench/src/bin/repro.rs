@@ -5,6 +5,8 @@
 //! repro fig3                    # regenerate one experiment at full size
 //! repro fig3 --effort quick     # reduced size (CI-friendly); --quick works too
 //! repro all [--effort quick]    # everything, in paper order
+//! repro all --jobs 4            # run experiments concurrently
+//! repro all --serial            # one at a time, in-process
 //! ```
 //!
 //! Measurements persist under `results/measurements.jsonl` (set
@@ -13,15 +15,24 @@
 //! neither reads nor rewrites the results file. Cache and timing
 //! instrumentation is reported per experiment on stderr; experiment output
 //! on stdout is byte-identical with or without the cache.
+//!
+//! `repro all` runs experiments concurrently on the shared orchestrator
+//! cache (`--jobs N` to pick the worker count, default the machine's
+//! parallelism). Output is buffered per experiment and flushed in paper
+//! order, so stdout is byte-identical to `--serial` at any worker count.
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use biaslab_bench::{run_experiment, Effort, EXPERIMENTS};
+use biaslab_bench::{parallel, run_experiment, Effort, EXPERIMENTS};
 use biaslab_core::Orchestrator;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <experiment-id | all | list> [--effort quick|full] [--no-resume]");
+    eprintln!(
+        "usage: repro <experiment-id | all | list> [--effort quick|full] [--no-resume] \
+         [--jobs N | --serial]"
+    );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
         eprintln!("  {:12} {}", e.id, e.title);
@@ -48,6 +59,36 @@ fn parse_effort(args: &[String]) -> Option<Effort> {
         }
     }
     Some(effort)
+}
+
+/// How `repro all` schedules experiments.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// One at a time, in-process — the reference for stdout byte-identity.
+    Serial,
+    /// Concurrent on this many workers, output flushed in paper order.
+    Parallel(usize),
+}
+
+/// Parses `--serial` / `--jobs N` (the last one given wins; the default is
+/// one worker per available core).
+fn parse_mode(args: &[String]) -> Option<Mode> {
+    let mut mode = Mode::Parallel(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--serial" => mode = Mode::Serial,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => mode = Mode::Parallel(n),
+                _ => {
+                    eprintln!("--jobs takes a positive integer");
+                    return None;
+                }
+            },
+            _ => {}
+        }
+    }
+    Some(mode)
 }
 
 fn results_path() -> PathBuf {
@@ -84,13 +125,17 @@ fn main() -> ExitCode {
     let Some(effort) = parse_effort(&args) else {
         return usage();
     };
+    let Some(mode) = parse_mode(&args) else {
+        return usage();
+    };
     let resume = !args.iter().any(|a| a == "--no-resume");
-    let mut effort_value_next = false;
+    let mut flag_value_next = false;
     let targets: Vec<&String> = args
         .iter()
         .filter(|a| {
-            let is_effort_value = std::mem::replace(&mut effort_value_next, **a == "--effort");
-            !a.starts_with("--") && !is_effort_value
+            let is_flag_value =
+                std::mem::replace(&mut flag_value_next, **a == "--effort" || **a == "--jobs");
+            !a.starts_with("--") && !is_flag_value
         })
         .collect();
 
@@ -115,14 +160,51 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "all" => {
-            for e in EXPERIMENTS {
-                println!("================================================================");
-                println!("== {} — {}", e.id, e.title);
-                println!("================================================================");
-                run_one(e.id, e.title, effort, resume);
-            }
+            let code = match mode {
+                Mode::Serial => {
+                    for e in EXPERIMENTS {
+                        parallel::write_banner(&mut std::io::stdout(), e.id, e.title)
+                            .expect("write to stdout");
+                        run_one(e.id, e.title, effort, resume);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Mode::Parallel(jobs) => {
+                    let orch = Orchestrator::global();
+                    let path = results_path();
+                    let mut out = std::io::stdout().lock();
+                    let failures = parallel::run_all(EXPERIMENTS, effort, jobs, &mut out, |run| {
+                        match &run.outcome {
+                            Ok(_) => {
+                                eprintln!("[repro] {} ({}): {:.2}s", run.id, run.title, run.seconds)
+                            }
+                            Err(msg) => eprintln!(
+                                "[repro] {} ({}): PANICKED after {:.2}s: {msg}",
+                                run.id, run.title, run.seconds
+                            ),
+                        }
+                        if resume {
+                            if let Err(e) = orch.save(&path) {
+                                eprintln!(
+                                    "warning: could not persist results to {}: {e}",
+                                    path.display()
+                                );
+                            }
+                        }
+                    })
+                    .expect("write to stdout");
+                    out.flush().expect("flush stdout");
+                    drop(out);
+                    if failures > 0 {
+                        eprintln!("[repro] {failures} experiment(s) panicked");
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+            };
             eprintln!("[repro] totals: {}", Orchestrator::global().stats());
-            ExitCode::SUCCESS
+            code
         }
         id => {
             if !EXPERIMENTS.iter().any(|e| e.id == id) {

@@ -10,5 +10,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 
 pub use experiments::{run_experiment, Effort, EXPERIMENTS};

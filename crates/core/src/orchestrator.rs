@@ -13,6 +13,11 @@
 //!   input size);
 //! - **work-stealing parallel execution** over the deduplicated set of
 //!   uncached setups;
+//! - a **capacity bound**: the cache can be capped (oldest-record-first
+//!   eviction) via [`Orchestrator::set_cache_cap`] or, for the global
+//!   instance, the `BIASLAB_CACHE_CAP` environment variable — evictions
+//!   are counted in the instrumentation, and results never depend on
+//!   retention;
 //! - **persistence**: records round-trip through a JSON-lines file under
 //!   `results/`, so an interrupted `repro all` resumes instead of
 //!   restarting;
@@ -30,7 +35,7 @@
 //! never go through the cache: their later repetitions depend on machine
 //! state, not just the setup.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
@@ -112,6 +117,8 @@ pub struct OrchestratorStats {
     pub loaded: u64,
     /// Sweeps executed.
     pub sweeps: u64,
+    /// Cached records dropped by the capacity policy.
+    pub evictions: u64,
     /// Wall-clock time spent inside sweeps, in microseconds.
     pub sweep_wall_us: u64,
     /// Summed worker busy time across sweeps, in microseconds.
@@ -131,6 +138,7 @@ impl OrchestratorStats {
             simulated: self.simulated - earlier.simulated,
             loaded: self.loaded - earlier.loaded,
             sweeps: self.sweeps - earlier.sweeps,
+            evictions: self.evictions - earlier.evictions,
             sweep_wall_us: self.sweep_wall_us - earlier.sweep_wall_us,
             busy_us: self.busy_us - earlier.busy_us,
             cached: self.cached,
@@ -142,12 +150,13 @@ impl fmt::Display for OrchestratorStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache {} hit / {} miss ({} simulated, {} in cache), \
+            "cache {} hit / {} miss ({} simulated, {} in cache, {} evicted), \
              {} sweep(s) in {:.2}s wall / {:.2}s busy",
             self.hits,
             self.misses,
             self.simulated,
             self.cached,
+            self.evictions,
             self.sweeps,
             self.sweep_wall_us as f64 / 1e6,
             self.busy_us as f64 / 1e6,
@@ -178,14 +187,72 @@ impl fmt::Display for OrchestratorStats {
 #[derive(Debug, Default)]
 pub struct Orchestrator {
     harnesses: Mutex<HashMap<String, Arc<Harness>>>,
-    cache: Mutex<HashMap<MeasureKey, Result<Measurement, MeasureError>>>,
+    cache: Mutex<BoundedCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     simulated: AtomicU64,
     loaded: AtomicU64,
     sweeps: AtomicU64,
+    evictions: AtomicU64,
     sweep_wall_us: AtomicU64,
     busy_us: AtomicU64,
+}
+
+/// The measurement cache with an optional FIFO capacity bound.
+///
+/// `repro all --effort full` used to hold every record in memory for the
+/// life of the process; a cap bounds that. Eviction is insertion-order
+/// (oldest record first) — deterministic, and the right shape for sweep
+/// traffic, where an experiment's own keys are its most recent inserts.
+/// Correctness never depends on retention: [`Orchestrator::measure`] and
+/// [`Orchestrator::sweep`] hand results back directly, so an evicted
+/// record only costs a re-simulation if it is requested again.
+#[derive(Debug, Default)]
+struct BoundedCache {
+    map: HashMap<MeasureKey, Result<Measurement, MeasureError>>,
+    /// Insertion order of the keys in `map` (FIFO eviction queue).
+    order: VecDeque<MeasureKey>,
+    /// Maximum records to retain; `None` is unbounded.
+    cap: Option<usize>,
+}
+
+impl BoundedCache {
+    fn get(&self, key: &MeasureKey) -> Option<&Result<Measurement, MeasureError>> {
+        self.map.get(key)
+    }
+
+    fn contains_key(&self, key: &MeasureKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Inserts a record, evicting oldest-first while over the cap. Returns
+    /// how many records were evicted.
+    fn insert(&mut self, key: MeasureKey, value: Result<Measurement, MeasureError>) -> u64 {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(key) {
+            Entry::Occupied(mut slot) => {
+                let _ = slot.insert(value);
+                0
+            }
+            Entry::Vacant(slot) => {
+                self.order.push_back(slot.key().clone());
+                slot.insert(value);
+                let mut evicted = 0;
+                while self.cap.is_some_and(|cap| self.map.len() > cap) {
+                    let Some(oldest) = self.order.pop_front() else {
+                        break;
+                    };
+                    self.map.remove(&oldest);
+                    evicted += 1;
+                }
+                evicted
+            }
+        }
+    }
 }
 
 impl Orchestrator {
@@ -197,10 +264,48 @@ impl Orchestrator {
     }
 
     /// The process-wide orchestrator every experiment shares.
+    ///
+    /// Its cache cap comes from `BIASLAB_CACHE_CAP` at first use: a
+    /// positive integer caps the in-memory record count, anything else
+    /// (or the variable being unset) leaves it unbounded.
     #[must_use]
     pub fn global() -> &'static Orchestrator {
         static GLOBAL: OnceLock<Orchestrator> = OnceLock::new();
-        GLOBAL.get_or_init(Orchestrator::new)
+        GLOBAL.get_or_init(|| {
+            let orch = Orchestrator::new();
+            let cap = std::env::var("BIASLAB_CACHE_CAP")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0);
+            orch.set_cache_cap(cap);
+            orch
+        })
+    }
+
+    /// Caps the in-memory measurement cache at `cap` records (`None` is
+    /// unbounded, the default). Shrinking below the current size evicts
+    /// oldest-first immediately.
+    pub fn set_cache_cap(&self, cap: Option<usize>) {
+        let mut cache = self.cache.lock();
+        cache.cap = cap;
+        let mut evicted = 0;
+        while cache.cap.is_some_and(|cap| cache.map.len() > cap) {
+            let Some(oldest) = cache.order.pop_front() else {
+                break;
+            };
+            cache.map.remove(&oldest);
+            evicted += 1;
+        }
+        drop(cache);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The configured cache cap (`None` is unbounded).
+    #[must_use]
+    pub fn cache_cap(&self) -> Option<usize> {
+        self.cache.lock().cap
     }
 
     /// The shared harness for a benchmark, or `None` for an unknown name.
@@ -240,7 +345,8 @@ impl Orchestrator {
         self.simulated.fetch_add(1, Ordering::Relaxed);
         self.busy_us
             .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
-        self.cache.lock().insert(key, r.clone());
+        let evicted = self.cache.lock().insert(key, r.clone());
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         r
     }
 
@@ -266,19 +372,29 @@ impl Orchestrator {
             .collect();
 
         // Split requests into cached and to-simulate under one lock pass.
+        // Results are collected directly (`out` / the work slots below),
+        // never re-read from the cache, so a capacity bound evicting
+        // mid-sweep cannot lose a requested measurement.
         let mut work: Vec<(MeasureKey, ExperimentSetup)> = Vec::new();
+        let mut out: Vec<Option<Result<Measurement, MeasureError>>> =
+            Vec::with_capacity(keys.len());
+        // For each uncached request, `(request index, work index)`.
+        let mut pending: Vec<(usize, usize)> = Vec::new();
         {
             let cache = self.cache.lock();
-            let mut claimed: std::collections::HashSet<&MeasureKey> =
-                std::collections::HashSet::new();
-            for (key, setup) in keys.iter().zip(setups) {
-                if cache.contains_key(key) {
+            let mut claimed: HashMap<&MeasureKey, usize> = HashMap::new();
+            for (i, (key, setup)) in keys.iter().zip(setups).enumerate() {
+                if let Some(r) = cache.get(key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    out.push(Some(r.clone()));
                 } else {
                     self.misses.fetch_add(1, Ordering::Relaxed);
-                    if claimed.insert(key) {
+                    let wi = *claimed.entry(key).or_insert_with(|| {
                         work.push((key.clone(), setup.clone()));
-                    }
+                        work.len() - 1
+                    });
+                    pending.push((i, wi));
+                    out.push(None);
                 }
             }
         }
@@ -318,16 +434,25 @@ impl Orchestrator {
             })
             .expect("sweep worker panicked");
 
-            let mut cache = self.cache.lock();
-            for ((key, _), slot) in work.iter().zip(slots) {
-                cache.insert(key.clone(), slot.into_inner().expect("every index visited"));
+            let results: Vec<Result<Measurement, MeasureError>> = slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every index visited"))
+                .collect();
+            for (i, wi) in pending {
+                out[i] = Some(results[wi].clone());
             }
+            let mut evicted = 0;
+            let mut cache = self.cache.lock();
+            for ((key, _), result) in work.into_iter().zip(results) {
+                evicted += cache.insert(key, result);
+            }
+            drop(cache);
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
 
-        let cache = self.cache.lock();
-        let out = keys
-            .iter()
-            .map(|k| cache.get(k).expect("measured or cached above").clone())
+        let out = out
+            .into_iter()
+            .map(|r| r.expect("cached or measured above"))
             .collect();
         self.sweep_wall_us
             .fetch_add(sweep_start.elapsed().as_micros() as u64, Ordering::Relaxed);
@@ -343,6 +468,7 @@ impl Orchestrator {
             simulated: self.simulated.load(Ordering::Relaxed),
             loaded: self.loaded.load(Ordering::Relaxed),
             sweeps: self.sweeps.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             sweep_wall_us: self.sweep_wall_us.load(Ordering::Relaxed),
             busy_us: self.busy_us.load(Ordering::Relaxed),
             cached: self.cache.lock().len() as u64,
@@ -368,6 +494,7 @@ impl Orchestrator {
             let cache = self.cache.lock();
             // Deterministic file order: sort by the record line itself.
             let mut lines: Vec<String> = cache
+                .map
                 .iter()
                 .filter_map(|(k, r)| r.as_ref().ok().map(|m| record_line(k, m)))
                 .collect();
@@ -397,16 +524,19 @@ impl Orchestrator {
             Err(e) => return Err(e),
         };
         let mut restored = 0usize;
+        let mut evicted = 0;
         let mut cache = self.cache.lock();
         for line in text.lines() {
             let Some((key, m)) = parse_record(line) else {
                 continue;
             };
-            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
-                slot.insert(Ok(m));
+            if !cache.contains_key(&key) {
+                evicted += cache.insert(key, Ok(m));
                 restored += 1;
             }
         }
+        drop(cache);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         self.loaded.fetch_add(restored as u64, Ordering::Relaxed);
         Ok(restored)
     }
@@ -762,6 +892,73 @@ mod tests {
         assert_eq!(m.counters, m2.counters);
         assert_eq!(m.checksum, m2.checksum);
         assert_eq!(m.setup, m2.setup);
+    }
+
+    #[test]
+    fn cache_cap_evicts_oldest_first() {
+        let orch = Orchestrator::new();
+        orch.set_cache_cap(Some(2));
+        assert_eq!(orch.cache_cap(), Some(2));
+        let h = orch.harness("hmmer").expect("known benchmark");
+        let setups = env_setups(3);
+        for s in &setups {
+            let _ = orch.measure(&h, s, InputSize::Test);
+        }
+        let stats = orch.stats();
+        assert_eq!(stats.cached, 2);
+        assert_eq!(stats.evictions, 1);
+        // The newest record is retained…
+        let _ = orch.measure(&h, &setups[2], InputSize::Test);
+        assert_eq!(orch.stats().simulated, 3);
+        // …the oldest was evicted, so it re-simulates.
+        let _ = orch.measure(&h, &setups[0], InputSize::Test);
+        assert_eq!(orch.stats().simulated, 4);
+    }
+
+    #[test]
+    fn capped_sweep_still_returns_every_measurement() {
+        let capped = Orchestrator::new();
+        capped.set_cache_cap(Some(2));
+        let unbounded = Orchestrator::new();
+        let setups = env_setups(6);
+        let a = capped.sweep(
+            &capped.harness("hmmer").expect("known"),
+            &setups,
+            InputSize::Test,
+        );
+        let b = unbounded.sweep(
+            &unbounded.harness("hmmer").expect("known"),
+            &setups,
+            InputSize::Test,
+        );
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.as_ref().expect("ok").counters,
+                y.as_ref().expect("ok").counters
+            );
+        }
+        let stats = capped.stats();
+        assert_eq!(stats.cached, 2, "cap respected");
+        assert_eq!(stats.evictions, 4);
+        assert_eq!(unbounded.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shrinking_the_cap_evicts_immediately() {
+        let orch = Orchestrator::new();
+        let h = orch.harness("milc").expect("known benchmark");
+        let setups = env_setups(4);
+        let _ = orch.sweep(&h, &setups, InputSize::Test);
+        assert_eq!(orch.stats().cached, 4);
+        orch.set_cache_cap(Some(1));
+        let stats = orch.stats();
+        assert_eq!(stats.cached, 1);
+        assert_eq!(stats.evictions, 3);
+        // Back to unbounded: nothing further evicts.
+        orch.set_cache_cap(None);
+        let _ = orch.sweep(&h, &setups, InputSize::Test);
+        assert_eq!(orch.stats().evictions, 3);
     }
 
     #[test]

@@ -77,6 +77,7 @@ impl AluOp {
     /// assert_eq!(AluOp::Div.eval(7, 0), u64::MAX); // divide by zero
     /// ```
     #[must_use]
+    #[inline]
     pub fn eval(self, a: u64, b: u64) -> u64 {
         match self {
             AluOp::Add => a.wrapping_add(b),
@@ -146,6 +147,7 @@ impl AluOp {
     /// assert_eq!(AluOp::Or.extend_imm(-1), 0xFFFF);
     /// ```
     #[must_use]
+    #[inline]
     pub fn extend_imm(self, imm: i16) -> u64 {
         match self {
             AluOp::And | AluOp::Or | AluOp::Xor => u64::from(imm as u16),
@@ -186,6 +188,7 @@ impl Cond {
 
     /// Evaluates the condition on two 64-bit operands.
     #[must_use]
+    #[inline]
     pub fn eval(self, a: u64, b: u64) -> bool {
         match self {
             Cond::Eq => a == b,
@@ -240,6 +243,7 @@ pub enum Width {
 impl Width {
     /// The access size in bytes (1, 4 or 8).
     #[must_use]
+    #[inline]
     pub fn bytes(self) -> u32 {
         match self {
             Width::B1 => 1,

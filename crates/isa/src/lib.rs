@@ -60,6 +60,7 @@ pub const INST_BYTES: u32 = 4;
 /// assert_eq!(c, (1u64 << 1) ^ 2);
 /// ```
 #[must_use]
+#[inline]
 pub fn checksum_fold(acc: u64, value: u64) -> u64 {
     acc.rotate_left(1) ^ value
 }

@@ -61,12 +61,14 @@ impl Reg {
 
     /// Returns the register index in `0..32`.
     #[must_use]
+    #[inline]
     pub fn index(self) -> u8 {
         self.0
     }
 
     /// Returns `true` for the hard-wired zero register.
     #[must_use]
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }

@@ -49,6 +49,7 @@ pub struct Executable {
 impl Executable {
     /// Base address of the text segment.
     #[must_use]
+    #[inline]
     pub fn text_base(&self) -> u32 {
         self.text_base
     }
@@ -56,6 +57,7 @@ impl Executable {
     /// The linked instructions, in address order from
     /// [`Executable::text_base`].
     #[must_use]
+    #[inline]
     pub fn text(&self) -> &[Inst] {
         &self.insts
     }
@@ -68,6 +70,7 @@ impl Executable {
 
     /// The instruction at `addr`, if it lies within the text segment.
     #[must_use]
+    #[inline]
     pub fn inst_at(&self, addr: u32) -> Option<Inst> {
         if addr < self.text_base || !addr.is_multiple_of(4) {
             return None;

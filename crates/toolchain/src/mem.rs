@@ -1,15 +1,41 @@
 //! Sparse paged memory, shared by the IR interpreter, the loader and the
 //! simulator.
 
-use std::collections::HashMap;
-
 use crate::layout::PAGE_SIZE;
+
+/// log2 of [`PAGE_SIZE`]: the shift that turns an address into a page
+/// number on the flat-table fast path.
+const PAGE_SHIFT: u32 = PAGE_SIZE.trailing_zeros();
+const OFFSET_MASK: u32 = PAGE_SIZE - 1;
+
+/// Pages per second-level chunk. The root table then has at most
+/// `2^32 / PAGE_SIZE / CHUNK_PAGES = 1024` entries, so creating a process
+/// image costs a few kilobytes however high its stack sits — growing a
+/// single-level table up to the stack pages (just under `0x7FFF_0000`)
+/// costs a ~8 MiB zeroed allocation per load, which dominated sweep time.
+const CHUNK_PAGES: usize = 1024;
+const CHUNK_SHIFT: u32 = CHUNK_PAGES.trailing_zeros();
+const CHUNK_MASK: usize = CHUNK_PAGES - 1;
+
+type Page = Box<[u8]>;
+/// A second-level table of `CHUNK_PAGES` page slots.
+type Chunk = Box<[Option<Page>]>;
 
 /// A sparse byte-addressable memory backed by 4 KiB pages.
 ///
 /// Reads of unmapped memory return zero (pages are demand-zeroed, like
 /// anonymous mappings); writes allocate the page. Multi-byte accesses may
 /// straddle page boundaries.
+///
+/// Internally the pages live in a table indexed by the flat page number
+/// `addr >> PAGE_SHIFT` (two levels of plain vectors, so creating a
+/// process image stays cheap however high its stack sits), which makes a
+/// page lookup a shift, a mask and two indexed loads — no hashing on the
+/// simulator's load/store path. A last-page cache short-circuits the
+/// mapped-check for the common case of consecutive accesses landing on
+/// one page, and the multi-byte accessors ([`PagedMem::read_le`],
+/// [`PagedMem::write_le`]) resolve the page once per access instead of
+/// once per byte whenever the access does not cross a page boundary.
 ///
 /// # Examples
 ///
@@ -21,9 +47,22 @@ use crate::layout::PAGE_SIZE;
 /// assert_eq!(mem.read_u64(0x1000), 0xDEAD_BEEF);
 /// assert_eq!(mem.read_u64(0x2000), 0); // demand-zeroed
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PagedMem {
-    pages: HashMap<u32, Box<[u8]>>,
+    /// `chunks[page_number >> CHUNK_SHIFT][page_number & CHUNK_MASK]` —
+    /// `None` until first written.
+    chunks: Vec<Option<Chunk>>,
+    /// Page number of the most recently touched *mapped* page, or
+    /// `usize::MAX` when nothing is mapped yet. Invariant: when not
+    /// `usize::MAX`, the page it names is mapped.
+    last_page: usize,
+    mapped: usize,
+}
+
+impl Default for PagedMem {
+    fn default() -> PagedMem {
+        PagedMem::new()
+    }
 }
 
 impl PagedMem {
@@ -31,38 +70,77 @@ impl PagedMem {
     #[must_use]
     pub fn new() -> PagedMem {
         PagedMem {
-            pages: HashMap::new(),
+            chunks: Vec::new(),
+            last_page: usize::MAX,
+            mapped: 0,
         }
     }
 
     /// Number of pages currently mapped.
     #[must_use]
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.mapped
     }
 
+    #[inline]
     fn page(&self, addr: u32) -> Option<&[u8]> {
-        self.pages.get(&(addr / PAGE_SIZE)).map(|p| &**p)
+        let pno = (addr >> PAGE_SHIFT) as usize;
+        // The last-page cache only ever names a mapped page, so a hit
+        // skips the two mapped-checks on the way down.
+        if pno == self.last_page {
+            return self.chunks[pno >> CHUNK_SHIFT].as_ref().expect("cached")[pno & CHUNK_MASK]
+                .as_deref();
+        }
+        self.chunks.get(pno >> CHUNK_SHIFT)?.as_ref()?[pno & CHUNK_MASK].as_deref()
     }
 
-    fn page_mut(&mut self, addr: u32) -> &mut Box<[u8]> {
-        self.pages
-            .entry(addr / PAGE_SIZE)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut [u8] {
+        let pno = (addr >> PAGE_SHIFT) as usize;
+        if pno != self.last_page && !self.is_mapped(pno) {
+            self.map_page(pno);
+        }
+        self.last_page = pno;
+        self.chunks[pno >> CHUNK_SHIFT]
+            .as_mut()
+            .expect("chunk mapped above")[pno & CHUNK_MASK]
+            .as_deref_mut()
+            .expect("page mapped above")
+    }
+
+    fn is_mapped(&self, pno: usize) -> bool {
+        self.chunks
+            .get(pno >> CHUNK_SHIFT)
+            .and_then(Option::as_ref)
+            .is_some_and(|c| c[pno & CHUNK_MASK].is_some())
+    }
+
+    #[cold]
+    fn map_page(&mut self, pno: usize) {
+        let ci = pno >> CHUNK_SHIFT;
+        if ci >= self.chunks.len() {
+            self.chunks.resize_with(ci + 1, || None);
+        }
+        let chunk = self.chunks[ci]
+            .get_or_insert_with(|| (0..CHUNK_PAGES).map(|_| None).collect::<Vec<_>>().into());
+        chunk[pno & CHUNK_MASK] = Some(vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        self.mapped += 1;
     }
 
     /// Reads one byte.
+    #[inline]
     #[must_use]
     pub fn read_u8(&self, addr: u32) -> u8 {
         match self.page(addr) {
-            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            Some(p) => p[(addr & OFFSET_MASK) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        self.page_mut(addr)[(addr % PAGE_SIZE) as usize] = value;
+        self.page_mut(addr)[(addr & OFFSET_MASK) as usize] = value;
     }
 
     /// Reads `n <= 8` little-endian bytes, zero-extended to 64 bits.
@@ -70,9 +148,20 @@ impl PagedMem {
     /// # Panics
     ///
     /// Panics if `n > 8`.
+    #[inline]
     #[must_use]
     pub fn read_le(&self, addr: u32, n: u32) -> u64 {
         assert!(n <= 8);
+        let off = (addr & OFFSET_MASK) as usize;
+        if off + n as usize <= PAGE_SIZE as usize {
+            // Within one page: resolve the page once for all bytes.
+            let Some(p) = self.page(addr) else { return 0 };
+            let mut out = 0u64;
+            for (i, &b) in p[off..off + n as usize].iter().enumerate() {
+                out |= u64::from(b) << (8 * i);
+            }
+            return out;
+        }
         let mut out = 0u64;
         for i in 0..n {
             out |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
@@ -85,39 +174,58 @@ impl PagedMem {
     /// # Panics
     ///
     /// Panics if `n > 8`.
+    #[inline]
     pub fn write_le(&mut self, addr: u32, n: u32, value: u64) {
         assert!(n <= 8);
+        let off = (addr & OFFSET_MASK) as usize;
+        if off + n as usize <= PAGE_SIZE as usize {
+            let p = self.page_mut(addr);
+            for (i, b) in p[off..off + n as usize].iter_mut().enumerate() {
+                *b = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..n {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
     }
 
     /// Reads a 32-bit little-endian word.
+    #[inline]
     #[must_use]
     pub fn read_u32(&self, addr: u32) -> u32 {
         self.read_le(addr, 4) as u32
     }
 
     /// Writes a 32-bit little-endian word.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
         self.write_le(addr, 4, u64::from(value));
     }
 
     /// Reads a 64-bit little-endian word.
+    #[inline]
     #[must_use]
     pub fn read_u64(&self, addr: u32) -> u64 {
         self.read_le(addr, 8)
     }
 
     /// Writes a 64-bit little-endian word.
+    #[inline]
     pub fn write_u64(&mut self, addr: u32, value: u64) {
         self.write_le(addr, 8, value);
     }
 
     /// Copies a byte slice into memory starting at `addr`.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        let mut a = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (a & OFFSET_MASK) as usize;
+            let n = rest.len().min(PAGE_SIZE as usize - off);
+            self.page_mut(a)[off..off + n].copy_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            a = a.wrapping_add(n as u32);
         }
     }
 
@@ -178,10 +286,38 @@ mod tests {
     }
 
     #[test]
+    fn bulk_bytes_across_page_boundary() {
+        let mut mem = PagedMem::new();
+        let data: Vec<u8> = (0..=255).collect();
+        let addr = 3 * PAGE_SIZE - 100;
+        mem.write_bytes(addr, &data);
+        assert_eq!(mem.read_bytes(addr, 256), data);
+        assert_eq!(mem.mapped_pages(), 2);
+    }
+
+    #[test]
     fn partial_width_write_preserves_neighbors() {
         let mut mem = PagedMem::new();
         mem.write_u64(0, u64::MAX);
         mem.write_u8(3, 0);
         assert_eq!(mem.read_u64(0), u64::MAX & !(0xFF << 24));
+    }
+
+    #[test]
+    fn sparse_pages_do_not_allocate_between() {
+        let mut mem = PagedMem::new();
+        mem.write_u8(0, 1);
+        mem.write_u8(100 * PAGE_SIZE, 2);
+        assert_eq!(mem.mapped_pages(), 2);
+        assert_eq!(mem.read_u8(50 * PAGE_SIZE), 0);
+    }
+
+    #[test]
+    fn high_addresses_work() {
+        // The stack lives just under 0x7FFF_0000; make sure the flat table
+        // handles page numbers that large (and wrapping reads above them).
+        let mut mem = PagedMem::new();
+        mem.write_u64(0x7FFE_FFF8, 0xABCD);
+        assert_eq!(mem.read_u64(0x7FFE_FFF8), 0xABCD);
     }
 }

@@ -66,6 +66,7 @@ impl BranchPredictor {
         self.config
     }
 
+    #[inline]
     fn pht_index(&self, pc: u32) -> usize {
         let mask = (1u64 << self.config.gshare_bits) - 1;
         ((u64::from(pc >> 2) ^ self.ghr) & mask) as usize
@@ -73,6 +74,7 @@ impl BranchPredictor {
 
     /// Predicts the direction of the conditional branch at `pc`.
     #[must_use]
+    #[inline]
     pub fn predict(&self, pc: u32) -> DirectionPrediction {
         DirectionPrediction {
             taken: self.pht[self.pht_index(pc)] >= 2,
@@ -80,6 +82,7 @@ impl BranchPredictor {
     }
 
     /// Trains the predictor with the branch's actual direction.
+    #[inline]
     pub fn update(&mut self, pc: u32, taken: bool) {
         let idx = self.pht_index(pc);
         let c = &mut self.pht[idx];
@@ -93,6 +96,7 @@ impl BranchPredictor {
 
     /// Looks up the BTB for the taken transfer at `pc`; returns `true` when
     /// the target was present (and correct). Installs/updates the entry.
+    #[inline]
     pub fn btb_lookup(&mut self, pc: u32, target: u32) -> bool {
         let idx = ((pc >> 2) & (self.config.btb_entries - 1)) as usize;
         let hit = self.btb[idx] == (pc, target);
@@ -101,6 +105,7 @@ impl BranchPredictor {
     }
 
     /// Pushes a return address (on calls).
+    #[inline]
     pub fn push_return(&mut self, addr: u32) {
         if self.ras.len() == self.config.ras_depth as usize {
             self.ras.remove(0);
@@ -109,6 +114,7 @@ impl BranchPredictor {
     }
 
     /// Pops the predicted return address (on returns); `None` when empty.
+    #[inline]
     pub fn pop_return(&mut self) -> Option<u32> {
         self.ras.pop()
     }

@@ -71,34 +71,38 @@ impl Cache {
 
     /// The set index for an address.
     #[must_use]
+    #[inline]
     pub fn set_of(&self, addr: u32) -> u32 {
         (addr / self.config.line) & (self.sets - 1)
     }
 
+    #[inline]
     fn tag_of(&self, addr: u32) -> u32 {
         addr / self.config.line / self.sets
     }
 
     /// Accesses the line containing `addr`, updating LRU state. Returns
     /// `true` on hit; on a miss the line is filled (evicting the LRU way).
+    #[inline]
     pub fn access(&mut self, addr: u32) -> bool {
         self.clock += 1;
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = (set * self.config.ways) as usize;
         let ways = self.config.ways as usize;
+        // Slice the set once so the way scan is bounds-checked once.
+        let set_tags = &mut self.tags[base..base + ways];
 
-        for way in 0..ways {
-            if self.tags[base + way] == tag {
-                self.stamps[base + way] = self.clock;
-                return true;
-            }
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+            self.stamps[base + way] = self.clock;
+            return true;
         }
         // Miss: evict LRU.
+        let set_stamps = &self.stamps[base..base + ways];
         let victim = (0..ways)
-            .min_by_key(|&w| self.stamps[base + w])
+            .min_by_key(|&w| set_stamps[w])
             .expect("cache has at least one way");
-        self.tags[base + victim] = tag;
+        set_tags[victim] = tag;
         self.stamps[base + victim] = self.clock;
         false
     }

@@ -331,10 +331,71 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Config-derived constants hoisted out of the execution loop: penalties
+/// widened to `u64` once, and the overlap-scaled refill stalls computed
+/// once per machine instead of once (or twice) per miss. Everything here
+/// is a pure function of the [`MachineConfig`], so precomputing it cannot
+/// change any counter.
+#[derive(Debug, Clone, Copy)]
+struct HotConfig {
+    fetch_bytes: u32,
+    /// `log2(fetch_bytes)` when the window size is a power of two (every
+    /// validated config), letting the per-instruction window computation
+    /// be a shift; `None` falls back to the division.
+    fetch_shift: Option<u32>,
+    itlb_penalty: u64,
+    dtlb_penalty: u64,
+    mispredict_penalty: u64,
+    btb_miss_penalty: u64,
+    bank_conflict_penalty: u64,
+    /// `stall(l2.hit_latency)`: an L1 miss that hits in L2.
+    stall_l2_hit: u64,
+    /// `stall(l2.hit_latency + memory_latency)`: a miss to memory.
+    stall_l2_miss: u64,
+    /// Load-use latency charged on an L1D load hit.
+    load_use: u64,
+    mul_extra: u64,
+    div_extra: u64,
+    line: u32,
+    banks: u32,
+    bank_window: u64,
+    max_instructions: u64,
+    next_line_prefetch: bool,
+}
+
+impl HotConfig {
+    fn of(config: &MachineConfig) -> HotConfig {
+        let stall = |raw: u32| ((f64::from(raw)) * (1.0 - config.overlap)).round() as u64;
+        HotConfig {
+            fetch_bytes: config.fetch_bytes,
+            fetch_shift: config
+                .fetch_bytes
+                .is_power_of_two()
+                .then(|| config.fetch_bytes.trailing_zeros()),
+            itlb_penalty: u64::from(config.itlb.miss_penalty),
+            dtlb_penalty: u64::from(config.dtlb.miss_penalty),
+            mispredict_penalty: u64::from(config.branch.mispredict_penalty),
+            btb_miss_penalty: u64::from(config.branch.btb_miss_penalty),
+            bank_conflict_penalty: u64::from(config.bank_conflict_penalty),
+            stall_l2_hit: stall(config.l2.hit_latency),
+            stall_l2_miss: stall(config.l2.hit_latency + config.memory_latency),
+            load_use: u64::from(config.l1d.hit_latency.saturating_sub(1)),
+            mul_extra: u64::from(config.mul_latency),
+            div_extra: u64::from(config.div_latency),
+            line: config.l1d.line,
+            banks: config.l1d_banks,
+            bank_window: u64::from(config.bank_window),
+            max_instructions: config.max_instructions,
+            next_line_prefetch: config.l1d_next_line_prefetch,
+        }
+    }
+}
+
 /// A simulated machine instance (cold caches and predictors).
 #[derive(Debug, Clone)]
 pub struct Machine {
     config: MachineConfig,
+    hot: HotConfig,
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
@@ -351,6 +412,7 @@ impl Machine {
     #[must_use]
     pub fn new(config: MachineConfig) -> Machine {
         Machine {
+            hot: HotConfig::of(&config),
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
@@ -377,10 +439,6 @@ impl Machine {
         self.dtlb.flush();
         self.bp.flush();
         self.last_access = [None, None];
-    }
-
-    fn stall(&self, raw: u32) -> u64 {
-        ((f64::from(raw)) * (1.0 - self.config.overlap)).round() as u64
     }
 
     /// Runs `process` against `exe` until `halt`.
@@ -414,6 +472,22 @@ impl Machine {
         &mut self,
         exe: &Executable,
         process: Process,
+        attr: Option<&mut crate::profile::Attributor>,
+    ) -> Result<RunResult, RunError> {
+        // Monomorphize the execution loop on whether an attributor is
+        // attached: the plain `run` path carries no per-instruction
+        // bookkeeping at all, and profiled runs still observe identical
+        // counters (attribution only reads them).
+        match attr {
+            Some(a) => self.run_loop::<true>(exe, process, Some(a)),
+            None => self.run_loop::<false>(exe, process, None),
+        }
+    }
+
+    fn run_loop<const PROFILE: bool>(
+        &mut self,
+        exe: &Executable,
+        process: Process,
         mut attr: Option<&mut crate::profile::Attributor>,
     ) -> Result<RunResult, RunError> {
         let mut c = Counters::default();
@@ -429,6 +503,15 @@ impl Machine {
         let mut last_window = u32::MAX;
         let mut attributed: Option<(u32, u64)> = None;
 
+        // The decoded text segment, addressed by word index: instruction
+        // fetch is a subtract, a shift and one bounds check, replacing the
+        // per-instruction `inst_at` call (base/alignment checks included —
+        // a misaligned or out-of-text pc still reports `InvalidPc`, since
+        // `wrapping_sub` sends addresses below the base past the end).
+        let text = exe.text();
+        let text_base = exe.text_base();
+        let hot = self.hot;
+
         macro_rules! rd {
             ($r:expr) => {
                 regs[$r.index() as usize]
@@ -443,37 +526,48 @@ impl Machine {
         }
 
         loop {
-            if let Some(a) = attr.as_deref_mut() {
-                if let Some((prev_pc, prev_cycles)) = attributed {
-                    a.record(prev_pc, c.cycles - prev_cycles);
+            if PROFILE {
+                if let Some(a) = attr.as_deref_mut() {
+                    if let Some((prev_pc, prev_cycles)) = attributed {
+                        a.record(prev_pc, c.cycles - prev_cycles);
+                    }
+                    attributed = Some((pc, c.cycles));
                 }
-                attributed = Some((pc, c.cycles));
             }
-            if c.instructions >= self.config.max_instructions {
-                return Err(RunError::Budget(self.config.max_instructions));
+            if c.instructions >= hot.max_instructions {
+                return Err(RunError::Budget(hot.max_instructions));
             }
-            let inst = exe.inst_at(pc).ok_or(RunError::InvalidPc(pc))?;
+            let word = pc.wrapping_sub(text_base);
+            if word & 3 != 0 {
+                return Err(RunError::InvalidPc(pc));
+            }
+            let Some(&inst) = text.get((word >> 2) as usize) else {
+                return Err(RunError::InvalidPc(pc));
+            };
 
             // --- front end -------------------------------------------------
-            let window = pc / self.config.fetch_bytes;
+            let window = match hot.fetch_shift {
+                Some(shift) => pc >> shift,
+                None => pc / hot.fetch_bytes,
+            };
             if window != last_window {
                 last_window = window;
                 c.fetches += 1;
                 if !self.itlb.access(pc) {
                     c.itlb_misses += 1;
-                    c.cycles += u64::from(self.config.itlb.miss_penalty);
-                    c.stall_frontend += u64::from(self.config.itlb.miss_penalty);
+                    c.cycles += hot.itlb_penalty;
+                    c.stall_frontend += hot.itlb_penalty;
                 }
                 if !self.l1i.access(pc) {
                     c.l1i_misses += 1;
-                    let raw = if self.l2.access(pc) {
-                        self.config.l2.hit_latency
+                    let stall = if self.l2.access(pc) {
+                        hot.stall_l2_hit
                     } else {
                         c.l2_misses += 1;
-                        self.config.l2.hit_latency + self.config.memory_latency
+                        hot.stall_l2_miss
                     };
-                    c.cycles += self.stall(raw);
-                    c.stall_frontend += self.stall(raw);
+                    c.cycles += stall;
+                    c.stall_frontend += stall;
                 }
             }
 
@@ -484,13 +578,15 @@ impl Machine {
             match inst {
                 Inst::Alu { op, rd, rs1, rs2 } => {
                     wr!(rd, op.eval(rd!(rs1), rd!(rs2)));
-                    c.cycles += u64::from(self.alu_extra(op));
-                    c.stall_compute += u64::from(self.alu_extra(op));
+                    let extra = self.alu_extra(op);
+                    c.cycles += extra;
+                    c.stall_compute += extra;
                 }
                 Inst::AluImm { op, rd, rs1, imm } => {
                     wr!(rd, op.eval(rd!(rs1), op.extend_imm(imm)));
-                    c.cycles += u64::from(self.alu_extra(op));
-                    c.stall_compute += u64::from(self.alu_extra(op));
+                    let extra = self.alu_extra(op);
+                    c.cycles += extra;
+                    c.stall_compute += extra;
                 }
                 Inst::Lui { rd, imm } => wr!(rd, u64::from(imm) << 16),
                 Inst::Load {
@@ -529,15 +625,15 @@ impl Machine {
                     self.bp.update(pc, taken);
                     if predicted != taken {
                         c.mispredicts += 1;
-                        c.cycles += u64::from(self.config.branch.mispredict_penalty);
-                        c.stall_branch += u64::from(self.config.branch.mispredict_penalty);
+                        c.cycles += hot.mispredict_penalty;
+                        c.stall_branch += hot.mispredict_penalty;
                     }
                     if taken {
                         let target = next_pc.wrapping_add(offset as u32);
                         if !self.bp.btb_lookup(pc, target) {
                             c.btb_misses += 1;
-                            c.cycles += u64::from(self.config.branch.btb_miss_penalty);
-                            c.stall_frontend += u64::from(self.config.branch.btb_miss_penalty);
+                            c.cycles += hot.btb_miss_penalty;
+                            c.stall_frontend += hot.btb_miss_penalty;
                         }
                         pc = target;
                         continue;
@@ -550,8 +646,8 @@ impl Machine {
                     }
                     if !self.bp.btb_lookup(pc, target) {
                         c.btb_misses += 1;
-                        c.cycles += u64::from(self.config.branch.btb_miss_penalty);
-                        c.stall_frontend += u64::from(self.config.branch.btb_miss_penalty);
+                        c.cycles += hot.btb_miss_penalty;
+                        c.stall_frontend += hot.btb_miss_penalty;
                     }
                     wr!(rd, u64::from(next_pc));
                     pc = target;
@@ -563,8 +659,8 @@ impl Machine {
                         // Return: predicted by the RAS.
                         if self.bp.pop_return() != Some(target) {
                             c.ras_mispredicts += 1;
-                            c.cycles += u64::from(self.config.branch.mispredict_penalty);
-                            c.stall_branch += u64::from(self.config.branch.mispredict_penalty);
+                            c.cycles += hot.mispredict_penalty;
+                            c.stall_branch += hot.mispredict_penalty;
                         }
                     } else {
                         if rd == Reg::RA {
@@ -572,8 +668,8 @@ impl Machine {
                         }
                         if !self.bp.btb_lookup(pc, target) {
                             c.btb_misses += 1;
-                            c.cycles += u64::from(self.config.branch.btb_miss_penalty);
-                            c.stall_frontend += u64::from(self.config.branch.btb_miss_penalty);
+                            c.cycles += hot.btb_miss_penalty;
+                            c.stall_frontend += hot.btb_miss_penalty;
                         }
                     }
                     wr!(rd, u64::from(next_pc));
@@ -594,11 +690,12 @@ impl Machine {
         }
     }
 
-    fn alu_extra(&self, op: biaslab_isa::AluOp) -> u32 {
+    #[inline]
+    fn alu_extra(&self, op: biaslab_isa::AluOp) -> u64 {
         use biaslab_isa::AluOp;
         match op {
-            AluOp::Mul => self.config.mul_latency,
-            AluOp::Div | AluOp::Rem => self.config.div_latency,
+            AluOp::Mul => self.hot.mul_extra,
+            AluOp::Div | AluOp::Rem => self.hot.div_extra,
             _ => 0,
         }
     }
@@ -620,24 +717,25 @@ impl Machine {
         is_store: bool,
         inst_index: u64,
     ) {
-        if self.config.l1d_banks > 1 {
-            let bank = (addr / 8) & (self.config.l1d_banks - 1);
-            let line_no = addr / self.config.l1d.line;
+        let hot = self.hot;
+        if hot.banks > 1 {
+            let bank = (addr / 8) & (hot.banks - 1);
+            let line_no = addr / hot.line;
             for prev in self.last_access.into_iter().flatten() {
                 let (prev_idx, prev_bank, prev_line) = prev;
-                if inst_index.saturating_sub(prev_idx) <= u64::from(self.config.bank_window)
+                if inst_index.saturating_sub(prev_idx) <= hot.bank_window
                     && prev_bank == bank
                     && prev_line != line_no
                 {
                     c.bank_conflicts += 1;
-                    c.cycles += u64::from(self.config.bank_conflict_penalty);
-                    c.stall_memory += u64::from(self.config.bank_conflict_penalty);
+                    c.cycles += hot.bank_conflict_penalty;
+                    c.stall_memory += hot.bank_conflict_penalty;
                     break;
                 }
             }
             self.last_access = [Some((inst_index, bank, line_no)), self.last_access[0]];
         }
-        let line = self.config.l1d.line;
+        let line = hot.line;
         let first_line = addr / line;
         let last_line = (addr + size - 1) / line;
         if last_line != first_line {
@@ -658,33 +756,33 @@ impl Machine {
     }
 
     fn one_line_access(&mut self, c: &mut Counters, addr: u32, is_store: bool) {
+        let hot = self.hot;
         c.l1d_accesses += 1;
         if !self.dtlb.access(addr) {
             c.dtlb_misses += 1;
-            c.cycles += u64::from(self.config.dtlb.miss_penalty);
-            c.stall_memory += u64::from(self.config.dtlb.miss_penalty);
+            c.cycles += hot.dtlb_penalty;
+            c.stall_memory += hot.dtlb_penalty;
         }
         if self.l1d.access(addr) {
             // Loads pay the load-use latency; stores retire via the buffer.
             if !is_store {
-                c.cycles += u64::from(self.config.l1d.hit_latency - 1);
-                c.stall_memory += u64::from(self.config.l1d.hit_latency - 1);
+                c.cycles += hot.load_use;
+                c.stall_memory += hot.load_use;
             }
         } else {
             c.l1d_misses += 1;
-            let raw = if self.l2.access(addr) {
-                self.config.l2.hit_latency
+            let stall = if self.l2.access(addr) {
+                hot.stall_l2_hit
             } else {
                 c.l2_misses += 1;
-                self.config.l2.hit_latency + self.config.memory_latency
+                hot.stall_l2_miss
             };
-            c.cycles += self.stall(raw);
-            c.stall_memory += self.stall(raw);
-            if self.config.l1d_next_line_prefetch {
+            c.cycles += stall;
+            c.stall_memory += stall;
+            if hot.next_line_prefetch {
                 // Fill the next line too (and train L2); the prefetch is
                 // off the critical path, so no demand latency is charged.
-                let next = addr.wrapping_add(self.config.l1d.line) / self.config.l1d.line
-                    * self.config.l1d.line;
+                let next = addr.wrapping_add(hot.line) / hot.line * hot.line;
                 self.l1d.access(next);
                 self.l2.access(next);
             }

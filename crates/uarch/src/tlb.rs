@@ -61,6 +61,7 @@ impl Tlb {
 
     /// Looks up the page containing `addr`. Returns `true` on hit; a miss
     /// installs the translation.
+    #[inline]
     pub fn access(&mut self, addr: u32) -> bool {
         self.clock += 1;
         let page = addr / PAGE_SIZE;
@@ -68,16 +69,17 @@ impl Tlb {
         let tag = page / self.sets;
         let base = (set * self.config.ways) as usize;
         let ways = self.config.ways as usize;
-        for way in 0..ways {
-            if self.tags[base + way] == tag {
-                self.stamps[base + way] = self.clock;
-                return true;
-            }
+        // Slice the set once so the way scan is bounds-checked once.
+        let set_tags = &mut self.tags[base..base + ways];
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+            self.stamps[base + way] = self.clock;
+            return true;
         }
+        let set_stamps = &self.stamps[base..base + ways];
         let victim = (0..ways)
-            .min_by_key(|&w| self.stamps[base + w])
+            .min_by_key(|&w| set_stamps[w])
             .expect("TLB has at least one way");
-        self.tags[base + victim] = tag;
+        set_tags[victim] = tag;
         self.stamps[base + victim] = self.clock;
         false
     }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Times the measure path and records the perf trajectory as BENCH_<label>.json.
+#
+#   scripts/bench.sh [label]     # default label: dev
+#
+# Records: quick-suite wall time cold (empty cache) and resumed (persisted
+# cache), plus the hotpath micro-benchmarks. Also asserts cold and resumed
+# stdout are byte-identical — caching must never change output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-dev}"
+OUT="BENCH_${LABEL}.json"
+
+echo "==> cargo build --release -p biaslab-bench"
+cargo build --release -p biaslab-bench
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+now_ms() { date +%s%3N; }
+
+echo "==> repro all --effort quick (cold cache)"
+t0="$(now_ms)"
+BIASLAB_RESULTS_DIR="$tmp/results" ./target/release/repro all --effort quick \
+    >"$tmp/cold.txt" 2>/dev/null
+t1="$(now_ms)"
+cold_ms=$((t1 - t0))
+
+echo "==> repro all --effort quick (resumed cache)"
+t0="$(now_ms)"
+BIASLAB_RESULTS_DIR="$tmp/results" ./target/release/repro all --effort quick \
+    >"$tmp/resumed.txt" 2>/dev/null
+t1="$(now_ms)"
+resumed_ms=$((t1 - t0))
+
+cmp "$tmp/cold.txt" "$tmp/resumed.txt" \
+    || { echo "FATAL: resumed stdout differs from cold stdout" >&2; exit 1; }
+
+echo "==> cargo bench --bench hotpath"
+bench_out="$(cargo bench -p biaslab-bench --bench hotpath 2>/dev/null | grep '^bench ' || true)"
+
+{
+    echo "{"
+    echo "  \"label\": \"${LABEL}\","
+    echo "  \"quick_cold_ms\": ${cold_ms},"
+    echo "  \"quick_resumed_ms\": ${resumed_ms},"
+    echo "  \"micro_us_per_iter\": {"
+    first=1
+    while read -r _ id us _rest; do
+        [ -n "${id}" ] || continue
+        [ "${first}" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    "%s": %s' "${id}" "${us}"
+    done <<<"${bench_out}"
+    printf '\n  }\n'
+    echo "}"
+} >"$OUT"
+
+echo "==> wrote ${OUT}"
+cat "$OUT"

@@ -19,4 +19,7 @@ cargo clippy --release --workspace -- -D warnings
 echo "==> repro all --effort quick (smoke, ephemeral)"
 ./target/release/repro all --effort quick --no-resume > /dev/null
 
+echo "==> scripts/bench.sh ci (bench smoke)"
+./scripts/bench.sh ci
+
 echo "==> OK"

@@ -117,17 +117,27 @@ fn harness_detects_wrong_results() {
 #[test]
 fn interpreter_depth_limit_is_an_error_not_a_stack_overflow() {
     use biaslab_toolchain::interp::{InterpError, Interpreter};
-    let mut mb = ModuleBuilder::new();
-    let f = mb.declare("forever", 1, true);
-    mb.define(f, |fb| {
-        let x = fb.param(0);
-        let v = fb.get(x);
-        let r = fb.call(f, &[v]);
-        fb.ret(Some(r));
-    });
-    let m = mb.finish().unwrap();
-    let err = Interpreter::new(&m)
-        .call_by_name("forever", &[1])
-        .unwrap_err();
+    // The interpreter recurses natively up to its depth limit; unoptimized
+    // frames at 2048 deep need more than the test harness's default thread
+    // stack, so give the limit room to fire before the native stack runs out.
+    let err = std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let mut mb = ModuleBuilder::new();
+            let f = mb.declare("forever", 1, true);
+            mb.define(f, |fb| {
+                let x = fb.param(0);
+                let v = fb.get(x);
+                let r = fb.call(f, &[v]);
+                fb.ret(Some(r));
+            });
+            let m = mb.finish().unwrap();
+            Interpreter::new(&m)
+                .call_by_name("forever", &[1])
+                .unwrap_err()
+        })
+        .expect("spawn")
+        .join()
+        .expect("no stack overflow");
     assert_eq!(err, InterpError::DepthExceeded);
 }
