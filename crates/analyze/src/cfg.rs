@@ -1,0 +1,422 @@
+//! Control-flow analyses over `biaslab-toolchain` IR functions.
+//!
+//! The static layer of the bias analyzer: build the CFG, compute
+//! dominators, find natural loops, and turn loop nesting into per-block
+//! static frequency estimates. Nothing here looks at addresses — that is
+//! [`crate::image`]'s job — and nothing executes: every result is a pure
+//! function of the IR.
+//!
+//! The dominator computation is the classic iterative bitset dataflow
+//! (`dom(b) = {b} ∪ ⋂ dom(preds(b))`), which is quadratic in the worst
+//! case but exact, small, and easy to check against the even more naive
+//! path-based definition the property tests use.
+
+use biaslab_toolchain::ir::Function;
+
+/// Per-loop-level frequency multiplier for static estimates. A block
+/// nested `d` loops deep is assumed to run `LOOP_BASE^d` times as often
+/// as the entry. The exact value is a convention (LLVM-style estimators
+/// use small powers of two); what matters is that deeper nesting
+/// dominates shallower nesting by a wide margin, as it does dynamically
+/// in this suite.
+pub const LOOP_BASE: f64 = 16.0;
+
+/// Nesting depth beyond which frequency estimates saturate.
+pub const MAX_LOOP_DEPTH: u32 = 8;
+
+/// The control-flow graph of one function, in block-index space.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Number of blocks.
+    pub n: usize,
+    /// Successor block indices, per block (in terminator order).
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor block indices, per block (sorted).
+    pub preds: Vec<Vec<usize>>,
+    /// Whether each block is reachable from the entry (block 0).
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`. Block 0 is the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` has no blocks or a terminator targets an
+    /// out-of-range block (i.e. the function does not verify).
+    #[must_use]
+    pub fn of(f: &Function) -> Cfg {
+        assert!(!f.blocks.is_empty(), "function has no blocks");
+        let n = f.blocks.len();
+        let mut succs: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, b) in f.blocks.iter().enumerate() {
+            let ss: Vec<usize> = b.term.successors().iter().map(|s| s.0 as usize).collect();
+            for &s in &ss {
+                assert!(s < n, "terminator targets out-of-range block");
+                preds[s].push(i);
+            }
+            succs.push(ss);
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+        // Reachability from the entry.
+        let mut reachable = vec![false; n];
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &succs[b] {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        Cfg {
+            n,
+            succs,
+            preds,
+            reachable,
+        }
+    }
+}
+
+/// Bitset over block indices: one `u64` word per 64 blocks.
+type BitRow = Vec<u64>;
+
+fn row_full(words: usize) -> BitRow {
+    vec![u64::MAX; words]
+}
+
+fn row_get(row: &[u64], i: usize) -> bool {
+    row[i / 64] >> (i % 64) & 1 == 1
+}
+
+fn row_set(row: &mut [u64], i: usize) {
+    row[i / 64] |= 1 << (i % 64);
+}
+
+/// Dominator sets for every reachable block of a CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    n: usize,
+    reachable: Vec<bool>,
+    dom: Vec<BitRow>,
+}
+
+impl Dominators {
+    /// Computes dominators by iterative bitset dataflow.
+    #[must_use]
+    pub fn of(cfg: &Cfg) -> Dominators {
+        let n = cfg.n;
+        let words = n.div_ceil(64);
+        let mut dom: Vec<BitRow> = vec![row_full(words); n];
+        dom[0] = vec![0; words];
+        row_set(&mut dom[0], 0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                if !cfg.reachable[b] {
+                    continue;
+                }
+                let mut next = row_full(words);
+                for &p in &cfg.preds[b] {
+                    if cfg.reachable[p] {
+                        for (w, pw) in next.iter_mut().zip(&dom[p]) {
+                            *w &= pw;
+                        }
+                    }
+                }
+                row_set(&mut next, b);
+                if next != dom[b] {
+                    dom[b] = next;
+                    changed = true;
+                }
+            }
+        }
+        Dominators {
+            n,
+            reachable: cfg.reachable.clone(),
+            dom,
+        }
+    }
+
+    /// Whether block `d` dominates block `b`. Unreachable blocks dominate
+    /// nothing and are dominated by nothing (including themselves).
+    #[must_use]
+    pub fn dominates(&self, d: usize, b: usize) -> bool {
+        assert!(d < self.n && b < self.n, "block index out of range");
+        self.reachable[d] && self.reachable[b] && row_get(&self.dom[b], d)
+    }
+
+    /// The immediate dominator of `b`: the unique strict dominator
+    /// dominated by every other strict dominator. `None` for the entry
+    /// and for unreachable blocks.
+    #[must_use]
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        if b == 0 || !self.reachable[b] {
+            return None;
+        }
+        // Among strict dominators of `b`, the immediate one has the
+        // largest dominator set (the strict dominators form a chain).
+        (0..self.n)
+            .filter(|&d| d != b && row_get(&self.dom[b], d))
+            .max_by_key(|&d| {
+                self.dom[d]
+                    .iter()
+                    .map(|w| w.count_ones() as usize)
+                    .sum::<usize>()
+            })
+    }
+}
+
+/// One natural loop: a header plus every block that can reach a back
+/// edge without leaving through the header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: usize,
+    /// Source blocks of the back edges into `header`, sorted.
+    pub back_edges: Vec<usize>,
+    /// Every block in the loop, sorted, including the header.
+    pub blocks: Vec<usize>,
+}
+
+/// Finds every natural loop of `cfg`: back edges `a → h` with `h`
+/// dominating `a`, grouped by header (loops sharing a header are merged,
+/// the usual convention). Returned sorted by header index.
+#[must_use]
+pub fn natural_loops(cfg: &Cfg, dom: &Dominators) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for a in 0..cfg.n {
+        if !cfg.reachable[a] {
+            continue;
+        }
+        for &h in &cfg.succs[a] {
+            if !dom.dominates(h, a) {
+                continue;
+            }
+            // Natural loop body: h, plus everything that reaches `a`
+            // backwards without passing through h.
+            let mut body = vec![false; cfg.n];
+            body[h] = true;
+            let mut stack = vec![a];
+            while let Some(x) = stack.pop() {
+                if body[x] {
+                    continue;
+                }
+                body[x] = true;
+                for &p in &cfg.preds[x] {
+                    if cfg.reachable[p] {
+                        stack.push(p);
+                    }
+                }
+            }
+            let blocks: Vec<usize> = (0..cfg.n).filter(|&b| body[b]).collect();
+            if let Some(existing) = loops.iter_mut().find(|l| l.header == h) {
+                existing.back_edges.push(a);
+                let mut merged = existing.blocks.clone();
+                merged.extend(&blocks);
+                merged.sort_unstable();
+                merged.dedup();
+                existing.blocks = merged;
+            } else {
+                loops.push(NaturalLoop {
+                    header: h,
+                    back_edges: vec![a],
+                    blocks,
+                });
+            }
+        }
+    }
+    for l in &mut loops {
+        l.back_edges.sort_unstable();
+        l.back_edges.dedup();
+    }
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+/// Loop-nesting depth per block: the number of natural loops whose body
+/// contains the block.
+#[must_use]
+pub fn loop_depths(n: usize, loops: &[NaturalLoop]) -> Vec<u32> {
+    let mut depth = vec![0u32; n];
+    for l in loops {
+        for &b in &l.blocks {
+            depth[b] += 1;
+        }
+    }
+    depth
+}
+
+/// Everything the analyzer knows about one function's control flow.
+#[derive(Debug, Clone)]
+pub struct CfgAnalysis {
+    /// The graph itself.
+    pub cfg: Cfg,
+    /// Natural loops, sorted by header.
+    pub loops: Vec<NaturalLoop>,
+    /// Loop-nesting depth per block.
+    pub depth: Vec<u32>,
+    /// Static frequency estimate per block: `LOOP_BASE^depth` for
+    /// reachable blocks (saturating at [`MAX_LOOP_DEPTH`]), `0.0` for
+    /// unreachable ones.
+    pub freq: Vec<f64>,
+}
+
+impl CfgAnalysis {
+    /// Runs the whole layer-1 pipeline over `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` has no blocks or does not verify (out-of-range
+    /// terminator targets).
+    #[must_use]
+    pub fn of(f: &Function) -> CfgAnalysis {
+        let cfg = Cfg::of(f);
+        let dom = Dominators::of(&cfg);
+        let loops = natural_loops(&cfg, &dom);
+        let depth = loop_depths(cfg.n, &loops);
+        let freq = depth
+            .iter()
+            .zip(&cfg.reachable)
+            .map(|(&d, &r)| {
+                if r {
+                    LOOP_BASE.powi(d.min(MAX_LOOP_DEPTH) as i32)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        CfgAnalysis {
+            cfg,
+            loops,
+            depth,
+            freq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::ir::{Block, BlockId, Function, Terminator, Val};
+
+    use super::*;
+
+    /// A function skeleton with the given terminators and no ops.
+    fn skeleton(terms: Vec<Terminator>) -> Function {
+        Function {
+            name: "t".into(),
+            param_count: 0,
+            returns_value: false,
+            locals: vec![],
+            blocks: terms
+                .into_iter()
+                .map(|term| Block { ops: vec![], term })
+                .collect(),
+            loops: vec![],
+            next_val: 0,
+        }
+    }
+
+    fn jump(b: u32) -> Terminator {
+        Terminator::Jump(BlockId(b))
+    }
+
+    fn branch(t: u32, e: u32) -> Terminator {
+        Terminator::Branch {
+            cond: biaslab_isa::Cond::Eq,
+            a: Val(0),
+            b: Val(0),
+            then_block: BlockId(t),
+            else_block: BlockId(e),
+        }
+    }
+
+    fn ret() -> Terminator {
+        Terminator::Ret { value: None }
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = skeleton(vec![jump(1), jump(2), ret()]);
+        let a = CfgAnalysis::of(&f);
+        assert!(a.loops.is_empty());
+        assert_eq!(a.freq, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1,2} -> 3
+        let f = skeleton(vec![branch(1, 2), jump(3), jump(3), ret()]);
+        let cfg = Cfg::of(&f);
+        let dom = Dominators::of(&cfg);
+        assert!(dom.dominates(0, 3));
+        assert!(!dom.dominates(1, 3));
+        assert!(!dom.dominates(2, 3));
+        assert_eq!(dom.idom(3), Some(0));
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(0), None);
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        // 0 -> 1 (header) -> {2, 3}; 2 -> 1 (back edge); 3: ret.
+        let f = skeleton(vec![jump(1), branch(2, 3), jump(1), ret()]);
+        let a = CfgAnalysis::of(&f);
+        assert_eq!(a.loops.len(), 1);
+        assert_eq!(a.loops[0].header, 1);
+        assert_eq!(a.loops[0].back_edges, vec![2]);
+        assert_eq!(a.loops[0].blocks, vec![1, 2]);
+        assert_eq!(a.depth, vec![0, 1, 1, 0]);
+        assert_eq!(a.freq[1], LOOP_BASE);
+        assert_eq!(a.freq[3], 1.0);
+    }
+
+    #[test]
+    fn nested_loops_multiply_frequency() {
+        // 0 -> 1(hdr outer) -> 2(hdr inner) -> {2 via 3, exit}:
+        // 0: jump 1
+        // 1: branch(2, 5)        outer header
+        // 2: branch(3, 4)        inner header
+        // 3: jump 2              inner back edge
+        // 4: jump 1              outer back edge
+        // 5: ret
+        let f = skeleton(vec![
+            jump(1),
+            branch(2, 5),
+            branch(3, 4),
+            jump(2),
+            jump(1),
+            ret(),
+        ]);
+        let a = CfgAnalysis::of(&f);
+        assert_eq!(a.loops.len(), 2);
+        assert_eq!(a.depth[2], 2);
+        assert_eq!(a.depth[3], 2);
+        assert_eq!(a.depth[4], 1);
+        assert_eq!(a.freq[3], LOOP_BASE * LOOP_BASE);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_zero_frequency() {
+        let f = skeleton(vec![ret(), jump(0)]);
+        let a = CfgAnalysis::of(&f);
+        assert!(!a.cfg.reachable[1]);
+        assert_eq!(a.freq[1], 0.0);
+        assert!(a.loops.is_empty());
+    }
+
+    #[test]
+    fn self_loop() {
+        let f = skeleton(vec![branch(0, 1), ret()]);
+        let a = CfgAnalysis::of(&f);
+        assert_eq!(a.loops.len(), 1);
+        assert_eq!(a.loops[0].blocks, vec![0]);
+        assert_eq!(a.depth, vec![1, 0]);
+    }
+}

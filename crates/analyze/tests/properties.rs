@@ -1,0 +1,220 @@
+//! Property tests for the layer-1 control-flow analyses: the production
+//! bitset/worklist implementations must agree with naive O(n²) (and
+//! worse) reference implementations built straight from the textbook
+//! definitions, over arbitrary generated CFGs.
+
+use biaslab_analyze::cfg::{natural_loops, Cfg, CfgAnalysis, Dominators, NaturalLoop, LOOP_BASE};
+use biaslab_toolchain::ir::{Block, BlockId, Function, Terminator, Val};
+use proptest::prelude::*;
+
+/// Builds a function whose block `i` gets terminator `i` of `terms`.
+fn skeleton(terms: Vec<Terminator>) -> Function {
+    Function {
+        name: "gen".into(),
+        param_count: 0,
+        returns_value: false,
+        locals: vec![],
+        blocks: terms
+            .into_iter()
+            .map(|term| Block { ops: vec![], term })
+            .collect(),
+        loops: vec![],
+        next_val: 0,
+    }
+}
+
+/// Decodes `(kind, t1, t2)` triples into a well-formed CFG of `n` blocks:
+/// kind 0 returns, kind 1 jumps to `t1 % n`, kind 2 branches to
+/// `t1 % n` / `t2 % n`.
+fn decode(spec: &[(u8, u32, u32)]) -> Function {
+    let n = spec.len() as u32;
+    let terms = spec
+        .iter()
+        .map(|&(kind, t1, t2)| match kind % 3 {
+            0 => Terminator::Ret { value: None },
+            1 => Terminator::Jump(BlockId(t1 % n)),
+            _ => Terminator::Branch {
+                cond: biaslab_isa::Cond::Eq,
+                a: Val(0),
+                b: Val(0),
+                then_block: BlockId(t1 % n),
+                else_block: BlockId(t2 % n),
+            },
+        })
+        .collect();
+    skeleton(terms)
+}
+
+/// Reachability from the entry with one block removed — the primitive
+/// behind the path-based dominator definition.
+fn reachable_avoiding(cfg: &Cfg, avoid: Option<usize>) -> Vec<bool> {
+    let mut seen = vec![false; cfg.n];
+    if avoid == Some(0) {
+        return seen;
+    }
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for &s in &cfg.succs[b] {
+            if !seen[s] && avoid != Some(s) {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// The textbook definition: `d` dominates `b` iff both are reachable and
+/// every entry→`b` path passes through `d` (equivalently, removing `d`
+/// disconnects `b`, or `d == b`).
+fn naive_dominates(cfg: &Cfg, d: usize, b: usize) -> bool {
+    if !cfg.reachable[d] || !cfg.reachable[b] {
+        return false;
+    }
+    d == b || !reachable_avoiding(cfg, Some(d))[b]
+}
+
+/// Natural loops from the definition: for every edge `a → h` with `h`
+/// dominating `a`, the loop body is `h` plus every reachable block that
+/// can reach `a` without passing through `h`; loops sharing a header
+/// merge.
+fn naive_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for a in 0..cfg.n {
+        if !cfg.reachable[a] {
+            continue;
+        }
+        for &h in &cfg.succs[a] {
+            if !naive_dominates(cfg, h, a) {
+                continue;
+            }
+            let mut blocks: Vec<usize> = (0..cfg.n)
+                .filter(|&x| {
+                    cfg.reachable[x] && x != h && {
+                        // Forward DFS from x to a, never entering h.
+                        let mut seen = vec![false; cfg.n];
+                        let mut stack = vec![x];
+                        seen[x] = true;
+                        let mut hit = x == a;
+                        while let Some(y) = stack.pop() {
+                            for &s in &cfg.succs[y] {
+                                if s != h && !seen[s] {
+                                    seen[s] = true;
+                                    hit |= s == a;
+                                    stack.push(s);
+                                }
+                            }
+                        }
+                        hit
+                    }
+                })
+                .collect();
+            blocks.push(h);
+            blocks.sort_unstable();
+            if let Some(existing) = loops.iter_mut().find(|l| l.header == h) {
+                existing.back_edges.push(a);
+                existing.blocks.extend(&blocks);
+                existing.blocks.sort_unstable();
+                existing.blocks.dedup();
+            } else {
+                loops.push(NaturalLoop {
+                    header: h,
+                    back_edges: vec![a],
+                    blocks,
+                });
+            }
+        }
+    }
+    for l in &mut loops {
+        l.back_edges.sort_unstable();
+        l.back_edges.dedup();
+    }
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+proptest! {
+    #[test]
+    fn dominators_match_the_path_based_definition(
+        spec in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let f = decode(&spec);
+        let cfg = Cfg::of(&f);
+        let dom = Dominators::of(&cfg);
+        for d in 0..cfg.n {
+            for b in 0..cfg.n {
+                prop_assert_eq!(
+                    dom.dominates(d, b),
+                    naive_dominates(&cfg, d, b),
+                    "dominates({}, {}) over {:?}", d, b, cfg.succs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idom_is_the_unique_maximal_strict_dominator(
+        spec in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let f = decode(&spec);
+        let cfg = Cfg::of(&f);
+        let dom = Dominators::of(&cfg);
+        for b in 0..cfg.n {
+            match dom.idom(b) {
+                None => prop_assert!(b == 0 || !cfg.reachable[b]),
+                Some(i) => {
+                    prop_assert!(naive_dominates(&cfg, i, b) && i != b);
+                    // Every other strict dominator of b dominates the idom.
+                    for d in 0..cfg.n {
+                        if d != b && d != i && naive_dominates(&cfg, d, b) {
+                            prop_assert!(
+                                naive_dominates(&cfg, d, i),
+                                "strict dominator {} must dominate idom {} of {}", d, i, b
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn natural_loops_match_the_back_edge_definition(
+        spec in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let f = decode(&spec);
+        let cfg = Cfg::of(&f);
+        let dom = Dominators::of(&cfg);
+        prop_assert_eq!(natural_loops(&cfg, &dom), naive_loops(&cfg));
+    }
+
+    #[test]
+    fn loop_structure_invariants_hold(
+        spec in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let f = decode(&spec);
+        let a = CfgAnalysis::of(&f);
+        for l in &a.loops {
+            // The header dominates every block of its loop, and every
+            // back edge ends in the loop.
+            let dom = Dominators::of(&a.cfg);
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b));
+            }
+            for &e in &l.back_edges {
+                prop_assert!(l.blocks.contains(&e));
+            }
+        }
+        // Frequency follows depth, and unreachable blocks are silent.
+        for b in 0..a.cfg.n {
+            if a.cfg.reachable[b] {
+                let depth = a.loops.iter().filter(|l| l.blocks.contains(&b)).count() as u32;
+                prop_assert_eq!(a.depth[b], depth);
+                prop_assert!((a.freq[b] - LOOP_BASE.powi(depth.min(8) as i32)).abs() < 1e-9);
+            } else {
+                prop_assert_eq!(a.freq[b], 0.0);
+            }
+        }
+    }
+}

@@ -3,6 +3,7 @@
 mod ablations;
 mod causal_figs;
 mod env_figs;
+mod ext_analyze;
 mod link_figs;
 mod random_fig;
 mod tables;
@@ -144,6 +145,11 @@ pub static EXPERIMENTS: &[ExperimentInfo] = &[
         id: "abl-prefetch",
         title: "ablation: next-line prefetch vs the bias channels",
         run: ablations::abl_prefetch,
+    },
+    ExperimentInfo {
+        id: "ext-analyze",
+        title: "extension: static sensitivity ranking vs measured O3/O2 spread",
+        run: ext_analyze::ext_analyze,
     },
 ];
 

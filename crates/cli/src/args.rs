@@ -16,15 +16,18 @@ commands:
   disasm <benchmark>           print the linked disassembly
   ir <benchmark>               print the optimized IR
   audit <benchmark>            report environment & link-order bias
+  analyze <benchmark>|all      predict layout-sensitivity statically
+                               (`all` ranks the suite, still zero runs)
   survey                       print the 133-paper literature survey
 
-options (run/disasm/audit):
+options (run/disasm/audit/analyze):
   --opt <O0|O1|O2|O3>          optimization level       [default O2]
   --machine <name>             pentium4 | core2 | o3cpu [default core2]
   --env <bytes>                environment size         [default 0]
   --order <spec>               default|reversed|alpha|rand:<seed>
   --size <test|ref>            input size               [default test]
-  --profile                    (run) print a per-function profile";
+  --profile                    (run) print a per-function profile
+  --explain                    (analyze) per-level image facts";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +63,15 @@ pub enum Command {
         /// Input size.
         size: InputSize,
     },
+    /// `biaslab analyze <bench> …`
+    Analyze {
+        /// Benchmark name.
+        bench: String,
+        /// Machine model name.
+        machine: String,
+        /// Print per-level image facts, not just the factor table.
+        explain: bool,
+    },
 }
 
 /// Options for `biaslab run`.
@@ -82,7 +94,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "list" => Ok(Command::List),
         "machines" => Ok(Command::Machines),
         "survey" => Ok(Command::Survey),
-        "run" | "disasm" | "audit" | "ir" => {
+        "run" | "disasm" | "audit" | "ir" | "analyze" => {
             let rest: Vec<&String> = it.collect();
             let bench = rest
                 .iter()
@@ -106,6 +118,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     bench,
                     machine,
                     size,
+                }),
+                "analyze" => Ok(Command::Analyze {
+                    bench,
+                    machine,
+                    explain: rest.iter().any(|a| a.as_str() == "--explain"),
                 }),
                 _ => Ok(Command::Run(RunArgs {
                     bench,
@@ -255,5 +272,27 @@ mod tests {
         assert_eq!(bench, "gcc");
         assert_eq!(machine, "pentium4");
         assert_eq!(size, InputSize::Ref);
+    }
+
+    #[test]
+    fn parses_analyze() {
+        assert_eq!(
+            parse(&argv("analyze perlbench --machine o3cpu --explain")).unwrap(),
+            Command::Analyze {
+                bench: "perlbench".into(),
+                machine: "o3cpu".into(),
+                explain: true,
+            }
+        );
+        let Command::Analyze {
+            machine, explain, ..
+        } = parse(&argv("analyze mcf")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(machine, "core2");
+        assert!(!explain);
+        assert!(parse(&argv("analyze")).is_err());
+        assert!(parse(&argv("analyze mcf --machine vax")).is_err());
     }
 }

@@ -25,6 +25,11 @@ pub fn run(cmd: Command) -> Result<(), String> {
             machine,
             size,
         } => audit(&bench, &machine, size),
+        Command::Analyze {
+            bench,
+            machine,
+            explain,
+        } => analyze(&bench, &machine, explain),
     }
 }
 
@@ -169,6 +174,40 @@ fn audit(bench: &str, machine: &str, size: InputSize) -> Result<(), String> {
     Ok(())
 }
 
+fn analyze(bench: &str, machine: &str, explain: bool) -> Result<(), String> {
+    let machine_config = parse_machine(machine)?;
+    if bench == "all" {
+        let ranked = biaslab_analyze::rank_suite(&machine_config)?;
+        let mut table = Table::new(vec!["rank", "benchmark", "predicted-spread", "top factor"]);
+        for (i, r) in ranked.iter().enumerate() {
+            let top = r
+                .factors
+                .iter()
+                .max_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"))
+                .expect("three factors");
+            table.row(vec![
+                format!("{}", i + 1),
+                r.bench.clone(),
+                format!("{:.4}", r.predicted_spread),
+                top.factor.to_string(),
+            ]);
+        }
+        println!(
+            "suite ranked by predicted O3/O2 spread on {}:\n",
+            machine_config.name
+        );
+        println!("{table}");
+        return Ok(());
+    }
+    let report = biaslab_analyze::analyze_benchmark(bench, &machine_config)?;
+    if explain {
+        println!("{}", report.explain());
+    } else {
+        println!("{report}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +238,19 @@ mod tests {
     fn disasm_and_ir_succeed() {
         run(parse(&argv("disasm gobmk --opt O1")).unwrap()).unwrap();
         run(parse(&argv("ir gobmk --opt O3")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn analyze_succeeds_without_simulating() {
+        let before = Orchestrator::global().stats().simulated;
+        run(parse(&argv("analyze perlbench --machine o3cpu")).unwrap()).unwrap();
+        run(parse(&argv("analyze mcf --explain")).unwrap()).unwrap();
+        run(parse(&argv("analyze all --machine pentium4")).unwrap()).unwrap();
+        assert_eq!(
+            Orchestrator::global().stats().simulated,
+            before,
+            "analyze must not invoke the simulator"
+        );
     }
 
     #[test]

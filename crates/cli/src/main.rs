@@ -6,6 +6,8 @@
 //! biaslab run perlbench --opt O3 --machine o3cpu --env 612 --profile
 //! biaslab disasm hmmer --opt O2 | head
 //! biaslab audit gcc --machine core2     # env + link-order bias report
+//! biaslab analyze sjeng --explain       # predict bias statically (no runs)
+//! biaslab analyze all --machine o3cpu   # rank the suite, still zero runs
 //! biaslab survey                        # the 133-paper literature table
 //! ```
 

@@ -27,10 +27,15 @@
 //!
 //! Caching is sound because the simulator is deterministic and the key
 //! covers every factor that can change a run. Machine configuration and
-//! environment are folded to FNV-64 digests of their `Debug` forms: equal
-//! digests from unequal configs are astronomically unlikely, and each
-//! cached [`Measurement`] still carries its human-readable setup summary as
-//! a cross-check. Warm-cache repetition studies
+//! environment are folded to FNV-64 digests of a canonical named-field
+//! rendering ([`machine_digest`], [`env_digest`]) — not of `Debug` output,
+//! whose text can change with derive or formatting churn and silently
+//! alias or split cache keys. The renderings destructure every field, so
+//! adding a field to [`MachineConfig`] without extending the digest is a
+//! compile error. Equal digests from unequal configs are astronomically
+//! unlikely, and each cached [`Measurement`] still carries its
+//! human-readable setup summary as a cross-check. Warm-cache repetition
+//! studies
 //! ([`Harness::measure_repeated`] with [`crate::harness::CachePolicy::Warm`])
 //! never go through the cache: their later repetitions depend on machine
 //! state, not just the setup.
@@ -43,8 +48,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+use biaslab_toolchain::load::Environment;
 use biaslab_toolchain::OptLevel;
-use biaslab_uarch::Counters;
+use biaslab_uarch::{Counters, MachineConfig};
 use biaslab_workloads::{benchmark_by_name, InputSize};
 use parking_lot::Mutex;
 
@@ -62,12 +68,91 @@ fn fnv64(s: &str) -> u64 {
     h
 }
 
+/// Content-addresses a machine configuration for the cache key: FNV-64
+/// over a canonical `field=value` rendering of every timing-relevant
+/// field. The destructuring below is exhaustive on purpose — adding a
+/// field to [`MachineConfig`] without deciding how it digests is a
+/// compile error here, not a silent cache aliasing bug.
+#[must_use]
+pub fn machine_digest(m: &MachineConfig) -> u64 {
+    let cache = |c: &biaslab_uarch::cache::CacheConfig| {
+        let biaslab_uarch::cache::CacheConfig {
+            size,
+            ways,
+            line,
+            hit_latency,
+        } = *c;
+        format!("size={size} ways={ways} line={line} hit_latency={hit_latency}")
+    };
+    let tlb = |t: &biaslab_uarch::tlb::TlbConfig| {
+        let biaslab_uarch::tlb::TlbConfig {
+            entries,
+            ways,
+            miss_penalty,
+        } = *t;
+        format!("entries={entries} ways={ways} miss_penalty={miss_penalty}")
+    };
+    let MachineConfig {
+        name,
+        l1i,
+        l1d,
+        l2,
+        memory_latency,
+        itlb,
+        dtlb,
+        branch,
+        fetch_bytes,
+        mul_latency,
+        div_latency,
+        l1d_banks,
+        bank_conflict_penalty,
+        bank_window,
+        l1d_next_line_prefetch,
+        overlap,
+        max_instructions,
+    } = m;
+    let biaslab_uarch::branch::BranchConfig {
+        gshare_bits,
+        btb_entries,
+        ras_depth,
+        mispredict_penalty,
+        btb_miss_penalty,
+    } = *branch;
+    fnv64(&format!(
+        "machine name={name} l1i=[{}] l1d=[{}] l2=[{}] memory_latency={memory_latency} \
+         itlb=[{}] dtlb=[{}] branch=[gshare_bits={gshare_bits} btb_entries={btb_entries} \
+         ras_depth={ras_depth} mispredict_penalty={mispredict_penalty} \
+         btb_miss_penalty={btb_miss_penalty}] fetch_bytes={fetch_bytes} \
+         mul_latency={mul_latency} div_latency={div_latency} l1d_banks={l1d_banks} \
+         bank_conflict_penalty={bank_conflict_penalty} bank_window={bank_window} \
+         l1d_next_line_prefetch={l1d_next_line_prefetch} overlap_bits={:016x} \
+         max_instructions={max_instructions}",
+        cache(l1i),
+        cache(l1d),
+        cache(l2),
+        tlb(itlb),
+        tlb(dtlb),
+        overlap.to_bits(),
+    ))
+}
+
+/// Content-addresses a loader environment for the cache key: FNV-64 over
+/// its variables (`name=value`, in order) and total stack footprint.
+#[must_use]
+pub fn env_digest(e: &Environment) -> u64 {
+    let mut canon = format!("env stack_bytes={}", e.stack_bytes());
+    for v in e.vars() {
+        canon.push_str(&format!(" {}={}", v.name, v.value));
+    }
+    fnv64(&canon)
+}
+
 /// The cache key: every factor that can influence a measurement.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MeasureKey {
     /// Benchmark name.
     pub bench: String,
-    /// FNV-64 digest of the machine configuration's `Debug` form.
+    /// [`machine_digest`] of the machine configuration.
     pub machine: u64,
     /// Optimization level.
     pub opt: OptLevel,
@@ -77,7 +162,7 @@ pub struct MeasureKey {
     pub text_offset: u32,
     /// Loader stack shift in bytes.
     pub stack_shift: u32,
-    /// FNV-64 digest of the environment's `Debug` form.
+    /// [`env_digest`] of the loader environment.
     pub env: u64,
     /// Input size.
     pub size: InputSize,
@@ -89,12 +174,12 @@ impl MeasureKey {
     pub fn new(bench: &str, setup: &ExperimentSetup, size: InputSize) -> MeasureKey {
         MeasureKey {
             bench: bench.to_owned(),
-            machine: fnv64(&format!("{:?}", setup.machine)),
+            machine: machine_digest(&setup.machine),
             opt: setup.opt,
             link_order: setup.link_order,
             text_offset: setup.text_offset,
             stack_shift: setup.stack_shift,
-            env: fnv64(&format!("{:?}", setup.env)),
+            env: env_digest(&setup.env),
             size,
         }
     }
@@ -115,6 +200,10 @@ pub struct OrchestratorStats {
     pub simulated: u64,
     /// Records restored from a persisted results file.
     pub loaded: u64,
+    /// Stale records dropped while loading a persisted results file:
+    /// foreign versions, parse failures, and benchmarks this build does
+    /// not know.
+    pub pruned: u64,
     /// Sweeps executed.
     pub sweeps: u64,
     /// Cached records dropped by the capacity policy.
@@ -137,6 +226,7 @@ impl OrchestratorStats {
             misses: self.misses - earlier.misses,
             simulated: self.simulated - earlier.simulated,
             loaded: self.loaded - earlier.loaded,
+            pruned: self.pruned - earlier.pruned,
             sweeps: self.sweeps - earlier.sweeps,
             evictions: self.evictions - earlier.evictions,
             sweep_wall_us: self.sweep_wall_us - earlier.sweep_wall_us,
@@ -150,13 +240,14 @@ impl fmt::Display for OrchestratorStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache {} hit / {} miss ({} simulated, {} in cache, {} evicted), \
+            "cache {} hit / {} miss ({} simulated, {} in cache, {} evicted, {} pruned), \
              {} sweep(s) in {:.2}s wall / {:.2}s busy",
             self.hits,
             self.misses,
             self.simulated,
             self.cached,
             self.evictions,
+            self.pruned,
             self.sweeps,
             self.sweep_wall_us as f64 / 1e6,
             self.busy_us as f64 / 1e6,
@@ -192,6 +283,7 @@ pub struct Orchestrator {
     misses: AtomicU64,
     simulated: AtomicU64,
     loaded: AtomicU64,
+    pruned: AtomicU64,
     sweeps: AtomicU64,
     evictions: AtomicU64,
     sweep_wall_us: AtomicU64,
@@ -467,6 +559,7 @@ impl Orchestrator {
             misses: self.misses.load(Ordering::Relaxed),
             simulated: self.simulated.load(Ordering::Relaxed),
             loaded: self.loaded.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
             sweeps: self.sweeps.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             sweep_wall_us: self.sweep_wall_us.load(Ordering::Relaxed),
@@ -509,10 +602,14 @@ impl Orchestrator {
         Ok(written)
     }
 
-    /// Restores measurements persisted by [`Orchestrator::save`]. Lines
-    /// that fail to parse (foreign versions, truncation) are skipped;
-    /// already-cached keys are left untouched. Returns how many records
-    /// were restored. A missing file restores zero records.
+    /// Restores measurements persisted by [`Orchestrator::save`]. Stale
+    /// records — foreign versions, truncated or unparsable lines, and
+    /// benchmarks this build does not know — are pruned (skipped and
+    /// counted in [`OrchestratorStats::pruned`]), so a results file
+    /// written by an older build degrades to re-simulation instead of
+    /// poisoning the cache. Already-cached keys are left untouched.
+    /// Returns how many records were restored. A missing file restores
+    /// zero records.
     ///
     /// # Errors
     ///
@@ -524,20 +621,29 @@ impl Orchestrator {
             Err(e) => return Err(e),
         };
         let mut restored = 0usize;
+        let mut pruned = 0u64;
         let mut evicted = 0;
         let mut cache = self.cache.lock();
-        for line in text.lines() {
-            let Some((key, m)) = parse_record(line) else {
-                continue;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let stale = match parse_record(line) {
+                Some((key, _)) if benchmark_by_name(&key.bench).is_none() => true,
+                Some((key, m)) => {
+                    if !cache.contains_key(&key) {
+                        evicted += cache.insert(key, Ok(m));
+                        restored += 1;
+                    }
+                    false
+                }
+                None => true,
             };
-            if !cache.contains_key(&key) {
-                evicted += cache.insert(key, Ok(m));
-                restored += 1;
+            if stale {
+                pruned += 1;
             }
         }
         drop(cache);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         self.loaded.fetch_add(restored as u64, Ordering::Relaxed);
+        self.pruned.fetch_add(pruned, Ordering::Relaxed);
         Ok(restored)
     }
 }
@@ -546,14 +652,17 @@ impl Orchestrator {
 // Persistence format (hand-rolled: the offline serde stand-in has no JSON
 // backend). One record per line:
 //
-//   {"v":1,"bench":"hmmer","machine":123,"opt":"O2","order":"rand:7",
+//   {"v":2,"bench":"hmmer","machine":123,"opt":"O2","order":"rand:7",
 //    "text_offset":0,"stack_shift":0,"env":456,"size":"test",
 //    "setup":"core2/O2/env=0B/order=default","checksum":789,
 //    "counters":[...]}
 //
 // `counters` lists every `Counters` field in declaration order.
 
-const RECORD_VERSION: u64 = 1;
+// Version 2: `machine`/`env` switched from Debug-string digests to the
+// canonical named-field digests ([`machine_digest`], [`env_digest`]).
+// Version-1 digests are incomparable, so v1 files prune wholesale.
+const RECORD_VERSION: u64 = 2;
 
 fn order_str(o: LinkOrder) -> String {
     match o {
@@ -845,6 +954,93 @@ mod tests {
             assert_eq!(a.checksum, b.checksum);
             assert_eq!(a.setup, b.setup);
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A digest change silently invalidates every persisted results file,
+    /// so it must only happen on purpose (with a [`RECORD_VERSION`] bump),
+    /// never through formatting or derive churn. These constants were
+    /// computed once from the canonical renderings and pinned.
+    #[test]
+    fn setup_digests_are_pinned() {
+        assert_eq!(
+            machine_digest(&MachineConfig::pentium4()),
+            0x530c_d327_6251_e59a
+        );
+        assert_eq!(
+            machine_digest(&MachineConfig::core2()),
+            0x06a7_5a75_25a3_109c
+        );
+        assert_eq!(
+            machine_digest(&MachineConfig::o3cpu()),
+            0xc243_5423_dfcd_2663
+        );
+        assert_eq!(
+            env_digest(&Environment::of_total_size(64)),
+            0xdd88_1ced_02c5_0561
+        );
+        assert_eq!(
+            env_digest(&Environment::of_total_size(612)),
+            0x3535_f8db_a763_3e64
+        );
+    }
+
+    #[test]
+    fn digests_respond_to_every_named_field() {
+        let base = MachineConfig::core2();
+        let d = machine_digest(&base);
+        let mut m = base.clone();
+        m.overlap += 0.125;
+        assert_ne!(machine_digest(&m), d, "overlap must be digested");
+        let mut m = base.clone();
+        m.l1d.ways *= 2;
+        assert_ne!(
+            machine_digest(&m),
+            d,
+            "nested cache fields must be digested"
+        );
+        let mut m = base;
+        m.l1d_next_line_prefetch = !m.l1d_next_line_prefetch;
+        assert_ne!(machine_digest(&m), d, "ablation toggles must be digested");
+        assert_ne!(
+            env_digest(&Environment::of_total_size(64)),
+            env_digest(&Environment::of_total_size(65)),
+        );
+        assert_eq!(
+            env_digest(&Environment::of_total_size(612)),
+            env_digest(&Environment::of_total_size(612)),
+        );
+    }
+
+    #[test]
+    fn loading_prunes_stale_records() {
+        let orch = Orchestrator::new();
+        let h = orch.harness("hmmer").expect("known benchmark");
+        let _ = orch.sweep(&h, &env_setups(2), InputSize::Test);
+
+        let dir = std::env::temp_dir().join(format!("biaslab-prune-{}", std::process::id()));
+        let path = dir.join("measurements.jsonl");
+        assert_eq!(orch.save(&path).expect("save"), 2);
+
+        // Corrupt the file the ways an old or foreign build would: a
+        // previous record version, a benchmark this build doesn't know,
+        // and a truncated line. Blank lines are not records at all.
+        let mut text = std::fs::read_to_string(&path).expect("read back");
+        let valid = text.lines().next().expect("has records").to_owned();
+        text.push_str(&valid.replace("\"v\":2", "\"v\":1"));
+        text.push('\n');
+        text.push_str(&valid.replace("\"bench\":\"hmmer\"", "\"bench\":\"nonesuch\""));
+        text.push('\n');
+        text.push_str(&valid[..valid.len() / 2]);
+        text.push_str("\n\n");
+        std::fs::write(&path, text).expect("rewrite");
+
+        let fresh = Orchestrator::new();
+        assert_eq!(fresh.load(&path).expect("load"), 2);
+        let stats = fresh.stats();
+        assert_eq!(stats.loaded, 2);
+        assert_eq!(stats.pruned, 3, "v1 + unknown bench + truncated");
+        assert!(format!("{stats}").contains("3 pruned"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -111,6 +111,75 @@ pub fn geometric_mean(data: &[f64]) -> f64 {
     (data.iter().map(|x| x.ln()).sum::<f64>() / data.len() as f64).exp()
 }
 
+/// Ranks a sample (1-based), assigning tied values their average rank.
+fn average_ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("no NaN"));
+    let mut ranks = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = rank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation between two paired samples: Pearson
+/// correlation of the (tie-averaged) ranks. Returns a value in
+/// `[-1, 1]`; `0.0` when either sample is constant (no ordering to
+/// correlate with).
+///
+/// # Examples
+///
+/// ```
+/// use biaslab_core::stats::spearman;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(spearman(&a, &[10.0, 20.0, 30.0, 40.0]), 1.0);
+/// assert_eq!(spearman(&a, &[9.0, 6.0, 4.0, 1.0]), -1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the samples differ in length, have fewer than two
+/// elements, or contain NaN.
+#[must_use]
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "samples must be paired");
+    assert!(a.len() >= 2, "need at least two pairs");
+    assert!(
+        a.iter().chain(b).all(|x| !x.is_nan()),
+        "sample contains NaN"
+    );
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let n = ra.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    // `(va * vb).sqrt()`, not `va.sqrt() * vb.sqrt()`: when the rank
+    // vectors match exactly the former divides out to exactly ±1.
+    cov / (va * vb).sqrt()
+}
+
 /// A two-sided confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Ci {
@@ -375,5 +444,46 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_summary_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn spearman_monotone_but_nonlinear_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &[0.0, -1.0, -8.0, -27.0, -64.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_average_ranks() {
+        // Ties inside one sample: correlation is still defined and
+        // symmetric in the arguments.
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0, 7.0];
+        let r = spearman(&a, &b);
+        assert!((r - spearman(&b, &a)).abs() < 1e-12);
+        assert!(r > 0.9 && r <= 1.0);
+    }
+
+    #[test]
+    fn spearman_constant_sample_is_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_matches_hand_computation() {
+        // Classic d²-formula check (no ties): ρ = 1 − 6Σd²/(n(n²−1)).
+        let a = [
+            106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0,
+        ];
+        let b = [7.0, 27.0, 2.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
+        let r = spearman(&a, &b);
+        assert!((r - (-29.0 / 165.0)).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn spearman_rejects_mismatched_lengths() {
+        let _ = spearman(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
     }
 }

@@ -57,62 +57,67 @@ pub fn compile(module: &Module, level: OptLevel) -> CompiledModule {
 
 /// Where a local slot lives at run time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Home {
+pub enum Home {
     /// sp-relative byte offset.
     Mem(u32),
     /// Promoted to a callee-saved register.
     Reg(Reg),
 }
 
-#[derive(Debug)]
-struct Fixup {
-    at: usize,
-    target: BlockId,
+/// The frame layout and register-promotion plan for one function at one
+/// optimization level: the part of code generation that decides which
+/// locals produce stack traffic, how big the frame is, and what the
+/// prologue/epilogue save.
+///
+/// Exposed so static analyses (the `biaslab-analyze` crate) can reason
+/// about a function's run-time stack behavior without compiling it; the
+/// code generator itself consumes the same plan, so the two can never
+/// disagree.
+#[derive(Debug, Clone)]
+pub struct FramePlan {
+    /// Where each local lives, indexed by `LocalId`.
+    pub homes: Vec<Home>,
+    /// Total frame size in bytes (16-aligned).
+    pub frame: u32,
+    /// sp-relative base of the reserved spill slots.
+    pub spill_base: u32,
+    /// sp-relative base of the callee-saved register area.
+    pub saved_base: u32,
+    /// Callee-saved registers hosting promoted locals.
+    pub saved: Vec<Reg>,
+    /// Whether the prologue saves `ra`/`fp` (leaf functions at `O2` and
+    /// above skip the pair).
+    pub save_ra_fp: bool,
+    /// sp-relative offset of the saved `fp` (meaningful if `save_ra_fp`).
+    pub fp_off: u32,
+    /// sp-relative offset of the saved `ra` (meaningful if `save_ra_fp`).
+    pub ra_off: u32,
 }
 
-#[derive(Debug)]
-struct FuncCtx {
-    homes: Vec<Home>,
-    frame: u32,
-    spill_base: u32,
-    saved: Vec<Reg>,
-    save_ra_fp: bool,
-    insts: Vec<Inst>,
-    relocs: Vec<Reloc>,
-    fixups: Vec<Fixup>,
-    block_starts: Vec<usize>,
-}
-
-impl FuncCtx {
-    fn emit(&mut self, inst: Inst) -> usize {
-        // Peephole: a register move onto itself is a no-op.
-        if let Inst::Alu {
-            op: AluOp::Add,
-            rd,
-            rs1,
-            rs2,
-        } = inst
-        {
-            if rd == rs1 && rs2 == Reg::ZERO && !self.insts.is_empty() {
-                return self.insts.len() - 1;
-            }
-        }
-        self.insts.push(inst);
-        self.insts.len() - 1
+impl FramePlan {
+    /// Whether local `i` is memory-resident (produces stack traffic on
+    /// every access) rather than promoted to a register.
+    #[must_use]
+    pub fn in_memory(&self, i: usize) -> bool {
+        matches!(self.homes.get(i), Some(Home::Mem(_)))
     }
 
-    fn spill_addr(&self, slot: u32) -> i16 {
-        (self.spill_base + 8 * slot) as i16
+    /// Stack memory operations executed per function entry: the
+    /// prologue's callee-saved stores plus the epilogue's reloads, and
+    /// the `ra`/`fp` pair when it is saved.
+    #[must_use]
+    pub fn entry_stack_ops(&self) -> u32 {
+        2 * (self.saved.len() as u32 + if self.save_ra_fp { 2 } else { 0 })
     }
 }
 
-/// Compiles one function to an object file.
+/// Computes the [`FramePlan`] for `f` at `level`.
+///
+/// Scalars whose address is never taken are promoted to callee-saved
+/// registers, hottest first: references weigh 16x per level of loop
+/// nesting, so innermost-loop locals always win the registers.
 #[must_use]
-pub fn compile_function(module: &Module, f: &Function, level: OptLevel) -> ObjectFile {
-    // --- frame layout -----------------------------------------------------
-    // Scalars whose address is never taken are promoted to callee-saved
-    // registers, hottest first: references weigh 16x per level of loop
-    // nesting, so innermost-loop locals always win the registers.
+pub fn frame_plan(f: &Function, level: OptLevel) -> FramePlan {
     let taken = f.address_taken_locals();
     // Loop depth of each block: the number of back-edge ranges [target,
     // source] containing it (exact for the builder's reducible layouts).
@@ -175,7 +180,7 @@ pub fn compile_function(module: &Module, f: &Function, level: OptLevel) -> Objec
         .flat_map(|b| &b.ops)
         .any(|op| matches!(op, Op::Call { .. }));
     let save_ra_fp = !(is_leaf && level >= OptLevel::O2);
-    let saved = promoted.clone();
+    let saved = promoted;
     let mut top = saved_base + 8 * saved.len() as u32;
     let (fp_off, ra_off) = if save_ra_fp {
         let fp = top;
@@ -186,6 +191,74 @@ pub fn compile_function(module: &Module, f: &Function, level: OptLevel) -> Objec
         (0, 0)
     };
     let frame = align_up(top.max(16), 16);
+    FramePlan {
+        homes,
+        frame,
+        spill_base,
+        saved_base,
+        saved,
+        save_ra_fp,
+        fp_off,
+        ra_off,
+    }
+}
+
+#[derive(Debug)]
+struct Fixup {
+    at: usize,
+    target: BlockId,
+}
+
+#[derive(Debug)]
+struct FuncCtx {
+    homes: Vec<Home>,
+    frame: u32,
+    spill_base: u32,
+    saved: Vec<Reg>,
+    save_ra_fp: bool,
+    insts: Vec<Inst>,
+    relocs: Vec<Reloc>,
+    fixups: Vec<Fixup>,
+    block_starts: Vec<usize>,
+}
+
+impl FuncCtx {
+    fn emit(&mut self, inst: Inst) -> usize {
+        // Peephole: a register move onto itself is a no-op.
+        if let Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        } = inst
+        {
+            if rd == rs1 && rs2 == Reg::ZERO && !self.insts.is_empty() {
+                return self.insts.len() - 1;
+            }
+        }
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    fn spill_addr(&self, slot: u32) -> i16 {
+        (self.spill_base + 8 * slot) as i16
+    }
+}
+
+/// Compiles one function to an object file.
+#[must_use]
+pub fn compile_function(module: &Module, f: &Function, level: OptLevel) -> ObjectFile {
+    // --- frame layout (shared with the static analyzer) ---------------------
+    let FramePlan {
+        homes,
+        frame,
+        spill_base,
+        saved_base,
+        saved,
+        save_ra_fp,
+        fp_off,
+        ra_off,
+    } = frame_plan(f, level);
 
     let mut ctx = FuncCtx {
         homes,

@@ -5,7 +5,7 @@
 //! block-locality of [`Val`]s: each value is defined exactly once, before
 //! use, within a single block.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::ir::{BlockId, Function, Module, Op, Terminator, Val};
@@ -15,6 +15,9 @@ use crate::ir::{BlockId, Function, Module, Op, Terminator, Val};
 pub struct VerifyError {
     /// Function in which the defect was found, if any.
     pub function: Option<String>,
+    /// Block in which the defect was found, if any (also rendered inside
+    /// `message`; kept separate as a sort key for [`verify_module_all`]).
+    pub block: Option<u32>,
     /// Human-readable description of the defect.
     pub message: String,
 }
@@ -30,9 +33,18 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-fn err(function: &Function, message: String) -> VerifyError {
+fn err(function: &Function, block: Option<u32>, message: String) -> VerifyError {
     VerifyError {
         function: Some(function.name.clone()),
+        block,
+        message,
+    }
+}
+
+fn module_err(message: String) -> VerifyError {
+    VerifyError {
+        function: None,
+        block: None,
         message,
     }
 }
@@ -41,107 +53,140 @@ fn err(function: &Function, message: String) -> VerifyError {
 ///
 /// # Errors
 ///
-/// Returns the first defect found.
+/// Returns the first defect found, in deterministic check order
+/// (module-level checks first, then each function in module order).
 pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
-    let mut names = HashSet::new();
+    match module_errors(module).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Every structural defect in the module, sorted by function name, then
+/// block, then message (module-level defects first).
+///
+/// [`verify_module`] stops at the first defect in check order, which is
+/// convenient for build pipelines but useless for snapshots: analyzer
+/// golden tests and diagnostics want the complete, stably-ordered list.
+#[must_use]
+pub fn verify_module_all(module: &Module) -> Vec<VerifyError> {
+    let mut errors = module_errors(module);
+    errors.sort_by(|a, b| {
+        (&a.function, a.block, &a.message).cmp(&(&b.function, b.block, &b.message))
+    });
+    errors
+}
+
+/// Collects every defect, in check order.
+fn module_errors(module: &Module) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    let mut names = BTreeSet::new();
     for g in &module.globals {
         if !names.insert(&g.name) {
-            return Err(VerifyError {
-                function: None,
-                message: format!("duplicate global name `{}`", g.name),
-            });
+            errors.push(module_err(format!("duplicate global name `{}`", g.name)));
         }
         if !g.align.is_power_of_two() {
-            return Err(VerifyError {
-                function: None,
-                message: format!(
-                    "global `{}` alignment {} is not a power of two",
-                    g.name, g.align
-                ),
-            });
+            errors.push(module_err(format!(
+                "global `{}` alignment {} is not a power of two",
+                g.name, g.align
+            )));
         }
         if g.init.len() as u32 > g.size {
-            return Err(VerifyError {
-                function: None,
-                message: format!("global `{}` initializer exceeds its size", g.name),
-            });
+            errors.push(module_err(format!(
+                "global `{}` initializer exceeds its size",
+                g.name
+            )));
         }
     }
-    let mut fnames = HashSet::new();
+    let mut fnames = BTreeSet::new();
     for f in &module.functions {
         if !fnames.insert(&f.name) {
-            return Err(VerifyError {
-                function: None,
-                message: format!("duplicate function name `{}`", f.name),
-            });
+            errors.push(module_err(format!("duplicate function name `{}`", f.name)));
         }
     }
     for f in &module.functions {
-        verify_function(module, f)?;
+        function_errors(module, f, &mut errors);
     }
-    Ok(())
+    errors
 }
 
 /// Verifies a single function.
 ///
 /// # Errors
 ///
-/// Returns the first defect found.
+/// Returns the first defect found, in deterministic check order.
 pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError> {
+    let mut errors = Vec::new();
+    function_errors(module, f, &mut errors);
+    match errors.into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn function_errors(module: &Module, f: &Function, errors: &mut Vec<VerifyError>) {
     if f.blocks.is_empty() {
-        return Err(err(f, "function has no blocks".into()));
+        errors.push(err(f, None, "function has no blocks".into()));
     }
     if f.param_count > 6 {
-        return Err(err(
+        errors.push(err(
             f,
+            None,
             format!("{} parameters exceed the ABI limit of 6", f.param_count),
         ));
     }
     if (f.param_count as usize) > f.locals.len() {
-        return Err(err(f, "fewer locals than parameters".into()));
+        errors.push(err(f, None, "fewer locals than parameters".into()));
     }
     for (i, slot) in f.locals.iter().enumerate() {
         if !slot.align.is_power_of_two() {
-            return Err(err(
+            errors.push(err(
                 f,
+                None,
                 format!("local {i} alignment {} not a power of two", slot.align),
             ));
         }
         if slot.size == 0 {
-            return Err(err(f, format!("local {i} has zero size")));
+            errors.push(err(f, None, format!("local {i} has zero size")));
         }
     }
 
-    let mut defined_anywhere: HashSet<Val> = HashSet::new();
+    let mut defined_anywhere: BTreeSet<Val> = BTreeSet::new();
     for (bi, block) in f.blocks.iter().enumerate() {
         let bid = BlockId(bi as u32);
-        let mut defined: HashSet<Val> = HashSet::new();
+        let b = Some(bi as u32);
+        let mut defined: BTreeSet<Val> = BTreeSet::new();
         for (oi, op) in block.ops.iter().enumerate() {
             for used in op.uses() {
                 if !defined.contains(&used) {
-                    return Err(err(
+                    errors.push(err(
                         f,
+                        b,
                         format!("{bid} op {oi}: {used} used before definition in its block"),
                     ));
                 }
             }
-            self::verify_op(module, f, op).map_err(|m| err(f, format!("{bid} op {oi}: {m}")))?;
+            if let Err(m) = self::verify_op(module, f, op) {
+                errors.push(err(f, b, format!("{bid} op {oi}: {m}")));
+            }
             if let Some(dst) = op.def() {
                 if !defined.insert(dst) {
-                    return Err(err(
+                    errors.push(err(
                         f,
+                        b,
                         format!("{bid} op {oi}: {dst} defined twice in block"),
                     ));
-                }
-                if !defined_anywhere.insert(dst) {
-                    return Err(err(
+                } else if !defined_anywhere.insert(dst) {
+                    errors.push(err(
                         f,
+                        b,
                         format!("{bid} op {oi}: {dst} defined in more than one block"),
                     ));
                 }
                 if dst.0 >= f.next_val {
-                    return Err(err(
+                    errors.push(err(
                         f,
+                        b,
                         format!("{bid} op {oi}: {dst} not below next_val {}", f.next_val),
                     ));
                 }
@@ -149,24 +194,27 @@ pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError>
         }
         for used in block.term.uses() {
             if !defined.contains(&used) {
-                return Err(err(
+                errors.push(err(
                     f,
+                    b,
                     format!("{bid} terminator: {used} used before definition"),
                 ));
             }
         }
         for succ in block.term.successors() {
             if succ.0 as usize >= f.blocks.len() {
-                return Err(err(
+                errors.push(err(
                     f,
+                    b,
                     format!("{bid} terminator: successor {succ} out of range"),
                 ));
             }
         }
         if let Terminator::Ret { value } = &block.term {
             if value.is_some() != f.returns_value {
-                return Err(err(
+                errors.push(err(
                     f,
+                    b,
                     format!(
                         "{bid}: return {} value but function {}",
                         if value.is_some() {
@@ -187,13 +235,16 @@ pub fn verify_function(module: &Module, f: &Function) -> Result<(), VerifyError>
 
     for (li, l) in f.loops.iter().enumerate() {
         if l.header.0 as usize >= f.blocks.len() || l.body.0 as usize >= f.blocks.len() {
-            return Err(err(f, format!("loop {li}: block out of range")));
+            errors.push(err(f, None, format!("loop {li}: block out of range")));
         }
         if l.induction.0 as usize >= f.locals.len() {
-            return Err(err(f, format!("loop {li}: induction local out of range")));
+            errors.push(err(
+                f,
+                None,
+                format!("loop {li}: induction local out of range"),
+            ));
         }
     }
-    Ok(())
 }
 
 fn verify_op(module: &Module, f: &Function, op: &Op) -> Result<(), String> {
@@ -426,6 +477,72 @@ mod tests {
         f.returns_value = true;
         let e = verify_module(&module_with(f)).unwrap_err();
         assert!(e.to_string().contains("lacks a value"), "{e}");
+    }
+
+    #[test]
+    fn all_errors_are_collected_and_sorted() {
+        // Two broken functions, inserted in reverse-alphabetical order,
+        // each with defects in two blocks: the full listing sorts by
+        // (function, block, message) regardless of module order, while
+        // `verify_module` still reports the first defect in check order.
+        let broken = |name: &str| {
+            let mut f = func(
+                vec![
+                    Block {
+                        ops: vec![Op::Chk { src: Val(9) }],
+                        term: Terminator::Jump(BlockId(1)),
+                    },
+                    Block {
+                        ops: vec![],
+                        term: Terminator::Jump(BlockId(7)),
+                    },
+                ],
+                vec![],
+                10,
+            );
+            f.name = name.into();
+            f
+        };
+        let m = Module {
+            functions: vec![broken("zeta"), broken("alpha")],
+            globals: vec![crate::ir::Global::zeroed("g", 8), {
+                let mut g = crate::ir::Global::zeroed("h", 8);
+                g.align = 3;
+                g
+            }],
+        };
+        let all = verify_module_all(&m);
+        assert_eq!(all.len(), 5);
+        // Module-level defect first, then functions alphabetically with
+        // ascending blocks.
+        assert_eq!(all[0].function, None);
+        assert!(all[0].message.contains("alignment 3"));
+        assert_eq!(all[1].function.as_deref(), Some("alpha"));
+        assert_eq!(all[1].block, Some(0));
+        assert_eq!(all[2].function.as_deref(), Some("alpha"));
+        assert_eq!(all[2].block, Some(1));
+        assert_eq!(all[3].function.as_deref(), Some("zeta"));
+        assert_eq!(all[4].function.as_deref(), Some("zeta"));
+        // First-error semantics unchanged: module-level checks, then
+        // `zeta` (module order), not sorted order.
+        let first = verify_module(&m).unwrap_err();
+        assert!(first.message.contains("alignment 3"), "{first}");
+        // And the listing is stable across repeated runs.
+        let again = verify_module_all(&m);
+        assert_eq!(all, again);
+    }
+
+    #[test]
+    fn a_clean_module_collects_no_errors() {
+        let m = module_with(func(
+            vec![Block {
+                ops: vec![],
+                term: Terminator::Ret { value: None },
+            }],
+            vec![],
+            0,
+        ));
+        assert!(verify_module_all(&m).is_empty());
     }
 
     #[test]

@@ -22,6 +22,32 @@ pub struct BranchConfig {
     pub btb_miss_penalty: u32,
 }
 
+impl BranchConfig {
+    /// Number of pattern-history-table entries.
+    #[must_use]
+    pub fn pht_entries(&self) -> u32 {
+        1 << self.gshare_bits
+    }
+
+    /// The gshare PHT index for a branch at `pc` under global history
+    /// `ghr` — the same mapping the predictor applies. Two branch
+    /// addresses alias for *every* history value iff their `ghr = 0`
+    /// indices are equal, which is what static collision detection
+    /// checks.
+    #[must_use]
+    pub fn gshare_index(&self, pc: u32, ghr: u64) -> u32 {
+        let mask = (1u64 << self.gshare_bits) - 1;
+        ((u64::from(pc >> 2) ^ ghr) & mask) as u32
+    }
+
+    /// The direct-mapped BTB slot for a transfer at `pc` — the same
+    /// mapping [`BranchPredictor::btb_lookup`] applies.
+    #[must_use]
+    pub fn btb_index(&self, pc: u32) -> u32 {
+        (pc >> 2) & (self.btb_entries - 1)
+    }
+}
+
 /// The outcome of consulting the predictor for one conditional branch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DirectionPrediction {
@@ -68,8 +94,7 @@ impl BranchPredictor {
 
     #[inline]
     fn pht_index(&self, pc: u32) -> usize {
-        let mask = (1u64 << self.config.gshare_bits) - 1;
-        ((u64::from(pc >> 2) ^ self.ghr) & mask) as usize
+        self.config.gshare_index(pc, self.ghr) as usize
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
@@ -98,7 +123,7 @@ impl BranchPredictor {
     /// the target was present (and correct). Installs/updates the entry.
     #[inline]
     pub fn btb_lookup(&mut self, pc: u32, target: u32) -> bool {
-        let idx = ((pc >> 2) & (self.config.btb_entries - 1)) as usize;
+        let idx = self.config.btb_index(pc) as usize;
         let hit = self.btb[idx] == (pc, target);
         self.btb[idx] = (pc, target);
         hit
@@ -171,6 +196,21 @@ mod tests {
         let c = a + 4;
         assert!(!p.btb_lookup(c, 0x3333));
         assert!(p.btb_lookup(a, 0x1111));
+    }
+
+    #[test]
+    fn config_geometry_matches_btb_conflicts() {
+        // The static index predicts exactly the conflict pattern the
+        // dynamic test above observes: +16*4 aliases, +4 does not.
+        let cfg = predictor().config();
+        let a = 0x40_0000u32;
+        assert_eq!(cfg.btb_index(a), cfg.btb_index(a + 16 * 4));
+        assert_ne!(cfg.btb_index(a), cfg.btb_index(a + 4));
+        assert_eq!(cfg.pht_entries(), 64);
+        // Equal ghr=0 indices alias under every history value.
+        let b = a + 64 * 4;
+        assert_eq!(cfg.gshare_index(a, 0), cfg.gshare_index(b, 0));
+        assert_eq!(cfg.gshare_index(a, 0x35), cfg.gshare_index(b, 0x35));
     }
 
     #[test]

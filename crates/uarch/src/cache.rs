@@ -34,6 +34,30 @@ impl CacheConfig {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
     }
+
+    /// The set index `addr` maps to — the same mapping [`Cache::set_of`]
+    /// applies on every simulated access, exposed on the configuration so
+    /// static analyses can reason about conflicts without instantiating
+    /// a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
+    #[must_use]
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.line) & (self.sets() - 1)
+    }
+
+    /// The tag stored for `addr`: two addresses conflict in a set iff
+    /// they share a set index but not a tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
+    #[must_use]
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.line / self.sets()
+    }
 }
 
 /// One level of set-associative cache.
@@ -188,6 +212,18 @@ mod tests {
         let c = tiny();
         let sets_at = |base: u32| -> Vec<u32> { (0..2).map(|i| c.set_of(base + i * 64)).collect() };
         assert_ne!(sets_at(0), sets_at(128));
+    }
+
+    #[test]
+    fn config_geometry_agrees_with_the_simulated_cache() {
+        let c = tiny();
+        for addr in (0..4096u32).step_by(40) {
+            assert_eq!(c.set_of(addr), c.config().set_of(addr));
+        }
+        // Distinct tags at the same set index are exactly the conflicts.
+        let cfg = c.config();
+        assert_eq!(cfg.set_of(0), cfg.set_of(256));
+        assert_ne!(cfg.tag_of(0), cfg.tag_of(256));
     }
 
     #[test]

@@ -298,6 +298,32 @@ impl MachineConfig {
         }
         Ok(())
     }
+
+    /// The fetch-window id containing `pc` — the same mapping the front
+    /// end applies (`pc / fetch_bytes`). Two instructions in the same
+    /// window are fetched together; an entry point late in its window
+    /// wastes the rest of the fetch.
+    #[must_use]
+    pub fn fetch_window_of(&self, pc: u32) -> u32 {
+        pc / self.fetch_bytes
+    }
+
+    /// Byte offset of `pc` within its fetch window.
+    #[must_use]
+    pub fn fetch_offset_of(&self, pc: u32) -> u32 {
+        pc % self.fetch_bytes
+    }
+
+    /// The L1D bank `addr` maps to (8-byte interleave, the same mapping
+    /// the execution engine applies); `0` when banking is disabled.
+    #[must_use]
+    pub fn l1d_bank_of(&self, addr: u32) -> u32 {
+        if self.l1d_banks > 1 {
+            (addr / 8) & (self.l1d_banks - 1)
+        } else {
+            0
+        }
+    }
 }
 
 /// The result of running a process to `halt`.

@@ -20,6 +20,46 @@ pub struct TlbConfig {
     pub miss_penalty: u32,
 }
 
+impl TlbConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / ways` is not a power of two.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        let sets = self.entries / self.ways;
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
+        sets
+    }
+
+    /// The set index the page containing `addr` maps to — the same
+    /// mapping [`Tlb::access`] applies, exposed on the configuration so
+    /// static analyses can reason about page conflicts without
+    /// instantiating a TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / ways` is not a power of two.
+    #[must_use]
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / PAGE_SIZE) & (self.sets() - 1)
+    }
+
+    /// The tag stored for the page containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries / ways` is not a power of two.
+    #[must_use]
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr / PAGE_SIZE / self.sets()
+    }
+}
+
 /// A set-associative TLB with LRU replacement.
 #[derive(Debug, Clone)]
 pub struct Tlb {
@@ -38,11 +78,7 @@ impl Tlb {
     /// Panics if `entries / ways` is not a power of two.
     #[must_use]
     pub fn new(config: TlbConfig) -> Tlb {
-        let sets = config.entries / config.ways;
-        assert!(
-            sets.is_power_of_two(),
-            "TLB set count must be a power of two"
-        );
+        let sets = config.sets();
         let n = (sets * config.ways) as usize;
         Tlb {
             config,
@@ -120,6 +156,22 @@ mod tests {
         assert!(!t.access(4 * PAGE_SIZE));
         assert!(!t.access(8 * PAGE_SIZE)); // evicts page 0
         assert!(!t.access(0 * PAGE_SIZE)); // page 0 gone
+    }
+
+    #[test]
+    fn config_geometry_agrees_with_the_simulated_tlb() {
+        let cfg = TlbConfig {
+            entries: 8,
+            ways: 2,
+            miss_penalty: 30,
+        };
+        assert_eq!(cfg.sets(), 4);
+        // Pages 0, 4, 8 share set 0 (the conflict `conflicting_pages_evict`
+        // exercises dynamically); the static mapping must agree.
+        assert_eq!(cfg.set_of(0), cfg.set_of(4 * PAGE_SIZE));
+        assert_eq!(cfg.set_of(0), cfg.set_of(8 * PAGE_SIZE));
+        assert_ne!(cfg.set_of(0), cfg.set_of(PAGE_SIZE));
+        assert_ne!(cfg.tag_of(0), cfg.tag_of(4 * PAGE_SIZE));
     }
 
     #[test]

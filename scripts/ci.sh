@@ -16,6 +16,13 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --release --workspace -- -D warnings
 
+echo "==> biaslab analyze smoke (static analyzer, zero simulations)"
+./target/release/biaslab analyze perlbench --machine core2 --explain > /dev/null
+./target/release/biaslab analyze all --machine o3cpu > /dev/null
+
+echo "==> static-vs-dynamic rank correlation (all three machines)"
+cargo test -q --release --test static_vs_dynamic
+
 echo "==> repro all --effort quick (smoke, ephemeral)"
 ./target/release/repro all --effort quick --no-resume > /dev/null
 
