@@ -5,6 +5,7 @@
 //! figure's wall time hangs on.
 
 use biaslab_core::setup::ExperimentSetup;
+use biaslab_core::telemetry;
 use biaslab_core::Orchestrator;
 use biaslab_toolchain::codegen::compile;
 use biaslab_toolchain::link::Linker;
@@ -14,7 +15,7 @@ use biaslab_toolchain::opt::{optimize, OptLevel};
 use biaslab_uarch::cache::{Cache, CacheConfig};
 use biaslab_uarch::{Machine, MachineConfig};
 use biaslab_workloads::{benchmark_by_name, InputSize};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn configured() -> Criterion {
     Criterion::default()
@@ -128,9 +129,49 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // The same cold measurement with tracing off and on: the gap between
+    // the two numbers is the whole cost of `--trace`, which the design
+    // promises stays in the noise (one relaxed flag load when off, a few
+    // buffered events per measurement when on). Each iteration gets a
+    // fresh orchestrator via `iter_batched` so every measure is a cold
+    // miss rather than a cache hit.
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    let fresh = || {
+        let orch = Orchestrator::new();
+        let setup = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+        (orch, setup)
+    };
+    let measure = |(orch, setup): (Orchestrator, ExperimentSetup)| {
+        let h = orch.harness("hmmer").expect("known");
+        std::hint::black_box(orch.measure(&h, &setup, InputSize::Test).expect("measures"))
+    };
+
+    group.bench_function("measure-untraced", |b| {
+        telemetry::disable();
+        b.iter_batched(fresh, measure, BatchSize::SmallInput);
+    });
+
+    group.bench_function("measure-traced", |b| {
+        telemetry::enable();
+        b.iter_batched(
+            || {
+                let _ = telemetry::drain();
+                fresh()
+            },
+            measure,
+            BatchSize::SmallInput,
+        );
+        telemetry::disable();
+        let _ = telemetry::drain();
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_mem, bench_cache, bench_machine, bench_sweep
+    targets = bench_mem, bench_cache, bench_machine, bench_sweep, bench_telemetry
 }
 criterion_main!(benches);

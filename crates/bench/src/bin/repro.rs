@@ -7,6 +7,8 @@
 //! repro all [--effort quick]    # everything, in paper order
 //! repro all --jobs 4            # run experiments concurrently
 //! repro all --serial            # one at a time, in-process
+//! repro fig1 --trace            # also export a telemetry trace
+//! repro fig1 --trace-profile    # trace + per-function cycle attribution
 //! ```
 //!
 //! Measurements persist under `results/measurements.jsonl` (set
@@ -20,18 +22,25 @@
 //! cache (`--jobs N` to pick the worker count, default the machine's
 //! parallelism). Output is buffered per experiment and flushed in paper
 //! order, so stdout is byte-identical to `--serial` at any worker count.
+//!
+//! `--trace` records the whole measurement procedure — phase spans, cache
+//! hits/misses/evictions, worker attribution — and exports it as JSONL
+//! under `results/traces/` (render it with `biaslab trace <file>`).
+//! `--trace-profile` additionally attaches per-function cycle attribution
+//! to every simulated run. Tracing never changes measurements: counters
+//! and stdout are bit-identical with or without it.
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use biaslab_bench::{parallel, run_experiment, Effort, EXPERIMENTS};
-use biaslab_core::Orchestrator;
+use biaslab_core::{telemetry, Orchestrator};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <experiment-id | all | list> [--effort quick|full] [--no-resume] \
-         [--jobs N | --serial]"
+         [--jobs N | --serial] [--trace | --trace-profile]"
     );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
@@ -91,17 +100,50 @@ fn parse_mode(args: &[String]) -> Option<Mode> {
     Some(mode)
 }
 
+fn results_dir() -> PathBuf {
+    std::env::var_os("BIASLAB_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
+}
+
 fn results_path() -> PathBuf {
-    std::env::var_os("BIASLAB_RESULTS_DIR")
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
-        .join("measurements.jsonl")
+    results_dir().join("measurements.jsonl")
+}
+
+fn effort_str(effort: Effort) -> &'static str {
+    match effort {
+        Effort::Quick => "quick",
+        Effort::Full => "full",
+    }
+}
+
+/// Exports the buffered trace (when tracing) and reports where it went.
+fn export_trace(target: &str, effort: Effort) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let path = results_dir()
+        .join("traces")
+        .join(format!("repro-{target}-{}.jsonl", effort_str(effort)));
+    let label = format!("repro {target} --effort {}", effort_str(effort));
+    match telemetry::export(&path, &label, &Orchestrator::global().metrics()) {
+        Ok(n) => eprintln!("[repro] trace: {n} event(s) -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write trace to {}: {e}", path.display()),
+    }
 }
 
 fn run_one(id: &str, title: &str, effort: Effort, persist: bool) {
     let orch = Orchestrator::global();
     let before = orch.stats();
     let start = std::time::Instant::now();
+    let span = telemetry::enabled().then(|| {
+        telemetry::set_scope(id);
+        telemetry::metrics().counter("repro.experiments").add(1);
+        telemetry::Span::open("experiment", id)
+    });
     let output = run_experiment(id, effort).expect("registered experiment");
+    if let Some(span) = span {
+        span.close();
+        telemetry::clear_scope();
+    }
     println!("{output}");
     let spent = start.elapsed();
     let path = results_path();
@@ -129,6 +171,13 @@ fn main() -> ExitCode {
         return usage();
     };
     let resume = !args.iter().any(|a| a == "--no-resume");
+    let trace_profiles = args.iter().any(|a| a == "--trace-profile");
+    if trace_profiles || args.iter().any(|a| a == "--trace") {
+        telemetry::enable();
+        if trace_profiles {
+            telemetry::enable_profiles();
+        }
+    }
     let mut flag_value_next = false;
     let targets: Vec<&String> = args
         .iter()
@@ -174,14 +223,22 @@ fn main() -> ExitCode {
                     let path = results_path();
                     let mut out = std::io::stdout().lock();
                     let failures = parallel::run_all(EXPERIMENTS, effort, jobs, &mut out, |run| {
+                        if telemetry::enabled() {
+                            telemetry::metrics().counter("repro.experiments").add(1);
+                        }
                         match &run.outcome {
                             Ok(_) => {
                                 eprintln!("[repro] {} ({}): {:.2}s", run.id, run.title, run.seconds)
                             }
-                            Err(msg) => eprintln!(
-                                "[repro] {} ({}): PANICKED after {:.2}s: {msg}",
-                                run.id, run.title, run.seconds
-                            ),
+                            Err(msg) => {
+                                if telemetry::enabled() {
+                                    telemetry::metrics().counter("repro.panics").add(1);
+                                }
+                                eprintln!(
+                                    "[repro] {} ({}): PANICKED after {:.2}s: {msg}",
+                                    run.id, run.title, run.seconds
+                                );
+                            }
                         }
                         if resume {
                             if let Err(e) = orch.save(&path) {
@@ -204,6 +261,7 @@ fn main() -> ExitCode {
                 }
             };
             eprintln!("[repro] totals: {}", Orchestrator::global().stats());
+            export_trace("all", effort);
             code
         }
         id => {
@@ -217,6 +275,7 @@ fn main() -> ExitCode {
                 .expect("checked")
                 .title;
             run_one(id, title, effort, resume);
+            export_trace(id, effort);
             ExitCode::SUCCESS
         }
     }

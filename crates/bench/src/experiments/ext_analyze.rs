@@ -71,14 +71,12 @@ pub(crate) fn ext_analyze(effort: Effort) -> String {
          (extension beyond the paper; the static side runs zero simulations)\n"
     );
     for machine in machines {
-        let orch = Orchestrator::global();
-        let before = orch.stats().simulated;
+        // The static side's zero-simulation property is asserted by
+        // `tests/static_vs_dynamic.rs` and the CLI `analyze` test, both on
+        // serial orchestrators. It cannot be re-asserted here from global
+        // orchestrator stats: under `repro all --jobs N` other experiments
+        // simulate concurrently, so the counter moves for unrelated reasons.
         let ranking = rank_suite(&machine).expect("suite analyzes");
-        assert_eq!(
-            orch.stats().simulated,
-            before,
-            "static analysis must not simulate"
-        );
 
         let mut table = Table::new(vec!["rank", "benchmark", "predicted", "measured-spread"]);
         let (mut predicted, mut measured) = (Vec::new(), Vec::new());

@@ -18,6 +18,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
+use biaslab_core::telemetry;
+
 use crate::experiments::{Effort, ExperimentInfo};
 
 /// The outcome of one experiment under the driver.
@@ -94,23 +96,39 @@ where
     let (tx, rx) = mpsc::channel::<(usize, ExperimentRun)>();
     let mut failures = 0;
     std::thread::scope(|s| -> io::Result<()> {
-        for _ in 0..jobs {
+        for w in 0..jobs {
             let tx = tx.clone();
             let next = &next;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(e) = experiments.get(i) else { break };
-                let start = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| (e.run)(effort)))
-                    .map_err(|p| panic_message(p.as_ref()));
-                let run = ExperimentRun {
-                    id: e.id,
-                    title: e.title,
-                    outcome,
-                    seconds: start.elapsed().as_secs_f64(),
-                };
-                if tx.send((i, run)).is_err() {
-                    break;
+            let wid = w as u64 + 1;
+            s.spawn(move || {
+                if telemetry::enabled() {
+                    telemetry::set_worker(wid);
+                }
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(e) = experiments.get(i) else { break };
+                    let start = Instant::now();
+                    // Scope every event this experiment generates to its id,
+                    // and record the block itself as an "experiment" span.
+                    let span = telemetry::enabled().then(|| {
+                        telemetry::set_scope(e.id);
+                        telemetry::Span::open("experiment", e.id)
+                    });
+                    let outcome = catch_unwind(AssertUnwindSafe(|| (e.run)(effort)))
+                        .map_err(|p| panic_message(p.as_ref()));
+                    if let Some(span) = span {
+                        span.close();
+                        telemetry::clear_scope();
+                    }
+                    let run = ExperimentRun {
+                        id: e.id,
+                        title: e.title,
+                        outcome,
+                        seconds: start.elapsed().as_secs_f64(),
+                    };
+                    if tx.send((i, run)).is_err() {
+                        break;
+                    }
                 }
             });
         }

@@ -27,7 +27,9 @@ fn boom(_: Effort) -> String {
     panic!("injected failure")
 }
 
-fn registry(entries: &[(&'static str, fn(Effort) -> String)]) -> Vec<ExperimentInfo> {
+type RunFn = fn(Effort) -> String;
+
+fn registry(entries: &[(&'static str, RunFn)]) -> Vec<ExperimentInfo> {
     entries
         .iter()
         .map(|&(id, run)| ExperimentInfo {

@@ -18,6 +18,9 @@ commands:
   audit <benchmark>            report environment & link-order bias
   analyze <benchmark>|all      predict layout-sensitivity statically
                                (`all` ranks the suite, still zero runs)
+  trace <file>                 report on a telemetry trace (from
+                               `repro ... --trace`): slowest measurements,
+                               cache effectiveness, worker utilization
   survey                       print the 133-paper literature survey
 
 options (run/disasm/audit/analyze):
@@ -27,7 +30,11 @@ options (run/disasm/audit/analyze):
   --order <spec>               default|reversed|alpha|rand:<seed>
   --size <test|ref>            input size               [default test]
   --profile                    (run) print a per-function profile
-  --explain                    (analyze) per-level image facts";
+  --explain                    (analyze) per-level image facts
+
+options (trace):
+  --summary                    full report (the default)
+  --flame                      merged profiles, folded-stacks form";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +79,14 @@ pub enum Command {
         /// Print per-level image facts, not just the factor table.
         explain: bool,
     },
+    /// `biaslab trace <file> [--summary|--flame]`
+    Trace {
+        /// Path to a trace JSONL file written by `repro ... --trace`.
+        file: String,
+        /// Render merged profiles in folded-stacks form instead of the
+        /// summary report.
+        flame: bool,
+    },
 }
 
 /// Options for `biaslab run`.
@@ -94,6 +109,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "list" => Ok(Command::List),
         "machines" => Ok(Command::Machines),
         "survey" => Ok(Command::Survey),
+        "trace" => {
+            let rest: Vec<&String> = it.collect();
+            let file = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .ok_or("missing trace file path")?
+                .to_string();
+            if let Some(bad) = rest
+                .iter()
+                .find(|a| a.starts_with("--") && !matches!(a.as_str(), "--summary" | "--flame"))
+            {
+                return Err(format!("unknown trace option `{bad}`"));
+            }
+            Ok(Command::Trace {
+                file,
+                flame: rest.iter().any(|a| a.as_str() == "--flame"),
+            })
+        }
         "run" | "disasm" | "audit" | "ir" | "analyze" => {
             let rest: Vec<&String> = it.collect();
             let bench = rest
@@ -294,5 +327,29 @@ mod tests {
         assert!(!explain);
         assert!(parse(&argv("analyze")).is_err());
         assert!(parse(&argv("analyze mcf --machine vax")).is_err());
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(
+            parse(&argv("trace results/traces/repro-fig1-quick.jsonl")).unwrap(),
+            Command::Trace {
+                file: "results/traces/repro-fig1-quick.jsonl".into(),
+                flame: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace t.jsonl --flame")).unwrap(),
+            Command::Trace {
+                file: "t.jsonl".into(),
+                flame: true,
+            }
+        );
+        let Command::Trace { flame, .. } = parse(&argv("trace t.jsonl --summary")).unwrap() else {
+            panic!()
+        };
+        assert!(!flame);
+        assert!(parse(&argv("trace")).is_err());
+        assert!(parse(&argv("trace t.jsonl --frobnicate")).is_err());
     }
 }

@@ -30,6 +30,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             machine,
             explain,
         } => analyze(&bench, &machine, explain),
+        Command::Trace { file, flame } => trace(&file, flame),
     }
 }
 
@@ -174,6 +175,18 @@ fn audit(bench: &str, machine: &str, size: InputSize) -> Result<(), String> {
     Ok(())
 }
 
+fn trace(file: &str, flame: bool) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| format!("could not read `{file}`: {e}"))?;
+    let trace = biaslab_core::trace_report::parse(&text);
+    if flame {
+        print!("{}", biaslab_core::trace_report::flame(&trace));
+    } else {
+        println!("{}", biaslab_core::trace_report::summary(&trace));
+    }
+    Ok(())
+}
+
 fn analyze(bench: &str, machine: &str, explain: bool) -> Result<(), String> {
     let machine_config = parse_machine(machine)?;
     if bench == "all" {
@@ -258,5 +271,57 @@ mod tests {
         let err = run(parse(&argv("run nonesuch")).unwrap()).unwrap_err();
         assert!(err.contains("nonesuch"));
         assert!(err.contains("biaslab list"));
+    }
+
+    #[test]
+    fn trace_command_renders_a_file() {
+        use biaslab_core::telemetry::{CacheEvent, CacheOutcome, SpanEvent, TraceEvent};
+        let span = TraceEvent::Span(SpanEvent {
+            id: 1,
+            parent: 0,
+            name: "measure",
+            scope: "fig1".into(),
+            bench: "mcf".into(),
+            worker: 0,
+            key: 7,
+            outcome: Some(CacheOutcome::Miss),
+            start_us: 0,
+            dur_us: 42,
+        });
+        let cache = TraceEvent::Cache(CacheEvent {
+            outcome: CacheOutcome::Miss,
+            key: 7,
+            bench: "mcf".into(),
+            scope: "fig1".into(),
+            worker: 0,
+            t_us: 1,
+        });
+        let text = format!(
+            "{{\"v\":1,\"ev\":\"trace_start\",\"label\":\"test run\",\"clock_us\":50}}\n{}\n{}\n",
+            span.to_line(),
+            cache.to_line()
+        );
+        let path =
+            std::env::temp_dir().join(format!("biaslab-trace-cmd-{}.jsonl", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let file = path.to_str().unwrap().to_owned();
+        run(Command::Trace {
+            file: file.clone(),
+            flame: false,
+        })
+        .unwrap();
+        run(Command::Trace { file, flame: true }).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_on_a_missing_file_is_a_clean_error() {
+        let err = run(Command::Trace {
+            file: "results/traces/nonesuch.jsonl".into(),
+            flame: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("nonesuch.jsonl"));
+        assert!(err.contains("could not read"));
     }
 }

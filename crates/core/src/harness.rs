@@ -21,6 +21,7 @@ use biaslab_workloads::{Benchmark, InputSize};
 use parking_lot::Mutex;
 
 use crate::setup::ExperimentSetup;
+use crate::telemetry;
 
 /// One verified measurement.
 #[derive(Debug, Clone)]
@@ -207,6 +208,11 @@ impl Harness {
 
     /// Takes one verified measurement under `setup`.
     ///
+    /// With [`telemetry`] enabled the same stages run wrapped in phase
+    /// spans (compile → link → load → run → stat); the dispatch is one
+    /// relaxed atomic load, so with telemetry off this compiles to the
+    /// pre-telemetry code path and counters stay bit-identical.
+    ///
     /// # Errors
     ///
     /// Returns a [`MeasureError`] if any stage fails or the result does not
@@ -216,6 +222,9 @@ impl Harness {
         setup: &ExperimentSetup,
         size: InputSize,
     ) -> Result<Measurement, MeasureError> {
+        if telemetry::enabled() {
+            return self.measure_traced(setup, size);
+        }
         let names = self.object_names();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
         let order = setup.link_order.resolve(&name_refs);
@@ -240,6 +249,85 @@ impl Harness {
             counters: result.counters,
             checksum: result.checksum,
         })
+    }
+
+    /// [`Harness::measure`] with phase spans. The stages, their order and
+    /// the simulator configuration are exactly those of the untraced path
+    /// (only `machine.run` may become `machine.run_profiled`, which the
+    /// PR-2 invariant guarantees produces identical counters), so tracing
+    /// can never change a measurement.
+    fn measure_traced(
+        &self,
+        setup: &ExperimentSetup,
+        size: InputSize,
+    ) -> Result<Measurement, MeasureError> {
+        let bench = self.bench.name();
+        // Attach under the orchestrator's request span when one is open on
+        // this thread; open our own "measure" parent for direct callers.
+        let own = (telemetry::current_span() == 0).then(|| telemetry::Span::open("measure", bench));
+
+        let r = (|| {
+            let span = telemetry::Span::open("compile", bench);
+            let _ = self.compiled(setup.opt);
+            let names = self.object_names();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let order = setup.link_order.resolve(&name_refs);
+            span.close();
+
+            let span = telemetry::Span::open("link", bench);
+            let exe = self.executable(setup.opt, &order, setup.text_offset);
+            span.close();
+            let exe = exe?;
+
+            let span = telemetry::Span::open("load", bench);
+            let process = Loader::new().stack_shift(setup.stack_shift).load(
+                &exe,
+                &setup.env,
+                self.bench.args(size),
+            );
+            span.close();
+            let process = process?;
+
+            let span = telemetry::Span::open("run", bench);
+            let run_span = span.id();
+            let mut machine = Machine::new(setup.machine.clone());
+            let result = if telemetry::profiles_enabled() {
+                machine
+                    .run_profiled(&exe, process)
+                    .map(|(result, profile)| {
+                        telemetry::emit_profile(run_span, bench, &profile);
+                        result
+                    })
+            } else {
+                machine.run(&exe, process)
+            };
+            span.close();
+            let result = result?;
+
+            let span = telemetry::Span::open("stat", bench);
+            let expected = self.bench.expected(size);
+            let out = if result.checksum != expected.checksum
+                || result.return_value != expected.return_value
+            {
+                Err(MeasureError::WrongResult {
+                    expected: expected.checksum,
+                    actual: result.checksum,
+                })
+            } else {
+                Ok(Measurement {
+                    setup: setup.summary(),
+                    counters: result.counters,
+                    checksum: result.checksum,
+                })
+            };
+            span.close();
+            out
+        })();
+
+        if let Some(span) = own {
+            span.close();
+        }
+        r
     }
 
     /// Takes `reps` measurements under one setup, cold or warm (see

@@ -1,0 +1,102 @@
+//! Hand-rolled JSON-lines primitives shared by the persistence
+//! ([`crate::orchestrator`]) and telemetry ([`crate::telemetry`]) writers.
+//!
+//! The offline `serde` stand-in has no JSON backend, so both subsystems
+//! write and read their line formats by hand. The helpers here are exact
+//! for the lines *these writers* produce: string values never contain
+//! `"`, `\`, `,` or brackets (benchmark ids, experiment ids, symbol
+//! names and setup summaries are all bracket-free), so field extraction
+//! can scan for delimiters instead of tokenizing. Foreign lines simply
+//! fail to parse and are skipped by the callers.
+
+/// FNV-1a over a string — the digest used to fold free-form values
+/// (machine config, environment, measurement keys) into fixed-width ids.
+pub(crate) fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Extracts the raw text of `"key":<value>` from a record line. Scalar
+/// values end at the next `,"` or the closing brace; array and object
+/// values are matched bracket-depth-aware, so nested arrays (telemetry
+/// profile entries) and nested objects (telemetry metrics) extract
+/// whole.
+pub(crate) fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let first = rest.as_bytes().first()?;
+    let end = if *first == b'[' || *first == b'{' {
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, b) in rest.bytes().enumerate() {
+            match b {
+                b'[' | b'{' => depth += 1,
+                b']' | b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        end?
+    } else {
+        rest.find(",\"")
+            .unwrap_or_else(|| rest.rfind('}').unwrap_or(rest.len()))
+    };
+    Some(&rest[..end])
+}
+
+/// A `"key":<u64>` field.
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+/// A `"key":"<string>"` field, unquoted.
+pub(crate) fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field(line, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_fields_extract() {
+        let line = "{\"a\":1,\"b\":\"two\",\"c\":3}";
+        assert_eq!(field_u64(line, "a"), Some(1));
+        assert_eq!(field_str(line, "b"), Some("two"));
+        assert_eq!(field_u64(line, "c"), Some(3));
+        assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn nested_arrays_extract_whole() {
+        let line = "{\"entries\":[[\"main\",10,2],[\"f\",3,1]],\"tail\":7}";
+        assert_eq!(
+            field(line, "entries"),
+            Some("[[\"main\",10,2],[\"f\",3,1]]")
+        );
+        assert_eq!(field_u64(line, "tail"), Some(7));
+    }
+
+    #[test]
+    fn nested_objects_extract_whole() {
+        let line = "{\"counters\":{\"orch.hits\":4,\"x\":5},\"v\":1}";
+        assert_eq!(field(line, "counters"), Some("{\"orch.hits\":4,\"x\":5}"));
+        assert_eq!(field_u64(line, "v"), Some(1));
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64("a"), fnv64("b"));
+    }
+}

@@ -58,11 +58,14 @@ pub mod audit;
 pub mod bias;
 pub mod causal;
 pub mod harness;
+mod jsonl;
 pub mod orchestrator;
 pub mod randomize;
 pub mod report;
 pub mod setup;
 pub mod stats;
+pub mod telemetry;
+pub mod trace_report;
 
 pub use bias::BiasReport;
 pub use harness::{CachePolicy, Harness, MeasureError, Measurement};

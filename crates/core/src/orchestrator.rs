@@ -44,8 +44,8 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::Instant;
 
 use biaslab_toolchain::load::Environment;
@@ -55,18 +55,9 @@ use biaslab_workloads::{benchmark_by_name, InputSize};
 use parking_lot::Mutex;
 
 use crate::harness::{Harness, MeasureError, Measurement};
+use crate::jsonl::{field, field_str, field_u64, fnv64};
 use crate::setup::{ExperimentSetup, LinkOrder};
-
-/// FNV-1a over a string — the digest used to fold free-form setup factors
-/// (machine config, environment) into the cache key.
-fn fnv64(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use crate::telemetry::{self, CacheOutcome, Counter, MetricsRegistry};
 
 /// Content-addresses a machine configuration for the cache key: FNV-64
 /// over a canonical `field=value` rendering of every timing-relevant
@@ -183,6 +174,30 @@ impl MeasureKey {
             size,
         }
     }
+
+    /// A stable FNV-64 digest of the whole key — the `key` field telemetry
+    /// events and spans carry, so a trace can correlate every cache
+    /// interaction with the measurement it was about without embedding
+    /// eight setup fields per event.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let MeasureKey {
+            bench,
+            machine,
+            opt,
+            link_order,
+            text_offset,
+            stack_shift,
+            env,
+            size,
+        } = self;
+        fnv64(&format!(
+            "key bench={bench} machine={machine:016x} opt={opt} order={} \
+             text_offset={text_offset} stack_shift={stack_shift} env={env:016x} size={}",
+            order_str(*link_order),
+            size_str(*size),
+        ))
+    }
 }
 
 /// A snapshot of the orchestrator's instrumentation counters.
@@ -275,19 +290,58 @@ impl fmt::Display for OrchestratorStats {
 /// assert_eq!(orch.stats().hits, 1);
 /// # Ok::<(), biaslab_core::harness::MeasureError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Orchestrator {
     harnesses: Mutex<HashMap<String, Arc<Harness>>>,
     cache: Mutex<BoundedCache>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    simulated: AtomicU64,
-    loaded: AtomicU64,
-    pruned: AtomicU64,
-    sweeps: AtomicU64,
-    evictions: AtomicU64,
-    sweep_wall_us: AtomicU64,
-    busy_us: AtomicU64,
+    /// Keys a [`Orchestrator::measure`] leader is currently simulating.
+    /// Concurrent requesters of the same key wait on the leader's cell
+    /// (single-flight) instead of re-simulating; they count as hits.
+    inflight: Mutex<HashMap<MeasureKey, Arc<InflightCell>>>,
+    /// The instrumentation registry. [`OrchestratorStats`] is a typed
+    /// snapshot of it; the handles below are the same counters, held so
+    /// hot paths skip the by-name lookup. Per-instance on purpose:
+    /// tests create private orchestrators with exact-count assertions.
+    metrics: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    simulated: Counter,
+    loaded: Counter,
+    pruned: Counter,
+    sweeps: Counter,
+    evictions: Counter,
+    sweep_wall_us: Counter,
+    busy_us: Counter,
+}
+
+impl Default for Orchestrator {
+    fn default() -> Orchestrator {
+        let metrics = MetricsRegistry::new();
+        Orchestrator {
+            harnesses: Mutex::default(),
+            cache: Mutex::default(),
+            inflight: Mutex::default(),
+            hits: metrics.counter("orch.hits"),
+            misses: metrics.counter("orch.misses"),
+            simulated: metrics.counter("orch.simulated"),
+            loaded: metrics.counter("orch.loaded"),
+            pruned: metrics.counter("orch.pruned"),
+            sweeps: metrics.counter("orch.sweeps"),
+            evictions: metrics.counter("orch.evictions"),
+            sweep_wall_us: metrics.counter("orch.sweep_wall_us"),
+            busy_us: metrics.counter("orch.busy_us"),
+            metrics,
+        }
+    }
+}
+
+/// One in-flight simulation: the leader fills `slot` and notifies;
+/// waiters block on `ready` (std primitives — the offline `parking_lot`
+/// stand-in has no condvar).
+#[derive(Debug, Default)]
+struct InflightCell {
+    slot: StdMutex<Option<Result<Measurement, MeasureError>>>,
+    ready: Condvar,
 }
 
 /// The measurement cache with an optional FIFO capacity bound.
@@ -322,28 +376,38 @@ impl BoundedCache {
     }
 
     /// Inserts a record, evicting oldest-first while over the cap. Returns
-    /// how many records were evicted.
-    fn insert(&mut self, key: MeasureKey, value: Result<Measurement, MeasureError>) -> u64 {
+    /// the evicted keys (empty in the common case — no allocation) so the
+    /// caller can account for each one.
+    fn insert(
+        &mut self,
+        key: MeasureKey,
+        value: Result<Measurement, MeasureError>,
+    ) -> Vec<MeasureKey> {
         use std::collections::hash_map::Entry;
         match self.map.entry(key) {
             Entry::Occupied(mut slot) => {
                 let _ = slot.insert(value);
-                0
+                Vec::new()
             }
             Entry::Vacant(slot) => {
                 self.order.push_back(slot.key().clone());
                 slot.insert(value);
-                let mut evicted = 0;
-                while self.cap.is_some_and(|cap| self.map.len() > cap) {
-                    let Some(oldest) = self.order.pop_front() else {
-                        break;
-                    };
-                    self.map.remove(&oldest);
-                    evicted += 1;
-                }
-                evicted
+                self.evict_over_cap()
             }
         }
+    }
+
+    /// Drops oldest records until the cap is respected, returning their keys.
+    fn evict_over_cap(&mut self) -> Vec<MeasureKey> {
+        let mut evicted = Vec::new();
+        while self.cap.is_some_and(|cap| self.map.len() > cap) {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted.push(oldest);
+        }
+        evicted
     }
 }
 
@@ -380,18 +444,9 @@ impl Orchestrator {
     pub fn set_cache_cap(&self, cap: Option<usize>) {
         let mut cache = self.cache.lock();
         cache.cap = cap;
-        let mut evicted = 0;
-        while cache.cap.is_some_and(|cap| cache.map.len() > cap) {
-            let Some(oldest) = cache.order.pop_front() else {
-                break;
-            };
-            cache.map.remove(&oldest);
-            evicted += 1;
-        }
+        let evicted = cache.evict_over_cap();
         drop(cache);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        }
+        self.note_evicted(&evicted);
     }
 
     /// The configured cache cap (`None` is unbounded).
@@ -414,7 +469,31 @@ impl Orchestrator {
         Some(h.clone())
     }
 
+    /// Counts (and, when tracing, emits) one cache interaction.
+    fn note(&self, outcome: CacheOutcome, key: &MeasureKey) {
+        match outcome {
+            CacheOutcome::Hit => self.hits.add(1),
+            CacheOutcome::Miss => self.misses.add(1),
+            CacheOutcome::Evict => self.evictions.add(1),
+        }
+        if telemetry::enabled() {
+            telemetry::emit_cache(outcome, key.digest(), &key.bench);
+        }
+    }
+
+    /// [`Orchestrator::note`]s an eviction per dropped key.
+    fn note_evicted(&self, evicted: &[MeasureKey]) {
+        for key in evicted {
+            self.note(CacheOutcome::Evict, key);
+        }
+    }
+
     /// Takes (or recalls) one verified measurement.
+    ///
+    /// Concurrent calls for the same key are single-flight: one caller
+    /// (the leader) simulates, the rest wait on its result and count as
+    /// cache hits — the cache never runs the same simulation twice, no
+    /// matter how many threads race to request it.
     ///
     /// # Errors
     ///
@@ -427,19 +506,80 @@ impl Orchestrator {
         size: InputSize,
     ) -> Result<Measurement, MeasureError> {
         let key = MeasureKey::new(harness.benchmark().name(), setup, size);
-        if let Some(r) = self.cache.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return r.clone();
+        if !telemetry::enabled() {
+            return self.measure_request(harness, setup, size, key).0;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let start = Instant::now();
-        let r = harness.measure(setup, size);
-        self.simulated.fetch_add(1, Ordering::Relaxed);
-        self.busy_us
-            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
-        let evicted = self.cache.lock().insert(key, r.clone());
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        let span = telemetry::Span::open("measure", &key.bench).with_key(key.digest());
+        let (r, outcome) = self.measure_request(harness, setup, size, key);
+        span.with_outcome(outcome).close();
         r
+    }
+
+    /// The single-flight measurement protocol behind
+    /// [`Orchestrator::measure`]. Lock order is inflight → cache → (sink);
+    /// [`Orchestrator::sweep`] takes the cache lock alone, so the order is
+    /// acyclic.
+    fn measure_request(
+        &self,
+        harness: &Harness,
+        setup: &ExperimentSetup,
+        size: InputSize,
+        key: MeasureKey,
+    ) -> (Result<Measurement, MeasureError>, CacheOutcome) {
+        enum Role {
+            Done(Result<Measurement, MeasureError>),
+            Wait(Arc<InflightCell>),
+            Lead(Arc<InflightCell>),
+        }
+        let role = {
+            let mut inflight = self.inflight.lock();
+            if let Some(r) = self.cache.lock().get(&key) {
+                Role::Done(r.clone())
+            } else if let Some(cell) = inflight.get(&key) {
+                Role::Wait(cell.clone())
+            } else {
+                let cell = Arc::new(InflightCell::default());
+                inflight.insert(key.clone(), cell.clone());
+                Role::Lead(cell)
+            }
+        };
+        match role {
+            Role::Done(r) => {
+                self.note(CacheOutcome::Hit, &key);
+                (r, CacheOutcome::Hit)
+            }
+            Role::Wait(cell) => {
+                self.note(CacheOutcome::Hit, &key);
+                let mut slot = cell.slot.lock().expect("measure leader does not panic");
+                while slot.is_none() {
+                    slot = cell
+                        .ready
+                        .wait(slot)
+                        .expect("measure leader does not panic");
+                }
+                (slot.clone().expect("checked above"), CacheOutcome::Hit)
+            }
+            Role::Lead(cell) => {
+                self.note(CacheOutcome::Miss, &key);
+                let start = Instant::now();
+                let r = harness.measure(setup, size);
+                self.simulated.add(1);
+                self.busy_us.add(start.elapsed().as_micros() as u64);
+                // Publish to the cache and retire the in-flight entry under
+                // the inflight lock: a new requester sees either the cached
+                // record or the in-flight cell, never a gap between them.
+                let evicted = {
+                    let mut inflight = self.inflight.lock();
+                    let evicted = self.cache.lock().insert(key.clone(), r.clone());
+                    inflight.remove(&key);
+                    evicted
+                };
+                self.note_evicted(&evicted);
+                *cell.slot.lock().expect("waiters do not panic") = Some(r.clone());
+                cell.ready.notify_all();
+                (r, CacheOutcome::Miss)
+            }
+        }
     }
 
     /// Measures many setups, preserving request order.
@@ -456,7 +596,9 @@ impl Orchestrator {
         size: InputSize,
     ) -> Vec<Result<Measurement, MeasureError>> {
         let sweep_start = Instant::now();
-        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.sweeps.add(1);
+        let traced = telemetry::enabled();
+        let sweep_span = traced.then(|| telemetry::Span::open("sweep", harness.benchmark().name()));
         let bench = harness.benchmark().name();
         let keys: Vec<MeasureKey> = setups
             .iter()
@@ -477,10 +619,10 @@ impl Orchestrator {
             let mut claimed: HashMap<&MeasureKey, usize> = HashMap::new();
             for (i, (key, setup)) in keys.iter().zip(setups).enumerate() {
                 if let Some(r) = cache.get(key) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.note(CacheOutcome::Hit, key);
                     out.push(Some(r.clone()));
                 } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.note(CacheOutcome::Miss, key);
                     let wi = *claimed.entry(key).or_insert_with(|| {
                         work.push((key.clone(), setup.clone()));
                         work.len() - 1
@@ -508,19 +650,46 @@ impl Orchestrator {
             let slots: Vec<Mutex<Option<Result<Measurement, MeasureError>>>> =
                 (0..work.len()).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
+            // Sweep workers are fresh threads: propagate the caller's
+            // experiment scope and tag each with a 1-based worker id so
+            // trace spans say which worker simulated what.
+            let caller_scope = if traced {
+                telemetry::scope()
+            } else {
+                String::new()
+            };
             crossbeam::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= work.len() {
-                            break;
+                let work = &work;
+                let slots = &slots;
+                let next = &next;
+                let caller_scope = &caller_scope;
+                for w in 0..threads {
+                    let wid = w as u64 + 1;
+                    scope.spawn(move |_| {
+                        if traced {
+                            telemetry::set_worker(wid);
+                            telemetry::set_scope(caller_scope);
                         }
-                        let start = Instant::now();
-                        let r = harness.measure(&work[i].1, size);
-                        self.simulated.fetch_add(1, Ordering::Relaxed);
-                        self.busy_us
-                            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
-                        *slots[i].lock() = Some(r);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= work.len() {
+                                break;
+                            }
+                            let start = Instant::now();
+                            let r = if traced {
+                                let span = telemetry::Span::open("measure", &work[i].0.bench)
+                                    .with_key(work[i].0.digest())
+                                    .with_outcome(CacheOutcome::Miss);
+                                let r = harness.measure(&work[i].1, size);
+                                span.close();
+                                r
+                            } else {
+                                harness.measure(&work[i].1, size)
+                            };
+                            self.simulated.add(1);
+                            self.busy_us.add(start.elapsed().as_micros() as u64);
+                            *slots[i].lock() = Some(r);
+                        }
                     });
                 }
             })
@@ -533,13 +702,13 @@ impl Orchestrator {
             for (i, wi) in pending {
                 out[i] = Some(results[wi].clone());
             }
-            let mut evicted = 0;
+            let mut evicted = Vec::new();
             let mut cache = self.cache.lock();
             for ((key, _), result) in work.into_iter().zip(results) {
-                evicted += cache.insert(key, result);
+                evicted.extend(cache.insert(key, result));
             }
             drop(cache);
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.note_evicted(&evicted);
         }
 
         let out = out
@@ -547,7 +716,10 @@ impl Orchestrator {
             .map(|r| r.expect("cached or measured above"))
             .collect();
         self.sweep_wall_us
-            .fetch_add(sweep_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .add(sweep_start.elapsed().as_micros() as u64);
+        if let Some(span) = sweep_span {
+            span.close();
+        }
         out
     }
 
@@ -555,17 +727,27 @@ impl Orchestrator {
     #[must_use]
     pub fn stats(&self) -> OrchestratorStats {
         OrchestratorStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            simulated: self.simulated.load(Ordering::Relaxed),
-            loaded: self.loaded.load(Ordering::Relaxed),
-            pruned: self.pruned.load(Ordering::Relaxed),
-            sweeps: self.sweeps.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            sweep_wall_us: self.sweep_wall_us.load(Ordering::Relaxed),
-            busy_us: self.busy_us.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            simulated: self.simulated.get(),
+            loaded: self.loaded.get(),
+            pruned: self.pruned.get(),
+            sweeps: self.sweeps.get(),
+            evictions: self.evictions.get(),
+            sweep_wall_us: self.sweep_wall_us.get(),
+            busy_us: self.busy_us.get(),
             cached: self.cache.lock().len() as u64,
         }
+    }
+
+    /// Every registry counter plus the cache level, `(name, value)` sorted
+    /// by name — the snapshot trace export appends as its `metrics` record.
+    #[must_use]
+    pub fn metrics(&self) -> Vec<(String, u64)> {
+        let mut out = self.metrics.snapshot();
+        out.push(("orch.cached".to_owned(), self.cache.lock().len() as u64));
+        out.sort();
+        out
     }
 
     /// Persists every successful cached measurement as JSON lines (see the
@@ -622,14 +804,14 @@ impl Orchestrator {
         };
         let mut restored = 0usize;
         let mut pruned = 0u64;
-        let mut evicted = 0;
+        let mut evicted = Vec::new();
         let mut cache = self.cache.lock();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             let stale = match parse_record(line) {
                 Some((key, _)) if benchmark_by_name(&key.bench).is_none() => true,
                 Some((key, m)) => {
                     if !cache.contains_key(&key) {
-                        evicted += cache.insert(key, Ok(m));
+                        evicted.extend(cache.insert(key, Ok(m)));
                         restored += 1;
                     }
                     false
@@ -641,9 +823,9 @@ impl Orchestrator {
             }
         }
         drop(cache);
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        self.loaded.fetch_add(restored as u64, Ordering::Relaxed);
-        self.pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.note_evicted(&evicted);
+        self.loaded.add(restored as u64);
+        self.pruned.add(pruned);
         Ok(restored)
     }
 }
@@ -782,31 +964,6 @@ fn record_line(k: &MeasureKey, m: &Measurement) -> String {
         m.checksum,
         counters,
     )
-}
-
-/// Extracts the raw text of `"key":<value>` from a record line. Values this
-/// writer produces never contain `,` inside strings, so scanning to the
-/// next `,"` or closing brace is exact for them; foreign lines simply fail
-/// to parse and are skipped by the caller.
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let tag = format!("\"{key}\":");
-    let at = line.find(&tag)? + tag.len();
-    let rest = &line[at..];
-    let end = if rest.starts_with('[') {
-        rest.find(']')? + 1
-    } else {
-        rest.find(",\"")
-            .unwrap_or_else(|| rest.rfind('}').unwrap_or(rest.len()))
-    };
-    Some(&rest[..end])
-}
-
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    field(line, key)?.parse().ok()
-}
-
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    field(line, key)?.strip_prefix('"')?.strip_suffix('"')
 }
 
 fn parse_record(line: &str) -> Option<(MeasureKey, Measurement)> {

@@ -486,4 +486,134 @@ mod tests {
     fn spearman_rejects_mismatched_lengths() {
         let _ = spearman(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
     }
+
+    // -----------------------------------------------------------------
+    // Statistical self-tests: the routines above back every confidence
+    // interval and p-value the repro figures print, so these check their
+    // *statistical* behaviour — nominal CI coverage and null p-value
+    // uniformity — over many seeded trials, not just single answers.
+    // Everything is deterministic from fixed seeds.
+
+    /// Per-trial seed derivation (SplitMix-style) so trials are
+    /// decorrelated but reproducible.
+    fn trial_seed(base: u64, trial: u64) -> u64 {
+        (base ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0x6A09_E667_F3BC_C909)
+    }
+
+    /// Fraction of `trials` in which a 95% bootstrap CI for the mean
+    /// covers the distribution's true mean.
+    fn bootstrap_coverage(
+        draw: impl Fn(&mut StdRng, usize) -> Vec<f64>,
+        true_mean: f64,
+        n: usize,
+        trials: usize,
+        base_seed: u64,
+    ) -> f64 {
+        let mut covered = 0usize;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(trial_seed(base_seed, t as u64));
+            let data = draw(&mut rng, n);
+            let ci = bootstrap_ci_mean(&data, 0.95, 300, trial_seed(!base_seed, t as u64));
+            if ci.contains(true_mean) {
+                covered += 1;
+            }
+        }
+        covered as f64 / trials as f64
+    }
+
+    fn draw_uniform_ints(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(0..10u64) as f64).collect()
+    }
+
+    fn draw_exponential(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                // Inverse-CDF with rate 1: mean 1, right-skewed.
+                let u: f64 = rng.gen();
+                -(1.0 - u).ln()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_ci_coverage_is_nominal_on_uniform_ints() {
+        // Uniform over {0..9}: true mean 4.5. Coverage of the percentile
+        // bootstrap at 95% must land within ±3 points of nominal.
+        let cov = bootstrap_coverage(draw_uniform_ints, 4.5, 30, 500, 0xB007_5714);
+        assert!(
+            (cov - 0.95).abs() <= 0.03,
+            "uniform-int coverage {cov:.3} outside 0.95 ± 0.03"
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_coverage_is_nominal_on_exponential() {
+        // Exponential(1): true mean 1. The skew stresses the percentile
+        // interval harder than any symmetric distribution does, so this
+        // needs a larger n than the uniform case to reach nominal.
+        let cov = bootstrap_coverage(draw_exponential, 1.0, 150, 500, 0xE4B0_0757);
+        assert!(
+            (cov - 0.95).abs() <= 0.03,
+            "exponential coverage {cov:.3} outside 0.95 ± 0.03"
+        );
+    }
+
+    #[test]
+    fn permutation_p_values_are_uniform_under_the_null() {
+        // Both samples from the same distribution: the p-value must be
+        // (approximately) uniform on (0, 1]. Check the mean and the
+        // empirical CDF at several quantiles over 500 seeded trials.
+        const TRIALS: usize = 500;
+        const PERMS: usize = 200;
+        let mut ps = Vec::with_capacity(TRIALS);
+        for t in 0..TRIALS {
+            let mut rng = StdRng::seed_from_u64(trial_seed(0x0A11_5AFE, t as u64));
+            let a: Vec<f64> = (0..12).map(|_| rng.gen::<f64>()).collect();
+            let b: Vec<f64> = (0..12).map(|_| rng.gen::<f64>()).collect();
+            ps.push(permutation_test(
+                &a,
+                &b,
+                PERMS,
+                trial_seed(0x5EED_CAFE, t as u64),
+            ));
+        }
+        // The (k+1)/(N+1) estimator is supported on {1/(N+1), …, 1}.
+        let floor = 1.0 / (PERMS + 1) as f64;
+        assert!(ps.iter().all(|&p| (floor..=1.0).contains(&p)));
+        let mean = Summary::of(&ps).mean;
+        assert!(
+            (mean - 0.5).abs() <= 0.04,
+            "null p-values should average ~0.5, got {mean:.3}"
+        );
+        for q in [0.05, 0.10, 0.25, 0.50, 0.75] {
+            let frac = ps.iter().filter(|&&p| p <= q).count() as f64 / TRIALS as f64;
+            assert!(
+                (frac - q).abs() <= 0.05,
+                "P(p <= {q}) should be ~{q}, got {frac:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn permutation_test_rejection_rate_matches_its_level() {
+        // Complementary view: rejecting at α = 0.05 on null data must
+        // happen about 5% of the time (within 3 points over 500 trials —
+        // the estimator is slightly conservative by construction).
+        const TRIALS: usize = 500;
+        let mut rejections = 0usize;
+        for t in 0..TRIALS {
+            let mut rng = StdRng::seed_from_u64(trial_seed(0xA1FA_0005, t as u64));
+            let a = draw_uniform_ints(&mut rng, 15);
+            let b = draw_uniform_ints(&mut rng, 15);
+            if permutation_test(&a, &b, 200, trial_seed(0x0B57_AC1E, t as u64)) <= 0.05 {
+                rejections += 1;
+            }
+        }
+        let rate = rejections as f64 / TRIALS as f64;
+        assert!(
+            rate <= 0.08,
+            "false-positive rate {rate:.3} exceeds α + 3 points"
+        );
+        assert!(rate >= 0.01, "rejection rate {rate:.3} implausibly low");
+    }
 }

@@ -1,0 +1,330 @@
+//! Reports over exported telemetry traces — the `biaslab trace` backend.
+//!
+//! A trace file (written by [`crate::telemetry::export`]) is a complete
+//! record of one session's measurement procedure. This module renders it
+//! for humans: a summary (top-N slowest measurements, cache
+//! effectiveness per experiment, worker utilization, phase breakdown,
+//! final metrics) and a folded flame view of any attached profiles.
+//! Reports are pure functions of the trace text, so their output is
+//! deterministic given a trace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::telemetry::{CacheEvent, CacheOutcome, SpanEvent, TraceEvent, TraceLine};
+
+/// How many slowest measurements the summary lists.
+const TOP_N: usize = 10;
+
+/// A parsed trace, ready for reporting.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Session label from the `trace_start` record.
+    pub label: String,
+    /// Trace duration at export, microseconds.
+    pub clock_us: u64,
+    /// Every span, in file order.
+    pub spans: Vec<SpanEvent>,
+    /// Every cache event, in file order.
+    pub cache: Vec<CacheEvent>,
+    /// Per-function `(cycles, instructions)` merged across every attached
+    /// profile.
+    pub profile: BTreeMap<String, (u64, u64)>,
+    /// The final metrics snapshot.
+    pub metrics: Vec<(String, u64)>,
+    /// Lines that did not parse (foreign versions, corruption).
+    pub skipped: usize,
+}
+
+/// Parses a trace file's text. Unparsable lines are counted, not fatal:
+/// a report over a partially-foreign file says so instead of refusing.
+#[must_use]
+pub fn parse(text: &str) -> Trace {
+    let mut t = Trace::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match crate::telemetry::parse_line(line) {
+            Some(TraceLine::Start { label, clock_us }) => {
+                t.label = label;
+                t.clock_us = clock_us;
+            }
+            Some(TraceLine::Event(TraceEvent::Span(s))) => t.spans.push(s),
+            Some(TraceLine::Event(TraceEvent::Cache(c))) => t.cache.push(c),
+            Some(TraceLine::Event(TraceEvent::Profile(p))) => {
+                for (name, cycles, instructions) in p.entries {
+                    let slot = t.profile.entry(name).or_insert((0, 0));
+                    slot.0 += cycles;
+                    slot.1 += instructions;
+                }
+            }
+            Some(TraceLine::Metrics(m)) => t.metrics = m,
+            None => t.skipped += 1,
+        }
+    }
+    t
+}
+
+fn scope_label(scope: &str) -> &str {
+    if scope.is_empty() {
+        "(none)"
+    } else {
+        scope
+    }
+}
+
+/// Renders the summary report: header, top-N slowest measurements, cache
+/// effectiveness per experiment, worker utilization, phase breakdown and
+/// the final metrics.
+#[must_use]
+pub fn summary(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} ({} spans, {} cache events, {:.3}s)",
+        if trace.label.is_empty() {
+            "(unlabeled)"
+        } else {
+            &trace.label
+        },
+        trace.spans.len(),
+        trace.cache.len(),
+        trace.clock_us as f64 / 1e6,
+    );
+    if trace.skipped > 0 {
+        let _ = writeln!(out, "warning: {} unparsable line(s) skipped", trace.skipped);
+    }
+
+    // --- Top-N slowest measurements -------------------------------------
+    let mut measures: Vec<&SpanEvent> =
+        trace.spans.iter().filter(|s| s.name == "measure").collect();
+    measures.sort_by(|a, b| b.dur_us.cmp(&a.dur_us).then(a.id.cmp(&b.id)));
+    let _ = writeln!(
+        out,
+        "\nslowest measurements (top {}):",
+        TOP_N.min(measures.len())
+    );
+    let _ = writeln!(
+        out,
+        "  {:>9}  {:<12} {:<10} {:>6}  {:<6} {:>16}",
+        "dur", "bench", "scope", "worker", "cache", "key"
+    );
+    for s in measures.iter().take(TOP_N) {
+        let _ = writeln!(
+            out,
+            "  {:>7}us  {:<12} {:<10} {:>6}  {:<6} {:>016x}",
+            s.dur_us,
+            s.bench,
+            scope_label(&s.scope),
+            s.worker,
+            s.outcome.map_or("", CacheOutcome::as_str),
+            s.key,
+        );
+    }
+
+    // --- Cache effectiveness per experiment ------------------------------
+    let mut per_scope: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    for c in &trace.cache {
+        let slot = per_scope
+            .entry(scope_label(&c.scope).to_owned())
+            .or_default();
+        match c.outcome {
+            CacheOutcome::Hit => slot.0 += 1,
+            CacheOutcome::Miss => slot.1 += 1,
+            CacheOutcome::Evict => slot.2 += 1,
+        }
+    }
+    let _ = writeln!(out, "\ncache effectiveness by experiment:");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>8} {:>8} {:>8} {:>9}",
+        "experiment", "hits", "misses", "evicted", "hit rate"
+    );
+    for (scope, (hits, misses, evicted)) in &per_scope {
+        let requests = hits + misses;
+        let rate = if requests == 0 {
+            0.0
+        } else {
+            100.0 * *hits as f64 / requests as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>8} {:>8} {:>8} {:>8.1}%",
+            scope, hits, misses, evicted, rate
+        );
+    }
+
+    // --- Worker utilization ----------------------------------------------
+    let mut per_worker: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for s in &measures {
+        let slot = per_worker.entry(s.worker).or_default();
+        slot.0 += 1;
+        slot.1 += s.dur_us;
+    }
+    let total_busy: u64 = per_worker.values().map(|(_, us)| us).sum();
+    let _ = writeln!(out, "\nworker utilization (measurement spans):");
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>9} {:>11} {:>7}",
+        "worker", "measures", "busy", "share"
+    );
+    for (worker, (count, busy)) in &per_worker {
+        let share = if total_busy == 0 {
+            0.0
+        } else {
+            100.0 * *busy as f64 / total_busy as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>9} {:>9}us {:>6.1}%",
+            worker, count, busy, share
+        );
+    }
+
+    // --- Phase breakdown ---------------------------------------------------
+    let mut per_phase: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for s in &trace.spans {
+        if matches!(s.name, "compile" | "link" | "load" | "run" | "stat") {
+            let slot = per_phase.entry(s.name).or_default();
+            slot.0 += 1;
+            slot.1 += s.dur_us;
+        }
+    }
+    if !per_phase.is_empty() {
+        let _ = writeln!(out, "\nphase breakdown:");
+        let _ = writeln!(out, "  {:<8} {:>7} {:>11}", "phase", "spans", "total");
+        for phase in ["compile", "link", "load", "run", "stat"] {
+            if let Some((count, us)) = per_phase.get(phase) {
+                let _ = writeln!(out, "  {:<8} {:>7} {:>9}us", phase, count, us);
+            }
+        }
+    }
+
+    // --- Metrics -----------------------------------------------------------
+    if !trace.metrics.is_empty() {
+        let _ = writeln!(out, "\nfinal metrics:");
+        for (name, value) in &trace.metrics {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    out
+}
+
+/// Renders the merged attached profiles in folded-stacks form (`function
+/// cycles`, hottest first) — pipe into flamegraph tooling or read
+/// directly. Empty when the trace carried no profiles (run with
+/// `--trace-profile` to attach them).
+#[must_use]
+pub fn flame(trace: &Trace) -> String {
+    let mut entries: Vec<(&str, u64)> = trace
+        .profile
+        .iter()
+        .map(|(name, (cycles, _))| (name.as_str(), *cycles))
+        .collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut out = String::new();
+    for (name, cycles) in entries {
+        let _ = writeln!(out, "{name} {cycles}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{ProfileEvent, TRACE_VERSION};
+
+    fn sample_trace() -> String {
+        let mut lines = vec![format!(
+            "{{\"v\":{TRACE_VERSION},\"ev\":\"trace_start\",\"label\":\"test\",\"clock_us\":5000}}"
+        )];
+        let span = |id: u64, name: &'static str, scope: &str, worker: u64, dur: u64, outcome| {
+            TraceEvent::Span(SpanEvent {
+                id,
+                parent: 0,
+                name,
+                scope: scope.to_owned(),
+                bench: "hmmer".to_owned(),
+                worker,
+                key: id * 31,
+                outcome,
+                start_us: 0,
+                dur_us: dur,
+            })
+            .to_line()
+        };
+        lines.push(span(1, "measure", "fig1", 1, 900, Some(CacheOutcome::Miss)));
+        lines.push(span(2, "measure", "fig1", 2, 100, Some(CacheOutcome::Hit)));
+        lines.push(span(3, "measure", "fig2", 1, 500, Some(CacheOutcome::Miss)));
+        lines.push(span(4, "run", "fig1", 1, 800, None));
+        let cache = |outcome, scope: &str| {
+            TraceEvent::Cache(CacheEvent {
+                outcome,
+                key: 7,
+                bench: "hmmer".to_owned(),
+                scope: scope.to_owned(),
+                worker: 0,
+                t_us: 1,
+            })
+            .to_line()
+        };
+        lines.push(cache(CacheOutcome::Miss, "fig1"));
+        lines.push(cache(CacheOutcome::Hit, "fig1"));
+        lines.push(cache(CacheOutcome::Hit, "fig1"));
+        lines.push(cache(CacheOutcome::Miss, "fig2"));
+        lines.push(cache(CacheOutcome::Evict, "fig2"));
+        lines.push(
+            TraceEvent::Profile(ProfileEvent {
+                span: 4,
+                bench: "hmmer".to_owned(),
+                scope: "fig1".to_owned(),
+                entries: vec![("main".to_owned(), 60, 6), ("kernel".to_owned(), 40, 4)],
+            })
+            .to_line(),
+        );
+        lines.push(
+            TraceEvent::Profile(ProfileEvent {
+                span: 4,
+                bench: "hmmer".to_owned(),
+                scope: "fig1".to_owned(),
+                entries: vec![("kernel".to_owned(), 100, 10)],
+            })
+            .to_line(),
+        );
+        lines.push(format!(
+            "{{\"v\":{TRACE_VERSION},\"ev\":\"metrics\",\"counters\":{{\"orch.hits\":2,\"orch.misses\":2}}}}"
+        ));
+        lines.join("\n")
+    }
+
+    #[test]
+    fn summary_reports_every_section() {
+        let trace = parse(&sample_trace());
+        assert_eq!(trace.skipped, 0);
+        let text = summary(&trace);
+        assert!(text.contains("trace: test (4 spans, 5 cache events"));
+        assert!(text.contains("slowest measurements (top 3)"));
+        // Slowest first: the 900us miss on worker 1.
+        let slow_at = text.find("900us").expect("slowest listed");
+        let next_at = text.find("500us").expect("second listed");
+        assert!(slow_at < next_at, "sorted by duration descending");
+        assert!(text.contains("cache effectiveness by experiment"));
+        assert!(text.contains("fig1"), "per-experiment rows present");
+        assert!(text.contains("66.7%"), "fig1 hit rate = 2/3");
+        assert!(text.contains("worker utilization"));
+        assert!(text.contains("phase breakdown"));
+        assert!(text.contains("orch.hits = 2"));
+    }
+
+    #[test]
+    fn flame_merges_profiles_hottest_first() {
+        let trace = parse(&sample_trace());
+        assert_eq!(flame(&trace), "kernel 140\nmain 60\n");
+    }
+
+    #[test]
+    fn unparsable_lines_are_counted_not_fatal() {
+        let text = format!("{}\nnot json\n{{\"v\":99}}\n", sample_trace());
+        let trace = parse(&text);
+        assert_eq!(trace.skipped, 2);
+        assert!(summary(&trace).contains("2 unparsable line(s) skipped"));
+    }
+}

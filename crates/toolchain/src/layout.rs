@@ -102,8 +102,8 @@ mod tests {
 
     #[test]
     fn segments_do_not_overlap() {
-        assert!(TEXT_BASE + TEXT_MAX <= DATA_BASE);
-        assert!(DATA_BASE + DATA_MAX <= STACK_TOP - STACK_MAX);
+        const { assert!(TEXT_BASE + TEXT_MAX <= DATA_BASE) };
+        const { assert!(DATA_BASE + DATA_MAX <= STACK_TOP - STACK_MAX) };
         assert_eq!(GP_VALUE - DATA_BASE, 0x8000);
     }
 

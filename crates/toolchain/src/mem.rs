@@ -300,7 +300,7 @@ mod tests {
         let mut mem = PagedMem::new();
         mem.write_u64(0, u64::MAX);
         mem.write_u8(3, 0);
-        assert_eq!(mem.read_u64(0), u64::MAX & !(0xFF << 24));
+        assert_eq!(mem.read_u64(0), !(0xFF_u64 << 24));
     }
 
     #[test]

@@ -175,9 +175,7 @@ mod tests {
     fn lru_evicts_least_recent() {
         let mut c = tiny();
         // Three lines mapping to set 0 in a 2-way cache.
-        let a = 0 * 256;
-        let b = 1 * 256;
-        let d = 2 * 256;
+        let (a, b, d) = (0, 256, 512);
         assert!(!c.access(a));
         assert!(!c.access(b));
         assert!(c.access(a)); // a now MRU

@@ -47,6 +47,22 @@ impl Profile {
     pub fn hottest(&self) -> Option<&str> {
         self.entries.first().map(|e| e.name.as_str())
     }
+
+    /// The profile in folded-stacks form — `function cycles`, one line per
+    /// function — the format flamegraph tooling consumes and what
+    /// `biaslab trace --flame` renders. Attribution here is flat (exact
+    /// per-pc charging, no call stacks), so every line is a single frame.
+    #[must_use]
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.name);
+            out.push(' ');
+            out.push_str(&e.cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for Profile {

@@ -152,10 +152,10 @@ mod tests {
     fn conflicting_pages_evict() {
         let mut t = tiny();
         // 4 sets; pages 0, 4, 8 share set 0 in a 2-way TLB.
-        assert!(!t.access(0 * PAGE_SIZE));
+        assert!(!t.access(0));
         assert!(!t.access(4 * PAGE_SIZE));
         assert!(!t.access(8 * PAGE_SIZE)); // evicts page 0
-        assert!(!t.access(0 * PAGE_SIZE)); // page 0 gone
+        assert!(!t.access(0)); // page 0 gone
     }
 
     #[test]

@@ -26,7 +26,35 @@ cargo test -q --release --test static_vs_dynamic
 echo "==> repro all --effort quick (smoke, ephemeral)"
 ./target/release/repro all --effort quick --no-resume > /dev/null
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> telemetry trace smoke (repro --trace, then render it)"
+BIASLAB_RESULTS_DIR="$tmp/results" ./target/release/repro fig1 --effort quick --no-resume --trace \
+    2>/dev/null > /dev/null
+trace_file="$tmp/results/traces/repro-fig1-quick.jsonl"
+[ -s "$trace_file" ] || { echo "FATAL: --trace wrote no trace file" >&2; exit 1; }
+./target/release/biaslab trace "$trace_file" --summary > /dev/null
+./target/release/biaslab trace "$trace_file" --flame > /dev/null
+
 echo "==> scripts/bench.sh ci (bench smoke)"
 ./scripts/bench.sh ci
+
+echo "==> telemetry overhead guard (traced quick suite vs BENCH baseline)"
+base_ms="$(sed -n 's/.*"quick_cold_ms": \([0-9]*\).*/\1/p' BENCH_ci.json)"
+[ -n "$base_ms" ] || { echo "FATAL: no quick_cold_ms in BENCH_ci.json" >&2; exit 1; }
+t0="$(date +%s%3N)"
+BIASLAB_RESULTS_DIR="$tmp/traced-results" ./target/release/repro all --effort quick --trace \
+    2>/dev/null > /dev/null
+t1="$(date +%s%3N)"
+traced_ms=$((t1 - t0))
+# Tracing must stay within 5% of the untraced cold baseline, plus a 250 ms
+# absolute allowance: quick runs are short enough for scheduler noise.
+limit_ms=$((base_ms + base_ms / 20 + 250))
+echo "    untraced ${base_ms} ms, traced ${traced_ms} ms, limit ${limit_ms} ms"
+if [ "$traced_ms" -gt "$limit_ms" ]; then
+    echo "FATAL: tracing overhead exceeds 5% of the quick-suite baseline" >&2
+    exit 1
+fi
 
 echo "==> OK"

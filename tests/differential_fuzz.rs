@@ -247,7 +247,7 @@ fn build_program(main_stmts: &[Stmt], helper_stmts: &[Stmt]) -> Module {
         // Deterministically initialize the stack buffer.
         for k in 0..16 {
             let v = fb.const_((k as u64).wrapping_mul(0xABCD_EF01));
-            fb.store(Width::B8, base, (k * 8) as i32, v);
+            fb.store(Width::B8, base, k * 8, v);
         }
         emit_stmts(fb, &locals, buffer, global, None, helper_stmts);
         let r = fb.get(locals[0]);
@@ -268,7 +268,7 @@ fn build_program(main_stmts: &[Stmt], helper_stmts: &[Stmt]) -> Module {
         let base = fb.addr(buffer);
         for k in 0..16 {
             let v = fb.const_((k as u64).wrapping_mul(0x1234_5678_9ABC));
-            fb.store(Width::B8, base, (k * 8) as i32, v);
+            fb.store(Width::B8, base, k * 8, v);
         }
         emit_stmts(fb, &locals, buffer, global, Some(helper), main_stmts);
         // Make every local observable.

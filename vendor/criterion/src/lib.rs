@@ -104,6 +104,20 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// How [`Bencher::iter_batched`] amortizes its setup closure. The upstream
+/// variants tune batch granularity; this stand-in always runs setup once
+/// per iteration (outside the timed region), so the variants only exist
+/// for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to construct.
+    SmallInput,
+    /// Inputs are expensive to construct.
+    LargeInput,
+    /// Construct one input per iteration.
+    PerIteration,
+}
+
 /// Passed to benchmark closures; call [`Bencher::iter`] with the code
 /// under test.
 pub struct Bencher {
@@ -124,6 +138,25 @@ impl Bencher {
             black_box(f());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Times `f` over inputs built by `setup`; only `f` is timed, so
+    /// per-iteration state construction stays out of the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // One untimed warm-up pass, then the timed iterations.
+        black_box(f(setup()));
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
     }
 }
 
@@ -182,6 +215,29 @@ mod tests {
         c.bench_function("probe", |b| b.iter(|| hits += 1));
         // 3 timed + 1 warm-up iteration.
         assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn iter_batched_builds_one_input_per_iteration() {
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |input| {
+                    runs += 1;
+                    input
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        // 3 timed + 1 warm-up iteration, each with its own setup.
+        assert_eq!(setups, 4);
+        assert_eq!(runs, 4);
     }
 
     #[test]

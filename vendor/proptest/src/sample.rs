@@ -1,7 +1,31 @@
-//! Sampling helpers: `prop::sample::Index`.
+//! Sampling helpers: `prop::sample::Index` and `prop::sample::select`.
 
 use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
+
+/// A strategy yielding a uniformly-drawn clone of one of `values`.
+///
+/// # Panics
+///
+/// Panics (at construction) if `values` is empty.
+#[must_use]
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "cannot select from an empty list");
+    Select(values)
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].clone()
+    }
+}
 
 /// An index into a collection of yet-unknown length: draw one via
 /// `any::<Index>()`, then project with [`Index::index`].
@@ -31,7 +55,17 @@ impl Arbitrary for Index {
 mod tests {
     use super::*;
     use crate::any;
-    use crate::strategy::Strategy;
+
+    #[test]
+    fn select_draws_every_value() {
+        let mut rng = TestRng::deterministic("select");
+        let strat = select(vec!['a', 'b', 'c']);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(strat.generate(&mut rng) as u8 - b'a') as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
 
     #[test]
     fn index_projects_in_bounds() {

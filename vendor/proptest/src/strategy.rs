@@ -253,6 +253,12 @@ tuple_strategy!(A.0, B.1, C.2);
 tuple_strategy!(A.0, B.1, C.2, D.3);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
 tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
 
 #[cfg(test)]
 mod tests {
@@ -303,7 +309,7 @@ mod tests {
     fn recursive_strategies_are_depth_bounded() {
         #[derive(Debug)]
         enum Tree {
-            Leaf(u8),
+            Leaf(#[allow(dead_code)] u8),
             Node(Box<Tree>, Box<Tree>),
         }
         fn depth(t: &Tree) -> u32 {
