@@ -9,6 +9,7 @@
 //! repro all --serial            # one at a time, in-process
 //! repro fig1 --trace            # also export a telemetry trace
 //! repro fig1 --trace-profile    # trace + per-function cycle attribution
+//! repro all --faults seed=7,save.io=0.5   # deterministic fault injection
 //! ```
 //!
 //! Measurements persist under `results/measurements.jsonl` (set
@@ -23,6 +24,12 @@
 //! parallelism). Output is buffered per experiment and flushed in paper
 //! order, so stdout is byte-identical to `--serial` at any worker count.
 //!
+//! `--faults <spec>` (or the `BIASLAB_FAULTS` environment variable; the
+//! flag wins) installs a deterministic fault schedule — seeded I/O errors,
+//! short writes, leader panics, and delays — to exercise the recovery
+//! paths. Experiment output on stdout stays byte-identical under any
+//! schedule; only stderr instrumentation and `fault.*` counters differ.
+//!
 //! `--trace` records the whole measurement procedure — phase spans, cache
 //! hits/misses/evictions, worker attribution — and exports it as JSONL
 //! under `results/traces/` (render it with `biaslab trace <file>`).
@@ -35,12 +42,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use biaslab_bench::{parallel, run_experiment, Effort, EXPERIMENTS};
-use biaslab_core::{telemetry, Orchestrator};
+use biaslab_core::{faults, telemetry, Orchestrator};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <experiment-id | all | list> [--effort quick|full] [--no-resume] \
-         [--jobs N | --serial] [--trace | --trace-profile]"
+         [--jobs N | --serial] [--trace | --trace-profile] [--faults <spec>]"
+    );
+    eprintln!(
+        "env: BIASLAB_FAULTS=<spec> installs a fault schedule like --faults \
+         (e.g. seed=7,save.io=0.5,leader.panic=@1)"
     );
     eprintln!("experiments:");
     for e in EXPERIMENTS {
@@ -68,6 +79,30 @@ fn parse_effort(args: &[String]) -> Option<Effort> {
         }
     }
     Some(effort)
+}
+
+/// Installs the fault schedule from `--faults <spec>` (the last one given
+/// wins), falling back to `BIASLAB_FAULTS` when the flag is absent.
+fn install_faults(args: &[String]) -> Result<(), String> {
+    let mut flag_spec = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--faults" {
+            match it.next() {
+                Some(s) => flag_spec = Some(s.clone()),
+                None => {
+                    return Err("--faults takes a spec, e.g. seed=7,save.io=0.5".to_string());
+                }
+            }
+        }
+    }
+    match flag_spec {
+        Some(s) => {
+            faults::install(&faults::FaultSpec::parse(&s)?);
+            Ok(())
+        }
+        None => faults::install_from_env().map(|_| ()),
+    }
 }
 
 /// How `repro all` schedules experiments.
@@ -146,14 +181,8 @@ fn run_one(id: &str, title: &str, effort: Effort, persist: bool) {
     }
     println!("{output}");
     let spent = start.elapsed();
-    let path = results_path();
     if persist {
-        if let Err(e) = orch.save(&path) {
-            eprintln!(
-                "warning: could not persist results to {}: {e}",
-                path.display()
-            );
-        }
+        orch.persist(&results_path());
     }
     eprintln!(
         "[repro] {id} ({title}): {:.2}s, {}",
@@ -171,6 +200,10 @@ fn main() -> ExitCode {
         return usage();
     };
     let resume = !args.iter().any(|a| a == "--no-resume");
+    if let Err(e) = install_faults(&args) {
+        eprintln!("invalid fault spec: {e}\n");
+        return usage();
+    }
     let trace_profiles = args.iter().any(|a| a == "--trace-profile");
     if trace_profiles || args.iter().any(|a| a == "--trace") {
         telemetry::enable();
@@ -182,8 +215,10 @@ fn main() -> ExitCode {
     let targets: Vec<&String> = args
         .iter()
         .filter(|a| {
-            let is_flag_value =
-                std::mem::replace(&mut flag_value_next, **a == "--effort" || **a == "--jobs");
+            let is_flag_value = std::mem::replace(
+                &mut flag_value_next,
+                **a == "--effort" || **a == "--jobs" || **a == "--faults",
+            );
             !a.starts_with("--") && !is_flag_value
         })
         .collect();
@@ -241,12 +276,7 @@ fn main() -> ExitCode {
                             }
                         }
                         if resume {
-                            if let Err(e) = orch.save(&path) {
-                                eprintln!(
-                                    "warning: could not persist results to {}: {e}",
-                                    path.display()
-                                );
-                            }
+                            orch.persist(&path);
                         }
                     })
                     .expect("write to stdout");

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
-use biaslab_core::telemetry;
+use biaslab_core::{faults, telemetry};
 
 use crate::experiments::{Effort, ExperimentInfo};
 
@@ -107,6 +107,12 @@ where
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(e) = experiments.get(i) else { break };
+                    if faults::active() {
+                        // Perturb worker scheduling so completion order varies
+                        // under chaos runs; the in-order flush below must keep
+                        // stdout byte-identical regardless.
+                        faults::delay(faults::site::WORKER_DELAY);
+                    }
                     let start = Instant::now();
                     // Scope every event this experiment generates to its id,
                     // and record the block itself as an "experiment" span.

@@ -34,7 +34,12 @@ options (run/disasm/audit/analyze):
 
 options (trace):
   --summary                    full report (the default)
-  --flame                      merged profiles, folded-stacks form";
+  --flame                      merged profiles, folded-stacks form
+
+environment:
+  BIASLAB_FAULTS=<spec>        deterministic fault injection, e.g.
+                               seed=7,save.io=0.5,leader.panic=@1
+  BIASLAB_RESULTS_DIR=<dir>    relocate results/ (measurements, traces)";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]

@@ -17,6 +17,10 @@ mod args;
 mod commands;
 
 fn main() -> ExitCode {
+    if let Err(e) = biaslab_core::faults::install_from_env() {
+        eprintln!("error: invalid BIASLAB_FAULTS: {e}");
+        return ExitCode::FAILURE;
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {

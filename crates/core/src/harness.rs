@@ -72,6 +72,15 @@ pub enum MeasureError {
         /// Actual checksum.
         actual: u64,
     },
+    /// The per-measurement watchdog tripped: the simulation exhausted its
+    /// instruction budget (a runaway — an infinite loop in generated code,
+    /// or an injected `measure.runaway` fault). The orchestrator retries a
+    /// tripped measurement once, then quarantines the key (the error is
+    /// cached, so re-requests fail fast instead of running away again).
+    Watchdog {
+        /// The exhausted instruction budget.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for MeasureError {
@@ -83,6 +92,10 @@ impl fmt::Display for MeasureError {
             MeasureError::WrongResult { expected, actual } => write!(
                 f,
                 "verification failed: checksum {actual:#x}, reference {expected:#x}"
+            ),
+            MeasureError::Watchdog { limit } => write!(
+                f,
+                "watchdog: simulation exceeded its {limit}-instruction budget"
             ),
         }
     }
@@ -222,6 +235,9 @@ impl Harness {
         setup: &ExperimentSetup,
         size: InputSize,
     ) -> Result<Measurement, MeasureError> {
+        if crate::faults::active() {
+            crate::faults::delay(crate::faults::site::MEASURE_DELAY);
+        }
         if telemetry::enabled() {
             return self.measure_traced(setup, size);
         }

@@ -64,6 +64,19 @@ pub(crate) fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     field(line, key)?.strip_prefix('"')?.strip_suffix('"')
 }
 
+/// Fsyncs `path`'s parent directory so a just-renamed file survives a
+/// crash (the rename itself is atomic, but its durability needs the
+/// directory entry flushed). Best-effort: directory handles cannot be
+/// synced on every platform, and the rename has already succeeded, so
+/// errors are swallowed.
+pub(crate) fn sync_parent_dir(path: &std::path::Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

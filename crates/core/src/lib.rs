@@ -57,6 +57,7 @@
 pub mod audit;
 pub mod bias;
 pub mod causal;
+pub mod faults;
 pub mod harness;
 mod jsonl;
 pub mod orchestrator;

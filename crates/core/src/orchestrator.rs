@@ -42,22 +42,42 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{
+    Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError,
+};
+use std::time::{Duration, Instant};
 
 use biaslab_toolchain::load::Environment;
 use biaslab_toolchain::OptLevel;
-use biaslab_uarch::{Counters, MachineConfig};
+use biaslab_uarch::{Counters, MachineConfig, RunError};
 use biaslab_workloads::{benchmark_by_name, InputSize};
 use parking_lot::Mutex;
 
+use crate::faults::{self, site};
 use crate::harness::{Harness, MeasureError, Measurement};
-use crate::jsonl::{field, field_str, field_u64, fnv64};
+use crate::jsonl::{field, field_str, field_u64, fnv64, sync_parent_dir};
 use crate::setup::{ExperimentSetup, LinkOrder};
 use crate::telemetry::{self, CacheOutcome, Counter, MetricsRegistry};
+
+/// Locks a std mutex, recovering from poison. The in-flight cells use std
+/// primitives (the offline `parking_lot` stand-in has no condvar), and std
+/// mutexes poison when a holder panics. Every protected value here stays
+/// consistent across a panic — cell state is a plain enum written in one
+/// statement — so poison carries no information we need, and propagating
+/// it (the old `expect`s) turned one panicked leader into a process-wide
+/// wedge for every waiter of that key.
+fn lock_unpoisoned<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_unpoisoned`].
+fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: StdMutexGuard<'a, T>) -> StdMutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Content-addresses a machine configuration for the cache key: FNV-64
 /// over a canonical `field=value` rendering of every timing-relevant
@@ -216,9 +236,13 @@ pub struct OrchestratorStats {
     /// Records restored from a persisted results file.
     pub loaded: u64,
     /// Stale records dropped while loading a persisted results file:
-    /// foreign versions, parse failures, and benchmarks this build does
-    /// not know.
+    /// foreign versions and benchmarks this build does not know.
     pub pruned: u64,
+    /// Current-version records dropped while loading because they were
+    /// torn or corrupt (truncated line, checksum mismatch) — evidence of a
+    /// crashed or interrupted writer, counted separately from ordinary
+    /// staleness.
+    pub quarantined: u64,
     /// Sweeps executed.
     pub sweeps: u64,
     /// Cached records dropped by the capacity policy.
@@ -242,6 +266,7 @@ impl OrchestratorStats {
             simulated: self.simulated - earlier.simulated,
             loaded: self.loaded - earlier.loaded,
             pruned: self.pruned - earlier.pruned,
+            quarantined: self.quarantined - earlier.quarantined,
             sweeps: self.sweeps - earlier.sweeps,
             evictions: self.evictions - earlier.evictions,
             sweep_wall_us: self.sweep_wall_us - earlier.sweep_wall_us,
@@ -255,14 +280,15 @@ impl fmt::Display for OrchestratorStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache {} hit / {} miss ({} simulated, {} in cache, {} evicted, {} pruned), \
-             {} sweep(s) in {:.2}s wall / {:.2}s busy",
+            "cache {} hit / {} miss ({} simulated, {} in cache, {} evicted, {} pruned, \
+             {} quarantined), {} sweep(s) in {:.2}s wall / {:.2}s busy",
             self.hits,
             self.misses,
             self.simulated,
             self.cached,
             self.evictions,
             self.pruned,
+            self.quarantined,
             self.sweeps,
             self.sweep_wall_us as f64 / 1e6,
             self.busy_us as f64 / 1e6,
@@ -308,10 +334,18 @@ pub struct Orchestrator {
     simulated: Counter,
     loaded: Counter,
     pruned: Counter,
+    quarantined: Counter,
     sweeps: Counter,
     evictions: Counter,
     sweep_wall_us: Counter,
     busy_us: Counter,
+    watchdog_fired: Counter,
+    watchdog_retries: Counter,
+    watchdog_quarantined: Counter,
+    persist_degraded: Counter,
+    /// Set once [`Orchestrator::persist`] gives up on the results file:
+    /// later calls skip I/O entirely (in-memory-only operation).
+    degraded: AtomicBool,
 }
 
 impl Default for Orchestrator {
@@ -326,22 +360,67 @@ impl Default for Orchestrator {
             simulated: metrics.counter("orch.simulated"),
             loaded: metrics.counter("orch.loaded"),
             pruned: metrics.counter("orch.pruned"),
+            quarantined: metrics.counter("orch.quarantined"),
             sweeps: metrics.counter("orch.sweeps"),
             evictions: metrics.counter("orch.evictions"),
             sweep_wall_us: metrics.counter("orch.sweep_wall_us"),
             busy_us: metrics.counter("orch.busy_us"),
+            watchdog_fired: metrics.counter("orch.watchdog_fired"),
+            watchdog_retries: metrics.counter("orch.watchdog_retries"),
+            watchdog_quarantined: metrics.counter("orch.watchdog_quarantined"),
+            persist_degraded: metrics.counter("orch.persist_degraded"),
+            degraded: AtomicBool::new(false),
             metrics,
         }
     }
 }
 
-/// One in-flight simulation: the leader fills `slot` and notifies;
-/// waiters block on `ready` (std primitives — the offline `parking_lot`
-/// stand-in has no condvar).
+/// What an in-flight cell holds (std primitives — the offline
+/// `parking_lot` stand-in has no condvar).
+#[derive(Debug, Default)]
+enum CellState {
+    /// The leader is simulating; waiters block on `ready`.
+    #[default]
+    Pending,
+    /// The leader published its result (boxed: a cell spends its life as
+    /// `Pending`, the result only passes through on the way to the cache).
+    Done(Box<Result<Measurement, MeasureError>>),
+    /// The leader died without publishing (it panicked). Waiters go back
+    /// to [`Orchestrator::measure_request`] and elect a new leader.
+    Abandoned,
+}
+
+/// One in-flight simulation: the leader moves `state` from `Pending` to
+/// `Done` and notifies; waiters block on `ready`. If the leader panics
+/// instead, its [`LeaderGuard`] moves the state to `Abandoned` during
+/// unwinding, so waiters take over rather than deadlock.
 #[derive(Debug, Default)]
 struct InflightCell {
-    slot: StdMutex<Option<Result<Measurement, MeasureError>>>,
+    state: StdMutex<CellState>,
     ready: Condvar,
+}
+
+/// Panic-safety for the single-flight leader: until disarmed by a
+/// successful publish, dropping the guard (normally, or during a panic's
+/// unwind) retires the in-flight entry, marks the cell `Abandoned` and
+/// wakes every waiter. This is what makes leader takeover work — the old
+/// protocol left waiters blocked forever on a poisoned cell.
+struct LeaderGuard<'a> {
+    orch: &'a Orchestrator,
+    key: &'a MeasureKey,
+    cell: &'a InflightCell,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.orch.inflight.lock().remove(self.key);
+        *lock_unpoisoned(&self.cell.state) = CellState::Abandoned;
+        self.cell.ready.notify_all();
+    }
 }
 
 /// The measurement cache with an optional FIFO capacity bound.
@@ -519,6 +598,16 @@ impl Orchestrator {
     /// [`Orchestrator::measure`]. Lock order is inflight → cache → (sink);
     /// [`Orchestrator::sweep`] takes the cache lock alone, so the order is
     /// acyclic.
+    ///
+    /// The protocol is a loop because a leader can die: a waiter woken on
+    /// an `Abandoned` cell goes around again and — finding neither a
+    /// cached record nor an in-flight cell — elects itself the new leader.
+    /// A leader that panics on an injected *recoverable* fault
+    /// ([`site::LEADER_PANIC`]) retries in place; any other leader panic
+    /// unwinds out (its [`LeaderGuard`] abandons the cell on the way), so
+    /// the panic stays visible to the panicking caller while the waiters
+    /// recover. Stats count once per request whatever the number of
+    /// takeover rounds.
     fn measure_request(
         &self,
         harness: &Harness,
@@ -531,55 +620,138 @@ impl Orchestrator {
             Wait(Arc<InflightCell>),
             Lead(Arc<InflightCell>),
         }
-        let role = {
-            let mut inflight = self.inflight.lock();
-            if let Some(r) = self.cache.lock().get(&key) {
-                Role::Done(r.clone())
-            } else if let Some(cell) = inflight.get(&key) {
-                Role::Wait(cell.clone())
-            } else {
-                let cell = Arc::new(InflightCell::default());
-                inflight.insert(key.clone(), cell.clone());
-                Role::Lead(cell)
+        let mut noted: Option<CacheOutcome> = None;
+        let mut note_once = |outcome: CacheOutcome| match noted {
+            Some(first) => first,
+            None => {
+                noted = Some(outcome);
+                self.note(outcome, &key);
+                outcome
             }
         };
-        match role {
-            Role::Done(r) => {
-                self.note(CacheOutcome::Hit, &key);
-                (r, CacheOutcome::Hit)
-            }
-            Role::Wait(cell) => {
-                self.note(CacheOutcome::Hit, &key);
-                let mut slot = cell.slot.lock().expect("measure leader does not panic");
-                while slot.is_none() {
-                    slot = cell
-                        .ready
-                        .wait(slot)
-                        .expect("measure leader does not panic");
+        loop {
+            let role = {
+                let mut inflight = self.inflight.lock();
+                if let Some(r) = self.cache.lock().get(&key) {
+                    Role::Done(r.clone())
+                } else if let Some(cell) = inflight.get(&key) {
+                    Role::Wait(cell.clone())
+                } else {
+                    let cell = Arc::new(InflightCell::default());
+                    inflight.insert(key.clone(), cell.clone());
+                    Role::Lead(cell)
                 }
-                (slot.clone().expect("checked above"), CacheOutcome::Hit)
-            }
-            Role::Lead(cell) => {
-                self.note(CacheOutcome::Miss, &key);
-                let start = Instant::now();
-                let r = harness.measure(setup, size);
-                self.simulated.add(1);
-                self.busy_us.add(start.elapsed().as_micros() as u64);
-                // Publish to the cache and retire the in-flight entry under
-                // the inflight lock: a new requester sees either the cached
-                // record or the in-flight cell, never a gap between them.
-                let evicted = {
-                    let mut inflight = self.inflight.lock();
-                    let evicted = self.cache.lock().insert(key.clone(), r.clone());
-                    inflight.remove(&key);
-                    evicted
-                };
-                self.note_evicted(&evicted);
-                *cell.slot.lock().expect("waiters do not panic") = Some(r.clone());
-                cell.ready.notify_all();
-                (r, CacheOutcome::Miss)
+            };
+            match role {
+                Role::Done(r) => return (r, note_once(CacheOutcome::Hit)),
+                Role::Wait(cell) => {
+                    let outcome = note_once(CacheOutcome::Hit);
+                    let mut state = lock_unpoisoned(&cell.state);
+                    loop {
+                        match &*state {
+                            CellState::Done(r) => return ((**r).clone(), outcome),
+                            CellState::Abandoned => break, // take over: go around
+                            CellState::Pending => state = wait_unpoisoned(&cell.ready, state),
+                        }
+                    }
+                }
+                Role::Lead(cell) => {
+                    let outcome = note_once(CacheOutcome::Miss);
+                    let mut guard = LeaderGuard {
+                        orch: self,
+                        key: &key,
+                        cell: &cell,
+                        armed: true,
+                    };
+                    let r = loop {
+                        if !faults::active() {
+                            break self.simulate_one(harness, setup, size);
+                        }
+                        // Injected panics carry a marker payload: a
+                        // recoverable one is swallowed and the leader
+                        // retries in place; anything else (including the
+                        // deliberately unrecoverable hard site) unwinds
+                        // out through the guard so waiters take over.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            faults::maybe_panic_leader();
+                            self.simulate_one(harness, setup, size)
+                        })) {
+                            Ok(r) => break r,
+                            Err(payload) => {
+                                if faults::injected_panic(payload.as_ref())
+                                    .is_some_and(|p| p.recoverable)
+                                {
+                                    faults::recovered("leader.retry");
+                                    continue;
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    };
+                    // Publish to the cache and retire the in-flight entry
+                    // under the inflight lock: a new requester sees either
+                    // the cached record or the in-flight cell, never a gap
+                    // between them.
+                    let evicted = {
+                        let mut inflight = self.inflight.lock();
+                        let evicted = self.cache.lock().insert(key.clone(), r.clone());
+                        inflight.remove(&key);
+                        evicted
+                    };
+                    guard.armed = false;
+                    self.note_evicted(&evicted);
+                    *lock_unpoisoned(&cell.state) = CellState::Done(Box::new(r.clone()));
+                    cell.ready.notify_all();
+                    return (r, outcome);
+                }
             }
         }
+    }
+
+    /// Runs one simulation with the watchdog and the orchestrator's
+    /// simulated/busy accounting (shared by the single-flight leader and
+    /// sweep workers; each call counts as one simulation).
+    ///
+    /// The watchdog converts a runaway simulation — the machine's
+    /// instruction budget exhausting ([`RunError::Budget`]), or an
+    /// injected [`site::MEASURE_RUNAWAY`] fault — into
+    /// [`MeasureError::Watchdog`], retries once (the retry never
+    /// re-injects, so injected runaways always recover), and on a second
+    /// trip quarantines the key: the error is returned, and the caller
+    /// caches it like any other, so re-requests fail fast.
+    fn simulate_one(
+        &self,
+        harness: &Harness,
+        setup: &ExperimentSetup,
+        size: InputSize,
+    ) -> Result<Measurement, MeasureError> {
+        fn watchdogify(e: MeasureError) -> MeasureError {
+            match e {
+                MeasureError::Run(RunError::Budget(limit)) => MeasureError::Watchdog { limit },
+                e => e,
+            }
+        }
+        let start = Instant::now();
+        let mut r = if faults::fire(site::MEASURE_RUNAWAY) {
+            Err(MeasureError::Watchdog {
+                limit: setup.machine.max_instructions,
+            })
+        } else {
+            harness.measure(setup, size).map_err(watchdogify)
+        };
+        if matches!(r, Err(MeasureError::Watchdog { .. })) {
+            self.watchdog_fired.add(1);
+            self.watchdog_retries.add(1);
+            r = harness.measure(setup, size).map_err(watchdogify);
+            if matches!(r, Err(MeasureError::Watchdog { .. })) {
+                self.watchdog_quarantined.add(1);
+            } else {
+                faults::recovered("watchdog.retry");
+            }
+        }
+        self.simulated.add(1);
+        self.busy_us.add(start.elapsed().as_micros() as u64);
+        r
     }
 
     /// Measures many setups, preserving request order.
@@ -675,19 +847,19 @@ impl Orchestrator {
                             if i >= work.len() {
                                 break;
                             }
-                            let start = Instant::now();
+                            if faults::active() {
+                                faults::delay(site::WORKER_DELAY);
+                            }
                             let r = if traced {
                                 let span = telemetry::Span::open("measure", &work[i].0.bench)
                                     .with_key(work[i].0.digest())
                                     .with_outcome(CacheOutcome::Miss);
-                                let r = harness.measure(&work[i].1, size);
+                                let r = self.simulate_one(harness, &work[i].1, size);
                                 span.close();
                                 r
                             } else {
-                                harness.measure(&work[i].1, size)
+                                self.simulate_one(harness, &work[i].1, size)
                             };
-                            self.simulated.add(1);
-                            self.busy_us.add(start.elapsed().as_micros() as u64);
                             *slots[i].lock() = Some(r);
                         }
                     });
@@ -732,6 +904,7 @@ impl Orchestrator {
             simulated: self.simulated.get(),
             loaded: self.loaded.get(),
             pruned: self.pruned.get(),
+            quarantined: self.quarantined.get(),
             sweeps: self.sweeps.get(),
             evictions: self.evictions.get(),
             sweep_wall_us: self.sweep_wall_us.get(),
@@ -752,80 +925,187 @@ impl Orchestrator {
 
     /// Persists every successful cached measurement as JSON lines (see the
     /// module docs; `counters` is the array form of [`Counters`] in
-    /// declaration order). The file is written to a sibling temp path and
-    /// renamed into place, so readers never see a torn file.
+    /// declaration order, and every record carries a `crc` checksum that
+    /// [`Orchestrator::load`] verifies). The file is written to a sibling
+    /// temp path, fsynced, and renamed into place, with the parent
+    /// directory fsynced after the rename — so a crash at any point leaves
+    /// either the complete old file or the complete new one, and a failed
+    /// write removes its temp file instead of leaking it.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from writing or renaming.
+    /// Propagates I/O errors from writing or renaming. Callers that want
+    /// retry and graceful degradation use [`Orchestrator::persist`].
     pub fn save(&self, path: &Path) -> std::io::Result<usize> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let tmp = path.with_extension("tmp");
-        let mut written = 0usize;
-        {
+        let write = || -> std::io::Result<usize> {
+            let mut written = 0usize;
             let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-            let cache = self.cache.lock();
             // Deterministic file order: sort by the record line itself.
-            let mut lines: Vec<String> = cache
-                .map
-                .iter()
-                .filter_map(|(k, r)| r.as_ref().ok().map(|m| record_line(k, m)))
-                .collect();
+            let mut lines: Vec<String> = {
+                let cache = self.cache.lock();
+                cache
+                    .map
+                    .iter()
+                    .filter_map(|(k, r)| r.as_ref().ok().map(|m| record_line(k, m)))
+                    .collect()
+            };
             lines.sort_unstable();
             for line in lines {
+                if faults::active() {
+                    if let Some(e) = faults::io_error(site::SAVE_IO) {
+                        return Err(e);
+                    }
+                    if faults::fire(site::SAVE_SHORT) {
+                        // A torn write: half a record reaches the temp
+                        // file, then the writer dies. The real results
+                        // file is untouched; a reader of the torn temp
+                        // content quarantines the cut line by checksum.
+                        f.write_all(&line.as_bytes()[..line.len() / 2])?;
+                        f.flush()?;
+                        return Err(std::io::Error::other("injected fault: save.short"));
+                    }
+                }
                 writeln!(f, "{line}")?;
                 written += 1;
             }
             f.flush()?;
+            f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(written)
+        };
+        match write() {
+            Ok(n) => {
+                sync_parent_dir(path);
+                Ok(n)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
         }
-        std::fs::rename(&tmp, path)?;
-        Ok(written)
     }
 
-    /// Restores measurements persisted by [`Orchestrator::save`]. Stale
-    /// records — foreign versions, truncated or unparsable lines, and
-    /// benchmarks this build does not know — are pruned (skipped and
-    /// counted in [`OrchestratorStats::pruned`]), so a results file
-    /// written by an older build degrades to re-simulation instead of
-    /// poisoning the cache. Already-cached keys are left untouched.
-    /// Returns how many records were restored. A missing file restores
-    /// zero records.
+    /// [`Orchestrator::save`] with transient-failure handling: up to three
+    /// attempts with a short backoff, then graceful degradation — one
+    /// warning on stderr, the `orch.persist_degraded` counter, and
+    /// in-memory-only operation from then on (later calls return
+    /// immediately). Returns the number of records written, `0` when
+    /// degraded. Measurements are never lost to a persistence failure:
+    /// results flow to callers directly, the file is only a resume
+    /// accelerator.
+    pub fn persist(&self, path: &Path) -> usize {
+        if self.degraded.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let mut failed = false;
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..3u32 {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(1 << (2 * (attempt - 1))));
+            }
+            match self.save(path) {
+                Ok(n) => {
+                    if failed {
+                        faults::recovered("io.retry");
+                    }
+                    return n;
+                }
+                Err(e) => {
+                    failed = true;
+                    last = Some(e);
+                }
+            }
+        }
+        self.degraded.store(true, Ordering::Relaxed);
+        self.persist_degraded.add(1);
+        faults::recovered("persist.degraded");
+        eprintln!(
+            "warning: could not write results file {} ({}); continuing in-memory only",
+            path.display(),
+            last.map_or_else(|| "unknown error".to_owned(), |e| e.to_string()),
+        );
+        0
+    }
+
+    /// Whether [`Orchestrator::persist`] has degraded to in-memory-only
+    /// operation after repeated write failures.
+    #[must_use]
+    pub fn persist_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Restores measurements persisted by [`Orchestrator::save`].
+    ///
+    /// Bad records are dropped, counted, and never fatal, in two classes:
+    /// **pruned** ([`OrchestratorStats::pruned`]) — foreign record
+    /// versions and benchmarks this build does not know, the ordinary
+    /// staleness of a file written by an older build; **quarantined**
+    /// ([`OrchestratorStats::quarantined`]) — current-version records
+    /// that are torn or corrupt (truncated mid-line, checksum mismatch),
+    /// the signature of a crashed writer. Either way the affected key
+    /// just re-simulates. Already-cached keys are left untouched.
+    /// Returns how many records were restored; a missing file restores
+    /// zero. Transient read errors are retried (three attempts, short
+    /// backoff) before propagating.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors other than the file not existing.
+    /// Propagates I/O errors other than the file not existing; the caller
+    /// degrades to a cold start (re-simulation), never to wrong data.
     pub fn load(&self, path: &Path) -> std::io::Result<usize> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
-            Err(e) => return Err(e),
-        };
+        let mut text = None;
+        let mut failed = false;
+        for attempt in 0..3u32 {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(1 << (2 * (attempt - 1))));
+            }
+            let read = match faults::io_error(site::LOAD_IO) {
+                Some(e) => Err(e),
+                None => std::fs::read_to_string(path),
+            };
+            match read {
+                Ok(t) => {
+                    if failed {
+                        faults::recovered("io.retry");
+                    }
+                    text = Some(t);
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+                Err(e) if attempt == 2 => return Err(e),
+                Err(_) => failed = true,
+            }
+        }
+        let text = text.expect("read, returned, or errored above");
         let mut restored = 0usize;
         let mut pruned = 0u64;
+        let mut quarantined = 0u64;
         let mut evicted = Vec::new();
         let mut cache = self.cache.lock();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            let stale = match parse_record(line) {
-                Some((key, _)) if benchmark_by_name(&key.bench).is_none() => true,
-                Some((key, m)) => {
+            match parse_record(line) {
+                RecordVerdict::Ok(key, _) if benchmark_by_name(&key.bench).is_none() => {
+                    pruned += 1;
+                }
+                RecordVerdict::Ok(key, m) => {
                     if !cache.contains_key(&key) {
-                        evicted.extend(cache.insert(key, Ok(m)));
+                        evicted.extend(cache.insert(key, Ok(*m)));
                         restored += 1;
                     }
-                    false
                 }
-                None => true,
-            };
-            if stale {
-                pruned += 1;
+                RecordVerdict::Foreign => pruned += 1,
+                RecordVerdict::Corrupt => quarantined += 1,
             }
         }
         drop(cache);
         self.note_evicted(&evicted);
         self.loaded.add(restored as u64);
         self.pruned.add(pruned);
+        self.quarantined.add(quarantined);
         Ok(restored)
     }
 }
@@ -834,17 +1114,34 @@ impl Orchestrator {
 // Persistence format (hand-rolled: the offline serde stand-in has no JSON
 // backend). One record per line:
 //
-//   {"v":2,"bench":"hmmer","machine":123,"opt":"O2","order":"rand:7",
+//   {"v":3,"bench":"hmmer","machine":123,"opt":"O2","order":"rand:7",
 //    "text_offset":0,"stack_shift":0,"env":456,"size":"test",
 //    "setup":"core2/O2/env=0B/order=default","checksum":789,
-//    "counters":[...]}
+//    "counters":[...],"crc":101112}
 //
-// `counters` lists every `Counters` field in declaration order.
+// `counters` lists every `Counters` field in declaration order. `crc` is
+// FNV-64 over everything before its own field (the line up to and
+// including the closing `]` of `counters`), so a record torn or flipped
+// anywhere is detected on load.
 
 // Version 2: `machine`/`env` switched from Debug-string digests to the
 // canonical named-field digests ([`machine_digest`], [`env_digest`]).
 // Version-1 digests are incomparable, so v1 files prune wholesale.
-const RECORD_VERSION: u64 = 2;
+// Version 3: added the per-record `crc` checksum; v2 records carry none
+// to verify, so they prune wholesale rather than load unchecked.
+const RECORD_VERSION: u64 = 3;
+
+/// What [`parse_record`] concluded about one line.
+enum RecordVerdict {
+    /// A verified current-version record (boxed: the other verdicts are
+    /// unit variants, and verdicts are consumed one line at a time).
+    Ok(MeasureKey, Box<Measurement>),
+    /// Not a record of this version — an older build's output (pruned).
+    Foreign,
+    /// Claims this version but is torn or corrupt — a crashed writer's
+    /// residue (quarantined).
+    Corrupt,
+}
 
 fn order_str(o: LinkOrder) -> String {
     match o {
@@ -944,12 +1241,12 @@ fn record_line(k: &MeasureKey, m: &Measurement) -> String {
         .map(u64::to_string)
         .collect::<Vec<_>>()
         .join(",");
-    format!(
+    let mut line = format!(
         concat!(
             "{{\"v\":{},\"bench\":\"{}\",\"machine\":{},\"opt\":\"{}\",",
             "\"order\":\"{}\",\"text_offset\":{},\"stack_shift\":{},",
             "\"env\":{},\"size\":\"{}\",\"setup\":\"{}\",\"checksum\":{},",
-            "\"counters\":[{}]}}"
+            "\"counters\":[{}]"
         ),
         RECORD_VERSION,
         k.bench,
@@ -963,37 +1260,57 @@ fn record_line(k: &MeasureKey, m: &Measurement) -> String {
         m.setup,
         m.checksum,
         counters,
-    )
+    );
+    let crc = fnv64(&line);
+    let _ = write!(line, ",\"crc\":{crc}}}");
+    line
 }
 
-fn parse_record(line: &str) -> Option<(MeasureKey, Measurement)> {
-    if field_u64(line, "v")? != RECORD_VERSION {
-        return None;
+fn parse_record(line: &str) -> RecordVerdict {
+    // A line is "ours" if it declares the current version; from then on
+    // any defect is corruption, not staleness.
+    if field_u64(line, "v") != Some(RECORD_VERSION) {
+        return RecordVerdict::Foreign;
     }
-    let key = MeasureKey {
-        bench: field_str(line, "bench")?.to_owned(),
-        machine: field_u64(line, "machine")?,
-        opt: OptLevel::ALL
-            .into_iter()
-            .find(|l| l.to_string() == field_str(line, "opt").unwrap_or(""))?,
-        link_order: parse_order(field_str(line, "order")?)?,
-        text_offset: field_u64(line, "text_offset")? as u32,
-        stack_shift: field_u64(line, "stack_shift")? as u32,
-        env: field_u64(line, "env")?,
-        size: parse_size(field_str(line, "size")?)?,
+    let Some((body, crc)) = line
+        .rsplit_once(",\"crc\":")
+        .and_then(|(body, rest)| Some((body, rest.strip_suffix('}')?.parse::<u64>().ok()?)))
+    else {
+        return RecordVerdict::Corrupt;
     };
-    let counters: Vec<u64> = field(line, "counters")?
-        .strip_prefix('[')?
-        .strip_suffix(']')?
-        .split(',')
-        .map(|n| n.trim().parse().ok())
-        .collect::<Option<_>>()?;
-    let m = Measurement {
-        setup: field_str(line, "setup")?.to_owned(),
-        counters: counters_from_vec(&counters)?,
-        checksum: field_u64(line, "checksum")?,
-    };
-    Some((key, m))
+    if fnv64(body) != crc {
+        return RecordVerdict::Corrupt;
+    }
+    let parsed = (|| {
+        let key = MeasureKey {
+            bench: field_str(line, "bench")?.to_owned(),
+            machine: field_u64(line, "machine")?,
+            opt: OptLevel::ALL
+                .into_iter()
+                .find(|l| l.to_string() == field_str(line, "opt").unwrap_or(""))?,
+            link_order: parse_order(field_str(line, "order")?)?,
+            text_offset: field_u64(line, "text_offset")? as u32,
+            stack_shift: field_u64(line, "stack_shift")? as u32,
+            env: field_u64(line, "env")?,
+            size: parse_size(field_str(line, "size")?)?,
+        };
+        let counters: Vec<u64> = field(line, "counters")?
+            .strip_prefix('[')?
+            .strip_suffix(']')?
+            .split(',')
+            .map(|n| n.trim().parse().ok())
+            .collect::<Option<_>>()?;
+        let m = Measurement {
+            setup: field_str(line, "setup")?.to_owned(),
+            counters: counters_from_vec(&counters)?,
+            checksum: field_u64(line, "checksum")?,
+        };
+        Some((key, m))
+    })();
+    match parsed {
+        Some((key, m)) => RecordVerdict::Ok(key, Box::new(m)),
+        None => RecordVerdict::Corrupt,
+    }
 }
 
 #[cfg(test)]
@@ -1179,16 +1496,22 @@ mod tests {
         let path = dir.join("measurements.jsonl");
         assert_eq!(orch.save(&path).expect("save"), 2);
 
-        // Corrupt the file the ways an old or foreign build would: a
-        // previous record version, a benchmark this build doesn't know,
-        // and a truncated line. Blank lines are not records at all.
+        // Damage the file every way a crashed or foreign writer would: a
+        // previous record version (stale), a benchmark this build doesn't
+        // know (stale — note the bench rename invalidates the crc too, so
+        // re-stamp it), a truncated line (torn), and a flipped counter
+        // under a stale crc (corrupt). Blank lines are not records at all.
         let mut text = std::fs::read_to_string(&path).expect("read back");
         let valid = text.lines().next().expect("has records").to_owned();
-        text.push_str(&valid.replace("\"v\":2", "\"v\":1"));
+        text.push_str(&valid.replace("\"v\":3", "\"v\":1"));
         text.push('\n');
-        text.push_str(&valid.replace("\"bench\":\"hmmer\"", "\"bench\":\"nonesuch\""));
+        let renamed = valid.replace("\"bench\":\"hmmer\"", "\"bench\":\"nonesuch\"");
+        let body = renamed.rsplit_once(",\"crc\":").expect("has crc").0;
+        text.push_str(&format!("{body},\"crc\":{}}}", crate::jsonl::fnv64(body)));
         text.push('\n');
         text.push_str(&valid[..valid.len() / 2]);
+        text.push('\n');
+        text.push_str(&valid.replacen("\"counters\":[", "\"counters\":[9", 1));
         text.push_str("\n\n");
         std::fs::write(&path, text).expect("rewrite");
 
@@ -1196,8 +1519,9 @@ mod tests {
         assert_eq!(fresh.load(&path).expect("load"), 2);
         let stats = fresh.stats();
         assert_eq!(stats.loaded, 2);
-        assert_eq!(stats.pruned, 3, "v1 + unknown bench + truncated");
-        assert!(format!("{stats}").contains("3 pruned"));
+        assert_eq!(stats.pruned, 2, "v1 + unknown bench");
+        assert_eq!(stats.quarantined, 2, "truncated + crc mismatch");
+        assert!(format!("{stats}").contains("2 pruned, 2 quarantined"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1213,10 +1537,25 @@ mod tests {
 
     #[test]
     fn corrupt_lines_are_skipped() {
-        let line = "{\"v\":99,\"bench\":\"x\"}";
-        assert!(parse_record(line).is_none());
-        assert!(parse_record("not json at all").is_none());
-        assert!(parse_record("").is_none());
+        // Foreign or non-record lines are stale, not corrupt…
+        assert!(matches!(
+            parse_record("{\"v\":99,\"bench\":\"x\"}"),
+            RecordVerdict::Foreign
+        ));
+        assert!(matches!(
+            parse_record("not json at all"),
+            RecordVerdict::Foreign
+        ));
+        assert!(matches!(parse_record(""), RecordVerdict::Foreign));
+        // …while a current-version line without a verifiable crc is torn.
+        assert!(matches!(
+            parse_record("{\"v\":3,\"bench\":\"x\"}"),
+            RecordVerdict::Corrupt
+        ));
+        assert!(matches!(
+            parse_record("{\"v\":3,\"bench\":\"x\",\"crc\":12}"),
+            RecordVerdict::Corrupt
+        ));
     }
 
     #[test]
@@ -1240,11 +1579,21 @@ mod tests {
             },
             checksum: u64::MAX - 1,
         };
-        let (k2, m2) = parse_record(&record_line(&key, &m)).expect("roundtrip");
+        let line = record_line(&key, &m);
+        let RecordVerdict::Ok(k2, m2) = parse_record(&line) else {
+            panic!("roundtrip failed for {line}");
+        };
         assert_eq!(key, k2);
         assert_eq!(m.counters, m2.counters);
         assert_eq!(m.checksum, m2.checksum);
         assert_eq!(m.setup, m2.setup);
+        // Any single-byte damage to the body is caught by the crc.
+        let flipped = line.replacen("\"counters\":[", "\"counters\":[1", 1);
+        assert!(matches!(parse_record(&flipped), RecordVerdict::Corrupt));
+        assert!(matches!(
+            parse_record(&line[..line.len() - 10]),
+            RecordVerdict::Corrupt
+        ));
     }
 
     #[test]

@@ -57,8 +57,9 @@ use crate::jsonl::{field, field_str, field_u64};
 
 /// Version stamp written on every trace line. Bump it whenever a field is
 /// added, removed or reinterpreted; readers skip lines from foreign
-/// versions.
-pub const TRACE_VERSION: u64 = 1;
+/// versions. (v2: added the `fault` record kind for injected-fault and
+/// recovery events from [`crate::faults`].)
+pub const TRACE_VERSION: u64 = 2;
 
 /// Field names of a `trace_start` line, in write order.
 pub const START_FIELDS: &[&str] = &["v", "ev", "label", "clock_us"];
@@ -73,6 +74,8 @@ pub const CACHE_FIELDS: &[&str] = &[
 ];
 /// Field names of a `profile` line, in write order.
 pub const PROFILE_FIELDS: &[&str] = &["v", "ev", "span", "bench", "scope", "entries"];
+/// Field names of a `fault` line, in write order.
+pub const FAULT_FIELDS: &[&str] = &["v", "ev", "kind", "site", "scope", "worker", "t_us"];
 /// Field names of a `metrics` line, in write order.
 pub const METRICS_FIELDS: &[&str] = &["v", "ev", "counters"];
 
@@ -178,6 +181,51 @@ pub struct ProfileEvent {
     pub entries: Vec<(String, u64, u64)>,
 }
 
+/// Whether a `fault` record marks an injection or a recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A failpoint fired (see [`crate::faults::fire`]); `site` names the
+    /// failpoint site.
+    Injected,
+    /// A recovery mechanism handled a fault (see
+    /// [`crate::faults::recovered`]); `site` names the mechanism.
+    Recovered,
+}
+
+impl FaultKind {
+    /// The stable name written to traces.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Injected => "injected",
+            FaultKind::Recovered => "recovered",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "injected" => Some(FaultKind::Injected),
+            "recovered" => Some(FaultKind::Recovered),
+            _ => None,
+        }
+    }
+}
+
+/// One fault-layer event: an injected fault or a recovery from one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Injection or recovery.
+    pub kind: FaultKind,
+    /// Failpoint site (injections) or recovery mechanism (recoveries).
+    pub site: String,
+    /// Experiment scope at the time of the event.
+    pub scope: String,
+    /// Worker id observing the event.
+    pub worker: u64,
+    /// Event time, microseconds since the trace clock origin.
+    pub t_us: u64,
+}
+
 /// Any buffered trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -187,6 +235,8 @@ pub enum TraceEvent {
     Cache(CacheEvent),
     /// An attached profile.
     Profile(ProfileEvent),
+    /// An injected fault or a recovery.
+    Fault(FaultEvent),
 }
 
 // ---------------------------------------------------------------------------
@@ -402,6 +452,19 @@ pub fn emit_profile(span: u64, bench: &str, profile: &biaslab_uarch::profile::Pr
     sink().events.lock().push(TraceEvent::Profile(event));
 }
 
+/// Records one fault-layer event. Callers check [`enabled`] first (the
+/// fault layer does; see [`crate::faults::fire`]).
+pub fn emit_fault(kind: FaultKind, site: &str) {
+    let event = FaultEvent {
+        kind,
+        site: site.to_owned(),
+        scope: scope(),
+        worker: worker(),
+        t_us: now_us(),
+    };
+    sink().events.lock().push(TraceEvent::Fault(event));
+}
+
 /// Takes every buffered event, leaving the buffer empty. Tests use this
 /// directly; `repro --trace` goes through [`export`].
 #[must_use]
@@ -543,6 +606,18 @@ impl TraceEvent {
                     TRACE_VERSION, p.span, p.bench, p.scope, entries,
                 )
             }
+            TraceEvent::Fault(f) => format!(
+                concat!(
+                    "{{\"v\":{},\"ev\":\"fault\",\"kind\":\"{}\",\"site\":\"{}\",",
+                    "\"scope\":\"{}\",\"worker\":{},\"t_us\":{}}}"
+                ),
+                TRACE_VERSION,
+                f.kind.as_str(),
+                f.site,
+                f.scope,
+                f.worker,
+                f.t_us,
+            ),
         }
     }
 }
@@ -624,6 +699,13 @@ pub fn parse_line(line: &str) -> Option<TraceLine> {
                 entries,
             })))
         }
+        "fault" => Some(TraceLine::Event(TraceEvent::Fault(FaultEvent {
+            kind: FaultKind::parse(field_str(line, "kind")?)?,
+            site: field_str(line, "site")?.to_owned(),
+            scope: field_str(line, "scope")?.to_owned(),
+            worker: field_u64(line, "worker")?,
+            t_us: field_u64(line, "t_us")?,
+        }))),
         "metrics" => {
             let raw = field(line, "counters")?;
             let inner = raw.strip_prefix('{')?.strip_suffix('}')?;
@@ -654,6 +736,7 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         TraceLine::Event(TraceEvent::Span(_)) => SPAN_FIELDS,
         TraceLine::Event(TraceEvent::Cache(_)) => CACHE_FIELDS,
         TraceLine::Event(TraceEvent::Profile(_)) => PROFILE_FIELDS,
+        TraceLine::Event(TraceEvent::Fault(_)) => FAULT_FIELDS,
         TraceLine::Metrics(_) => METRICS_FIELDS,
     };
     let seen = top_level_keys(line).ok_or_else(|| format!("malformed field structure: {line}"))?;
@@ -737,6 +820,7 @@ pub fn schema() -> String {
         ("span", SPAN_FIELDS),
         ("cache", CACHE_FIELDS),
         ("profile", PROFILE_FIELDS),
+        ("fault", FAULT_FIELDS),
         ("metrics", METRICS_FIELDS),
     ] {
         out.push_str(kind);
@@ -754,6 +838,7 @@ pub fn schema() -> String {
     }
     out.push('\n');
     out.push_str("cache.outcome: hit miss evict\n");
+    out.push_str("fault.kind: injected recovered\n");
     out
 }
 
@@ -761,7 +846,10 @@ pub fn schema() -> String {
 /// a `trace_start` header, every event, and a final `metrics` record
 /// merging the [`metrics`] global with `extra_metrics` (the exporter
 /// passes the orchestrator's snapshot). The file is written to a sibling
-/// temp path and renamed into place. Returns the number of event lines.
+/// temp path, fsynced, and renamed into place (the temp file is removed
+/// if any step fails, and the parent directory is fsynced after the
+/// rename, so a crash leaves either the old file or the new one — never
+/// a torn or orphaned temp). Returns the number of event lines.
 ///
 /// # Errors
 ///
@@ -772,7 +860,7 @@ pub fn export(path: &Path, label: &str, extra_metrics: &[(String, u64)]) -> std:
         std::fs::create_dir_all(dir)?;
     }
     let tmp = path.with_extension("tmp");
-    {
+    let write = || -> std::io::Result<()> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
         writeln!(
             f,
@@ -794,8 +882,14 @@ pub fn export(path: &Path, label: &str, extra_metrics: &[(String, u64)]) -> std:
             "{{\"v\":{TRACE_VERSION},\"ev\":\"metrics\",\"counters\":{{{counters}}}}}"
         )?;
         f.flush()?;
+        f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
-    std::fs::rename(&tmp, path)?;
+    crate::jsonl::sync_parent_dir(path);
     Ok(events.len())
 }
 
@@ -866,6 +960,19 @@ mod tests {
             Some(TraceLine::Event(profile.clone()))
         );
         validate_line(&profile.to_line()).expect("schema-valid");
+
+        let fault = TraceEvent::Fault(FaultEvent {
+            kind: FaultKind::Injected,
+            site: "save.io".into(),
+            scope: "fig3".into(),
+            worker: 2,
+            t_us: 17,
+        });
+        assert_eq!(
+            parse_line(&fault.to_line()),
+            Some(TraceLine::Event(fault.clone()))
+        );
+        validate_line(&fault.to_line()).expect("schema-valid");
     }
 
     #[test]
@@ -880,7 +987,14 @@ mod tests {
     #[test]
     fn schema_lists_every_kind() {
         let s = schema();
-        for kind in ["trace_start:", "span:", "cache:", "profile:", "metrics:"] {
+        for kind in [
+            "trace_start:",
+            "span:",
+            "cache:",
+            "profile:",
+            "fault:",
+            "metrics:",
+        ] {
             assert!(s.contains(kind), "schema missing {kind}");
         }
         assert!(s.starts_with(&format!("TRACE_VERSION={TRACE_VERSION}\n")));
@@ -924,6 +1038,21 @@ mod tests {
         ) {
             let e = TraceEvent::Cache(CacheEvent {
                 outcome, key, bench, scope, worker, t_us: t,
+            });
+            prop_assert_eq!(parse_line(&e.to_line()), Some(TraceLine::Event(e.clone())));
+            prop_assert!(validate_line(&e.to_line()).is_ok());
+        }
+
+        #[test]
+        fn fault_lines_roundtrip(
+            kind in select(vec![FaultKind::Injected, FaultKind::Recovered]),
+            site in "[a-z][a-z.]{0,14}",
+            scope in "[a-z0-9-]{0,8}",
+            worker in 0u64..64,
+            t in 0u64..1_000_000_000,
+        ) {
+            let e = TraceEvent::Fault(FaultEvent {
+                kind, site, scope, worker, t_us: t,
             });
             prop_assert_eq!(parse_line(&e.to_line()), Some(TraceLine::Event(e.clone())));
             prop_assert!(validate_line(&e.to_line()).is_ok());

@@ -11,7 +11,9 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::telemetry::{CacheEvent, CacheOutcome, SpanEvent, TraceEvent, TraceLine};
+use crate::telemetry::{
+    CacheEvent, CacheOutcome, FaultEvent, FaultKind, SpanEvent, TraceEvent, TraceLine,
+};
 
 /// How many slowest measurements the summary lists.
 const TOP_N: usize = 10;
@@ -27,6 +29,8 @@ pub struct Trace {
     pub spans: Vec<SpanEvent>,
     /// Every cache event, in file order.
     pub cache: Vec<CacheEvent>,
+    /// Every fault event (injections and recoveries), in file order.
+    pub faults: Vec<FaultEvent>,
     /// Per-function `(cycles, instructions)` merged across every attached
     /// profile.
     pub profile: BTreeMap<String, (u64, u64)>,
@@ -49,6 +53,7 @@ pub fn parse(text: &str) -> Trace {
             }
             Some(TraceLine::Event(TraceEvent::Span(s))) => t.spans.push(s),
             Some(TraceLine::Event(TraceEvent::Cache(c))) => t.cache.push(c),
+            Some(TraceLine::Event(TraceEvent::Fault(f))) => t.faults.push(f),
             Some(TraceLine::Event(TraceEvent::Profile(p))) => {
                 for (name, cycles, instructions) in p.entries {
                     let slot = t.profile.entry(name).or_insert((0, 0));
@@ -198,6 +203,38 @@ pub fn summary(trace: &Trace) -> String {
         }
     }
 
+    // --- Failure summary ---------------------------------------------------
+    if !trace.faults.is_empty() {
+        let mut per_site: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        let mut injected = 0u64;
+        let mut recovered = 0u64;
+        for f in &trace.faults {
+            let slot = per_site.entry(f.site.as_str()).or_default();
+            match f.kind {
+                FaultKind::Injected => {
+                    slot.0 += 1;
+                    injected += 1;
+                }
+                FaultKind::Recovered => {
+                    slot.1 += 1;
+                    recovered += 1;
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nfailure summary ({injected} injected, {recovered} recovered):"
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>9} {:>10}",
+            "site/mechanism", "injected", "recovered"
+        );
+        for (site, (inj, rec)) in &per_site {
+            let _ = writeln!(out, "  {:<24} {:>9} {:>10}", site, inj, rec);
+        }
+    }
+
     // --- Metrics -----------------------------------------------------------
     if !trace.metrics.is_empty() {
         let _ = writeln!(out, "\nfinal metrics:");
@@ -289,6 +326,19 @@ mod tests {
             })
             .to_line(),
         );
+        let fault = |kind, site: &str| {
+            TraceEvent::Fault(FaultEvent {
+                kind,
+                site: site.to_owned(),
+                scope: "fig1".to_owned(),
+                worker: 1,
+                t_us: 2,
+            })
+            .to_line()
+        };
+        lines.push(fault(FaultKind::Injected, "save.io"));
+        lines.push(fault(FaultKind::Injected, "save.io"));
+        lines.push(fault(FaultKind::Recovered, "io.retry"));
         lines.push(format!(
             "{{\"v\":{TRACE_VERSION},\"ev\":\"metrics\",\"counters\":{{\"orch.hits\":2,\"orch.misses\":2}}}}"
         ));
@@ -311,7 +361,20 @@ mod tests {
         assert!(text.contains("66.7%"), "fig1 hit rate = 2/3");
         assert!(text.contains("worker utilization"));
         assert!(text.contains("phase breakdown"));
+        assert!(text.contains("failure summary (2 injected, 1 recovered)"));
+        assert!(text.contains("save.io"));
+        assert!(text.contains("io.retry"));
         assert!(text.contains("orch.hits = 2"));
+    }
+
+    #[test]
+    fn fault_free_traces_render_no_failure_summary() {
+        let text = format!(
+            "{{\"v\":{TRACE_VERSION},\"ev\":\"trace_start\",\"label\":\"t\",\"clock_us\":1}}"
+        );
+        let trace = parse(&text);
+        assert!(trace.faults.is_empty());
+        assert!(!summary(&trace).contains("failure summary"));
     }
 
     #[test]

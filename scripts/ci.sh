@@ -37,6 +37,17 @@ trace_file="$tmp/results/traces/repro-fig1-quick.jsonl"
 ./target/release/biaslab trace "$trace_file" --summary > /dev/null
 ./target/release/biaslab trace "$trace_file" --flame > /dev/null
 
+echo "==> chaos smoke (repro all under a canned fault schedule)"
+chaos_spec="seed=7,save.io=0.4,save.short=0.3,load.io=0.5,leader.panic=0.1,measure.delay=0.05,measure.runaway=0.02,worker.delay=0.2"
+BIASLAB_RESULTS_DIR="$tmp/plain-results" ./target/release/repro all --effort quick \
+    2>/dev/null > "$tmp/plain.out"
+BIASLAB_RESULTS_DIR="$tmp/chaos-results" ./target/release/repro all --effort quick \
+    --faults "$chaos_spec" 2>/dev/null > "$tmp/chaos.out"
+cmp "$tmp/plain.out" "$tmp/chaos.out" \
+    || { echo "FATAL: stdout differs under fault injection" >&2; exit 1; }
+leaked="$(find "$tmp/chaos-results" "$tmp/plain-results" -name '*.tmp' 2>/dev/null || true)"
+[ -z "$leaked" ] || { echo "FATAL: leaked tmp files: $leaked" >&2; exit 1; }
+
 echo "==> scripts/bench.sh ci (bench smoke)"
 ./scripts/bench.sh ci
 

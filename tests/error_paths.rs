@@ -1,8 +1,10 @@
 //! Failure-injection tests: every error path a user can reach must produce
 //! a typed, descriptive error rather than a panic or a silent wrong answer.
 
+use biaslab_core::faults::{self, FaultSpec};
 use biaslab_core::harness::{Harness, MeasureError};
 use biaslab_core::setup::ExperimentSetup;
+use biaslab_core::Orchestrator;
 use biaslab_toolchain::codegen::compile;
 use biaslab_toolchain::link::{LinkError, Linker};
 use biaslab_toolchain::load::{Environment, LoadError, Loader};
@@ -112,6 +114,106 @@ fn harness_detects_wrong_results() {
     };
     let text = err.to_string();
     assert!(text.contains("0xcd") && text.contains("0xab"), "{text}");
+}
+
+/// Regression for the poisoned-leader deadlock: a single-flight leader
+/// dying mid-simulation used to poison the cell mutex and wedge every
+/// waiter on an `expect`. Now the waiters elect a new leader and finish.
+#[test]
+fn hard_leader_panic_is_confined_and_waiters_take_over() {
+    let _guard = faults::scoped(&FaultSpec::parse("seed=9,leader.panic.hard=@1").expect("parses"));
+    let orch = Orchestrator::new();
+    let h = orch.harness("hmmer").expect("known benchmark");
+    let setup = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+    let barrier = std::sync::Barrier::new(4);
+    let outcomes: Vec<std::thread::Result<_>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    orch.measure(&h, &setup, InputSize::Test)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|j| j.join()).collect()
+    });
+    // Exactly the first-elected leader dies on the injected unrecoverable
+    // panic; the surviving racers take over and agree on one measurement.
+    let (dead, alive): (Vec<_>, Vec<_>) = outcomes.into_iter().partition(Result::is_err);
+    assert_eq!(dead.len(), 1, "exactly the first leader dies");
+    let counters: Vec<_> = alive
+        .into_iter()
+        .map(|r| r.expect("joined").expect("measurement").counters)
+        .collect();
+    assert_eq!(counters.len(), 3);
+    assert!(counters.windows(2).all(|w| w[0] == w[1]));
+    // No lock is poisoned and no cell is wedged: the same key now serves
+    // from cache, and the takeover round simulated exactly once.
+    let again = orch.measure(&h, &setup, InputSize::Test).expect("cached");
+    assert_eq!(again.counters, counters[0]);
+    assert_eq!(
+        orch.stats().simulated,
+        1,
+        "one simulation despite the takeover"
+    );
+}
+
+/// A crashed writer's results file — torn tail line, bit-flipped record,
+/// foreign junk — loads what survives and quarantines the rest.
+#[test]
+fn torn_and_corrupt_result_lines_are_quarantined_not_fatal() {
+    let orch = Orchestrator::new();
+    let h = orch.harness("mcf").expect("known benchmark");
+    let setup = ExperimentSetup::default_on(MachineConfig::core2(), OptLevel::O2);
+    let m = orch
+        .measure(&h, &setup, InputSize::Test)
+        .expect("measurement");
+    let dir = std::env::temp_dir().join(format!("biaslab-quarantine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("measurements.jsonl");
+    assert_eq!(orch.save(&path).expect("save"), 1);
+    let good = std::fs::read_to_string(&path)
+        .expect("read back")
+        .trim_end()
+        .to_string();
+    // One intact record, a torn half-line (interrupted writer), a record
+    // whose body was flipped after the checksum was stamped, and junk.
+    let flipped = good.replacen("\"counters\":[", "\"counters\":[9", 1);
+    let mangled = format!(
+        "{good}\n{}\n{flipped}\nnot json at all\n",
+        &good[..good.len() / 2]
+    );
+    std::fs::write(&path, mangled).expect("write mangled file");
+    let fresh = Orchestrator::new();
+    assert_eq!(fresh.load(&path).expect("quarantine is not fatal"), 1);
+    let stats = fresh.stats();
+    assert_eq!(stats.loaded, 1);
+    assert_eq!(stats.quarantined, 2, "torn line and checksum mismatch");
+    assert_eq!(stats.pruned, 1, "junk line is ordinary staleness");
+    let again = fresh.measure(&h, &setup, InputSize::Test).expect("cached");
+    assert_eq!(again.counters, m.counters);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A simulation that exhausts its instruction budget surfaces as the
+/// typed watchdog error, is retried once, then quarantined via the error
+/// cache — re-requests fail fast without re-simulating.
+#[test]
+fn watchdog_converts_budget_exhaustion_into_a_typed_error() {
+    let orch = Orchestrator::new();
+    let h = orch.harness("hmmer").expect("known benchmark");
+    let mut config = MachineConfig::core2();
+    config.max_instructions = 5_000;
+    let setup = ExperimentSetup::default_on(config, OptLevel::O2);
+    let err = orch.measure(&h, &setup, InputSize::Test).unwrap_err();
+    assert!(
+        matches!(err, MeasureError::Watchdog { limit: 5_000 }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("watchdog"), "{err}");
+    let again = orch.measure(&h, &setup, InputSize::Test).unwrap_err();
+    assert!(matches!(again, MeasureError::Watchdog { .. }));
+    assert_eq!(orch.stats().simulated, 1, "quarantined error fails fast");
 }
 
 #[test]
