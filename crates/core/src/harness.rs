@@ -226,6 +226,12 @@ impl Harness {
     /// relaxed atomic load, so with telemetry off this compiles to the
     /// pre-telemetry code path and counters stay bit-identical.
     ///
+    /// The machine is built fresh per measurement (cold state) in the
+    /// default kernel mode, so the `BIASLAB_KERNEL` environment variable
+    /// selects the execution path process-wide: `collapsed` (what Auto
+    /// picks for the paper machines) or `event` (the full scheduler, with
+    /// bit-identical counters — the CI kernel smoke compares the two).
+    ///
     /// # Errors
     ///
     /// Returns a [`MeasureError`] if any stage fails or the result does not

@@ -4,8 +4,16 @@
 //! the paper's biases: moving a data structure (with the environment size)
 //! or a function (with the link order) changes which sets its lines occupy,
 //! and therefore which other lines they evict.
+//!
+//! Geometry is validated **once**, at construction ([`Cache::try_new`] /
+//! [`crate::MachineConfig::validate`]); the access path never re-checks it.
+//! Line validity is an explicit per-set bit mask, not a tag sentinel: an
+//! address whose real tag happens to equal a sentinel value can never
+//! alias an invalid way into a spurious hit.
 
 use serde::{Deserialize, Serialize};
+
+use crate::geometry::GeometryError;
 
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,42 +29,70 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// Number of sets, if the geometry is consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: line size and set count must
+    /// be powers of two, ways and size non-zero, and the associativity
+    /// within the packed valid-mask width.
+    pub fn try_sets(&self) -> Result<u32, GeometryError> {
+        if !self.line.is_power_of_two() {
+            return Err(GeometryError::LineNotPowerOfTwo { line: self.line });
+        }
+        if self.ways == 0 || self.size == 0 {
+            return Err(GeometryError::ZeroSizeOrWays);
+        }
+        if self.ways > 64 {
+            return Err(GeometryError::WaysUnsupported { ways: self.ways });
+        }
+        let span = self.ways * self.line;
+        if !self.size.is_multiple_of(span) || !(self.size / span).is_power_of_two() {
+            return Err(GeometryError::SetsNotPowerOfTwo {
+                size: self.size,
+                ways: self.ways,
+                line: self.line,
+            });
+        }
+        Ok(self.size / span)
+    }
+
     /// Number of sets.
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is inconsistent (size not divisible by
-    /// `ways * line`).
+    /// Panics if the geometry is inconsistent; prefer [`CacheConfig::try_sets`]
+    /// when the configuration comes from user input.
     #[must_use]
     pub fn sets(&self) -> u32 {
-        assert!(self.line.is_power_of_two());
-        let sets = self.size / (self.ways * self.line);
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
-        sets
+        self.try_sets().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The set count, computed without validation. Correct only for a
+    /// geometry that [`CacheConfig::try_sets`] accepts — which every
+    /// constructed [`Cache`] and validated [`crate::MachineConfig`]
+    /// guarantees — so the per-access mapping helpers below never pay for
+    /// (or panic on) re-validation.
+    #[inline]
+    fn sets_unchecked(&self) -> u32 {
+        self.size / (self.ways * self.line)
     }
 
     /// The set index `addr` maps to — the same mapping [`Cache::set_of`]
     /// applies on every simulated access, exposed on the configuration so
     /// static analyses can reason about conflicts without instantiating
-    /// a cache.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
+    /// a cache. Requires a validated geometry (see [`CacheConfig::try_sets`]).
     #[must_use]
     pub fn set_of(&self, addr: u32) -> u32 {
-        (addr / self.line) & (self.sets() - 1)
+        (addr / self.line) & (self.sets_unchecked() - 1)
     }
 
     /// The tag stored for `addr`: two addresses conflict in a set iff
-    /// they share a set index but not a tag.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
+    /// they share a set index but not a tag. Requires a validated geometry
+    /// (see [`CacheConfig::try_sets`]).
     #[must_use]
     pub fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.line / self.sets()
+        addr / self.line / self.sets_unchecked()
     }
 }
 
@@ -65,26 +101,44 @@ impl CacheConfig {
 pub struct Cache {
     config: CacheConfig,
     sets: u32,
-    /// `tags[set * ways + way]`: line tag, or `u32::MAX` when invalid.
+    /// `tags[set * ways + way]`: line tag. Meaningful only where the
+    /// corresponding bit of `valid[set]` is set.
     tags: Vec<u32>,
+    /// Per-set packed valid mask: bit `way` set ⇔ that way holds a line.
+    valid: Vec<u64>,
     /// LRU stamps parallel to `tags`.
     stamps: Vec<u64>,
     clock: u64,
 }
 
 impl Cache {
-    /// Creates an empty (all-invalid) cache.
-    #[must_use]
-    pub fn new(config: CacheConfig) -> Cache {
-        let sets = config.sets();
+    /// Creates an empty (all-invalid) cache, validating the geometry once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint (see [`CacheConfig::try_sets`]).
+    pub fn try_new(config: CacheConfig) -> Result<Cache, GeometryError> {
+        let sets = config.try_sets()?;
         let entries = (sets * config.ways) as usize;
-        Cache {
+        Ok(Cache {
             config,
             sets,
-            tags: vec![u32::MAX; entries],
+            tags: vec![0; entries],
+            valid: vec![0; sets as usize],
             stamps: vec![0; entries],
             clock: 0,
-        }
+        })
+    }
+
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent; prefer [`Cache::try_new`]
+    /// when the configuration comes from user input.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Cache {
+        Cache::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configured geometry.
@@ -114,26 +168,29 @@ impl Cache {
         let tag = self.tag_of(addr);
         let base = (set * self.config.ways) as usize;
         let ways = self.config.ways as usize;
+        let valid = self.valid[set as usize];
         // Slice the set once so the way scan is bounds-checked once.
         let set_tags = &mut self.tags[base..base + ways];
 
-        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+        if let Some(way) = (0..ways).find(|&w| valid >> w & 1 == 1 && set_tags[w] == tag) {
             self.stamps[base + way] = self.clock;
             return true;
         }
-        // Miss: evict LRU.
+        // Miss: evict LRU. Invalid ways carry stamp 0 and are always older
+        // than any filled way (the clock starts at 1), so they fill first.
         let set_stamps = &self.stamps[base..base + ways];
         let victim = (0..ways)
             .min_by_key(|&w| set_stamps[w])
             .expect("cache has at least one way");
         set_tags[victim] = tag;
+        self.valid[set as usize] = valid | 1 << victim;
         self.stamps[base + victim] = self.clock;
         false
     }
 
     /// Invalidates all lines (used between measurement repetitions).
     pub fn flush(&mut self) {
-        self.tags.fill(u32::MAX);
+        self.valid.fill(0);
         self.stamps.fill(0);
         self.clock = 0;
     }
@@ -233,5 +290,66 @@ mod tests {
             line: 64,
             hit_latency: 1,
         });
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error_at_construction() {
+        let bad = CacheConfig {
+            size: 384,
+            ways: 2,
+            line: 64,
+            hit_latency: 1,
+        };
+        assert!(matches!(
+            Cache::try_new(bad),
+            Err(GeometryError::SetsNotPowerOfTwo { size: 384, .. })
+        ));
+        let zero = CacheConfig {
+            size: 0,
+            ways: 0,
+            line: 64,
+            hit_latency: 1,
+        };
+        assert_eq!(zero.try_sets(), Err(GeometryError::ZeroSizeOrWays));
+        let line = CacheConfig {
+            size: 512,
+            ways: 2,
+            line: 48,
+            hit_latency: 1,
+        };
+        assert_eq!(
+            line.try_sets(),
+            Err(GeometryError::LineNotPowerOfTwo { line: 48 })
+        );
+        let wide = CacheConfig {
+            size: 1 << 20,
+            ways: 128,
+            line: 64,
+            hit_latency: 1,
+        };
+        assert_eq!(
+            wide.try_sets(),
+            Err(GeometryError::WaysUnsupported { ways: 128 })
+        );
+    }
+
+    #[test]
+    fn tag_equal_to_old_sentinel_does_not_hit_an_invalid_way() {
+        // Regression: with `u32::MAX` as the invalid-tag sentinel, the
+        // aliasing geometry is line = 1, sets = 1, where
+        // `tag_of(u32::MAX) == u32::MAX` — a cold cache claimed a hit on
+        // its never-filled way. Explicit valid bits make the first access
+        // a miss like any other.
+        let mut c = Cache::new(CacheConfig {
+            size: 1,
+            ways: 1,
+            line: 1,
+            hit_latency: 1,
+        });
+        assert_eq!(c.config().tag_of(u32::MAX), u32::MAX);
+        assert!(!c.access(u32::MAX), "cold cache must miss");
+        assert!(c.access(u32::MAX), "then hit once filled");
+        c.flush();
+        assert!(!c.access(u32::MAX), "flush invalidates the way again");
     }
 }

@@ -1,0 +1,252 @@
+//! The data memory hierarchy component: L1D, D-TLB, banks and split
+//! penalties.
+//!
+//! Everything address-indexed on the data side lives here, which is why
+//! the environment size (which moves the stack) transmits bias through
+//! this component: L1D and D-TLB set mappings, bank selection bits, and
+//! line/page straddles. The core drives it through [`MemSystem::access`];
+//! under the event kernel it is registered as a (demand-driven, never
+//! self-ticking) [`Component`].
+
+use biaslab_toolchain::layout::PAGE_SIZE;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::counters::Counters;
+use crate::kernel::Component;
+use crate::ports::L2Port;
+use crate::tlb::{Tlb, TlbConfig};
+
+/// The data-side timing component.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    dtlb: Tlb,
+    l1d: Cache,
+    /// (retired-instruction index, bank, line) of the last two data
+    /// accesses, for the bank-conflict model. Deliberately *not* reset per
+    /// run: like cache contents, it is machine state that persists across
+    /// warm repetitions and clears on [`MemSystem::flush`].
+    last_access: [Option<(u64, u32, u32)>; 2],
+    dtlb_penalty: u64,
+    /// Load-use latency charged on an L1D load hit.
+    load_use: u64,
+    line: u32,
+    banks: u32,
+    bank_window: u64,
+    bank_conflict_penalty: u64,
+    next_line_prefetch: bool,
+}
+
+/// The slice of [`crate::MachineConfig`] the data side consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct MemParams {
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Data TLB geometry.
+    pub dtlb: TlbConfig,
+    /// Bank count (power of two; 8-byte interleave) or ≤ 1 to disable.
+    pub banks: u32,
+    /// Retired-instruction window within which two accesses share an
+    /// issue group for the bank model.
+    pub bank_window: u32,
+    /// Stall charged per bank conflict.
+    pub bank_conflict_penalty: u32,
+    /// Next-line prefetch on L1D demand misses.
+    pub next_line_prefetch: bool,
+}
+
+impl MemSystem {
+    /// Builds the memory hierarchy from validated geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry; [`crate::Machine::try_new`]
+    /// validates the whole configuration first.
+    #[must_use]
+    pub fn new(p: MemParams) -> MemSystem {
+        MemSystem {
+            dtlb_penalty: u64::from(p.dtlb.miss_penalty),
+            load_use: u64::from(p.l1d.hit_latency.saturating_sub(1)),
+            line: p.l1d.line,
+            banks: p.banks,
+            bank_window: u64::from(p.bank_window),
+            bank_conflict_penalty: u64::from(p.bank_conflict_penalty),
+            next_line_prefetch: p.next_line_prefetch,
+            dtlb: Tlb::new(p.dtlb),
+            l1d: Cache::new(p.l1d),
+            last_access: [None, None],
+        }
+    }
+
+    /// Port: charge the timing cost of a data access (possibly split
+    /// across cache lines and pages).
+    ///
+    /// `inst_index` is the retiring instruction's ordinal, used by the
+    /// bank model: two accesses within `bank_window` instructions of each
+    /// other issue in the same group on these wide cores, and conflict
+    /// when they touch the same L1D bank in different lines — the
+    /// structural hazard whose dependence on *address bits 3..6* gives
+    /// memory layout its fine-grained performance texture.
+    #[inline]
+    pub fn access(
+        &mut self,
+        c: &mut Counters,
+        addr: u32,
+        size: u32,
+        is_store: bool,
+        inst_index: u64,
+        l2: &mut L2Port<'_>,
+    ) {
+        if self.banks > 1 {
+            let bank = (addr / 8) & (self.banks - 1);
+            let line_no = addr / self.line;
+            for prev in self.last_access.into_iter().flatten() {
+                let (prev_idx, prev_bank, prev_line) = prev;
+                if inst_index.saturating_sub(prev_idx) <= self.bank_window
+                    && prev_bank == bank
+                    && prev_line != line_no
+                {
+                    c.bank_conflicts += 1;
+                    c.cycles += self.bank_conflict_penalty;
+                    c.stall_memory += self.bank_conflict_penalty;
+                    break;
+                }
+            }
+            self.last_access = [Some((inst_index, bank, line_no)), self.last_access[0]];
+        }
+        let line = self.line;
+        let first_line = addr / line;
+        let last_line = (addr + size - 1) / line;
+        if last_line != first_line {
+            c.line_splits += 1;
+        }
+        if (addr + size - 1) / PAGE_SIZE != addr / PAGE_SIZE {
+            c.page_splits += 1;
+        }
+        let mut a = addr;
+        loop {
+            self.one_line(c, a, is_store, l2);
+            let next = (a / line + 1) * line;
+            if next > addr + size - 1 {
+                break;
+            }
+            a = next;
+        }
+    }
+
+    #[inline]
+    fn one_line(&mut self, c: &mut Counters, addr: u32, is_store: bool, l2: &mut L2Port<'_>) {
+        c.l1d_accesses += 1;
+        if !self.dtlb.access(addr) {
+            c.dtlb_misses += 1;
+            c.cycles += self.dtlb_penalty;
+            c.stall_memory += self.dtlb_penalty;
+        }
+        if self.l1d.access(addr) {
+            // Loads pay the load-use latency; stores retire via the buffer.
+            if !is_store {
+                c.cycles += self.load_use;
+                c.stall_memory += self.load_use;
+            }
+        } else {
+            c.l1d_misses += 1;
+            let stall = l2.refill(addr, c);
+            c.cycles += stall;
+            c.stall_memory += stall;
+            if self.next_line_prefetch {
+                // Fill the next line too (and train L2); the prefetch is
+                // off the critical path, so no demand latency is charged.
+                let next = addr.wrapping_add(self.line) / self.line * self.line;
+                let _ = self.l1d.access(next);
+                l2.touch(next);
+            }
+        }
+    }
+
+    /// Returns all data-side state to cold.
+    pub fn flush(&mut self) {
+        self.dtlb.flush();
+        self.l1d.flush();
+        self.last_access = [None, None];
+    }
+}
+
+impl Component for MemSystem {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    /// Purely demand-driven: the core pulls accesses through the port, so
+    /// the hierarchy never asks the scheduler for a tick. (A write-back
+    /// drain or DMA engine would be the first occupant of this hook.)
+    fn next_tick(&self) -> Option<u64> {
+        None
+    }
+
+    fn tick(&mut self, _now: u64) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> (MemSystem, Cache) {
+        let m = MemSystem::new(MemParams {
+            l1d: CacheConfig {
+                size: 1024,
+                ways: 2,
+                line: 64,
+                hit_latency: 3,
+            },
+            dtlb: TlbConfig {
+                entries: 8,
+                ways: 2,
+                miss_penalty: 30,
+            },
+            banks: 4,
+            bank_window: 8,
+            bank_conflict_penalty: 2,
+            next_line_prefetch: false,
+        });
+        let l2 = Cache::new(CacheConfig {
+            size: 4096,
+            ways: 4,
+            line: 64,
+            hit_latency: 10,
+        });
+        (m, l2)
+    }
+
+    #[test]
+    fn straddling_a_line_counts_a_split_and_two_accesses() {
+        let (mut m, mut l2) = mem();
+        let mut c = Counters::default();
+        let mut port = L2Port::new(&mut l2, 5, 50);
+        m.access(&mut c, 60, 8, false, 1, &mut port);
+        assert_eq!(c.line_splits, 1);
+        assert_eq!(c.l1d_accesses, 2, "one per touched line");
+        assert_eq!(c.l1d_misses, 2);
+    }
+
+    #[test]
+    fn same_bank_different_line_conflicts_within_the_window() {
+        let (mut m, mut l2) = mem();
+        let mut c = Counters::default();
+        let mut port = L2Port::new(&mut l2, 5, 50);
+        // Bank of addr = (addr/8) & 3: 0 and 256 share bank 0, lines 0 and 4.
+        m.access(&mut c, 0, 4, false, 1, &mut port);
+        m.access(&mut c, 256, 4, false, 2, &mut port);
+        assert_eq!(c.bank_conflicts, 1);
+        // Far apart in retirement order: no conflict.
+        m.access(&mut c, 0, 4, false, 100, &mut port);
+        assert_eq!(c.bank_conflicts, 1);
+    }
+
+    #[test]
+    fn is_a_demand_driven_component() {
+        let (m, _) = mem();
+        assert_eq!(m.name(), "memory");
+        assert_eq!(m.next_tick(), None);
+    }
+}

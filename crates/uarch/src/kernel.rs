@@ -1,0 +1,329 @@
+//! The discrete-event execution kernel.
+//!
+//! Everything that owns simulated time is a [`Component`]: it reports when
+//! it next wants to run ([`Component::next_tick`]) and advances its state
+//! when the kernel calls [`Component::tick`]. An [`EventScheduler`] orders
+//! wake-ups in a min-heap keyed by `(base-cycle, sequence)`: the sequence
+//! number is assigned at insertion, so components scheduled for the *same*
+//! cycle run in FIFO order — the deterministic tie-break the bit-identical
+//! counters guarantee rests on. [`ClockDivider`] maps a component's local
+//! ticks onto the base clock so cores, buses and devices can run at
+//! divided rates.
+//!
+//! The paper-machine configurations are a single active chain (one core
+//! driving a passive front end and memory hierarchy), and
+//! [`crate::Machine`] collapses that case to direct dispatch — the event
+//! heap never runs on the hot path unless a configuration actually needs
+//! interleaving (see [`KernelMode`]). The full scheduler is what
+//! multi-core, DMA and timer components plug into.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a component within one kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+/// Which execution path [`crate::Machine::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Collapse single-active-component configurations to direct dispatch
+    /// (the fast path), fall back to the event scheduler otherwise. This is
+    /// the default; the `BIASLAB_KERNEL` environment variable
+    /// (`event`/`collapsed`) overrides it process-wide.
+    #[default]
+    Auto,
+    /// Always use the collapsed direct-dispatch loop.
+    Collapsed,
+    /// Always drive execution through the event scheduler, even for a
+    /// single-component chain. Slower, but exercises exactly the ordering
+    /// the multi-component configurations rely on; the differential tests
+    /// assert it produces bit-identical counters.
+    Event,
+}
+
+impl KernelMode {
+    /// The process-wide mode from `BIASLAB_KERNEL`, read once. Unset or
+    /// unrecognized values mean [`KernelMode::Auto`].
+    #[must_use]
+    pub fn from_env() -> KernelMode {
+        static MODE: std::sync::OnceLock<KernelMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("BIASLAB_KERNEL").as_deref() {
+            Ok("event") => KernelMode::Event,
+            Ok("collapsed") | Ok("fast") => KernelMode::Collapsed,
+            _ => KernelMode::Auto,
+        })
+    }
+}
+
+/// A part of the simulated system that evolves over time.
+///
+/// Passive structures (caches, TLBs, predictors) are consulted through
+/// their owning component's ports and never self-schedule; anything with
+/// autonomous behavior (a core retiring instructions, a timer, a DMA
+/// engine) returns `Some(cycle)` from [`Component::next_tick`] and is
+/// driven by the scheduler.
+pub trait Component {
+    /// Stable display name (for traces and error messages).
+    fn name(&self) -> &'static str;
+
+    /// The next base cycle at which this component wants to run, or `None`
+    /// while it is idle (purely demand-driven).
+    fn next_tick(&self) -> Option<u64>;
+
+    /// Advances the component to `now`. Returns the next base cycle it
+    /// wants to run at (`None` to go idle). `now` is guaranteed
+    /// non-decreasing across calls.
+    fn tick(&mut self, now: u64) -> Option<u64>;
+}
+
+/// A min-heap of component wake-ups with deterministic FIFO tie-breaking.
+///
+/// Pops come out ordered by `(time, insertion sequence)`: two events at the
+/// same cycle pop in the order they were scheduled, independent of heap
+/// internals — the property the kernel's determinism guarantee rests on
+/// (and the one the property tests pin).
+#[derive(Debug, Clone, Default)]
+pub struct EventScheduler {
+    heap: BinaryHeap<Reverse<(u64, u64, ComponentId)>>,
+    seq: u64,
+    now: u64,
+}
+
+impl EventScheduler {
+    /// An empty scheduler at cycle 0.
+    #[must_use]
+    pub fn new() -> EventScheduler {
+        EventScheduler::default()
+    }
+
+    /// The current base cycle (the time of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `component` to run at base cycle `time`. Scheduling in
+    /// the past is clamped to `now` (events never travel backwards).
+    pub fn schedule(&mut self, time: u64, component: ComponentId) {
+        let at = time.max(self.now);
+        self.heap.push(Reverse((at, self.seq, component)));
+        self.seq += 1;
+    }
+
+    /// The time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Pops the earliest event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(u64, ComponentId)> {
+        let Reverse((t, _, id)) = self.heap.pop()?;
+        debug_assert!(t >= self.now, "event heap went backwards");
+        self.now = t;
+        Some((t, id))
+    }
+}
+
+/// A component's clock relationship to the base clock: the component
+/// advances one local tick every `divisor` base cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDivider {
+    divisor: u64,
+}
+
+impl ClockDivider {
+    /// A divider; `divisor` 0 is treated as 1 (the base clock itself).
+    #[must_use]
+    pub fn new(divisor: u64) -> ClockDivider {
+        ClockDivider {
+            divisor: divisor.max(1),
+        }
+    }
+
+    /// The configured divisor.
+    #[must_use]
+    pub fn divisor(&self) -> u64 {
+        self.divisor
+    }
+
+    /// Base cycles spanned by `local` component ticks (saturating: a
+    /// schedule beyond `u64::MAX` pins to the end of time rather than
+    /// wrapping into the past).
+    #[must_use]
+    pub fn base_ticks(&self, local: u64) -> u64 {
+        local.saturating_mul(self.divisor)
+    }
+
+    /// The first clock edge strictly after `now` (saturating at
+    /// `u64::MAX`). Edges are the base cycles divisible by the divisor.
+    #[must_use]
+    pub fn next_edge(&self, now: u64) -> u64 {
+        let next = (now / self.divisor).saturating_add(1);
+        next.saturating_mul(self.divisor)
+    }
+
+    /// Local ticks completed after `base` base cycles.
+    #[must_use]
+    pub fn local_ticks(&self, base: u64) -> u64 {
+        base / self.divisor
+    }
+}
+
+/// Drives a set of [`Component`]s until every one is idle or `limit` base
+/// cycles have elapsed. Returns the final base cycle.
+///
+/// This is the generic multi-component loop (what future core/bus/device
+/// graphs run under); [`crate::Machine`] inlines the same pop/tick/push
+/// protocol over its concrete components so the instruction engine can
+/// split-borrow its front end and memory hierarchy.
+pub fn run_components(components: &mut [&mut dyn Component], limit: u64) -> u64 {
+    let mut sched = EventScheduler::new();
+    for (i, c) in components.iter().enumerate() {
+        if let Some(t) = c.next_tick() {
+            sched.schedule(t, ComponentId(i as u32));
+        }
+    }
+    while let Some((now, id)) = sched.pop() {
+        if now > limit {
+            return now;
+        }
+        let comp = &mut components[id.0 as usize];
+        if let Some(next) = comp.tick(now) {
+            sched.schedule(next, id);
+        }
+    }
+    sched.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_time_events_pop_in_insertion_order() {
+        let mut s = EventScheduler::new();
+        for id in 0..16u32 {
+            s.schedule(5, ComponentId(id));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop()).map(|(_, id)| id.0).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pops_are_time_ordered_and_stable() {
+        let mut s = EventScheduler::new();
+        s.schedule(10, ComponentId(0));
+        s.schedule(3, ComponentId(1));
+        s.schedule(10, ComponentId(2));
+        s.schedule(3, ComponentId(3));
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| s.pop())
+            .map(|(t, id)| (t, id.0))
+            .collect();
+        assert_eq!(order, vec![(3, 1), (3, 3), (10, 0), (10, 2)]);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut s = EventScheduler::new();
+        s.schedule(100, ComponentId(0));
+        assert_eq!(s.pop(), Some((100, ComponentId(0))));
+        s.schedule(7, ComponentId(1)); // in the past: clamps to 100
+        assert_eq!(s.pop(), Some((100, ComponentId(1))));
+        assert_eq!(s.now(), 100);
+    }
+
+    #[test]
+    fn divider_maps_local_ticks_to_base_cycles() {
+        let d = ClockDivider::new(3);
+        assert_eq!(d.base_ticks(5), 15);
+        assert_eq!(d.local_ticks(15), 5);
+        assert_eq!(d.local_ticks(17), 5);
+        assert_eq!(d.next_edge(0), 3);
+        assert_eq!(d.next_edge(3), 6);
+        assert_eq!(d.next_edge(4), 6);
+    }
+
+    #[test]
+    fn divider_saturates_at_wrap_boundaries() {
+        let d = ClockDivider::new(4);
+        // Near the end of time the next edge saturates instead of wrapping
+        // into the past (which would livelock the scheduler).
+        assert_eq!(d.next_edge(u64::MAX), u64::MAX);
+        assert_eq!(d.next_edge(u64::MAX - 3), u64::MAX);
+        assert_eq!(d.base_ticks(u64::MAX / 2), u64::MAX);
+        // A unit divider is the base clock.
+        let unit = ClockDivider::new(0);
+        assert_eq!(unit.divisor(), 1);
+        assert_eq!(unit.next_edge(41), 42);
+        assert_eq!(unit.next_edge(u64::MAX), u64::MAX);
+    }
+
+    struct Counter {
+        name: &'static str,
+        period: u64,
+        ticks: Vec<u64>,
+        until: u64,
+    }
+
+    impl Component for Counter {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn next_tick(&self) -> Option<u64> {
+            Some(0)
+        }
+        fn tick(&mut self, now: u64) -> Option<u64> {
+            self.ticks.push(now);
+            (now < self.until).then(|| now + self.period)
+        }
+    }
+
+    #[test]
+    fn run_components_interleaves_deterministically() {
+        let mut fast = Counter {
+            name: "fast",
+            period: 2,
+            ticks: Vec::new(),
+            until: 8,
+        };
+        let mut slow = Counter {
+            name: "slow",
+            period: 3,
+            ticks: Vec::new(),
+            until: 8,
+        };
+        let end = run_components(&mut [&mut fast, &mut slow], 100);
+        assert_eq!(fast.ticks, vec![0, 2, 4, 6, 8]);
+        assert_eq!(slow.ticks, vec![0, 3, 6, 9]);
+        assert_eq!(end, 9);
+        assert_eq!(fast.name(), "fast");
+    }
+
+    #[test]
+    fn run_components_respects_the_cycle_limit() {
+        let mut c = Counter {
+            name: "c",
+            period: 10,
+            ticks: Vec::new(),
+            until: u64::MAX,
+        };
+        let end = run_components(&mut [&mut c], 35);
+        // Ticks at 0, 10, 20, 30; the event at 40 exceeds the limit.
+        assert_eq!(c.ticks, vec![0, 10, 20, 30]);
+        assert_eq!(end, 40);
+    }
+}

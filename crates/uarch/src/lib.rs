@@ -17,6 +17,17 @@
 //! reproduces even though absolute cycle counts are model numbers, not
 //! silicon measurements.
 //!
+//! Structurally, a [`Machine`] is a component graph run by a
+//! discrete-event kernel ([`kernel`]): the core drives a front-end
+//! component ([`front::FrontEnd`]) and a memory-hierarchy component
+//! ([`dmem::MemSystem`]) over explicit ports ([`ports`]), with a shared
+//! unified L2 between them. Single-active-chain configurations — all
+//! three paper machines — collapse to direct dispatch
+//! ([`KernelMode::Auto`]), so the fast path pays nothing for the
+//! generality; [`KernelMode::Event`] drives the same graph through the
+//! min-heap scheduler, and differential tests pin both paths to
+//! bit-identical counters.
+//!
 //! # Examples
 //!
 //! ```
@@ -45,10 +56,17 @@
 pub mod branch;
 pub mod cache;
 pub mod counters;
+pub mod dmem;
+pub mod front;
+pub mod geometry;
+pub mod kernel;
 pub mod machine;
+pub mod ports;
 pub mod profile;
 pub mod tlb;
 
 pub use counters::Counters;
+pub use geometry::{ConfigError, GeometryError};
+pub use kernel::{ClockDivider, Component, ComponentId, EventScheduler, KernelMode};
 pub use machine::{Machine, MachineConfig, RunError, RunResult};
 pub use profile::{Profile, ProfileEntry};

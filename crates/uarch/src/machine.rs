@@ -1,9 +1,17 @@
 //! Machine models and the execution engine.
 //!
-//! A [`Machine`] couples the functional MRV32 core with timing models for
-//! the front end (fetch windows, I-cache, I-TLB, branch prediction), the
-//! memory hierarchy (L1D/L2, D-TLB, line/page splits) and long-latency
-//! ALU operations. Three presets mirror the paper's experimental machines:
+//! A [`Machine`] is a small component graph: a core (decode/execute/retire)
+//! driving a [`crate::front::FrontEnd`] (fetch windows, I-cache, I-TLB,
+//! branch prediction) and a [`crate::dmem::MemSystem`] (L1D/D-TLB/banks)
+//! over explicit ports, with a shared unified L2 behind
+//! [`crate::ports::L2Port`]. Execution runs under the discrete-event
+//! kernel ([`crate::kernel`]): in the paper-machine configurations the
+//! graph is a single active chain, which collapses to direct dispatch (the
+//! fast path); [`KernelMode::Event`] drives the identical instruction
+//! stream through the min-heap scheduler instead, and the differential
+//! tests pin both paths to bit-identical counters.
+//!
+//! Three presets mirror the paper's experimental machines:
 //!
 //! * [`MachineConfig::core2`] — wide OoO core, large forgiving caches;
 //! * [`MachineConfig::pentium4`] — long pipeline (expensive mispredicts),
@@ -13,20 +21,24 @@
 //!   associativity makes layout conflicts easy to see).
 //!
 //! Everything is deterministic: the same executable, environment and
-//! arguments produce bit-identical counters.
+//! arguments produce bit-identical counters, on either kernel path.
 
 use std::fmt;
 
 use biaslab_isa::{checksum_fold, Inst, Reg};
-use biaslab_toolchain::layout::PAGE_SIZE;
 use biaslab_toolchain::link::Executable;
 use biaslab_toolchain::load::Process;
 use serde::{Deserialize, Serialize};
 
-use crate::branch::{BranchConfig, BranchPredictor};
+use crate::branch::BranchConfig;
 use crate::cache::{Cache, CacheConfig};
 use crate::counters::Counters;
-use crate::tlb::{Tlb, TlbConfig};
+use crate::dmem::{MemParams, MemSystem};
+use crate::front::FrontEnd;
+use crate::geometry::{ConfigError, GeometryError};
+use crate::kernel::{ClockDivider, Component, ComponentId, EventScheduler, KernelMode};
+use crate::ports::L2Port;
+use crate::tlb::TlbConfig;
 
 /// Complete parameterization of a simulated machine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -245,56 +257,60 @@ impl MachineConfig {
         ]
     }
 
-    /// Checks the configuration for geometric consistency. [`Machine::new`]
-    /// panics on invalid geometry; call this first when the configuration
-    /// comes from user input (e.g. an ablation sweep).
+    /// Checks the configuration for geometric consistency, once, up front.
+    /// [`Machine::try_new`] calls this; after construction no access-path
+    /// code re-validates (or panics on) geometry.
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first inconsistency.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first inconsistency as a typed [`ConfigError`] naming
+    /// the unit and the violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
-            if !c.line.is_power_of_two() {
-                return Err(format!("{name}: line size {} not a power of two", c.line));
-            }
-            if c.ways == 0 || c.size == 0 {
-                return Err(format!("{name}: zero ways or size"));
-            }
-            if c.size % (c.ways * c.line) != 0 || !(c.size / (c.ways * c.line)).is_power_of_two() {
-                return Err(format!(
-                    "{name}: {} bytes / {} ways / {} line does not give a power-of-two set count",
-                    c.size, c.ways, c.line
-                ));
-            }
+            c.try_sets().map_err(|e| ConfigError::new(name, e))?;
         }
         for (name, t) in [("itlb", &self.itlb), ("dtlb", &self.dtlb)] {
-            if t.ways == 0 || t.entries % t.ways != 0 || !(t.entries / t.ways).is_power_of_two() {
-                return Err(format!(
-                    "{name}: {}x{} is not a power-of-two set layout",
-                    t.entries, t.ways
-                ));
-            }
+            t.try_sets().map_err(|e| ConfigError::new(name, e))?;
         }
         if !self.branch.btb_entries.is_power_of_two() {
-            return Err(format!(
-                "btb: {} entries not a power of two",
-                self.branch.btb_entries
+            return Err(ConfigError::new(
+                "btb",
+                GeometryError::BtbNotPowerOfTwo {
+                    entries: self.branch.btb_entries,
+                },
             ));
         }
         if self.branch.gshare_bits == 0 || self.branch.gshare_bits > 24 {
-            return Err(format!(
-                "gshare: {} bits outside 1..=24",
-                self.branch.gshare_bits
+            return Err(ConfigError::new(
+                "gshare",
+                GeometryError::GshareBitsOutOfRange {
+                    bits: self.branch.gshare_bits,
+                },
             ));
         }
         if !self.fetch_bytes.is_power_of_two() || self.fetch_bytes < 4 {
-            return Err(format!("fetch window {} invalid", self.fetch_bytes));
+            return Err(ConfigError::new(
+                "fetch",
+                GeometryError::FetchWindowInvalid {
+                    bytes: self.fetch_bytes,
+                },
+            ));
         }
         if self.l1d_banks > 1 && !self.l1d_banks.is_power_of_two() {
-            return Err(format!("{} banks not a power of two", self.l1d_banks));
+            return Err(ConfigError::new(
+                "l1d_banks",
+                GeometryError::BanksNotPowerOfTwo {
+                    banks: self.l1d_banks,
+                },
+            ));
         }
         if !(0.0..1.0).contains(&self.overlap) {
-            return Err(format!("overlap {} outside [0, 1)", self.overlap));
+            return Err(ConfigError::new(
+                "overlap",
+                GeometryError::OverlapOutOfRange {
+                    overlap: self.overlap,
+                },
+            ));
         }
         Ok(())
     }
@@ -357,11 +373,12 @@ impl fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// Config-derived constants hoisted out of the execution loop: penalties
-/// widened to `u64` once, and the overlap-scaled refill stalls computed
-/// once per machine instead of once (or twice) per miss. Everything here
-/// is a pure function of the [`MachineConfig`], so precomputing it cannot
-/// change any counter.
+/// Core-side config-derived constants hoisted out of the execution loop:
+/// penalties widened to `u64` once, and the overlap-scaled refill stalls
+/// computed once per machine instead of once (or twice) per miss. The
+/// front-end and memory-hierarchy components hoist their own shares at
+/// construction. Everything here is a pure function of the
+/// [`MachineConfig`], so precomputing it cannot change any counter.
 #[derive(Debug, Clone, Copy)]
 struct HotConfig {
     fetch_bytes: u32,
@@ -369,24 +386,13 @@ struct HotConfig {
     /// validated config), letting the per-instruction window computation
     /// be a shift; `None` falls back to the division.
     fetch_shift: Option<u32>,
-    itlb_penalty: u64,
-    dtlb_penalty: u64,
-    mispredict_penalty: u64,
-    btb_miss_penalty: u64,
-    bank_conflict_penalty: u64,
     /// `stall(l2.hit_latency)`: an L1 miss that hits in L2.
     stall_l2_hit: u64,
     /// `stall(l2.hit_latency + memory_latency)`: a miss to memory.
     stall_l2_miss: u64,
-    /// Load-use latency charged on an L1D load hit.
-    load_use: u64,
     mul_extra: u64,
     div_extra: u64,
-    line: u32,
-    banks: u32,
-    bank_window: u64,
     max_instructions: u64,
-    next_line_prefetch: bool,
 }
 
 impl HotConfig {
@@ -398,21 +404,110 @@ impl HotConfig {
                 .fetch_bytes
                 .is_power_of_two()
                 .then(|| config.fetch_bytes.trailing_zeros()),
-            itlb_penalty: u64::from(config.itlb.miss_penalty),
-            dtlb_penalty: u64::from(config.dtlb.miss_penalty),
-            mispredict_penalty: u64::from(config.branch.mispredict_penalty),
-            btb_miss_penalty: u64::from(config.branch.btb_miss_penalty),
-            bank_conflict_penalty: u64::from(config.bank_conflict_penalty),
             stall_l2_hit: stall(config.l2.hit_latency),
             stall_l2_miss: stall(config.l2.hit_latency + config.memory_latency),
-            load_use: u64::from(config.l1d.hit_latency.saturating_sub(1)),
             mul_extra: u64::from(config.mul_latency),
             div_extra: u64::from(config.div_latency),
-            line: config.l1d.line,
-            banks: config.l1d_banks,
-            bank_window: u64::from(config.bank_window),
             max_instructions: config.max_instructions,
-            next_line_prefetch: config.l1d_next_line_prefetch,
+        }
+    }
+
+    #[inline]
+    fn alu_extra(&self, op: biaslab_isa::AluOp) -> u64 {
+        use biaslab_isa::AluOp;
+        match op {
+            AluOp::Mul => self.mul_extra,
+            AluOp::Div | AluOp::Rem => self.div_extra,
+            _ => 0,
+        }
+    }
+}
+
+/// Component ids within a machine's kernel instance: the core plus its two
+/// demand-driven timing components.
+const CORE_ID: ComponentId = ComponentId(0);
+const FRONT_ID: ComponentId = ComponentId(1);
+const DMEM_ID: ComponentId = ComponentId(2);
+
+/// How the execution loop advances simulated time between instructions.
+///
+/// The collapsed fast path uses [`DirectDispatch`] (every hook a no-op the
+/// optimizer deletes); [`KernelMode::Event`] uses [`EventDriven`], which
+/// threads each instruction boundary through the event heap and surfaces
+/// any other component due to tick first. Both monomorphize into
+/// `run_loop`, so the instruction semantics — and therefore the counters —
+/// are shared by construction.
+trait KernelDriver {
+    /// Returns the next non-core component due before the core may retire
+    /// its next instruction (at `cycles` local core ticks), or `None` when
+    /// the core holds the earliest event. Call repeatedly until `None`.
+    fn next_due(&mut self, cycles: u64) -> Option<(ComponentId, u64)>;
+
+    /// Re-queues a component after its tick, if it asked for another.
+    fn requeue(&mut self, id: ComponentId, at: Option<u64>);
+}
+
+/// The collapsed single-chain path: no heap, no events, direct dispatch.
+struct DirectDispatch;
+
+impl KernelDriver for DirectDispatch {
+    #[inline(always)]
+    fn next_due(&mut self, _cycles: u64) -> Option<(ComponentId, u64)> {
+        None
+    }
+
+    #[inline(always)]
+    fn requeue(&mut self, _id: ComponentId, _at: Option<u64>) {}
+}
+
+/// The full event-scheduled path: every instruction boundary is an event
+/// popped from the min-heap in deterministic `(time, sequence)` order.
+struct EventDriven {
+    sched: EventScheduler,
+    /// The core's clock relationship to the base clock (unit in the
+    /// paper-machine presets; divided cores schedule sparser events).
+    core_clock: ClockDivider,
+    core_scheduled: bool,
+}
+
+impl EventDriven {
+    fn new(core_divisor: u64) -> EventDriven {
+        EventDriven {
+            sched: EventScheduler::new(),
+            core_clock: ClockDivider::new(core_divisor),
+            core_scheduled: false,
+        }
+    }
+
+    /// Registers a non-core component's first wake-up, if it wants one.
+    fn seed(&mut self, id: ComponentId, next: Option<u64>) {
+        if let Some(t) = next {
+            self.sched.schedule(t, id);
+        }
+    }
+}
+
+impl KernelDriver for EventDriven {
+    fn next_due(&mut self, cycles: u64) -> Option<(ComponentId, u64)> {
+        if !self.core_scheduled {
+            // The core's next instruction retires after `cycles` local
+            // ticks; map through its clock divider onto the base clock.
+            self.sched
+                .schedule(self.core_clock.base_ticks(cycles), CORE_ID);
+            self.core_scheduled = true;
+        }
+        let (t, id) = self.sched.pop().expect("core event is always pending");
+        if id == CORE_ID {
+            self.core_scheduled = false;
+            None
+        } else {
+            Some((id, t))
+        }
+    }
+
+    fn requeue(&mut self, id: ComponentId, at: Option<u64>) {
+        if let Some(t) = at {
+            self.sched.schedule(t, id);
         }
     }
 }
@@ -422,32 +517,69 @@ impl HotConfig {
 pub struct Machine {
     config: MachineConfig,
     hot: HotConfig,
-    l1i: Cache,
-    l1d: Cache,
+    front: FrontEnd,
+    dmem: MemSystem,
+    /// The shared unified L2, reached from both sides through
+    /// [`L2Port`]s.
     l2: Cache,
-    itlb: Tlb,
-    dtlb: Tlb,
-    bp: BranchPredictor,
-    /// (retired-instruction index, bank, line) of the last two data
-    /// accesses, for the bank-conflict model.
-    last_access: [Option<(u64, u32, u32)>; 2],
+    kernel: KernelMode,
 }
 
 impl Machine {
+    /// Creates a cold machine, validating the configuration once.
+    ///
+    /// The kernel mode defaults to [`KernelMode::Auto`] (respecting the
+    /// `BIASLAB_KERNEL` environment override): single-active-chain
+    /// configurations — all three paper machines — collapse to direct
+    /// dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] for an inconsistent geometry —
+    /// always at construction, never at access time.
+    pub fn try_new(config: MachineConfig) -> Result<Machine, ConfigError> {
+        config.validate()?;
+        Ok(Machine {
+            hot: HotConfig::of(&config),
+            front: FrontEnd::new(config.l1i, config.itlb, config.branch),
+            dmem: MemSystem::new(MemParams {
+                l1d: config.l1d,
+                dtlb: config.dtlb,
+                banks: config.l1d_banks,
+                bank_window: config.bank_window,
+                bank_conflict_penalty: config.bank_conflict_penalty,
+                next_line_prefetch: config.l1d_next_line_prefetch,
+            }),
+            l2: Cache::new(config.l2),
+            kernel: KernelMode::from_env(),
+            config,
+        })
+    }
+
     /// Creates a cold machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; prefer [`Machine::try_new`]
+    /// when the configuration comes from user input (e.g. an ablation
+    /// sweep).
     #[must_use]
     pub fn new(config: MachineConfig) -> Machine {
-        Machine {
-            hot: HotConfig::of(&config),
-            l1i: Cache::new(config.l1i),
-            l1d: Cache::new(config.l1d),
-            l2: Cache::new(config.l2),
-            itlb: Tlb::new(config.itlb),
-            dtlb: Tlb::new(config.dtlb),
-            bp: BranchPredictor::new(config.branch),
-            last_access: [None, None],
-            config,
-        }
+        Machine::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a cold machine pinned to a kernel path (ignoring the
+    /// `BIASLAB_KERNEL` override) — what the differential tests use to
+    /// compare the collapsed and event-scheduled paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    #[must_use]
+    pub fn with_kernel(config: MachineConfig, kernel: KernelMode) -> Machine {
+        let mut m = Machine::new(config);
+        m.kernel = kernel;
+        m
     }
 
     /// The machine's configuration.
@@ -456,15 +588,34 @@ impl Machine {
         &self.config
     }
 
+    /// The configured kernel mode (before Auto resolution).
+    #[must_use]
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// The kernel path this machine will actually run: Auto collapses to
+    /// direct dispatch exactly when the component graph is a single
+    /// active chain (no non-core component self-schedules).
+    #[must_use]
+    pub fn effective_kernel(&self) -> KernelMode {
+        match self.kernel {
+            KernelMode::Auto => {
+                if self.front.next_tick().is_none() && self.dmem.next_tick().is_none() {
+                    KernelMode::Collapsed
+                } else {
+                    KernelMode::Event
+                }
+            }
+            mode => mode,
+        }
+    }
+
     /// Returns all microarchitectural state to cold.
     pub fn reset(&mut self) {
-        self.l1i.flush();
-        self.l1d.flush();
+        self.front.flush();
+        self.dmem.flush();
         self.l2.flush();
-        self.itlb.flush();
-        self.dtlb.flush();
-        self.bp.flush();
-        self.last_access = [None, None];
     }
 
     /// Runs `process` against `exe` until `halt`.
@@ -500,21 +651,34 @@ impl Machine {
         process: Process,
         attr: Option<&mut crate::profile::Attributor>,
     ) -> Result<RunResult, RunError> {
-        // Monomorphize the execution loop on whether an attributor is
-        // attached: the plain `run` path carries no per-instruction
-        // bookkeeping at all, and profiled runs still observe identical
-        // counters (attribution only reads them).
-        match attr {
-            Some(a) => self.run_loop::<true>(exe, process, Some(a)),
-            None => self.run_loop::<false>(exe, process, None),
+        // Monomorphize the execution loop on (attributor, kernel path):
+        // the plain collapsed `run` carries no per-instruction bookkeeping
+        // at all, and every other combination still observes identical
+        // counters (attribution only reads them; the event driver only
+        // orders them).
+        match self.effective_kernel() {
+            KernelMode::Event => {
+                let mut driver = EventDriven::new(1);
+                driver.seed(FRONT_ID, self.front.next_tick());
+                driver.seed(DMEM_ID, self.dmem.next_tick());
+                match attr {
+                    Some(a) => self.run_loop::<true, _>(exe, process, Some(a), &mut driver),
+                    None => self.run_loop::<false, _>(exe, process, None, &mut driver),
+                }
+            }
+            _ => match attr {
+                Some(a) => self.run_loop::<true, _>(exe, process, Some(a), &mut DirectDispatch),
+                None => self.run_loop::<false, _>(exe, process, None, &mut DirectDispatch),
+            },
         }
     }
 
-    fn run_loop<const PROFILE: bool>(
+    fn run_loop<const PROFILE: bool, D: KernelDriver>(
         &mut self,
         exe: &Executable,
         process: Process,
         mut attr: Option<&mut crate::profile::Attributor>,
+        driver: &mut D,
     ) -> Result<RunResult, RunError> {
         let mut c = Counters::default();
         let mut mem = process.mem;
@@ -526,7 +690,6 @@ impl Machine {
         }
         let mut pc = process.entry;
         let mut checksum = 0u64;
-        let mut last_window = u32::MAX;
         let mut attributed: Option<(u32, u64)> = None;
 
         // The decoded text segment, addressed by word index: instruction
@@ -537,6 +700,15 @@ impl Machine {
         let text = exe.text();
         let text_base = exe.text_base();
         let hot = self.hot;
+        // Split-borrow the component graph once: the core drives the front
+        // end and memory hierarchy through ports for the whole run.
+        let Machine {
+            ref mut front,
+            ref mut dmem,
+            ref mut l2,
+            ..
+        } = *self;
+        front.begin_run();
 
         macro_rules! rd {
             ($r:expr) => {
@@ -550,8 +722,24 @@ impl Machine {
                 }
             };
         }
+        macro_rules! l2_port {
+            () => {
+                L2Port::new(l2, hot.stall_l2_hit, hot.stall_l2_miss)
+            };
+        }
 
         loop {
+            // Kernel hook: under the event driver, wait for the core's
+            // event and tick any component scheduled ahead of it; the
+            // collapsed path compiles this block away entirely.
+            while let Some((id, at)) = driver.next_due(c.cycles) {
+                let next = match id {
+                    FRONT_ID => front.tick(at),
+                    DMEM_ID => dmem.tick(at),
+                    _ => None,
+                };
+                driver.requeue(id, next);
+            }
             if PROFILE {
                 if let Some(a) = attr.as_deref_mut() {
                     if let Some((prev_pc, prev_cycles)) = attributed {
@@ -571,31 +759,12 @@ impl Machine {
                 return Err(RunError::InvalidPc(pc));
             };
 
-            // --- front end -------------------------------------------------
+            // --- front end (port) ------------------------------------------
             let window = match hot.fetch_shift {
                 Some(shift) => pc >> shift,
                 None => pc / hot.fetch_bytes,
             };
-            if window != last_window {
-                last_window = window;
-                c.fetches += 1;
-                if !self.itlb.access(pc) {
-                    c.itlb_misses += 1;
-                    c.cycles += hot.itlb_penalty;
-                    c.stall_frontend += hot.itlb_penalty;
-                }
-                if !self.l1i.access(pc) {
-                    c.l1i_misses += 1;
-                    let stall = if self.l2.access(pc) {
-                        hot.stall_l2_hit
-                    } else {
-                        c.l2_misses += 1;
-                        hot.stall_l2_miss
-                    };
-                    c.cycles += stall;
-                    c.stall_frontend += stall;
-                }
-            }
+            front.fetch(pc, window, &mut l2_port!(), &mut c);
 
             c.instructions += 1;
             c.cycles += 1;
@@ -604,13 +773,13 @@ impl Machine {
             match inst {
                 Inst::Alu { op, rd, rs1, rs2 } => {
                     wr!(rd, op.eval(rd!(rs1), rd!(rs2)));
-                    let extra = self.alu_extra(op);
+                    let extra = hot.alu_extra(op);
                     c.cycles += extra;
                     c.stall_compute += extra;
                 }
                 Inst::AluImm { op, rd, rs1, imm } => {
                     wr!(rd, op.eval(rd!(rs1), op.extend_imm(imm)));
-                    let extra = self.alu_extra(op);
+                    let extra = hot.alu_extra(op);
                     c.cycles += extra;
                     c.stall_compute += extra;
                 }
@@ -624,7 +793,7 @@ impl Machine {
                     let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
                     c.loads += 1;
                     let idx = c.instructions;
-                    self.data_access(&mut c, addr, width.bytes(), false, idx);
+                    dmem.access(&mut c, addr, width.bytes(), false, idx, &mut l2_port!());
                     wr!(rd, mem.read_le(addr, width.bytes()));
                 }
                 Inst::Store {
@@ -636,7 +805,7 @@ impl Machine {
                     let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
                     c.stores += 1;
                     let idx = c.instructions;
-                    self.data_access(&mut c, addr, width.bytes(), true, idx);
+                    dmem.access(&mut c, addr, width.bytes(), true, idx, &mut l2_port!());
                     mem.write_le(addr, width.bytes(), rd!(rs));
                 }
                 Inst::Branch {
@@ -647,20 +816,10 @@ impl Machine {
                 } => {
                     c.branches += 1;
                     let taken = cond.eval(rd!(rs1), rd!(rs2));
-                    let predicted = self.bp.predict(pc).taken;
-                    self.bp.update(pc, taken);
-                    if predicted != taken {
-                        c.mispredicts += 1;
-                        c.cycles += hot.mispredict_penalty;
-                        c.stall_branch += hot.mispredict_penalty;
-                    }
+                    front.branch_direction(pc, taken, &mut c);
                     if taken {
                         let target = next_pc.wrapping_add(offset as u32);
-                        if !self.bp.btb_lookup(pc, target) {
-                            c.btb_misses += 1;
-                            c.cycles += hot.btb_miss_penalty;
-                            c.stall_frontend += hot.btb_miss_penalty;
-                        }
+                        front.taken_transfer(pc, target, &mut c);
                         pc = target;
                         continue;
                     }
@@ -668,13 +827,9 @@ impl Machine {
                 Inst::Jal { rd, offset } => {
                     let target = next_pc.wrapping_add(offset as u32);
                     if rd == Reg::RA {
-                        self.bp.push_return(next_pc);
+                        front.push_return(next_pc);
                     }
-                    if !self.bp.btb_lookup(pc, target) {
-                        c.btb_misses += 1;
-                        c.cycles += hot.btb_miss_penalty;
-                        c.stall_frontend += hot.btb_miss_penalty;
-                    }
+                    front.taken_transfer(pc, target, &mut c);
                     wr!(rd, u64::from(next_pc));
                     pc = target;
                     continue;
@@ -683,20 +838,12 @@ impl Machine {
                     let target = (rd!(rs1) as u32).wrapping_add(offset as i32 as u32);
                     if rd.is_zero() && rs1 == Reg::RA {
                         // Return: predicted by the RAS.
-                        if self.bp.pop_return() != Some(target) {
-                            c.ras_mispredicts += 1;
-                            c.cycles += hot.mispredict_penalty;
-                            c.stall_branch += hot.mispredict_penalty;
-                        }
+                        front.predict_return(target, &mut c);
                     } else {
                         if rd == Reg::RA {
-                            self.bp.push_return(next_pc);
+                            front.push_return(next_pc);
                         }
-                        if !self.bp.btb_lookup(pc, target) {
-                            c.btb_misses += 1;
-                            c.cycles += hot.btb_miss_penalty;
-                            c.stall_frontend += hot.btb_miss_penalty;
-                        }
+                        front.taken_transfer(pc, target, &mut c);
                     }
                     wr!(rd, u64::from(next_pc));
                     pc = target;
@@ -713,105 +860,6 @@ impl Machine {
                 Inst::Nop => {}
             }
             pc = next_pc;
-        }
-    }
-
-    #[inline]
-    fn alu_extra(&self, op: biaslab_isa::AluOp) -> u64 {
-        use biaslab_isa::AluOp;
-        match op {
-            AluOp::Mul => self.hot.mul_extra,
-            AluOp::Div | AluOp::Rem => self.hot.div_extra,
-            _ => 0,
-        }
-    }
-
-    /// Charges the timing cost of a data access (possibly split across
-    /// cache lines and pages).
-    ///
-    /// `inst_index` is the retiring instruction's ordinal, used by the bank
-    /// model: two accesses within `bank_window` instructions of each other issue in
-    /// the same group on these wide cores, and conflict when they touch
-    /// the same L1D bank in different lines — the structural hazard whose
-    /// dependence on *address bits 3..6* gives memory layout its
-    /// fine-grained performance texture.
-    fn data_access(
-        &mut self,
-        c: &mut Counters,
-        addr: u32,
-        size: u32,
-        is_store: bool,
-        inst_index: u64,
-    ) {
-        let hot = self.hot;
-        if hot.banks > 1 {
-            let bank = (addr / 8) & (hot.banks - 1);
-            let line_no = addr / hot.line;
-            for prev in self.last_access.into_iter().flatten() {
-                let (prev_idx, prev_bank, prev_line) = prev;
-                if inst_index.saturating_sub(prev_idx) <= hot.bank_window
-                    && prev_bank == bank
-                    && prev_line != line_no
-                {
-                    c.bank_conflicts += 1;
-                    c.cycles += hot.bank_conflict_penalty;
-                    c.stall_memory += hot.bank_conflict_penalty;
-                    break;
-                }
-            }
-            self.last_access = [Some((inst_index, bank, line_no)), self.last_access[0]];
-        }
-        let line = hot.line;
-        let first_line = addr / line;
-        let last_line = (addr + size - 1) / line;
-        if last_line != first_line {
-            c.line_splits += 1;
-        }
-        if (addr + size - 1) / PAGE_SIZE != addr / PAGE_SIZE {
-            c.page_splits += 1;
-        }
-        let mut a = addr;
-        loop {
-            self.one_line_access(c, a, is_store);
-            let next = (a / line + 1) * line;
-            if next > addr + size - 1 {
-                break;
-            }
-            a = next;
-        }
-    }
-
-    fn one_line_access(&mut self, c: &mut Counters, addr: u32, is_store: bool) {
-        let hot = self.hot;
-        c.l1d_accesses += 1;
-        if !self.dtlb.access(addr) {
-            c.dtlb_misses += 1;
-            c.cycles += hot.dtlb_penalty;
-            c.stall_memory += hot.dtlb_penalty;
-        }
-        if self.l1d.access(addr) {
-            // Loads pay the load-use latency; stores retire via the buffer.
-            if !is_store {
-                c.cycles += hot.load_use;
-                c.stall_memory += hot.load_use;
-            }
-        } else {
-            c.l1d_misses += 1;
-            let stall = if self.l2.access(addr) {
-                hot.stall_l2_hit
-            } else {
-                c.l2_misses += 1;
-                hot.stall_l2_miss
-            };
-            c.cycles += stall;
-            c.stall_memory += stall;
-            if hot.next_line_prefetch {
-                // Fill the next line too (and train L2); the prefetch is
-                // off the critical path, so no demand latency is charged.
-                let next = addr.wrapping_add(hot.line) / hot.line * hot.line;
-                self.l1d.access(next);
-                self.l2.access(next);
-            }
         }
     }
 }
@@ -953,6 +1001,26 @@ mod tests {
     }
 
     #[test]
+    fn bad_geometry_is_rejected_at_construction_not_access_time() {
+        let mut bad = MachineConfig::core2();
+        bad.l1d.size = 384 * 64; // 3 sets at 8 ways × 64 B lines
+        let err = Machine::try_new(bad).expect_err("inconsistent geometry");
+        assert_eq!(err.unit, "l1d");
+        assert!(err.to_string().contains("power of two"));
+        // A validated machine simulates with no geometry checks left on
+        // the access path — the whole point of construction-time
+        // validation.
+        let exe = build_exe(OptLevel::O2);
+        let process = Loader::new()
+            .load(&exe, &Environment::new(), &[50])
+            .unwrap();
+        Machine::try_new(MachineConfig::core2())
+            .expect("presets are valid")
+            .run(&exe, process)
+            .expect("valid machine runs");
+    }
+
+    #[test]
     fn machines_differ_in_cycle_counts() {
         let exe = build_exe(OptLevel::O2);
         let mut cycles = Vec::new();
@@ -964,6 +1032,33 @@ mod tests {
             cycles.push(r.counters.cycles);
         }
         assert!(cycles.windows(2).any(|w| w[0] != w[1]), "{cycles:?}");
+    }
+
+    #[test]
+    fn event_kernel_matches_collapsed_dispatch_bit_for_bit() {
+        // The collapse is an optimization, not a semantic: driving the
+        // identical component graph through the min-heap scheduler must
+        // reproduce every counter exactly, profiled or not.
+        let exe = build_exe(OptLevel::O2);
+        for config in MachineConfig::all() {
+            let run_with = |mode: KernelMode| {
+                let process = Loader::new()
+                    .load(&exe, &Environment::of_total_size(512), &[300])
+                    .unwrap();
+                let mut m = Machine::with_kernel(config.clone(), mode);
+                assert_eq!(m.effective_kernel(), mode);
+                m.run(&exe, process).unwrap()
+            };
+            let fast = run_with(KernelMode::Collapsed);
+            let event = run_with(KernelMode::Event);
+            assert_eq!(fast, event, "{}", config.name);
+        }
+    }
+
+    #[test]
+    fn auto_mode_collapses_a_single_active_chain() {
+        let m = Machine::new(MachineConfig::core2());
+        assert_eq!(m.effective_kernel(), KernelMode::Collapsed);
     }
 
     #[test]
@@ -992,6 +1087,23 @@ mod tests {
             .run(&exe, process)
             .unwrap();
         assert_eq!(plain.counters, result.counters);
+    }
+
+    #[test]
+    fn profiled_event_runs_match_profiled_collapsed_runs() {
+        let exe = build_exe(OptLevel::O2);
+        let run_with = |mode: KernelMode| {
+            let process = Loader::new()
+                .load(&exe, &Environment::new(), &[200])
+                .unwrap();
+            Machine::with_kernel(MachineConfig::o3cpu(), mode)
+                .run_profiled(&exe, process)
+                .unwrap()
+        };
+        let (fast, fast_profile) = run_with(KernelMode::Collapsed);
+        let (event, event_profile) = run_with(KernelMode::Event);
+        assert_eq!(fast, event);
+        assert_eq!(fast_profile, event_profile);
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! text range contains its pc. The paper's workflow starts from exactly
 //! this kind of profile ("where do the cycles go?") before asking whether
 //! the answer can be trusted.
+//!
+//! The attributor observes the core at instruction-retire boundaries, on
+//! either kernel path ([`crate::KernelMode`]): it only *reads* the cycle
+//! counter, so profiled and unprofiled runs — collapsed or
+//! event-scheduled — stay bit-identical, an invariant the differential
+//! tests pin.
 
 use std::fmt;
 

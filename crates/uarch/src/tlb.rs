@@ -4,10 +4,16 @@
 //! so the TLB exists purely for its *timing* role: a set-associative cache
 //! over page numbers whose conflicts depend on which pages a run touches —
 //! and the stack pages move with the environment size.
+//!
+//! Like [`crate::cache::Cache`], geometry is validated once at
+//! construction and entry validity is an explicit per-set bit mask rather
+//! than a tag sentinel.
 
 use serde::{Deserialize, Serialize};
 
 use biaslab_toolchain::layout::PAGE_SIZE;
+
+use crate::geometry::GeometryError;
 
 /// Geometry of a TLB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,42 +27,63 @@ pub struct TlbConfig {
 }
 
 impl TlbConfig {
+    /// Number of sets, if the geometry is consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint: `entries / ways` must be a whole
+    /// power-of-two set count, with the associativity within the packed
+    /// valid-mask width.
+    pub fn try_sets(&self) -> Result<u32, GeometryError> {
+        if self.ways == 0 || self.entries == 0 {
+            return Err(GeometryError::ZeroSizeOrWays);
+        }
+        if self.ways > 64 {
+            return Err(GeometryError::WaysUnsupported { ways: self.ways });
+        }
+        if !self.entries.is_multiple_of(self.ways) || !(self.entries / self.ways).is_power_of_two()
+        {
+            return Err(GeometryError::TlbSetsNotPowerOfTwo {
+                entries: self.entries,
+                ways: self.ways,
+            });
+        }
+        Ok(self.entries / self.ways)
+    }
+
     /// Number of sets.
     ///
     /// # Panics
     ///
-    /// Panics if `entries / ways` is not a power of two.
+    /// Panics if the geometry is inconsistent; prefer [`TlbConfig::try_sets`]
+    /// when the configuration comes from user input.
     #[must_use]
     pub fn sets(&self) -> u32 {
-        let sets = self.entries / self.ways;
-        assert!(
-            sets.is_power_of_two(),
-            "TLB set count must be a power of two"
-        );
-        sets
+        self.try_sets().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The set count, computed without validation. Correct only for a
+    /// geometry [`TlbConfig::try_sets`] accepts — guaranteed for every
+    /// constructed [`Tlb`] and validated [`crate::MachineConfig`].
+    #[inline]
+    fn sets_unchecked(&self) -> u32 {
+        self.entries / self.ways
     }
 
     /// The set index the page containing `addr` maps to — the same
     /// mapping [`Tlb::access`] applies, exposed on the configuration so
     /// static analyses can reason about page conflicts without
-    /// instantiating a TLB.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `entries / ways` is not a power of two.
+    /// instantiating a TLB. Requires a validated geometry.
     #[must_use]
     pub fn set_of(&self, addr: u32) -> u32 {
-        (addr / PAGE_SIZE) & (self.sets() - 1)
+        (addr / PAGE_SIZE) & (self.sets_unchecked() - 1)
     }
 
-    /// The tag stored for the page containing `addr`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `entries / ways` is not a power of two.
+    /// The tag stored for the page containing `addr`. Requires a
+    /// validated geometry.
     #[must_use]
     pub fn tag_of(&self, addr: u32) -> u32 {
-        addr / PAGE_SIZE / self.sets()
+        addr / PAGE_SIZE / self.sets_unchecked()
     }
 }
 
@@ -65,28 +92,43 @@ impl TlbConfig {
 pub struct Tlb {
     config: TlbConfig,
     sets: u32,
+    /// `tags[set * ways + way]`: page tag, meaningful only where the
+    /// corresponding bit of `valid[set]` is set.
     tags: Vec<u32>,
+    /// Per-set packed valid mask: bit `way` set ⇔ that way holds an entry.
+    valid: Vec<u64>,
     stamps: Vec<u64>,
     clock: u64,
 }
 
 impl Tlb {
+    /// Creates an empty TLB, validating the geometry once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint (see [`TlbConfig::try_sets`]).
+    pub fn try_new(config: TlbConfig) -> Result<Tlb, GeometryError> {
+        let sets = config.try_sets()?;
+        let n = (sets * config.ways) as usize;
+        Ok(Tlb {
+            config,
+            sets,
+            tags: vec![0; n],
+            valid: vec![0; sets as usize],
+            stamps: vec![0; n],
+            clock: 0,
+        })
+    }
+
     /// Creates an empty TLB.
     ///
     /// # Panics
     ///
-    /// Panics if `entries / ways` is not a power of two.
+    /// Panics if the geometry is inconsistent; prefer [`Tlb::try_new`]
+    /// when the configuration comes from user input.
     #[must_use]
     pub fn new(config: TlbConfig) -> Tlb {
-        let sets = config.sets();
-        let n = (sets * config.ways) as usize;
-        Tlb {
-            config,
-            sets,
-            tags: vec![u32::MAX; n],
-            stamps: vec![0; n],
-            clock: 0,
-        }
+        Tlb::try_new(config).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configured geometry.
@@ -105,24 +147,27 @@ impl Tlb {
         let tag = page / self.sets;
         let base = (set * self.config.ways) as usize;
         let ways = self.config.ways as usize;
+        let valid = self.valid[set as usize];
         // Slice the set once so the way scan is bounds-checked once.
         let set_tags = &mut self.tags[base..base + ways];
-        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+        if let Some(way) = (0..ways).find(|&w| valid >> w & 1 == 1 && set_tags[w] == tag) {
             self.stamps[base + way] = self.clock;
             return true;
         }
+        // Invalid ways carry stamp 0, so they fill before any eviction.
         let set_stamps = &self.stamps[base..base + ways];
         let victim = (0..ways)
             .min_by_key(|&w| set_stamps[w])
             .expect("TLB has at least one way");
         set_tags[victim] = tag;
+        self.valid[set as usize] = valid | 1 << victim;
         self.stamps[base + victim] = self.clock;
         false
     }
 
     /// Invalidates every entry.
     pub fn flush(&mut self) {
-        self.tags.fill(u32::MAX);
+        self.valid.fill(0);
         self.stamps.fill(0);
         self.clock = 0;
     }
@@ -180,5 +225,49 @@ mod tests {
         t.access(0x5000);
         t.flush();
         assert!(!t.access(0x5000));
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error_at_construction() {
+        let bad = TlbConfig {
+            entries: 9,
+            ways: 2,
+            miss_penalty: 10,
+        };
+        assert_eq!(
+            Tlb::try_new(bad).err(),
+            Some(GeometryError::TlbSetsNotPowerOfTwo {
+                entries: 9,
+                ways: 2
+            })
+        );
+        assert_eq!(
+            TlbConfig {
+                entries: 0,
+                ways: 0,
+                miss_penalty: 1
+            }
+            .try_sets(),
+            Err(GeometryError::ZeroSizeOrWays)
+        );
+    }
+
+    #[test]
+    fn cold_entries_never_alias_a_real_tag() {
+        // Regression companion to the cache's sentinel fix: with the
+        // maximal geometry a u32 address can produce (`sets = 1`), the
+        // largest page tag is `u32::MAX / PAGE_SIZE` — representable, and
+        // under the old `u32::MAX` sentinel any future page-number widening
+        // would have aliased it. With valid bits, a cold TLB misses for
+        // every page, including the maximal one.
+        let mut t = Tlb::new(TlbConfig {
+            entries: 1,
+            ways: 1,
+            miss_penalty: 10,
+        });
+        assert!(!t.access(u32::MAX), "cold TLB must miss the maximal page");
+        assert!(t.access(u32::MAX));
+        t.flush();
+        assert!(!t.access(u32::MAX));
     }
 }

@@ -1,0 +1,88 @@
+//! Differential test between the two kernel paths: the collapsed direct
+//! dispatch (the fast path every recorded figure runs on) and the full
+//! event-scheduled path must produce bit-identical [`Counters`] and
+//! checksums for real benchmarks on every machine model.
+//!
+//! This is what licenses the collapse as a pure optimization: if a future
+//! component makes a configuration multi-chain and Auto stops collapsing,
+//! the numbers must not move.
+
+use biaslab_core::harness::Harness;
+use biaslab_toolchain::load::{Environment, Loader};
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::{KernelMode, Machine, MachineConfig, RunResult};
+use biaslab_workloads::{suite, InputSize};
+
+fn run_with(h: &Harness, machine: &MachineConfig, mode: KernelMode) -> RunResult {
+    let order: Vec<usize> = (0..h.object_names().len()).collect();
+    let exe = h
+        .executable(OptLevel::O2, &order, 0)
+        .unwrap_or_else(|e| panic!("{}: {e}", h.benchmark().name()));
+    let process = Loader::new()
+        .load(
+            &exe,
+            &Environment::new(),
+            h.benchmark().args(InputSize::Test),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", h.benchmark().name()));
+    let mut m = Machine::with_kernel(machine.clone(), mode);
+    assert_eq!(m.effective_kernel(), mode, "mode must pin the path");
+    m.run(&exe, process)
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", h.benchmark().name(), machine.name))
+}
+
+#[test]
+fn event_kernel_reproduces_the_golden_subset_bit_for_bit() {
+    // A golden subset (not the full 72-row sweep — the event path is the
+    // slow one): every benchmark once, cycling through the machine models
+    // so each model is exercised against several workloads.
+    for (i, bench) in suite().into_iter().enumerate() {
+        let h = Harness::new(bench);
+        let machines = MachineConfig::all();
+        let machine = &machines[i % machines.len()];
+        let fast = run_with(&h, machine, KernelMode::Collapsed);
+        let event = run_with(&h, machine, KernelMode::Event);
+        assert_eq!(
+            fast.counters,
+            event.counters,
+            "{}/{}: kernel paths disagree on counters",
+            h.benchmark().name(),
+            machine.name
+        );
+        assert_eq!(fast.checksum, event.checksum);
+        assert_eq!(fast.return_value, event.return_value);
+    }
+}
+
+#[test]
+fn warm_repetition_state_carries_identically_on_both_paths() {
+    // Machine state (caches, predictors, bank history) persists across
+    // runs on the same instance; the event path must thread it through the
+    // scheduler without perturbing the warm-run counters either.
+    let bench = suite().into_iter().next().expect("non-empty suite");
+    let h = Harness::new(bench);
+    let order: Vec<usize> = (0..h.object_names().len()).collect();
+    let exe = h.executable(OptLevel::O2, &order, 0).expect("links");
+    let reps = 3;
+    let mut per_mode = Vec::new();
+    for mode in [KernelMode::Collapsed, KernelMode::Event] {
+        let mut m = Machine::with_kernel(MachineConfig::o3cpu(), mode);
+        let mut runs = Vec::new();
+        for _ in 0..reps {
+            let process = Loader::new()
+                .load(
+                    &exe,
+                    &Environment::new(),
+                    h.benchmark().args(InputSize::Test),
+                )
+                .expect("loads");
+            runs.push(m.run(&exe, process).expect("runs"));
+        }
+        per_mode.push(runs);
+    }
+    assert_eq!(per_mode[0], per_mode[1], "warm repetitions diverged");
+    assert!(
+        per_mode[0][1].counters.cycles <= per_mode[0][0].counters.cycles,
+        "second repetition should not be colder than the first"
+    );
+}
