@@ -37,6 +37,10 @@ options (trace):
   --flame                      merged profiles, folded-stacks form
 
 environment:
+  BIASLAB_EXEC=<path>          pin the execution path: block (decoded
+                               trace cache, the default via Auto) |
+                               collapsed | event — all bit-identical
+                               (alias: BIASLAB_KERNEL)
   BIASLAB_FAULTS=<spec>        deterministic fault injection, e.g.
                                seed=7,save.io=0.5,leader.panic=@1
   BIASLAB_RESULTS_DIR=<dir>    relocate results/ (measurements, traces)";

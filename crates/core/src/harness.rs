@@ -258,6 +258,7 @@ impl Harness {
         )?;
         let mut machine = Machine::new(setup.machine.clone());
         let result = machine.run(&exe, process)?;
+        Self::export_block_stats(&machine);
 
         let expected = self.bench.expected(size);
         if result.checksum != expected.checksum || result.return_value != expected.return_value {
@@ -325,6 +326,7 @@ impl Harness {
             };
             span.close();
             let result = result?;
+            Self::export_block_stats(&machine);
 
             let span = telemetry::Span::open("stat", bench);
             let expected = self.bench.expected(size);
@@ -401,7 +403,30 @@ impl Harness {
                 checksum: result.checksum,
             });
         }
+        // The machine (and so its block cache) lives across repetitions;
+        // one export covers the whole series.
+        Self::export_block_stats(&machine);
         Ok(out)
+    }
+
+    /// Accumulates one machine's block-cache stats into the process-wide
+    /// [`telemetry::metrics`] registry (`uarch.blockcache.*`). Machines
+    /// that never dispatched a block — the collapsed and event kernels —
+    /// contribute nothing, so the metrics only appear when block dispatch
+    /// actually ran. A handful of relaxed atomics per *measurement* (not
+    /// per instruction), so the hot path never sees it.
+    fn export_block_stats(machine: &Machine) {
+        let stats = machine.block_stats();
+        if stats.hits + stats.misses == 0 {
+            return;
+        }
+        let m = telemetry::metrics();
+        m.counter("uarch.blockcache.hit").add(stats.hits);
+        m.counter("uarch.blockcache.miss").add(stats.misses);
+        m.counter("uarch.blockcache.invalidate")
+            .add(stats.invalidations);
+        m.counter("uarch.blockcache.blocks_live")
+            .record_max(machine.blocks_live() as u64);
     }
 
     /// Measures many setups in parallel, preserving order.

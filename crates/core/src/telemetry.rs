@@ -486,6 +486,13 @@ impl Counter {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Raises the counter to `value` if larger — a monotonic high-water
+    /// mark, for quantities (like a cache's live-block population) where
+    /// summing across runs would be meaningless.
+    pub fn record_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {

@@ -44,6 +44,7 @@ pub struct Executable {
     entry: u32,
     symbols: Vec<Symbol>,
     level: OptLevel,
+    generation: u64,
 }
 
 impl Executable {
@@ -109,6 +110,18 @@ impl Executable {
     #[must_use]
     pub fn symbols(&self) -> &[Symbol] {
         &self.symbols
+    }
+
+    /// The image generation stamped at link time: a process-wide monotonic
+    /// counter ([`crate::load::next_image_generation`]) that identifies
+    /// this exact code layout. Two links — even of identical inputs —
+    /// never share a generation, which is what lets downstream decoded
+    /// caches (the simulator's basic-block trace cache) invalidate
+    /// wholesale instead of diffing text.
+    #[must_use]
+    #[inline]
+    pub fn image_generation(&self) -> u64 {
+        self.generation
     }
 
     /// The optimization level this executable was compiled at.
@@ -380,6 +393,7 @@ impl Linker {
             entry: text_base,
             symbols,
             level: cm.level,
+            generation: crate::load::next_image_generation(),
         })
     }
 }

@@ -19,12 +19,26 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use crate::layout::{align_down, STACK_MAX, STACK_TOP};
 use crate::link::Executable;
 use crate::mem::PagedMem;
+
+/// Process-wide monotonic image-generation counter. Every
+/// [`crate::link::Linker::link`] stamps the next value on the produced
+/// [`Executable`] (generations start at 1; 0 means "no image"), and the
+/// loader copies it onto the [`Process`], so a consumer holding decoded
+/// derivatives of an older image can detect staleness with one compare.
+static IMAGE_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Draws the next image generation (used by the linker at stamp time).
+#[must_use]
+pub fn next_image_generation() -> u64 {
+    IMAGE_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One environment variable.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,6 +172,9 @@ pub struct Process {
     pub args: Vec<u64>,
     /// Bytes the environment occupies above `sp`.
     pub env_bytes: u32,
+    /// Generation of the image this process was loaded from (see
+    /// [`Executable::image_generation`]).
+    pub image_generation: u64,
 }
 
 /// Loader failure.
@@ -255,6 +272,7 @@ impl Loader {
             gp: exe.gp(),
             args: args.to_vec(),
             env_bytes,
+            image_generation: exe.image_generation(),
         })
     }
 }

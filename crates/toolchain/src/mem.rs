@@ -154,13 +154,24 @@ impl PagedMem {
         assert!(n <= 8);
         let off = (addr & OFFSET_MASK) as usize;
         if off + n as usize <= PAGE_SIZE as usize {
-            // Within one page: resolve the page once for all bytes.
+            // Within one page: resolve the page once for all bytes, and
+            // turn the common power-of-two widths into single (unaligned)
+            // loads rather than a byte loop.
             let Some(p) = self.page(addr) else { return 0 };
-            let mut out = 0u64;
-            for (i, &b) in p[off..off + n as usize].iter().enumerate() {
-                out |= u64::from(b) << (8 * i);
-            }
-            return out;
+            return match n {
+                1 => u64::from(p[off]),
+                4 => u64::from(u32::from_le_bytes(
+                    p[off..off + 4].try_into().expect("4 bytes"),
+                )),
+                8 => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+                _ => {
+                    let mut out = 0u64;
+                    for (i, &b) in p[off..off + n as usize].iter().enumerate() {
+                        out |= u64::from(b) << (8 * i);
+                    }
+                    out
+                }
+            };
         }
         let mut out = 0u64;
         for i in 0..n {
@@ -180,8 +191,15 @@ impl PagedMem {
         let off = (addr & OFFSET_MASK) as usize;
         if off + n as usize <= PAGE_SIZE as usize {
             let p = self.page_mut(addr);
-            for (i, b) in p[off..off + n as usize].iter_mut().enumerate() {
-                *b = (value >> (8 * i)) as u8;
+            match n {
+                1 => p[off] = value as u8,
+                4 => p[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+                8 => p[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+                _ => {
+                    for (i, b) in p[off..off + n as usize].iter_mut().enumerate() {
+                        *b = (value >> (8 * i)) as u8;
+                    }
+                }
             }
             return;
         }

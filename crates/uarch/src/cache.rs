@@ -101,6 +101,12 @@ impl CacheConfig {
 pub struct Cache {
     config: CacheConfig,
     sets: u32,
+    /// `log2(line)`: the geometry is validated power-of-two, so the access
+    /// path divides by shifting instead of paying a hardware `div` per
+    /// access (the same hoist the front end applies to its fetch window).
+    line_shift: u32,
+    /// `log2(sets)`, for the tag extraction.
+    set_shift: u32,
     /// `tags[set * ways + way]`: line tag. Meaningful only where the
     /// corresponding bit of `valid[set]` is set.
     tags: Vec<u32>,
@@ -109,6 +115,19 @@ pub struct Cache {
     /// LRU stamps parallel to `tags`.
     stamps: Vec<u64>,
     clock: u64,
+    /// Per-set MRU filter: `mru[set]` is the line number
+    /// (`addr >> line_shift`, widened; `u64::MAX` = none — a `u32` line
+    /// number can never equal it, so no sentinel aliasing) of the set's
+    /// most-recently-used way. An access to that line is *elided
+    /// entirely*: it would hit (the line is resident — the only eviction
+    /// path, the miss path, repoints the filter at the filled line), it
+    /// would charge nothing, and the stamp write it skips is
+    /// LRU-equivalent — the line's stamp is already the newest in its
+    /// set, only the *relative order* of stamps within a set is ever
+    /// compared (victim selection slices one set), stamps are unique so
+    /// there are no ties, and the clock values later accesses observe are
+    /// merely shifted, preserving that order.
+    mru: Vec<u64>,
 }
 
 impl Cache {
@@ -123,10 +142,13 @@ impl Cache {
         Ok(Cache {
             config,
             sets,
+            line_shift: config.line.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
             tags: vec![0; entries],
             valid: vec![0; sets as usize],
             stamps: vec![0; entries],
             clock: 0,
+            mru: vec![u64::MAX; sets as usize],
         })
     }
 
@@ -151,20 +173,45 @@ impl Cache {
     #[must_use]
     #[inline]
     pub fn set_of(&self, addr: u32) -> u32 {
-        (addr / self.config.line) & (self.sets - 1)
+        (addr >> self.line_shift) & (self.sets - 1)
     }
 
     #[inline]
     fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.config.line / self.sets
+        addr >> (self.line_shift + self.set_shift)
     }
 
     /// Accesses the line containing `addr`, updating LRU state. Returns
     /// `true` on hit; on a miss the line is filled (evicting the LRU way).
-    #[inline]
+    ///
+    /// `inline(always)` so the MRU-elision check — the overwhelmingly
+    /// common outcome on the simulator's hot loop — costs a shift, a mask
+    /// and one compare at the call site; the way scan stays outlined.
+    #[inline(always)]
     pub fn access(&mut self, addr: u32) -> bool {
+        let line_no = addr >> self.line_shift;
+        let set = line_no & (self.sets - 1);
+        if u64::from(line_no) == self.mru[set as usize] {
+            return true;
+        }
+        self.access_scan(addr, line_no, set)
+    }
+
+    /// Read-only probe: is the line containing `addr` its set's MRU line?
+    /// `true` means [`Cache::access`] would hit and change nothing, so the
+    /// caller may elide the access entirely.
+    #[inline(always)]
+    #[must_use]
+    pub fn mru_hit(&self, addr: u32) -> bool {
+        let line_no = addr >> self.line_shift;
+        let set = line_no & (self.sets - 1);
+        u64::from(line_no) == self.mru[set as usize]
+    }
+
+    /// The way scan behind the MRU filter: LRU bookkeeping, and fill on
+    /// a miss.
+    fn access_scan(&mut self, addr: u32, line_no: u32, set: u32) -> bool {
         self.clock += 1;
-        let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let base = (set * self.config.ways) as usize;
         let ways = self.config.ways as usize;
@@ -174,6 +221,7 @@ impl Cache {
 
         if let Some(way) = (0..ways).find(|&w| valid >> w & 1 == 1 && set_tags[w] == tag) {
             self.stamps[base + way] = self.clock;
+            self.mru[set as usize] = u64::from(line_no);
             return true;
         }
         // Miss: evict LRU. Invalid ways carry stamp 0 and are always older
@@ -185,6 +233,7 @@ impl Cache {
         set_tags[victim] = tag;
         self.valid[set as usize] = valid | 1 << victim;
         self.stamps[base + victim] = self.clock;
+        self.mru[set as usize] = u64::from(line_no);
         false
     }
 
@@ -193,6 +242,7 @@ impl Cache {
         self.valid.fill(0);
         self.stamps.fill(0);
         self.clock = 0;
+        self.mru.fill(u64::MAX);
     }
 }
 

@@ -21,15 +21,23 @@ use crate::tlb::{Tlb, TlbConfig};
 pub struct MemSystem {
     dtlb: Tlb,
     l1d: Cache,
-    /// (retired-instruction index, bank, line) of the last two data
-    /// accesses, for the bank-conflict model. Deliberately *not* reset per
-    /// run: like cache contents, it is machine state that persists across
-    /// warm repetitions and clears on [`MemSystem::flush`].
-    last_access: [Option<(u64, u32, u32)>; 2],
+    /// Bank-conflict model state for the last two data accesses (youngest
+    /// first): `last_key` packs `(bank << 32) | line` so "same bank,
+    /// different line" is two tests on one xor (`x >> 32 == 0 && x != 0`),
+    /// and `last_idx` holds the retired-instruction index. `u64::MAX` is
+    /// the "empty" key: its bank field `0xFFFF_FFFF` exceeds any real bank
+    /// (`< banks ≤ 2^31`), so it can never compare equal. Deliberately
+    /// *not* reset per run: like cache contents, it is machine state that
+    /// persists across warm repetitions and clears on [`MemSystem::flush`].
+    last_key: [u64; 2],
+    last_idx: [u64; 2],
     dtlb_penalty: u64,
     /// Load-use latency charged on an L1D load hit.
     load_use: u64,
     line: u32,
+    /// `log2(line)`: validated power-of-two, so the line/bank arithmetic
+    /// on the access path shifts instead of dividing.
+    line_shift: u32,
     banks: u32,
     bank_window: u64,
     bank_conflict_penalty: u64,
@@ -67,13 +75,15 @@ impl MemSystem {
             dtlb_penalty: u64::from(p.dtlb.miss_penalty),
             load_use: u64::from(p.l1d.hit_latency.saturating_sub(1)),
             line: p.l1d.line,
+            line_shift: p.l1d.line.trailing_zeros(),
             banks: p.banks,
             bank_window: u64::from(p.bank_window),
             bank_conflict_penalty: u64::from(p.bank_conflict_penalty),
             next_line_prefetch: p.next_line_prefetch,
             dtlb: Tlb::new(p.dtlb),
             l1d: Cache::new(p.l1d),
-            last_access: [None, None],
+            last_key: [u64::MAX; 2],
+            last_idx: [0; 2],
         }
     }
 
@@ -96,26 +106,83 @@ impl MemSystem {
         inst_index: u64,
         l2: &mut L2Port<'_>,
     ) {
+        if !self.access_fast(c, addr, size, is_store, inst_index) {
+            self.access_lines(c, addr, size, is_store, l2);
+        }
+    }
+
+    /// The port minus the L2: bank model plus the fused single-line fast
+    /// path, which never refills and so never needs an [`L2Port`].
+    /// Returns `true` if the access was fully accounted; on `false` the
+    /// caller must finish it with [`MemSystem::access_lines`], which is
+    /// when an L2 borrow is actually required. Splitting the port this
+    /// way keeps port construction off the executors' hot path.
+    #[inline(always)]
+    #[must_use = "a false return means the access is not yet charged"]
+    pub fn access_fast(
+        &mut self,
+        c: &mut Counters,
+        addr: u32,
+        size: u32,
+        is_store: bool,
+        inst_index: u64,
+    ) -> bool {
         if self.banks > 1 {
             let bank = (addr / 8) & (self.banks - 1);
-            let line_no = addr / self.line;
-            for prev in self.last_access.into_iter().flatten() {
-                let (prev_idx, prev_bank, prev_line) = prev;
-                if inst_index.saturating_sub(prev_idx) <= self.bank_window
-                    && prev_bank == bank
-                    && prev_line != line_no
-                {
-                    c.bank_conflicts += 1;
-                    c.cycles += self.bank_conflict_penalty;
-                    c.stall_memory += self.bank_conflict_penalty;
-                    break;
-                }
+            let line_no = addr >> self.line_shift;
+            let key = (u64::from(bank) << 32) | u64::from(line_no);
+            // Evaluate both hazards unconditionally (a handful of ALU ops;
+            // the empty sentinel can never match a real bank) and branch
+            // once. At most one conflict is charged per access, as before.
+            let x0 = self.last_key[0] ^ key;
+            let x1 = self.last_key[1] ^ key;
+            let h0 = x0 != 0
+                && x0 >> 32 == 0
+                && inst_index.saturating_sub(self.last_idx[0]) <= self.bank_window;
+            let h1 = x1 != 0
+                && x1 >> 32 == 0
+                && inst_index.saturating_sub(self.last_idx[1]) <= self.bank_window;
+            if h0 | h1 {
+                c.bank_conflicts += 1;
+                c.cycles += self.bank_conflict_penalty;
+                c.stall_memory += self.bank_conflict_penalty;
             }
-            self.last_access = [Some((inst_index, bank, line_no)), self.last_access[0]];
+            self.last_key = [key, self.last_key[0]];
+            self.last_idx = [inst_index, self.last_idx[0]];
         }
-        let line = self.line;
-        let first_line = addr / line;
-        let last_line = (addr + size - 1) / line;
+        let shift = self.line_shift;
+        let end = addr + size - 1;
+        if end >> shift == addr >> shift
+            && end / PAGE_SIZE == addr / PAGE_SIZE
+            && self.dtlb.mru_hit(addr)
+            && self.l1d.mru_hit(addr)
+        {
+            // Fused fast path: the access stays in one line and one page
+            // (no split counters move) and both the D-TLB and L1D would
+            // hit their set's MRU entry without changing state. Only the
+            // counters an in-line hit moves are touched.
+            c.l1d_accesses += 1;
+            if !is_store {
+                c.cycles += self.load_use;
+                c.stall_memory += self.load_use;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// The general multi-line walk behind the fused fast path.
+    pub fn access_lines(
+        &mut self,
+        c: &mut Counters,
+        addr: u32,
+        size: u32,
+        is_store: bool,
+        l2: &mut L2Port<'_>,
+    ) {
+        let shift = self.line_shift;
+        let first_line = addr >> shift;
+        let last_line = (addr + size - 1) >> shift;
         if last_line != first_line {
             c.line_splits += 1;
         }
@@ -125,7 +192,7 @@ impl MemSystem {
         let mut a = addr;
         loop {
             self.one_line(c, a, is_store, l2);
-            let next = (a / line + 1) * line;
+            let next = ((a >> shift) + 1) << shift;
             if next > addr + size - 1 {
                 break;
             }
@@ -155,7 +222,7 @@ impl MemSystem {
             if self.next_line_prefetch {
                 // Fill the next line too (and train L2); the prefetch is
                 // off the critical path, so no demand latency is charged.
-                let next = addr.wrapping_add(self.line) / self.line * self.line;
+                let next = (addr.wrapping_add(self.line) >> self.line_shift) << self.line_shift;
                 let _ = self.l1d.access(next);
                 l2.touch(next);
             }
@@ -166,7 +233,8 @@ impl MemSystem {
     pub fn flush(&mut self) {
         self.dtlb.flush();
         self.l1d.flush();
-        self.last_access = [None, None];
+        self.last_key = [u64::MAX; 2];
+        self.last_idx = [0; 2];
     }
 }
 

@@ -8,6 +8,8 @@
 //! event kernel it is registered as a (demand-driven, never self-ticking)
 //! [`Component`].
 
+use biaslab_toolchain::layout::PAGE_SIZE;
+
 use crate::branch::{BranchConfig, BranchPredictor};
 use crate::cache::{Cache, CacheConfig};
 use crate::counters::Counters;
@@ -24,6 +26,20 @@ pub struct FrontEnd {
     /// The fetch window the previous instruction came from; crossing into
     /// a new window is what costs a fetch. Reset per run.
     last_window: u32,
+    /// `log2(l1i line)`, for the repeat-line filter below.
+    line_shift: u32,
+    /// The I-cache line of the last charged fetch (`u64::MAX` = none). A
+    /// window crossing that stays inside this line skips the I-cache
+    /// lookup entirely: the line is resident (it just hit or filled, and
+    /// nothing else touches the L1I), so the lookup would hit, and
+    /// skipping a repeat hit is LRU-equivalent — the skipped stamp was
+    /// already the newest in its set and only the relative order of
+    /// stamps is ever compared. Counters are unchanged: a repeat hit
+    /// charges nothing.
+    last_line: u64,
+    /// The page of the last charged fetch (`u64::MAX` = none); the same
+    /// elision argument applied to the I-TLB.
+    last_page: u64,
     itlb_penalty: u64,
     mispredict_penalty: u64,
     btb_miss_penalty: u64,
@@ -43,9 +59,12 @@ impl FrontEnd {
             mispredict_penalty: u64::from(branch.mispredict_penalty),
             btb_miss_penalty: u64::from(branch.btb_miss_penalty),
             itlb: Tlb::new(itlb),
+            line_shift: l1i.line.trailing_zeros(),
             l1i: Cache::new(l1i),
             bp: BranchPredictor::new(branch),
             last_window: u32::MAX,
+            last_line: u64::MAX,
+            last_page: u64::MAX,
         }
     }
 
@@ -60,16 +79,37 @@ impl FrontEnd {
     /// Port: fetch the instruction at `pc` in fetch window `window`,
     /// charging I-TLB and I-cache/L2 stalls when execution crosses into a
     /// new window.
-    #[inline]
+    ///
+    /// `inline(always)` keeps the two filters — same window, and same
+    /// line + page as the last charged fetch — at the call site; the
+    /// lookups behind them stay outlined in [`FrontEnd::fetch_cold`].
+    #[inline(always)]
     pub fn fetch(&mut self, pc: u32, window: u32, l2: &mut L2Port<'_>, c: &mut Counters) {
-        if window != self.last_window {
-            self.last_window = window;
-            c.fetches += 1;
+        if window == self.last_window {
+            return;
+        }
+        self.last_window = window;
+        c.fetches += 1;
+        let page = u64::from(pc / PAGE_SIZE);
+        let line = u64::from(pc >> self.line_shift);
+        if page == self.last_page && line == self.last_line {
+            return;
+        }
+        self.fetch_cold(pc, page, line, l2, c);
+    }
+
+    /// The I-TLB/I-cache lookups behind the repeat-line/page filters.
+    fn fetch_cold(&mut self, pc: u32, page: u64, line: u64, l2: &mut L2Port<'_>, c: &mut Counters) {
+        if page != self.last_page {
+            self.last_page = page;
             if !self.itlb.access(pc) {
                 c.itlb_misses += 1;
                 c.cycles += self.itlb_penalty;
                 c.stall_frontend += self.itlb_penalty;
             }
+        }
+        if line != self.last_line {
+            self.last_line = line;
             if !self.l1i.access(pc) {
                 c.l1i_misses += 1;
                 let stall = l2.refill(pc, c);
@@ -126,6 +166,8 @@ impl FrontEnd {
         self.l1i.flush();
         self.bp.flush();
         self.last_window = u32::MAX;
+        self.last_line = u64::MAX;
+        self.last_page = u64::MAX;
     }
 }
 

@@ -27,31 +27,45 @@ pub struct ComponentId(pub u32);
 /// Which execution path [`crate::Machine::run`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelMode {
-    /// Collapse single-active-component configurations to direct dispatch
-    /// (the fast path), fall back to the event scheduler otherwise. This is
-    /// the default; the `BIASLAB_KERNEL` environment variable
-    /// (`event`/`collapsed`) overrides it process-wide.
+    /// Pick the fastest path that is exact for the configuration:
+    /// single-active-component graphs — all three paper machines — get
+    /// block-at-a-time dispatch ([`KernelMode::Block`]), anything
+    /// multi-chain falls back to the event scheduler. This is the
+    /// default; the `BIASLAB_EXEC` (preferred) or `BIASLAB_KERNEL`
+    /// environment variable (`block`/`collapsed`/`event`) overrides it
+    /// process-wide.
     #[default]
     Auto,
-    /// Always use the collapsed direct-dispatch loop.
+    /// Always use the collapsed per-instruction direct-dispatch loop (the
+    /// pre-block-cache fast path, kept as a differential reference).
     Collapsed,
     /// Always drive execution through the event scheduler, even for a
     /// single-component chain. Slower, but exercises exactly the ordering
     /// the multi-component configurations rely on; the differential tests
     /// assert it produces bit-identical counters.
     Event,
+    /// Always use basic-block dispatch through the decoded trace cache
+    /// ([`crate::block::BlockCache`]): blocks decode once and replay
+    /// precomputed summaries at block edges, with bit-identical counters
+    /// (pinned by `tests/block_differential.rs` and the golden rows).
+    Block,
 }
 
 impl KernelMode {
-    /// The process-wide mode from `BIASLAB_KERNEL`, read once. Unset or
-    /// unrecognized values mean [`KernelMode::Auto`].
+    /// The process-wide mode from `BIASLAB_EXEC` (or, failing that,
+    /// `BIASLAB_KERNEL`), read once. Unset or unrecognized values mean
+    /// [`KernelMode::Auto`].
     #[must_use]
     pub fn from_env() -> KernelMode {
         static MODE: std::sync::OnceLock<KernelMode> = std::sync::OnceLock::new();
-        *MODE.get_or_init(|| match std::env::var("BIASLAB_KERNEL").as_deref() {
-            Ok("event") => KernelMode::Event,
-            Ok("collapsed") | Ok("fast") => KernelMode::Collapsed,
-            _ => KernelMode::Auto,
+        *MODE.get_or_init(|| {
+            let var = std::env::var("BIASLAB_EXEC").or_else(|_| std::env::var("BIASLAB_KERNEL"));
+            match var.as_deref() {
+                Ok("event") => KernelMode::Event,
+                Ok("collapsed") | Ok("fast") => KernelMode::Collapsed,
+                Ok("block") => KernelMode::Block,
+                _ => KernelMode::Auto,
+            }
         })
     }
 }

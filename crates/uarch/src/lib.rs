@@ -22,11 +22,13 @@
 //! component ([`front::FrontEnd`]) and a memory-hierarchy component
 //! ([`dmem::MemSystem`]) over explicit ports ([`ports`]), with a shared
 //! unified L2 between them. Single-active-chain configurations — all
-//! three paper machines — collapse to direct dispatch
-//! ([`KernelMode::Auto`]), so the fast path pays nothing for the
-//! generality; [`KernelMode::Event`] drives the same graph through the
-//! min-heap scheduler, and differential tests pin both paths to
-//! bit-identical counters.
+//! three paper machines — dispatch whole basic blocks through a decoded
+//! trace cache ([`block::BlockCache`], [`KernelMode::Auto`] →
+//! [`KernelMode::Block`]), so the fast path pays nothing for the
+//! generality; [`KernelMode::Collapsed`] keeps the per-instruction
+//! direct-dispatch loop as a reference, [`KernelMode::Event`] drives the
+//! same graph through the min-heap scheduler, and differential tests pin
+//! all three paths to bit-identical counters.
 //!
 //! # Examples
 //!
@@ -53,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod branch;
 pub mod cache;
 pub mod counters;
@@ -65,6 +68,7 @@ pub mod ports;
 pub mod profile;
 pub mod tlb;
 
+pub use block::{BlockCache, BlockCacheStats, DecodedBlock};
 pub use counters::Counters;
 pub use geometry::{ConfigError, GeometryError};
 pub use kernel::{ClockDivider, Component, ComponentId, EventScheduler, KernelMode};

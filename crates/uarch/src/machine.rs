@@ -30,6 +30,7 @@ use biaslab_toolchain::link::Executable;
 use biaslab_toolchain::load::Process;
 use serde::{Deserialize, Serialize};
 
+use crate::block::{BlockCache, BlockCacheStats, BlockEnd, DecodeParams, UopKind, REG_SLOTS};
 use crate::branch::BranchConfig;
 use crate::cache::{Cache, CacheConfig};
 use crate::counters::Counters;
@@ -381,11 +382,10 @@ impl std::error::Error for RunError {}
 /// [`MachineConfig`], so precomputing it cannot change any counter.
 #[derive(Debug, Clone, Copy)]
 struct HotConfig {
-    fetch_bytes: u32,
-    /// `log2(fetch_bytes)` when the window size is a power of two (every
-    /// validated config), letting the per-instruction window computation
-    /// be a shift; `None` falls back to the division.
-    fetch_shift: Option<u32>,
+    /// `log2(fetch_bytes)`: validation rejects non-power-of-two fetch
+    /// windows, so the per-instruction window computation is always a
+    /// shift — no per-access `Option` check survives in the run loop.
+    fetch_shift: u32,
     /// `stall(l2.hit_latency)`: an L1 miss that hits in L2.
     stall_l2_hit: u64,
     /// `stall(l2.hit_latency + memory_latency)`: a miss to memory.
@@ -398,12 +398,12 @@ struct HotConfig {
 impl HotConfig {
     fn of(config: &MachineConfig) -> HotConfig {
         let stall = |raw: u32| ((f64::from(raw)) * (1.0 - config.overlap)).round() as u64;
+        debug_assert!(
+            config.fetch_bytes.is_power_of_two(),
+            "validate() rejects non-power-of-two fetch windows"
+        );
         HotConfig {
-            fetch_bytes: config.fetch_bytes,
-            fetch_shift: config
-                .fetch_bytes
-                .is_power_of_two()
-                .then(|| config.fetch_bytes.trailing_zeros()),
+            fetch_shift: config.fetch_bytes.trailing_zeros(),
             stall_l2_hit: stall(config.l2.hit_latency),
             stall_l2_miss: stall(config.l2.hit_latency + config.memory_latency),
             mul_extra: u64::from(config.mul_latency),
@@ -522,6 +522,10 @@ pub struct Machine {
     /// The shared unified L2, reached from both sides through
     /// [`L2Port`]s.
     l2: Cache,
+    /// Decoded basic blocks for the block-dispatch path. Decode state,
+    /// not timing state: [`Machine::reset`] keeps it, and it invalidates
+    /// wholesale when the image generation changes.
+    blocks: BlockCache,
     kernel: KernelMode,
 }
 
@@ -551,6 +555,7 @@ impl Machine {
                 next_line_prefetch: config.l1d_next_line_prefetch,
             }),
             l2: Cache::new(config.l2),
+            blocks: BlockCache::new(),
             kernel: KernelMode::from_env(),
             config,
         })
@@ -594,15 +599,16 @@ impl Machine {
         self.kernel
     }
 
-    /// The kernel path this machine will actually run: Auto collapses to
-    /// direct dispatch exactly when the component graph is a single
-    /// active chain (no non-core component self-schedules).
+    /// The kernel path this machine will actually run: Auto picks
+    /// block-at-a-time dispatch (the fastest single-chain path) exactly
+    /// when the component graph is a single active chain (no non-core
+    /// component self-schedules), and the event scheduler otherwise.
     #[must_use]
     pub fn effective_kernel(&self) -> KernelMode {
         match self.kernel {
             KernelMode::Auto => {
                 if self.front.next_tick().is_none() && self.dmem.next_tick().is_none() {
-                    KernelMode::Collapsed
+                    KernelMode::Block
                 } else {
                     KernelMode::Event
                 }
@@ -611,7 +617,23 @@ impl Machine {
         }
     }
 
-    /// Returns all microarchitectural state to cold.
+    /// Lifetime hit/miss/invalidation counts of the basic-block trace
+    /// cache (all zero unless a run used [`KernelMode::Block`]).
+    #[must_use]
+    pub fn block_stats(&self) -> BlockCacheStats {
+        self.blocks.stats()
+    }
+
+    /// Number of decoded basic blocks currently live.
+    #[must_use]
+    pub fn blocks_live(&self) -> usize {
+        self.blocks.blocks_live()
+    }
+
+    /// Returns all microarchitectural state to cold. The decoded-block
+    /// cache survives: it holds decode results, not timing state, so
+    /// keeping it cannot change any counter (the warm-repetition
+    /// differential test pins this).
     pub fn reset(&mut self) {
         self.front.flush();
         self.dmem.flush();
@@ -666,9 +688,14 @@ impl Machine {
                     None => self.run_loop::<false, _>(exe, process, None, &mut driver),
                 }
             }
-            _ => match attr {
+            KernelMode::Collapsed => match attr {
                 Some(a) => self.run_loop::<true, _>(exe, process, Some(a), &mut DirectDispatch),
                 None => self.run_loop::<false, _>(exe, process, None, &mut DirectDispatch),
+            },
+            // `effective_kernel` never returns Auto.
+            KernelMode::Block | KernelMode::Auto => match attr {
+                Some(a) => self.run_blocks::<true>(exe, process, Some(a)),
+                None => self.run_blocks::<false>(exe, process, None),
             },
         }
     }
@@ -760,11 +787,7 @@ impl Machine {
             };
 
             // --- front end (port) ------------------------------------------
-            let window = match hot.fetch_shift {
-                Some(shift) => pc >> shift,
-                None => pc / hot.fetch_bytes,
-            };
-            front.fetch(pc, window, &mut l2_port!(), &mut c);
+            front.fetch(pc, pc >> hot.fetch_shift, &mut l2_port!(), &mut c);
 
             c.instructions += 1;
             c.cycles += 1;
@@ -860,6 +883,463 @@ impl Machine {
                 Inst::Nop => {}
             }
             pc = next_pc;
+        }
+    }
+
+    /// The block-at-a-time path ([`KernelMode::Block`]): decode each basic
+    /// block once into the [`BlockCache`], then dispatch whole blocks.
+    ///
+    /// Bit-identity argument, piece by piece:
+    ///
+    /// * **Static counter sums** (`instructions`, base `cycles`, ALU
+    ///   extras, `loads`/`stores`) are accumulated at block entry instead
+    ///   of per instruction. Every counter is an order-independent sum and
+    ///   nothing on this path reads an intermediate value, so hoisting is
+    ///   an exact algebraic rewrite. (Profiled runs *do* read intermediate
+    ///   cycles, so under `PROFILE` the statics stay per-instruction.)
+    /// * **Fetch-window crossings** are precomputed per block but replayed
+    ///   at their exact instruction positions via a cursor, preserving the
+    ///   I-side/D-side interleaving into the shared (LRU-stateful) L2.
+    ///   Whether the entry crossing fires still depends on the front end's
+    ///   current window, exactly like the interpreted check.
+    /// * **Bank conflicts** read the retired-instruction index; the
+    ///   hoisted path reconstructs the interpreted value as
+    ///   `entry_instructions + i + 1`.
+    /// * **Budget**: a block that would cross `max_instructions` falls
+    ///   back to per-instruction execution with the interpreted check
+    ///   order, so the error fires at the same instruction and leaves
+    ///   identical warm state behind.
+    /// * **Profile attribution** accrues one span per block (the entry
+    ///   bucket covers the whole block because decode cuts at function
+    ///   symbols); the deltas telescope to the per-instruction sums, with
+    ///   the final halt's own fetch excluded via a cycle snapshot, exactly
+    ///   as the interpreted attributor never records the halt.
+    fn run_blocks<const PROFILE: bool>(
+        &mut self,
+        exe: &Executable,
+        process: Process,
+        mut attr: Option<&mut crate::profile::Attributor>,
+    ) -> Result<RunResult, RunError> {
+        let mut c = Counters::default();
+        let mut mem = process.mem;
+        // The uop executor's register file: 32 architectural slots, the
+        // zero-write scratch slot, padded so masked indexing elides the
+        // bounds check. Slots >= 32 are never read.
+        let mut regs = [0u64; REG_SLOTS];
+        regs[Reg::SP.index() as usize] = u64::from(process.sp);
+        regs[Reg::GP.index() as usize] = u64::from(process.gp);
+        for (i, &a) in process.args.iter().enumerate() {
+            regs[1 + i] = a;
+        }
+        let mut pc = process.entry;
+        let mut checksum = 0u64;
+        // Current attribution span: (block entry pc, cycles at entry,
+        // block length); recorded when the next block is entered.
+        let mut span: Option<(u32, u64, u32)> = None;
+
+        let text = exe.text();
+        let text_base = exe.text_base();
+        let hot = self.hot;
+        let dp = DecodeParams {
+            text_base,
+            fetch_shift: hot.fetch_shift,
+            mul_extra: hot.mul_extra,
+            div_extra: hot.div_extra,
+        };
+        let Machine {
+            ref mut front,
+            ref mut dmem,
+            ref mut l2,
+            ref mut blocks,
+            ..
+        } = *self;
+        blocks.sync(
+            exe.image_generation(),
+            text_base,
+            text.len(),
+            exe.symbols().iter().map(|s| s.addr),
+        );
+        front.begin_run();
+
+        macro_rules! rd {
+            ($r:expr) => {
+                regs[$r.index() as usize]
+            };
+        }
+        macro_rules! wr {
+            ($r:expr, $v:expr) => {
+                if !$r.is_zero() {
+                    regs[$r.index() as usize] = $v;
+                }
+            };
+        }
+        macro_rules! l2_port {
+            () => {
+                L2Port::new(l2, hot.stall_l2_hit, hot.stall_l2_miss)
+            };
+        }
+        // One body (non-terminator) instruction. `$hoisted` is a literal:
+        // `true` compiles the static counter bumps away (they were applied
+        // at block entry) and reconstructs the retired-instruction index
+        // from `$base + $i`; `false` is the interpreted per-instruction
+        // accounting.
+        macro_rules! body_inst {
+            ($inst:expr, $i:expr, $base:expr, $hoisted:expr) => {{
+                if !$hoisted {
+                    c.instructions += 1;
+                    c.cycles += 1;
+                }
+                match $inst {
+                    Inst::Alu { op, rd, rs1, rs2 } => {
+                        wr!(rd, op.eval(rd!(rs1), rd!(rs2)));
+                        if !$hoisted {
+                            let extra = hot.alu_extra(op);
+                            c.cycles += extra;
+                            c.stall_compute += extra;
+                        }
+                    }
+                    Inst::AluImm { op, rd, rs1, imm } => {
+                        wr!(rd, op.eval(rd!(rs1), op.extend_imm(imm)));
+                        if !$hoisted {
+                            let extra = hot.alu_extra(op);
+                            c.cycles += extra;
+                            c.stall_compute += extra;
+                        }
+                    }
+                    Inst::Lui { rd, imm } => wr!(rd, u64::from(imm) << 16),
+                    Inst::Load {
+                        width,
+                        rd,
+                        base,
+                        offset,
+                    } => {
+                        let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
+                        let idx = if $hoisted {
+                            $base + $i as u64 + 1
+                        } else {
+                            c.loads += 1;
+                            c.instructions
+                        };
+                        dmem.access(&mut c, addr, width.bytes(), false, idx, &mut l2_port!());
+                        wr!(rd, mem.read_le(addr, width.bytes()));
+                    }
+                    Inst::Store {
+                        width,
+                        rs,
+                        base,
+                        offset,
+                    } => {
+                        let addr = (rd!(base) as u32).wrapping_add(offset as i32 as u32);
+                        let idx = if $hoisted {
+                            $base + $i as u64 + 1
+                        } else {
+                            c.stores += 1;
+                            c.instructions
+                        };
+                        dmem.access(&mut c, addr, width.bytes(), true, idx, &mut l2_port!());
+                        mem.write_le(addr, width.bytes(), rd!(rs));
+                    }
+                    Inst::Chk { rs } => checksum = checksum_fold(checksum, rd!(rs)),
+                    Inst::Nop => {}
+                    // Decode terminates blocks at control transfers, so
+                    // none can appear in a body.
+                    Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Halt => {
+                        unreachable!("control instruction in block body")
+                    }
+                }
+            }};
+        }
+
+        loop {
+            // Same check order as the interpreted loop's block-entry
+            // instruction: budget, then pc alignment/bounds.
+            if c.instructions >= hot.max_instructions {
+                return Err(RunError::Budget(hot.max_instructions));
+            }
+            let word = pc.wrapping_sub(text_base);
+            if word & 3 != 0 {
+                return Err(RunError::InvalidPc(pc));
+            }
+            let wi = word >> 2;
+            if wi as usize >= text.len() {
+                return Err(RunError::InvalidPc(pc));
+            }
+            let b = blocks.get_or_decode(wi, text, &dp);
+            if PROFILE {
+                if let Some(a) = attr.as_deref_mut() {
+                    if let Some((span_pc, span_cycles, span_len)) = span {
+                        a.record_span(span_pc, c.cycles - span_cycles, u64::from(span_len));
+                    }
+                    span = Some((pc, c.cycles, b.len));
+                }
+            }
+            let inst_base = c.instructions;
+            if inst_base + u64::from(b.len) > hot.max_instructions {
+                // The budget expires inside this block: execute it per
+                // instruction with the interpreted check order. The budget
+                // trips before the terminator can execute (base + len >
+                // max implies the check fails at index max - base < len),
+                // so this path always errors — but the instructions before
+                // the trip point must run in full, leaving warm machine
+                // state identical to the interpreted path's.
+                let body = &text[b.word as usize..(b.word + b.body_len) as usize];
+                let mut fi = 0usize;
+                for (i, &inst) in body.iter().enumerate() {
+                    if c.instructions >= hot.max_instructions {
+                        return Err(RunError::Budget(hot.max_instructions));
+                    }
+                    if fi < b.fetches.len() && b.fetches[fi].idx == i as u32 {
+                        let f = b.fetches[fi];
+                        front.fetch(f.pc, f.window, &mut l2_port!(), &mut c);
+                        fi += 1;
+                    }
+                    body_inst!(inst, i, inst_base, false);
+                }
+                return Err(RunError::Budget(hot.max_instructions));
+            }
+            if !PROFILE {
+                // Replay the block's static summary in one step; see the
+                // method docs for why this is exact.
+                c.instructions += u64::from(b.len);
+                c.cycles += u64::from(b.len) + b.extra_cycles;
+                c.stall_compute += b.extra_cycles;
+                c.loads += u64::from(b.loads);
+                c.stores += u64::from(b.stores);
+            }
+
+            let fetches = &b.fetches[..];
+            let mut fi = 0usize;
+            if PROFILE {
+                // Profiled runs read intermediate cycles per instruction,
+                // so they execute the raw text with full accounting.
+                // A block always has a fetch point at index 0 (whether it
+                // fires is the front end's same-window check).
+                let mut next_fetch = fetches[0].idx;
+                let body = &text[b.word as usize..(b.word + b.body_len) as usize];
+                for (i, &inst) in body.iter().enumerate() {
+                    if i as u32 == next_fetch {
+                        let f = fetches[fi];
+                        front.fetch(f.pc, f.window, &mut l2_port!(), &mut c);
+                        fi += 1;
+                        next_fetch = fetches.get(fi).map_or(u32::MAX, |f| f.idx);
+                    }
+                    body_inst!(inst, i, inst_base, false);
+                }
+            } else {
+                // The uop fast path: one fused match per body instruction,
+                // unconditional destination writes (decode remapped `ZERO`
+                // to the scratch slot), immediates pre-extended. Each ALU
+                // arm mirrors `AluOp::eval` exactly; `body_uops_match_text`
+                // and the kernel differential tests pin the equivalence.
+                macro_rules! a {
+                    ($u:expr) => {
+                        regs[$u.rs1 as usize & (REG_SLOTS - 1)]
+                    };
+                }
+                macro_rules! b {
+                    ($u:expr) => {
+                        regs[$u.rs2 as usize & (REG_SLOTS - 1)]
+                    };
+                }
+                macro_rules! set {
+                    ($u:expr, $v:expr) => {
+                        regs[$u.rd as usize & (REG_SLOTS - 1)] = $v
+                    };
+                }
+                // Walk the body a fetch segment at a time: fire the
+                // segment's window crossing once, then run its uops in a
+                // tight inner loop with no per-instruction fetch test.
+                // Order is unchanged — a fetch point at index `idx` fires
+                // immediately before the instruction at `idx`, exactly as
+                // the interpreted loop interleaves them. A fetch point at
+                // `body_len` belongs to the terminator and fires after.
+                let uops = &b.uops[..];
+                while fi < fetches.len() {
+                    let f = fetches[fi];
+                    let seg_start = f.idx as usize;
+                    if seg_start >= uops.len() {
+                        break;
+                    }
+                    front.fetch(f.pc, f.window, &mut l2_port!(), &mut c);
+                    fi += 1;
+                    let seg_end = fetches.get(fi).map_or(uops.len(), |n| n.idx as usize);
+                    for (k, u) in uops[seg_start..seg_end].iter().enumerate() {
+                        let i = seg_start + k;
+                        match u.kind {
+                            UopKind::Add => set!(u, a!(u).wrapping_add(b!(u))),
+                            UopKind::Sub => set!(u, a!(u).wrapping_sub(b!(u))),
+                            UopKind::Mul => set!(u, a!(u).wrapping_mul(b!(u))),
+                            UopKind::Div => {
+                                let d = b!(u);
+                                set!(
+                                    u,
+                                    if d == 0 {
+                                        u64::MAX
+                                    } else {
+                                        (a!(u) as i64).wrapping_div(d as i64) as u64
+                                    }
+                                );
+                            }
+                            UopKind::Rem => {
+                                let d = b!(u);
+                                set!(
+                                    u,
+                                    if d == 0 {
+                                        a!(u)
+                                    } else {
+                                        (a!(u) as i64).wrapping_rem(d as i64) as u64
+                                    }
+                                );
+                            }
+                            UopKind::And => set!(u, a!(u) & b!(u)),
+                            UopKind::Or => set!(u, a!(u) | b!(u)),
+                            UopKind::Xor => set!(u, a!(u) ^ b!(u)),
+                            UopKind::Sll => set!(u, a!(u).wrapping_shl(b!(u) as u32 & 63)),
+                            UopKind::Srl => set!(u, a!(u).wrapping_shr(b!(u) as u32 & 63)),
+                            UopKind::Sra => {
+                                set!(u, (a!(u) as i64).wrapping_shr(b!(u) as u32 & 63) as u64);
+                            }
+                            UopKind::Slt => set!(u, u64::from((a!(u) as i64) < (b!(u) as i64))),
+                            UopKind::Sltu => set!(u, u64::from(a!(u) < b!(u))),
+                            UopKind::Seq => set!(u, u64::from(a!(u) == b!(u))),
+                            UopKind::Sne => set!(u, u64::from(a!(u) != b!(u))),
+                            UopKind::AddI => set!(u, a!(u).wrapping_add(u.imm)),
+                            UopKind::SubI => set!(u, a!(u).wrapping_sub(u.imm)),
+                            UopKind::MulI => set!(u, a!(u).wrapping_mul(u.imm)),
+                            UopKind::DivI => {
+                                set!(
+                                    u,
+                                    if u.imm == 0 {
+                                        u64::MAX
+                                    } else {
+                                        (a!(u) as i64).wrapping_div(u.imm as i64) as u64
+                                    }
+                                );
+                            }
+                            UopKind::RemI => {
+                                set!(
+                                    u,
+                                    if u.imm == 0 {
+                                        a!(u)
+                                    } else {
+                                        (a!(u) as i64).wrapping_rem(u.imm as i64) as u64
+                                    }
+                                );
+                            }
+                            UopKind::AndI => set!(u, a!(u) & u.imm),
+                            UopKind::OrI => set!(u, a!(u) | u.imm),
+                            UopKind::XorI => set!(u, a!(u) ^ u.imm),
+                            UopKind::SllI => set!(u, a!(u).wrapping_shl(u.imm as u32 & 63)),
+                            UopKind::SrlI => set!(u, a!(u).wrapping_shr(u.imm as u32 & 63)),
+                            UopKind::SraI => {
+                                set!(u, (a!(u) as i64).wrapping_shr(u.imm as u32 & 63) as u64);
+                            }
+                            UopKind::SltI => set!(u, u64::from((a!(u) as i64) < (u.imm as i64))),
+                            UopKind::SltuI => set!(u, u64::from(a!(u) < u.imm)),
+                            UopKind::SeqI => set!(u, u64::from(a!(u) == u.imm)),
+                            UopKind::SneI => set!(u, u64::from(a!(u) != u.imm)),
+                            UopKind::Lui => set!(u, u.imm),
+                            UopKind::Load => {
+                                let addr = (a!(u) as u32).wrapping_add(u.imm as u32);
+                                let idx = inst_base + i as u64 + 1;
+                                let width = u32::from(u.width);
+                                if !dmem.access_fast(&mut c, addr, width, false, idx) {
+                                    dmem.access_lines(&mut c, addr, width, false, &mut l2_port!());
+                                }
+                                set!(u, mem.read_le(addr, width));
+                            }
+                            UopKind::Store => {
+                                let addr = (a!(u) as u32).wrapping_add(u.imm as u32);
+                                let idx = inst_base + i as u64 + 1;
+                                let width = u32::from(u.width);
+                                if !dmem.access_fast(&mut c, addr, width, true, idx) {
+                                    dmem.access_lines(&mut c, addr, width, true, &mut l2_port!());
+                                }
+                                mem.write_le(addr, width, b!(u));
+                            }
+                            UopKind::Chk => checksum = checksum_fold(checksum, a!(u)),
+                            UopKind::Nop => {}
+                        }
+                    }
+                }
+            }
+
+            if b.body_len == b.len {
+                // Cut block (symbol boundary, length cap, end of text):
+                // no terminator, fall through.
+                pc = b.next_pc;
+                continue;
+            }
+            // Cycles at the terminator's top, before its fetch: the halt
+            // is never attributed, so its span ends here.
+            let cycles_at_term = if PROFILE { c.cycles } else { 0 };
+            if fi < fetches.len() {
+                let f = fetches[fi];
+                front.fetch(f.pc, f.window, &mut l2_port!(), &mut c);
+            }
+            if PROFILE {
+                c.instructions += 1;
+                c.cycles += 1;
+            }
+            match b.end {
+                BlockEnd::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    taken_target,
+                } => {
+                    c.branches += 1;
+                    let taken = cond.eval(rd!(rs1), rd!(rs2));
+                    front.branch_direction(b.term_pc, taken, &mut c);
+                    if taken {
+                        front.taken_transfer(b.term_pc, taken_target, &mut c);
+                        pc = taken_target;
+                    } else {
+                        pc = b.next_pc;
+                    }
+                }
+                BlockEnd::Jal { rd, target } => {
+                    if rd == Reg::RA {
+                        front.push_return(b.next_pc);
+                    }
+                    front.taken_transfer(b.term_pc, target, &mut c);
+                    wr!(rd, u64::from(b.next_pc));
+                    pc = target;
+                }
+                BlockEnd::Jalr { rd, rs1, offset } => {
+                    let target = (rd!(rs1) as u32).wrapping_add(offset as i32 as u32);
+                    if rd.is_zero() && rs1 == Reg::RA {
+                        // Return: predicted by the RAS.
+                        front.predict_return(target, &mut c);
+                    } else {
+                        if rd == Reg::RA {
+                            front.push_return(b.next_pc);
+                        }
+                        front.taken_transfer(b.term_pc, target, &mut c);
+                    }
+                    wr!(rd, u64::from(b.next_pc));
+                    pc = target;
+                }
+                BlockEnd::Halt => {
+                    if PROFILE {
+                        if let Some(a) = attr.as_deref_mut() {
+                            if let Some((span_pc, span_cycles, _)) = span {
+                                a.record_span(
+                                    span_pc,
+                                    cycles_at_term - span_cycles,
+                                    u64::from(b.body_len),
+                                );
+                            }
+                        }
+                    }
+                    return Ok(RunResult {
+                        counters: c,
+                        checksum,
+                        return_value: regs[1],
+                    });
+                }
+                BlockEnd::FallThrough => unreachable!("cut blocks have no terminator"),
+            }
         }
     }
 }
@@ -1056,9 +1536,9 @@ mod tests {
     }
 
     #[test]
-    fn auto_mode_collapses_a_single_active_chain() {
+    fn auto_mode_block_dispatches_a_single_active_chain() {
         let m = Machine::new(MachineConfig::core2());
-        assert_eq!(m.effective_kernel(), KernelMode::Collapsed);
+        assert_eq!(m.effective_kernel(), KernelMode::Block);
     }
 
     #[test]

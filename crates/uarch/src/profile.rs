@@ -132,6 +132,22 @@ impl Attributor {
         }
     }
 
+    /// Records a whole basic block's span in one call: `instructions`
+    /// retired and `cycles` elapsed, all charged to the bucket containing
+    /// `pc` (the block entry). Exactly equivalent to per-instruction
+    /// [`Attributor::record`] calls because block formation never crosses
+    /// a function-symbol start, so every pc in the block resolves to the
+    /// entry's bucket and the per-instruction deltas telescope.
+    pub(crate) fn record_span(&mut self, pc: u32, cycles: u64, instructions: u64) {
+        if instructions == 0 && cycles == 0 {
+            return;
+        }
+        if let Some(i) = self.lookup(pc) {
+            self.cycles[i] += cycles;
+            self.instructions[i] += instructions;
+        }
+    }
+
     fn lookup(&mut self, pc: u32) -> Option<usize> {
         let (s, e, _) = self.ranges.get(self.last)?;
         if *s <= pc && pc < *e {

@@ -92,6 +92,9 @@ impl TlbConfig {
 pub struct Tlb {
     config: TlbConfig,
     sets: u32,
+    /// `log2(sets)`: validated power-of-two, so the lookup extracts the
+    /// tag by shifting rather than a hardware `div` per access.
+    set_shift: u32,
     /// `tags[set * ways + way]`: page tag, meaningful only where the
     /// corresponding bit of `valid[set]` is set.
     tags: Vec<u32>,
@@ -99,6 +102,12 @@ pub struct Tlb {
     valid: Vec<u64>,
     stamps: Vec<u64>,
     clock: u64,
+    /// Per-set MRU filter: `mru[set]` is the page number of the set's
+    /// most-recently-used way (`u64::MAX` = none; a real page number fits
+    /// in 20 bits and can never alias). An access to that page is elided
+    /// entirely — see [`crate::cache::Cache`]'s equivalent field for the
+    /// LRU-equivalence argument.
+    mru: Vec<u64>,
 }
 
 impl Tlb {
@@ -113,10 +122,12 @@ impl Tlb {
         Ok(Tlb {
             config,
             sets,
+            set_shift: sets.trailing_zeros(),
             tags: vec![0; n],
             valid: vec![0; sets as usize],
             stamps: vec![0; n],
             clock: 0,
+            mru: vec![u64::MAX; sets as usize],
         })
     }
 
@@ -139,12 +150,34 @@ impl Tlb {
 
     /// Looks up the page containing `addr`. Returns `true` on hit; a miss
     /// installs the translation.
-    #[inline]
+    ///
+    /// `inline(always)` for the same reason as [`crate::cache::Cache::access`]:
+    /// the MRU elision is the common case and costs three ALU ops inline.
+    #[inline(always)]
     pub fn access(&mut self, addr: u32) -> bool {
-        self.clock += 1;
         let page = addr / PAGE_SIZE;
         let set = page & (self.sets - 1);
-        let tag = page / self.sets;
+        if u64::from(page) == self.mru[set as usize] {
+            return true;
+        }
+        self.access_scan(page, set)
+    }
+
+    /// Read-only probe: is the page containing `addr` its set's MRU entry?
+    /// `true` means [`Tlb::access`] would hit and change nothing, so the
+    /// caller may elide the access entirely.
+    #[inline(always)]
+    #[must_use]
+    pub fn mru_hit(&self, addr: u32) -> bool {
+        let page = addr / PAGE_SIZE;
+        let set = page & (self.sets - 1);
+        u64::from(page) == self.mru[set as usize]
+    }
+
+    /// The way scan behind the MRU filter.
+    fn access_scan(&mut self, page: u32, set: u32) -> bool {
+        self.clock += 1;
+        let tag = page >> self.set_shift;
         let base = (set * self.config.ways) as usize;
         let ways = self.config.ways as usize;
         let valid = self.valid[set as usize];
@@ -152,6 +185,7 @@ impl Tlb {
         let set_tags = &mut self.tags[base..base + ways];
         if let Some(way) = (0..ways).find(|&w| valid >> w & 1 == 1 && set_tags[w] == tag) {
             self.stamps[base + way] = self.clock;
+            self.mru[set as usize] = u64::from(page);
             return true;
         }
         // Invalid ways carry stamp 0, so they fill before any eviction.
@@ -162,6 +196,7 @@ impl Tlb {
         set_tags[victim] = tag;
         self.valid[set as usize] = valid | 1 << victim;
         self.stamps[base + victim] = self.clock;
+        self.mru[set as usize] = u64::from(page);
         false
     }
 
@@ -170,6 +205,7 @@ impl Tlb {
         self.valid.fill(0);
         self.stamps.fill(0);
         self.clock = 0;
+        self.mru.fill(u64::MAX);
     }
 }
 

@@ -38,7 +38,9 @@ cmp "$tmp/cold.txt" "$tmp/resumed.txt" \
     || { echo "FATAL: resumed stdout differs from cold stdout" >&2; exit 1; }
 
 echo "==> cargo bench --bench hotpath"
-bench_out="$(cargo bench -p biaslab-bench --bench hotpath 2>/dev/null | grep '^bench ' || true)"
+hotpath_out="$(cargo bench -p biaslab-bench --bench hotpath 2>/dev/null)"
+bench_out="$(grep '^bench ' <<<"${hotpath_out}" || true)"
+stat_out="$(grep '^stat ' <<<"${hotpath_out}" || true)"
 
 {
     echo "{"
@@ -53,6 +55,15 @@ bench_out="$(cargo bench -p biaslab-bench --bench hotpath 2>/dev/null | grep '^b
         first=0
         printf '    "%s": %s' "${id}" "${us}"
     done <<<"${bench_out}"
+    printf '\n  },\n'
+    echo "  \"block_cache\": {"
+    first=1
+    while read -r _ id val; do
+        [ -n "${id}" ] || continue
+        [ "${first}" -eq 1 ] || printf ',\n'
+        first=0
+        printf '    "%s": %s' "${id}" "${val}"
+    done <<<"${stat_out}"
     printf '\n  }\n'
     echo "}"
 } >"$OUT"

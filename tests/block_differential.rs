@@ -1,0 +1,151 @@
+//! Differential test for the basic-block dispatch path: block-at-a-time
+//! execution must produce bit-identical [`Counters`], checksums and
+//! profiles against both the interpreted collapsed path and the
+//! event-scheduled path, on every machine model, with and without
+//! attribution, across warm repetitions.
+//!
+//! The block cache hoists static counter sums to block entry, pre-decodes
+//! bodies to uops and replays fetch-window crossings from a precomputed
+//! table — every one of those rewrites is licensed only by this test: if
+//! any counter moves, the "optimization" is a measurement-bias generator.
+
+use biaslab_core::harness::Harness;
+use biaslab_toolchain::load::{Environment, Loader};
+use biaslab_toolchain::OptLevel;
+use biaslab_uarch::{KernelMode, Machine, MachineConfig, RunResult};
+use biaslab_workloads::{suite, InputSize};
+
+fn run_with(h: &Harness, machine: &MachineConfig, mode: KernelMode) -> RunResult {
+    let order: Vec<usize> = (0..h.object_names().len()).collect();
+    let exe = h
+        .executable(OptLevel::O2, &order, 0)
+        .unwrap_or_else(|e| panic!("{}: {e}", h.benchmark().name()));
+    let process = Loader::new()
+        .load(
+            &exe,
+            &Environment::new(),
+            h.benchmark().args(InputSize::Test),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", h.benchmark().name()));
+    let mut m = Machine::with_kernel(machine.clone(), mode);
+    assert_eq!(m.effective_kernel(), mode, "mode must pin the path");
+    m.run(&exe, process)
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", h.benchmark().name(), machine.name))
+}
+
+#[test]
+fn block_dispatch_reproduces_both_reference_kernels_bit_for_bit() {
+    // Every benchmark against a rotating machine model (the full 72-row
+    // cross product lives in the golden sweep, which runs the block path
+    // already): block vs collapsed vs event must agree exactly.
+    for (i, bench) in suite().into_iter().enumerate() {
+        let h = Harness::new(bench);
+        let machines = MachineConfig::all();
+        let machine = &machines[i % machines.len()];
+        let block = run_with(&h, machine, KernelMode::Block);
+        let interp = run_with(&h, machine, KernelMode::Collapsed);
+        assert_eq!(
+            block.counters,
+            interp.counters,
+            "{}/{}: block vs interpreted counters disagree",
+            h.benchmark().name(),
+            machine.name
+        );
+        assert_eq!(block.checksum, interp.checksum);
+        assert_eq!(block.return_value, interp.return_value);
+        let event = run_with(&h, machine, KernelMode::Event);
+        assert_eq!(
+            block.counters,
+            event.counters,
+            "{}/{}: block vs event counters disagree",
+            h.benchmark().name(),
+            machine.name
+        );
+        assert_eq!(block.checksum, event.checksum);
+    }
+}
+
+#[test]
+fn block_dispatch_profiles_identically_to_the_interpreter() {
+    // Attribution accrues per block on the block path (one span per
+    // block, deltas telescoping over the body) and per instruction on the
+    // interpreted path; the resulting profiles must be the same object.
+    let bench = suite().into_iter().next().expect("non-empty suite");
+    let h = Harness::new(bench);
+    let order: Vec<usize> = (0..h.object_names().len()).collect();
+    for machine in MachineConfig::all() {
+        let exe = h.executable(OptLevel::O2, &order, 0).expect("links");
+        let load = || {
+            Loader::new()
+                .load(
+                    &exe,
+                    &Environment::new(),
+                    h.benchmark().args(InputSize::Test),
+                )
+                .expect("loads")
+        };
+        let mut block = Machine::with_kernel(machine.clone(), KernelMode::Block);
+        let (block_result, block_profile) = block.run_profiled(&exe, load()).expect("runs");
+        let mut interp = Machine::with_kernel(machine.clone(), KernelMode::Collapsed);
+        let (interp_result, interp_profile) = interp.run_profiled(&exe, load()).expect("runs");
+        assert_eq!(
+            block_result, interp_result,
+            "{}: profiled run results disagree",
+            machine.name
+        );
+        assert_eq!(
+            block_profile, interp_profile,
+            "{}: profiles disagree",
+            machine.name
+        );
+        // Profiling itself must not perturb the block path's counters.
+        let mut plain = Machine::with_kernel(machine.clone(), KernelMode::Block);
+        let plain_result = plain.run(&exe, load()).expect("runs");
+        assert_eq!(
+            block_result, plain_result,
+            "{}: attribution changed block-path counters",
+            machine.name
+        );
+    }
+}
+
+#[test]
+fn warm_repetitions_match_across_all_three_kernels() {
+    // Machine state (caches, predictors, bank history) persists across
+    // runs; the decoded-block cache additionally persists on the block
+    // path and must stay timing-invisible: every repetition must agree
+    // with the interpreted kernels, warm hits included.
+    let bench = suite().into_iter().next().expect("non-empty suite");
+    let h = Harness::new(bench);
+    let order: Vec<usize> = (0..h.object_names().len()).collect();
+    let exe = h.executable(OptLevel::O2, &order, 0).expect("links");
+    let reps = 3;
+    let mut per_mode = Vec::new();
+    for mode in [KernelMode::Block, KernelMode::Collapsed, KernelMode::Event] {
+        let mut m = Machine::with_kernel(MachineConfig::o3cpu(), mode);
+        let mut runs = Vec::new();
+        for _ in 0..reps {
+            let process = Loader::new()
+                .load(
+                    &exe,
+                    &Environment::new(),
+                    h.benchmark().args(InputSize::Test),
+                )
+                .expect("loads");
+            runs.push(m.run(&exe, process).expect("runs"));
+        }
+        per_mode.push(runs);
+    }
+    assert_eq!(
+        per_mode[0], per_mode[1],
+        "block vs interpreted warm repetitions diverged"
+    );
+    assert_eq!(
+        per_mode[1], per_mode[2],
+        "interpreted vs event warm repetitions diverged"
+    );
+    assert!(
+        per_mode[0][1].counters.cycles <= per_mode[0][0].counters.cycles,
+        "second repetition should not be colder than the first"
+    );
+}

@@ -2,9 +2,16 @@
 //!
 //! Implements the builder/bench API surface this workspace's benches use.
 //! Instead of statistical sampling it runs each benchmark closure
-//! `sample_size` times and prints the mean wall time per iteration —
-//! enough to track gross regressions from `cargo bench` without any
-//! external dependencies.
+//! `sample_size` times, timing every iteration individually, and prints
+//! the *minimum* wall time per iteration — enough to track gross
+//! regressions from `cargo bench` without any external dependencies.
+//!
+//! The minimum, not the mean: this workspace's own subject matter. On a
+//! shared or virtualized host, interference (scheduler steal, cache
+//! pollution from neighbours) only ever *adds* time, so the mean measures
+//! the host's load as much as the code under test. The fastest observed
+//! iteration is a one-sided estimator of the code's true cost and is what
+//! CI thresholds compare against.
 
 #![forbid(unsafe_code)]
 
@@ -122,22 +129,25 @@ pub enum BatchSize {
 /// under test.
 pub struct Bencher {
     iters: usize,
-    elapsed: Duration,
+    best: Duration,
 }
 
 impl Bencher {
-    /// Times `f` over the configured iteration count.
+    /// Times `f` over the configured iteration count, keeping the fastest
+    /// single iteration (see the module docs for why the minimum).
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,
     {
         // One untimed warm-up pass, then the timed iterations.
         black_box(f());
-        let start = Instant::now();
+        let mut best = Duration::MAX;
         for _ in 0..self.iters {
+            let start = Instant::now();
             black_box(f());
+            best = best.min(start.elapsed());
         }
-        self.elapsed = start.elapsed();
+        self.best = best;
     }
 
     /// Times `f` over inputs built by `setup`; only `f` is timed, so
@@ -149,14 +159,14 @@ impl Bencher {
     {
         // One untimed warm-up pass, then the timed iterations.
         black_box(f(setup()));
-        let mut elapsed = Duration::ZERO;
+        let mut best = Duration::MAX;
         for _ in 0..self.iters {
             let input = setup();
             let start = Instant::now();
             black_box(f(input));
-            elapsed += start.elapsed();
+            best = best.min(start.elapsed());
         }
-        self.elapsed = elapsed;
+        self.best = best;
     }
 }
 
@@ -166,13 +176,12 @@ where
 {
     let mut b = Bencher {
         iters: sample_size,
-        elapsed: Duration::ZERO,
+        best: Duration::ZERO,
     };
     f(&mut b);
-    let per_iter = b.elapsed.as_secs_f64() / sample_size as f64;
     println!(
-        "bench {id:<40} {:>12.3} us/iter ({sample_size} iters)",
-        per_iter * 1e6
+        "bench {id:<40} {:>12.3} us/iter (min of {sample_size})",
+        b.best.as_secs_f64() * 1e6
     );
 }
 
