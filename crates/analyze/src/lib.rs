@@ -33,10 +33,17 @@ pub mod cfg;
 pub mod driver;
 pub mod hotness;
 pub mod image;
+pub mod lint;
+pub mod passes;
 pub mod predict;
 
 pub use cfg::{CfgAnalysis, Dominators, NaturalLoop};
 pub use driver::{analyze_benchmark, analyze_harness, rank_suite};
 pub use hotness::ModuleHotness;
 pub use image::{ImageFacts, StackFacts};
+pub use lint::{
+    lint_benchmark, lint_harness, lint_suite, lint_suite_jsonl, validate_lint_line, Finding,
+    FindingClass, LintReport, Remedy,
+};
+pub use passes::PassManager;
 pub use predict::{Factor, FactorScore, SensitivityReport};

@@ -1,0 +1,216 @@
+//! The static-analysis pass manager.
+//!
+//! `biaslint` (and any future diagnostic) wants several per-function
+//! analyses — control flow, liveness, reaching definitions, value
+//! ranges — over the *same* optimized module, and different lints want
+//! different subsets. The [`PassManager`] memoizes each analysis per
+//! function so a pass runs at most once no matter how many lints ask,
+//! and counts what actually ran so the lint driver can export
+//! `analyze.lint.{passes_run,functions_analyzed}` to the telemetry
+//! registry.
+//!
+//! ## Contract
+//!
+//! * A *pass* is a pure function of one IR [`Function`] (the dataflow
+//!   passes live in `biaslab_toolchain::dataflow`; the CFG pass is this
+//!   crate's [`CfgAnalysis`]). Passes never see addresses — address
+//!   facts come from `crate::image` and are layered on top by the lints.
+//! * Results are computed lazily on first request and cached for the
+//!   lifetime of the manager; all accessors take `&self`.
+//! * `passes_run()` counts distinct `(pass, function)` computations;
+//!   `functions_analyzed()` counts functions with at least one pass run.
+//!
+//! Adding a pass is mechanical: add a `OnceCell` slot, an accessor that
+//! goes through [`PassManager::memo`], and (if a lint needs it) use it —
+//! nothing else in the crate has to change.
+
+use std::cell::{Cell, OnceCell};
+
+use biaslab_toolchain::dataflow::{Liveness, ReachingDefs, ValueRanges};
+use biaslab_toolchain::ir::{Function, Module};
+use biaslab_toolchain::opt::OptLevel;
+
+use crate::cfg::CfgAnalysis;
+
+/// Per-function memoization slots, one `OnceCell` per registered pass.
+#[derive(Default)]
+struct FunctionSlot {
+    cfg: OnceCell<CfgAnalysis>,
+    liveness: OnceCell<Liveness>,
+    reaching: OnceCell<ReachingDefs>,
+    ranges: OnceCell<ValueRanges>,
+    touched: Cell<bool>,
+}
+
+/// Lazily-memoized per-function analyses over one optimized module.
+pub struct PassManager<'m> {
+    module: &'m Module,
+    level: OptLevel,
+    slots: Vec<FunctionSlot>,
+    passes_run: Cell<u64>,
+}
+
+impl<'m> PassManager<'m> {
+    /// Wraps an (already optimized) module. `level` is carried as
+    /// context for diagnostics; the passes themselves are level-blind.
+    #[must_use]
+    pub fn new(module: &'m Module, level: OptLevel) -> PassManager<'m> {
+        let slots = module
+            .functions
+            .iter()
+            .map(|_| FunctionSlot::default())
+            .collect();
+        PassManager {
+            module,
+            level,
+            slots,
+            passes_run: Cell::new(0),
+        }
+    }
+
+    /// The module under analysis.
+    #[must_use]
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// The optimization level the module was optimized at.
+    #[must_use]
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// The IR function at `func` (index into the module's declaration
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    #[must_use]
+    pub fn function(&self, func: usize) -> &'m Function {
+        &self.module.functions[func]
+    }
+
+    /// Index of the function named `name`, if it exists.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.module.functions.iter().position(|f| f.name == name)
+    }
+
+    fn memo<'a, T>(
+        &'a self,
+        func: usize,
+        cell: &'a OnceCell<T>,
+        run: impl FnOnce(&Function) -> T,
+    ) -> &'a T {
+        cell.get_or_init(|| {
+            self.passes_run.set(self.passes_run.get() + 1);
+            self.slots[func].touched.set(true);
+            run(&self.module.functions[func])
+        })
+    }
+
+    /// Control-flow analysis (dominators, natural loops, frequencies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    #[must_use]
+    pub fn cfg(&self, func: usize) -> &CfgAnalysis {
+        self.memo(func, &self.slots[func].cfg, CfgAnalysis::of)
+    }
+
+    /// Backward liveness of local-slot cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    #[must_use]
+    pub fn liveness(&self, func: usize) -> &Liveness {
+        self.memo(func, &self.slots[func].liveness, Liveness::of)
+    }
+
+    /// Forward reaching definitions of local-slot cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    #[must_use]
+    pub fn reaching(&self, func: usize) -> &ReachingDefs {
+        self.memo(func, &self.slots[func].reaching, ReachingDefs::of)
+    }
+
+    /// Constant/value-range propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    #[must_use]
+    pub fn ranges(&self, func: usize) -> &ValueRanges {
+        self.memo(func, &self.slots[func].ranges, ValueRanges::of)
+    }
+
+    /// Distinct `(pass, function)` computations performed so far.
+    #[must_use]
+    pub fn passes_run(&self) -> u64 {
+        self.passes_run.get()
+    }
+
+    /// Functions with at least one pass computed.
+    #[must_use]
+    pub fn functions_analyzed(&self) -> u64 {
+        self.slots.iter().filter(|s| s.touched.get()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use biaslab_toolchain::opt::optimize;
+    use biaslab_workloads::suite;
+
+    use super::*;
+
+    #[test]
+    fn passes_are_memoized_and_counted() {
+        let b = &suite()[0];
+        let module = optimize(b.module(), OptLevel::O2);
+        let pm = PassManager::new(&module, OptLevel::O2);
+        assert_eq!(pm.passes_run(), 0);
+        assert_eq!(pm.functions_analyzed(), 0);
+
+        let l1 = pm.liveness(0) as *const Liveness;
+        let l2 = pm.liveness(0) as *const Liveness;
+        assert_eq!(l1, l2, "second request must hit the cache");
+        assert_eq!(pm.passes_run(), 1);
+        assert_eq!(pm.functions_analyzed(), 1);
+
+        let _ = pm.reaching(0);
+        let _ = pm.ranges(0);
+        let _ = pm.cfg(0);
+        assert_eq!(pm.passes_run(), 4);
+        assert_eq!(pm.functions_analyzed(), 1);
+
+        let _ = pm.liveness(1);
+        assert_eq!(pm.passes_run(), 5);
+        assert_eq!(pm.functions_analyzed(), 2);
+    }
+
+    #[test]
+    fn results_match_direct_computation() {
+        let b = &suite()[1];
+        let module = optimize(b.module(), OptLevel::O3);
+        let pm = PassManager::new(&module, OptLevel::O3);
+        let f = pm.function(0);
+        let direct = Liveness::of(f);
+        let managed = pm.liveness(0);
+        for bi in 0..f.blocks.len() {
+            for c in 0..direct.cells.len() {
+                assert_eq!(managed.is_live_in(bi, c), direct.is_live_in(bi, c));
+                assert_eq!(managed.is_live_out(bi, c), direct.is_live_out(bi, c));
+            }
+        }
+        assert_eq!(pm.level(), OptLevel::O3);
+        assert_eq!(pm.find(&f.name), Some(0));
+        assert_eq!(pm.find("nonesuch"), None);
+    }
+}

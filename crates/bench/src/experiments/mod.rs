@@ -4,6 +4,7 @@ mod ablations;
 mod causal_figs;
 mod env_figs;
 mod ext_analyze;
+mod ext_lint;
 mod link_figs;
 mod random_fig;
 mod tables;
@@ -150,6 +151,11 @@ pub static EXPERIMENTS: &[ExperimentInfo] = &[
         id: "ext-analyze",
         title: "extension: static sensitivity ranking vs measured O3/O2 spread",
         run: ext_analyze::ext_analyze,
+    },
+    ExperimentInfo {
+        id: "ext-lint",
+        title: "extension: causal validation of biaslint findings (per-class precision)",
+        run: ext_lint::ext_lint,
     },
 ];
 

@@ -18,6 +18,12 @@ commands:
   audit <benchmark>            report environment & link-order bias
   analyze <benchmark>|all      predict layout-sensitivity statically
                                (`all` ranks the suite, still zero runs)
+  lint <benchmark>|all         biaslint: layout-hazard findings with
+                               named mechanisms and remedies (static,
+                               zero simulations; classes:
+                               loop-fetch-straddle, entry-alignment,
+                               btb-collision, stack-residue, dead-store,
+                               uninit-read)
   trace <file>                 report on a telemetry trace (from
                                `repro ... --trace`): slowest measurements,
                                cache effectiveness, worker utilization
@@ -31,6 +37,9 @@ options (run/disasm/audit/analyze):
   --size <test|ref>            input size               [default test]
   --profile                    (run) print a per-function profile
   --explain                    (analyze) per-level image facts
+  --json                       (lint) machine-readable JSONL findings
+  --deny <class>               (lint) exit nonzero if any finding of
+                               the class is reported
 
 options (trace):
   --summary                    full report (the default)
@@ -88,6 +97,17 @@ pub enum Command {
         /// Print per-level image facts, not just the factor table.
         explain: bool,
     },
+    /// `biaslab lint <bench>|all …`
+    Lint {
+        /// Benchmark name, or `all` for the whole suite.
+        bench: String,
+        /// Machine model name.
+        machine: String,
+        /// Emit machine-readable JSONL instead of the text report.
+        json: bool,
+        /// Exit nonzero if any finding of this class is reported.
+        deny: Option<String>,
+    },
     /// `biaslab trace <file> [--summary|--flame]`
     Trace {
         /// Path to a trace JSONL file written by `repro ... --trace`.
@@ -136,7 +156,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 flame: rest.iter().any(|a| a.as_str() == "--flame"),
             })
         }
-        "run" | "disasm" | "audit" | "ir" | "analyze" => {
+        "run" | "disasm" | "audit" | "ir" | "analyze" | "lint" => {
             let rest: Vec<&String> = it.collect();
             let bench = rest
                 .iter()
@@ -166,6 +186,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     machine,
                     explain: rest.iter().any(|a| a.as_str() == "--explain"),
                 }),
+                "lint" => {
+                    let deny = get("--deny").map(str::to_owned);
+                    if let Some(class) = &deny {
+                        if biaslab_analyze::FindingClass::parse(class).is_none() {
+                            return Err(format!(
+                                "unknown finding class `{class}` (expected one of: {})",
+                                biaslab_analyze::FindingClass::ALL
+                                    .map(|c| c.name())
+                                    .join(", ")
+                            ));
+                        }
+                    }
+                    Ok(Command::Lint {
+                        bench,
+                        machine,
+                        json: rest.iter().any(|a| a.as_str() == "--json"),
+                        deny,
+                    })
+                }
                 _ => Ok(Command::Run(RunArgs {
                     bench,
                     opt,
@@ -336,6 +375,33 @@ mod tests {
         assert!(!explain);
         assert!(parse(&argv("analyze")).is_err());
         assert!(parse(&argv("analyze mcf --machine vax")).is_err());
+    }
+
+    #[test]
+    fn parses_lint() {
+        assert_eq!(
+            parse(&argv("lint perlbench --machine o3cpu --json")).unwrap(),
+            Command::Lint {
+                bench: "perlbench".into(),
+                machine: "o3cpu".into(),
+                json: true,
+                deny: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("lint all --deny uninit-read")).unwrap(),
+            Command::Lint {
+                bench: "all".into(),
+                machine: "core2".into(),
+                json: false,
+                deny: Some("uninit-read".into()),
+            }
+        );
+        assert!(parse(&argv("lint")).is_err());
+        assert!(parse(&argv("lint mcf --machine vax")).is_err());
+        let err = parse(&argv("lint mcf --deny style")).unwrap_err();
+        assert!(err.contains("unknown finding class"));
+        assert!(err.contains("loop-fetch-straddle"));
     }
 
     #[test]

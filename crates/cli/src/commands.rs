@@ -30,6 +30,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
             machine,
             explain,
         } => analyze(&bench, &machine, explain),
+        Command::Lint {
+            bench,
+            machine,
+            json,
+            deny,
+        } => lint(&bench, &machine, json, deny.as_deref()),
         Command::Trace { file, flame } => trace(&file, flame),
     }
 }
@@ -221,6 +227,41 @@ fn analyze(bench: &str, machine: &str, explain: bool) -> Result<(), String> {
     Ok(())
 }
 
+fn lint(bench: &str, machine: &str, json: bool, deny: Option<&str>) -> Result<(), String> {
+    let machine_config = parse_machine(machine)?;
+    let reports = if bench == "all" {
+        biaslab_analyze::lint_suite(&machine_config)?
+    } else {
+        vec![biaslab_analyze::lint_benchmark(bench, &machine_config)?]
+    };
+    for (i, report) in reports.iter().enumerate() {
+        if json {
+            print!("{}", report.to_jsonl());
+        } else {
+            if i > 0 {
+                println!();
+            }
+            println!("{}", report.render());
+        }
+    }
+    if let Some(class) = deny {
+        let c = biaslab_analyze::FindingClass::parse(class)
+            .ok_or_else(|| format!("unknown finding class `{class}`"))?;
+        let hits: Vec<&str> = reports
+            .iter()
+            .filter(|r| r.has_class(c))
+            .map(|r| r.bench.as_str())
+            .collect();
+        if !hits.is_empty() {
+            return Err(format!(
+                "--deny {class}: findings reported in {}",
+                hits.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +305,29 @@ mod tests {
             before,
             "analyze must not invoke the simulator"
         );
+    }
+
+    #[test]
+    fn lint_succeeds_without_simulating() {
+        let before = Orchestrator::global().stats().simulated;
+        run(parse(&argv("lint perlbench --machine pentium4")).unwrap()).unwrap();
+        run(parse(&argv("lint libquantum --json")).unwrap()).unwrap();
+        assert_eq!(
+            Orchestrator::global().stats().simulated,
+            before,
+            "lint must not invoke the simulator"
+        );
+    }
+
+    #[test]
+    fn lint_deny_gates_on_present_class() {
+        // libquantum on core2 reports loop-fetch-straddle findings;
+        // denying an absent class passes, denying a present one fails.
+        run(parse(&argv("lint libquantum --deny uninit-read")).unwrap()).unwrap();
+        let err =
+            run(parse(&argv("lint libquantum --deny loop-fetch-straddle")).unwrap()).unwrap_err();
+        assert!(err.contains("--deny loop-fetch-straddle"));
+        assert!(err.contains("libquantum"));
     }
 
     #[test]

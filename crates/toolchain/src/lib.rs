@@ -53,6 +53,7 @@
 
 pub mod builder;
 pub mod codegen;
+pub mod dataflow;
 pub mod interp;
 pub mod ir;
 pub mod layout;

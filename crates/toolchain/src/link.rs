@@ -216,6 +216,8 @@ impl std::error::Error for LinkError {}
 pub struct Linker {
     text_offset: u32,
     order: Option<Vec<usize>>,
+    pads: Vec<(String, u32)>,
+    align_overrides: Vec<(String, u32)>,
 }
 
 impl Linker {
@@ -237,6 +239,30 @@ impl Linker {
     #[must_use]
     pub fn object_order(mut self, order: Vec<usize>) -> Linker {
         self.order = Some(order);
+        self
+    }
+
+    /// Inserts `bytes` of never-executed padding (rounded up to 4)
+    /// immediately *before* `symbol`, after its alignment is applied —
+    /// so the symbol lands exactly `bytes` past its aligned address and
+    /// everything behind it shifts. This is the `biaslint` "padding"
+    /// remedy: the gap is nop-filled and unreachable, so program
+    /// behavior is untouched and only layout-driven counters can move.
+    /// Unknown symbols are ignored (checked at link time by name match).
+    #[must_use]
+    pub fn pad_symbol(mut self, symbol: &str, bytes: u32) -> Linker {
+        self.pads.push((symbol.to_owned(), align_up(bytes, 4)));
+        self
+    }
+
+    /// Raises `symbol`'s placement alignment to `align` bytes (rounded
+    /// up to a power of two, minimum 4) — the `biaslint`
+    /// "alignment-directive" remedy, the moral equivalent of
+    /// `.p2align` on a function entry.
+    #[must_use]
+    pub fn align_symbol(mut self, symbol: &str, align: u32) -> Linker {
+        self.align_overrides
+            .push((symbol.to_owned(), align.next_power_of_two().max(4)));
         self
     }
 
@@ -275,7 +301,18 @@ impl Linker {
         let mut placed: Vec<(usize, u32)> = Vec::with_capacity(n);
         for &idx in &order {
             let obj = &cm.objects[idx];
-            addr = align_up(addr, obj.align.max(4));
+            let align = self
+                .align_overrides
+                .iter()
+                .filter(|(s, _)| *s == obj.symbol)
+                .map(|&(_, a)| a)
+                .fold(obj.align.max(4), u32::max);
+            addr = align_up(addr, align);
+            for (s, pad) in &self.pads {
+                if *s == obj.symbol {
+                    addr += pad;
+                }
+            }
             func_addrs.insert(obj.symbol.as_str(), addr);
             placed.push((idx, addr));
             addr += obj.size();
@@ -485,6 +522,69 @@ mod tests {
             e1.symbol("main").unwrap().addr % 16,
             "64 is a multiple of the alignment, so congruence is preserved"
         );
+    }
+
+    #[test]
+    fn pad_symbol_shifts_exactly_past_the_aligned_address() {
+        let cm = compiled(OptLevel::O2);
+        let base = Linker::new().link(&cm, "main").unwrap();
+        let padded = Linker::new()
+            .pad_symbol("main", 12)
+            .link(&cm, "main")
+            .unwrap();
+        assert_eq!(
+            padded.symbol("main").unwrap().addr,
+            base.symbol("main").unwrap().addr + 12
+        );
+        // The pad lands in a never-executed nop-filled gap, and the
+        // program still computes the same result (relocations re-resolve
+        // against the shifted addresses).
+        let main_base = base.symbol("main").unwrap();
+        for gap in 0..3 {
+            assert_eq!(padded.inst_at(main_base.addr + gap * 4).unwrap(), Inst::Nop);
+        }
+        use crate::load::{Environment, Loader};
+        let run = |e: &Executable| {
+            let p = Loader::new().load(e, &Environment::new(), &[]).unwrap();
+            biaslab_uarch_stub_run(e, p)
+        };
+        assert_eq!(run(&base), run(&padded));
+        // Unknown symbols are a no-op, and pads round up to 4.
+        let noop = Linker::new()
+            .pad_symbol("nonesuch", 8)
+            .link(&cm, "main")
+            .unwrap();
+        assert_eq!(noop.symbol("main").unwrap().addr, main_base.addr);
+        let rounded = Linker::new()
+            .pad_symbol("main", 5)
+            .link(&cm, "main")
+            .unwrap();
+        assert_eq!(rounded.symbol("main").unwrap().addr, main_base.addr + 8);
+    }
+
+    #[test]
+    fn align_symbol_raises_entry_alignment() {
+        let cm = compiled(OptLevel::O2); // function_align = 16
+        let exe = Linker::new()
+            .align_symbol("main", 64)
+            .link(&cm, "main")
+            .unwrap();
+        assert_eq!(exe.symbol("main").unwrap().addr % 64, 0);
+        // Never lowers below the object's own request.
+        let exe = Linker::new()
+            .align_symbol("main", 2)
+            .link(&cm, "main")
+            .unwrap();
+        assert_eq!(exe.symbol("main").unwrap().addr % 16, 0);
+    }
+
+    #[test]
+    fn layout_ablations_default_to_identity() {
+        let cm = compiled(OptLevel::O3);
+        let a = Linker::new().link(&cm, "main").unwrap();
+        let b = Linker::new().link(&cm, "main").unwrap();
+        assert_eq!(a.text(), b.text());
+        assert_eq!(a.symbols(), b.symbols());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::ir::{BlockId, Function, Module, Op, Terminator, Val};
+use crate::dataflow::{val_events, ValEvent, ValEventKind};
+use crate::ir::{BlockId, Function, Module, Op, Terminator};
 
 /// A structural defect found by [`verify_module`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,56 +152,57 @@ fn function_errors(module: &Module, f: &Function, errors: &mut Vec<VerifyError>)
         }
     }
 
-    let mut defined_anywhere: BTreeSet<Val> = BTreeSet::new();
+    // The val-discipline defects come from the shared block-local
+    // reaching-definitions scan in `crate::dataflow`; per-op structural
+    // checks (`verify_op`) interleave between each op's use defects and
+    // its def defects, which is exactly the event order `val_events`
+    // produces.
+    let events = val_events(f);
+    let mut ev = events.iter().peekable();
+    let mut drain = |errors: &mut Vec<VerifyError>, bi: u32, oi: Option<u32>, uses_only: bool| {
+        while let Some(e) = ev.peek() {
+            let ValEvent { block, op, kind } = e;
+            if *block != bi || *op != oi {
+                break;
+            }
+            if uses_only && !matches!(kind, ValEventKind::UseBeforeDef(_)) {
+                break;
+            }
+            let bid = BlockId(bi);
+            let message = match (kind, oi) {
+                (ValEventKind::UseBeforeDef(v), Some(oi)) => {
+                    format!("{bid} op {oi}: {v} used before definition in its block")
+                }
+                (ValEventKind::UseBeforeDef(v), None) => {
+                    format!("{bid} terminator: {v} used before definition")
+                }
+                (ValEventKind::DefinedTwice(v), Some(oi)) => {
+                    format!("{bid} op {oi}: {v} defined twice in block")
+                }
+                (ValEventKind::CrossBlockDef(v), Some(oi)) => {
+                    format!("{bid} op {oi}: {v} defined in more than one block")
+                }
+                (ValEventKind::AboveNextVal(v), Some(oi)) => {
+                    format!("{bid} op {oi}: {v} not below next_val {}", f.next_val)
+                }
+                // Def events only arise from ops, never terminators.
+                (_, None) => unreachable!("def event on a terminator"),
+            };
+            errors.push(err(f, Some(bi), message));
+            ev.next();
+        }
+    };
     for (bi, block) in f.blocks.iter().enumerate() {
         let bid = BlockId(bi as u32);
         let b = Some(bi as u32);
-        let mut defined: BTreeSet<Val> = BTreeSet::new();
         for (oi, op) in block.ops.iter().enumerate() {
-            for used in op.uses() {
-                if !defined.contains(&used) {
-                    errors.push(err(
-                        f,
-                        b,
-                        format!("{bid} op {oi}: {used} used before definition in its block"),
-                    ));
-                }
-            }
+            drain(errors, bi as u32, Some(oi as u32), true);
             if let Err(m) = self::verify_op(module, f, op) {
                 errors.push(err(f, b, format!("{bid} op {oi}: {m}")));
             }
-            if let Some(dst) = op.def() {
-                if !defined.insert(dst) {
-                    errors.push(err(
-                        f,
-                        b,
-                        format!("{bid} op {oi}: {dst} defined twice in block"),
-                    ));
-                } else if !defined_anywhere.insert(dst) {
-                    errors.push(err(
-                        f,
-                        b,
-                        format!("{bid} op {oi}: {dst} defined in more than one block"),
-                    ));
-                }
-                if dst.0 >= f.next_val {
-                    errors.push(err(
-                        f,
-                        b,
-                        format!("{bid} op {oi}: {dst} not below next_val {}", f.next_val),
-                    ));
-                }
-            }
+            drain(errors, bi as u32, Some(oi as u32), false);
         }
-        for used in block.term.uses() {
-            if !defined.contains(&used) {
-                errors.push(err(
-                    f,
-                    b,
-                    format!("{bid} terminator: {used} used before definition"),
-                ));
-            }
-        }
+        drain(errors, bi as u32, None, false);
         for succ in block.term.successors() {
             if succ.0 as usize >= f.blocks.len() {
                 errors.push(err(
@@ -300,7 +302,7 @@ mod tests {
     use biaslab_isa::AluOp;
 
     use super::*;
-    use crate::ir::{Block, LocalId, LocalSlot};
+    use crate::ir::{Block, LocalId, LocalSlot, Val};
 
     fn func(blocks: Vec<Block>, locals: Vec<LocalSlot>, next_val: u32) -> Function {
         Function {
@@ -530,6 +532,67 @@ mod tests {
         // And the listing is stable across repeated runs.
         let again = verify_module_all(&m);
         assert_eq!(all, again);
+    }
+
+    #[test]
+    fn dataflow_rewrite_pins_interleaved_error_order() {
+        // One block exhibiting every val-discipline defect interleaved
+        // with a structural (`verify_op`) defect: the dataflow-backed
+        // walk must report, per op, uses -> structure -> defs, in the
+        // same order the original hand-rolled walk did. Pinned verbatim.
+        let f = func(
+            vec![
+                Block {
+                    ops: vec![
+                        // op 0: use-before-def AND an out-of-range local:
+                        // the use defect must precede the structural one.
+                        Op::StoreLocal {
+                            local: LocalId(7),
+                            offset: 0,
+                            src: Val(5),
+                        },
+                        Op::Const {
+                            dst: Val(0),
+                            value: 1,
+                        },
+                        // op 2: double definition + above next_val.
+                        Op::Const {
+                            dst: Val(0),
+                            value: 2,
+                        },
+                    ],
+                    term: Terminator::Ret { value: None },
+                },
+                Block {
+                    // Cross-block re-definition of v0.
+                    ops: vec![Op::Const {
+                        dst: Val(0),
+                        value: 3,
+                    }],
+                    term: Terminator::Jump(BlockId(0)),
+                },
+            ],
+            vec![],
+            1,
+        );
+        let m = module_with(f);
+        let mut errors = Vec::new();
+        function_errors(&m, &m.functions[0], &mut errors);
+        let messages: Vec<&str> = errors.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(
+            messages,
+            vec![
+                "bb0 op 0: %5 used before definition in its block",
+                "bb0 op 0: local 7 out of range",
+                "bb0 op 2: %0 defined twice in block",
+                "bb1 op 0: %0 defined in more than one block",
+            ]
+        );
+        // And `verify_module` still surfaces the first of these.
+        assert_eq!(
+            verify_module(&m).unwrap_err().message,
+            "bb0 op 0: %5 used before definition in its block"
+        );
     }
 
     #[test]

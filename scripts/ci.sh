@@ -23,11 +23,22 @@ echo "==> biaslab analyze smoke (static analyzer, zero simulations)"
 echo "==> static-vs-dynamic rank correlation (all three machines)"
 cargo test -q --release --test static_vs_dynamic
 
+echo "==> biaslint smoke (CLI output must match the blessed goldens, zero simulations)"
+cargo test -q --release --test lint_gate
+for machine in core2 pentium4 o3cpu; do
+    golden="crates/analyze/tests/golden/lint_${machine}.jsonl"
+    ./target/release/biaslab lint all --machine "$machine" --json | diff -u "$golden" - \
+        || { echo "FATAL: biaslab lint all --json drifted from ${golden}" >&2; exit 1; }
+done
+./target/release/biaslab lint perlbench --machine core2 > /dev/null
+
 echo "==> repro all --effort quick (smoke, ephemeral)"
 ./target/release/repro all --effort quick --no-resume > /dev/null
 
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+# BENCH_ci.json is a transient artifact of `scripts/bench.sh ci` below; it is
+# consumed by the throughput and telemetry guards and must not outlive the run.
+trap 'rm -rf "$tmp" BENCH_ci.json' EXIT
 
 echo "==> telemetry trace smoke (repro --trace, then render it)"
 BIASLAB_RESULTS_DIR="$tmp/results" ./target/release/repro fig1 --effort quick --no-resume --trace \
