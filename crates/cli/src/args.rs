@@ -27,6 +27,15 @@ commands:
   trace <file>                 report on a telemetry trace (from
                                `repro ... --trace`): slowest measurements,
                                cache effectiveness, worker utilization
+  serve                        measurement daemon: JSONL requests over a
+                               unix/tcp socket, bounded admission queue,
+                               explicit shed responses under overload
+  client <op> [<benchmark>]    one-shot daemon request; op is ping,
+                               stats, shutdown, measure or sweep
+  loadgen                      drive a daemon with randomized-setup
+                               requests from concurrent connections and
+                               report throughput, latency percentiles
+                               and cache effectiveness
   survey                       print the 133-paper literature survey
 
 options (run/disasm/audit/analyze):
@@ -44,6 +53,20 @@ options (run/disasm/audit/analyze):
 options (trace):
   --summary                    full report (the default)
   --flame                      merged profiles, folded-stacks form
+
+options (serve/client/loadgen):
+  --addr <a>                   unix:<path> | tcp:<host:port>
+                               [default unix:/tmp/biaslab.sock]
+  --workers <n>                (serve) worker-pool threads   [default 4]
+  --queue <n>                  (serve) admission-queue bound [default 64]
+  --id <n>                     (client) request id           [default 1]
+  --budget <n>                 (client) instruction-budget override;
+                               0 keeps the machine default
+  --envs <a,b,..>              (client sweep) env-size grid in bytes
+  --attempts <n>               (client) retry budget         [default 4]
+  --clients <n>                (loadgen) concurrent clients  [default 8]
+  --requests <n>               (loadgen) requests per client [default 50]
+  --seed <n>                   (loadgen) master seed         [default 1]
 
 environment:
   BIASLAB_EXEC=<path>          pin the execution path: block (decoded
@@ -108,6 +131,28 @@ pub enum Command {
         /// Exit nonzero if any finding of this class is reported.
         deny: Option<String>,
     },
+    /// `biaslab serve --addr <addr> …`
+    Serve {
+        /// Endpoint to bind (`unix:<path>` or `tcp:<host:port>`).
+        addr: String,
+        /// Worker-pool threads.
+        workers: usize,
+        /// Admission-queue bound.
+        queue_depth: usize,
+    },
+    /// `biaslab client <op> [<bench>] --addr <addr> …`
+    Client(ClientArgs),
+    /// `biaslab loadgen --addr <addr> …`
+    Loadgen {
+        /// Daemon endpoint.
+        addr: String,
+        /// Concurrent client connections.
+        clients: usize,
+        /// Requests per client.
+        requests: usize,
+        /// Master seed for the randomized setups.
+        seed: u64,
+    },
     /// `biaslab trace <file> [--summary|--flame]`
     Trace {
         /// Path to a trace JSONL file written by `repro ... --trace`.
@@ -116,6 +161,35 @@ pub enum Command {
         /// summary report.
         flame: bool,
     },
+}
+
+/// Options for `biaslab client`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// Daemon endpoint.
+    pub addr: String,
+    /// Operation: `ping`, `stats`, `shutdown`, `measure`, `sweep`.
+    pub op: String,
+    /// Benchmark name (measure/sweep only).
+    pub bench: String,
+    /// Machine model name.
+    pub machine: String,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Link order.
+    pub order: LinkOrder,
+    /// Environment size in bytes (0 = empty).
+    pub env_bytes: u32,
+    /// Input size.
+    pub size: InputSize,
+    /// Instruction-budget override (0 keeps the machine default).
+    pub budget: u64,
+    /// Request id echoed in the response.
+    pub id: u64,
+    /// Environment-size grid for sweeps.
+    pub envs: Vec<u64>,
+    /// Retry budget for torn responses.
+    pub attempts: u32,
 }
 
 /// Options for `biaslab run`.
@@ -155,6 +229,98 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 file,
                 flame: rest.iter().any(|a| a.as_str() == "--flame"),
             })
+        }
+        "serve" | "loadgen" => {
+            let rest: Vec<&String> = it.collect();
+            let get = |flag: &str| -> Option<&str> {
+                rest.iter()
+                    .position(|a| a.as_str() == flag)
+                    .and_then(|i| rest.get(i + 1))
+                    .map(|s| s.as_str())
+            };
+            let addr = get("--addr").unwrap_or("unix:/tmp/biaslab.sock").to_owned();
+            biaslab_core::serve::Addr::parse(&addr)?; // validate early
+            let num = |flag: &str, default: u64| -> Result<u64, String> {
+                get(flag)
+                    .map(|v| v.parse::<u64>().map_err(|_| format!("bad {flag} `{v}`")))
+                    .transpose()
+                    .map(|n| n.unwrap_or(default))
+            };
+            if cmd == "serve" {
+                Ok(Command::Serve {
+                    addr,
+                    workers: num("--workers", 4)? as usize,
+                    queue_depth: num("--queue", 64)? as usize,
+                })
+            } else {
+                Ok(Command::Loadgen {
+                    addr,
+                    clients: num("--clients", 8)? as usize,
+                    requests: num("--requests", 50)? as usize,
+                    seed: num("--seed", 1)?,
+                })
+            }
+        }
+        "client" => {
+            let rest: Vec<&String> = it.collect();
+            let mut positional = rest.iter().filter(|a| !a.starts_with("--"));
+            let op = positional.next().ok_or("missing client op")?.to_string();
+            if !matches!(
+                op.as_str(),
+                "ping" | "stats" | "shutdown" | "measure" | "sweep"
+            ) {
+                return Err(format!(
+                    "unknown client op `{op}` (ping, stats, shutdown, measure, sweep)"
+                ));
+            }
+            let get = |flag: &str| -> Option<&str> {
+                rest.iter()
+                    .position(|a| a.as_str() == flag)
+                    .and_then(|i| rest.get(i + 1))
+                    .map(|s| s.as_str())
+            };
+            let addr = get("--addr").unwrap_or("unix:/tmp/biaslab.sock").to_owned();
+            biaslab_core::serve::Addr::parse(&addr)?; // validate early
+            let bench = if matches!(op.as_str(), "measure" | "sweep") {
+                positional
+                    .next()
+                    .ok_or(format!("client {op} needs a benchmark name"))?
+                    .to_string()
+            } else {
+                String::new()
+            };
+            let num = |flag: &str, default: u64| -> Result<u64, String> {
+                get(flag)
+                    .map(|v| v.parse::<u64>().map_err(|_| format!("bad {flag} `{v}`")))
+                    .transpose()
+                    .map(|n| n.unwrap_or(default))
+            };
+            let machine = get("--machine").unwrap_or("core2").to_owned();
+            parse_machine(&machine)?; // validate early
+            let envs = match get("--envs") {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| format!("bad --envs entry `{v}`"))
+                    })
+                    .collect::<Result<Vec<u64>, String>>()?,
+            };
+            Ok(Command::Client(ClientArgs {
+                addr,
+                op,
+                bench,
+                machine,
+                opt: parse_opt(get("--opt").unwrap_or("O2"))?,
+                order: parse_order(get("--order").unwrap_or("default"))?,
+                env_bytes: num("--env", 0)? as u32,
+                size: parse_size(get("--size").unwrap_or("test"))?,
+                budget: num("--budget", 0)?,
+                id: num("--id", 1)?,
+                envs,
+                attempts: num("--attempts", 4)? as u32,
+            }))
         }
         "run" | "disasm" | "audit" | "ir" | "analyze" | "lint" => {
             let rest: Vec<&String> = it.collect();

@@ -9,7 +9,9 @@ use biaslab_toolchain::OptLevel;
 use biaslab_uarch::{Machine, MachineConfig};
 use biaslab_workloads::{benchmark_by_name, suite, InputSize};
 
-use crate::args::{parse_machine, Command, RunArgs};
+use biaslab_core::serve;
+
+use crate::args::{parse_machine, ClientArgs, Command, RunArgs};
 
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -37,7 +39,79 @@ pub fn run(cmd: Command) -> Result<(), String> {
             deny,
         } => lint(&bench, &machine, json, deny.as_deref()),
         Command::Trace { file, flame } => trace(&file, flame),
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+        } => serve_cmd(&addr, workers, queue_depth),
+        Command::Client(args) => client_cmd(&args),
+        Command::Loadgen {
+            addr,
+            clients,
+            requests,
+            seed,
+        } => loadgen_cmd(&addr, clients, requests, seed),
     }
+}
+
+fn serve_cmd(addr: &str, workers: usize, queue_depth: usize) -> Result<(), String> {
+    let addr = serve::Addr::parse(addr)?;
+    let mut cfg = serve::ServerConfig::new(addr);
+    cfg.workers = workers;
+    cfg.queue_depth = queue_depth;
+    let orch = std::sync::Arc::new(Orchestrator::from_env());
+    let server = serve::Server::start(&cfg, orch)?;
+    println!(
+        "biaslab serve listening on {} workers={workers} queue={queue_depth}",
+        server.addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run_until_shutdown();
+    Ok(())
+}
+
+fn client_cmd(a: &ClientArgs) -> Result<(), String> {
+    let addr = serve::Addr::parse(&a.addr)?;
+    let line = match a.op.as_str() {
+        "ping" | "stats" | "shutdown" => serve::encode_control(a.id, &a.op),
+        _ => {
+            let spec = serve::MeasureSpec {
+                bench: a.bench.clone(),
+                machine: a.machine.clone(),
+                opt: a.opt,
+                order: a.order,
+                text_offset: 0,
+                stack_shift: 0,
+                env: u64::from(a.env_bytes),
+                size: a.size,
+                budget: a.budget,
+            };
+            if a.op == "measure" {
+                serve::encode_measure(a.id, &spec)
+            } else {
+                serve::encode_sweep(a.id, &spec, &a.envs)
+            }
+        }
+    };
+    let mut client = serve::Client::new(addr).with_attempts(a.attempts);
+    let ex = client.request(&line).map_err(|e| format!("client: {e}"))?;
+    for l in &ex.lines {
+        println!("{l}");
+    }
+    Ok(())
+}
+
+fn loadgen_cmd(addr: &str, clients: usize, requests: usize, seed: u64) -> Result<(), String> {
+    let cfg = serve::LoadgenConfig {
+        addr: serve::Addr::parse(addr)?,
+        clients,
+        requests,
+        seed,
+    };
+    let report = serve::loadgen(&cfg)?;
+    println!("{report}");
+    Ok(())
 }
 
 fn list() -> Result<(), String> {

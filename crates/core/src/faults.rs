@@ -90,6 +90,23 @@ pub mod site {
     pub const MEASURE_RUNAWAY: &str = "measure.runaway";
     /// A short scheduling delay in sweep / `repro` driver workers.
     pub const WORKER_DELAY: &str = "worker.delay";
+    /// The `biaslab serve` acceptor drops a just-accepted connection
+    /// before handing it to a reader thread, as a transient accept
+    /// failure would. The client recovers by reconnecting.
+    pub const SERVE_ACCEPT: &str = "serve.accept";
+    /// A short write on a serve connection: half of one response line
+    /// reaches the socket, then the connection dies — the classic torn
+    /// JSONL. The client detects the truncated line (no newline, or a
+    /// `crc` that does not verify) and recovers by reconnect-and-retry.
+    pub const SERVE_WRITE_SHORT: &str = "serve.write.short";
+    /// The serve connection is dropped after a request is admitted but
+    /// before its response is written (a mid-exchange disconnect). The
+    /// client sees EOF instead of a response and retries.
+    pub const SERVE_DROP: &str = "serve.drop";
+    /// A slow client: the serve reader stalls briefly before handling a
+    /// request line, modelling a peer that trickles its bytes. A
+    /// scheduling perturbation only — responses never depend on it.
+    pub const SERVE_SLOW: &str = "serve.slow";
 
     /// Every known site, for spec validation and docs.
     pub const ALL: &[&str] = &[
@@ -101,6 +118,10 @@ pub mod site {
         MEASURE_DELAY,
         MEASURE_RUNAWAY,
         WORKER_DELAY,
+        SERVE_ACCEPT,
+        SERVE_WRITE_SHORT,
+        SERVE_DROP,
+        SERVE_SLOW,
     ];
 }
 

@@ -63,6 +63,7 @@ mod jsonl;
 pub mod orchestrator;
 pub mod randomize;
 pub mod report;
+pub mod serve;
 pub mod setup;
 pub mod stats;
 pub mod telemetry;

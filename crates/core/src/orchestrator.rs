@@ -17,7 +17,12 @@
 //!   eviction) via [`Orchestrator::set_cache_cap`] or, for the global
 //!   instance, the `BIASLAB_CACHE_CAP` environment variable — evictions
 //!   are counted in the instrumentation, and results never depend on
-//!   retention;
+//!   retention. Storage is split into N shards keyed by the
+//!   [`MeasureKey::digest`] (`BIASLAB_CACHE_SHARDS`, default
+//!   [`DEFAULT_CACHE_SHARDS`]) so concurrent sweep workers and
+//!   `biaslab serve` threads do not serialize on one map lock; the cap
+//!   and FIFO order stay global, so the shard count never changes what
+//!   is evicted;
 //! - **persistence**: records round-trip through a JSON-lines file under
 //!   `results/`, so an interrupted `repro all` resumes instead of
 //!   restarting;
@@ -70,12 +75,15 @@ use crate::telemetry::{self, CacheOutcome, Counter, MetricsRegistry};
 /// statement — so poison carries no information we need, and propagating
 /// it (the old `expect`s) turned one panicked leader into a process-wide
 /// wedge for every waiter of that key.
-fn lock_unpoisoned<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// [`Condvar::wait`] with the same poison recovery as [`lock_unpoisoned`].
-fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: StdMutexGuard<'a, T>) -> StdMutexGuard<'a, T> {
+pub(crate) fn wait_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: StdMutexGuard<'a, T>,
+) -> StdMutexGuard<'a, T> {
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -319,7 +327,7 @@ impl fmt::Display for OrchestratorStats {
 #[derive(Debug)]
 pub struct Orchestrator {
     harnesses: Mutex<HashMap<String, Arc<Harness>>>,
-    cache: Mutex<BoundedCache>,
+    cache: ShardedCache,
     /// Keys a [`Orchestrator::measure`] leader is currently simulating.
     /// Concurrent requesters of the same key wait on the leader's cell
     /// (single-flight) instead of re-simulating; they count as hits.
@@ -350,10 +358,23 @@ pub struct Orchestrator {
 
 impl Default for Orchestrator {
     fn default() -> Orchestrator {
+        Orchestrator::with_cache_shards(DEFAULT_CACHE_SHARDS)
+    }
+}
+
+impl Orchestrator {
+    /// An orchestrator whose measurement cache is split into `shards`
+    /// shards (clamped to at least one). [`Orchestrator::new`] uses
+    /// [`DEFAULT_CACHE_SHARDS`]; the global instance reads
+    /// `BIASLAB_CACHE_SHARDS`. The shard count is a concurrency knob
+    /// only — cap, eviction order and eviction counts are identical at
+    /// any value.
+    #[must_use]
+    pub fn with_cache_shards(shards: usize) -> Orchestrator {
         let metrics = MetricsRegistry::new();
         Orchestrator {
             harnesses: Mutex::default(),
-            cache: Mutex::default(),
+            cache: ShardedCache::new(shards),
             inflight: Mutex::default(),
             hits: metrics.counter("orch.hits"),
             misses: metrics.counter("orch.misses"),
@@ -423,70 +444,162 @@ impl Drop for LeaderGuard<'_> {
     }
 }
 
-/// The measurement cache with an optional FIFO capacity bound.
+/// How many shards [`Orchestrator::new`] splits the measurement cache
+/// into. Sweep workers and `biaslab serve` worker threads publish
+/// concurrently; sharding keeps their map accesses from serializing on
+/// one lock while the cheap FIFO bookkeeping stays global.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// The measurement cache with an optional FIFO capacity bound, split
+/// into N shards keyed by the [`MeasureKey::digest`].
 ///
-/// `repro all --effort full` used to hold every record in memory for the
-/// life of the process; a cap bounds that. Eviction is insertion-order
-/// (oldest record first) — deterministic, and the right shape for sweep
-/// traffic, where an experiment's own keys are its most recent inserts.
+/// Record storage is per-shard (`shards[digest % N]`), so concurrent
+/// lookups and publishes to different keys do not contend. The capacity
+/// policy stays **global**: one insertion-order queue and one cap in
+/// `meta`, exactly the semantics the unsharded cache had — eviction is
+/// oldest-record-first across the whole cache, never per shard, so
+/// `BIASLAB_CACHE_CAP` means the same number of records at any shard
+/// count (a pinned regression test holds eviction counts identical for
+/// 1, 2 and 8 shards on a deterministic workload).
+///
+/// Lock order is shard → meta → (victim shards), with each lock released
+/// before the next class is taken — an insert never holds its shard lock
+/// while removing a victim, so two shards are never held at once.
 /// Correctness never depends on retention: [`Orchestrator::measure`] and
 /// [`Orchestrator::sweep`] hand results back directly, so an evicted
 /// record only costs a re-simulation if it is requested again.
+#[derive(Debug)]
+struct ShardedCache {
+    shards: Vec<Mutex<HashMap<MeasureKey, Result<Measurement, MeasureError>>>>,
+    meta: Mutex<CacheMeta>,
+}
+
+/// The global part of the capacity policy (see [`ShardedCache`]).
 #[derive(Debug, Default)]
-struct BoundedCache {
-    map: HashMap<MeasureKey, Result<Measurement, MeasureError>>,
-    /// Insertion order of the keys in `map` (FIFO eviction queue).
+struct CacheMeta {
+    /// Insertion order of every key across all shards (FIFO eviction
+    /// queue).
     order: VecDeque<MeasureKey>,
+    /// Total records across all shards. Tracked here so eviction never
+    /// has to lock every shard to count.
+    len: usize,
     /// Maximum records to retain; `None` is unbounded.
     cap: Option<usize>,
 }
 
-impl BoundedCache {
-    fn get(&self, key: &MeasureKey) -> Option<&Result<Measurement, MeasureError>> {
-        self.map.get(key)
+impl CacheMeta {
+    /// Pops oldest keys until the cap is respected. The caller removes
+    /// the returned victims from their shards after releasing this lock.
+    fn pop_over_cap(&mut self) -> Vec<MeasureKey> {
+        let mut victims = Vec::new();
+        while self.cap.is_some_and(|cap| self.len > cap) {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.len -= 1;
+            victims.push(oldest);
+        }
+        victims
+    }
+}
+
+impl Default for ShardedCache {
+    fn default() -> ShardedCache {
+        ShardedCache::new(DEFAULT_CACHE_SHARDS)
+    }
+}
+
+impl ShardedCache {
+    fn new(shards: usize) -> ShardedCache {
+        ShardedCache {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            meta: Mutex::default(),
+        }
+    }
+
+    fn shard(
+        &self,
+        key: &MeasureKey,
+    ) -> &Mutex<HashMap<MeasureKey, Result<Measurement, MeasureError>>> {
+        &self.shards[(key.digest() as usize) % self.shards.len()]
+    }
+
+    fn get(&self, key: &MeasureKey) -> Option<Result<Measurement, MeasureError>> {
+        self.shard(key).lock().get(key).cloned()
     }
 
     fn contains_key(&self, key: &MeasureKey) -> bool {
-        self.map.contains_key(key)
+        self.shard(key).lock().contains_key(key)
     }
 
     fn len(&self) -> usize {
-        self.map.len()
+        self.meta.lock().len
+    }
+
+    fn cap(&self) -> Option<usize> {
+        self.meta.lock().cap
+    }
+
+    fn set_cap(&self, cap: Option<usize>) -> Vec<MeasureKey> {
+        let victims = {
+            let mut meta = self.meta.lock();
+            meta.cap = cap;
+            meta.pop_over_cap()
+        };
+        self.remove_victims(&victims);
+        victims
     }
 
     /// Inserts a record, evicting oldest-first while over the cap. Returns
     /// the evicted keys (empty in the common case — no allocation) so the
-    /// caller can account for each one.
-    fn insert(
-        &mut self,
-        key: MeasureKey,
-        value: Result<Measurement, MeasureError>,
-    ) -> Vec<MeasureKey> {
+    /// caller can account for each one. Replacing an existing key keeps
+    /// its original insertion-order entry, as the unsharded cache did.
+    fn insert(&self, key: MeasureKey, value: Result<Measurement, MeasureError>) -> Vec<MeasureKey> {
         use std::collections::hash_map::Entry;
-        match self.map.entry(key) {
-            Entry::Occupied(mut slot) => {
-                let _ = slot.insert(value);
-                Vec::new()
+        let ordered = {
+            let mut shard = self.shard(&key).lock();
+            match shard.entry(key) {
+                Entry::Occupied(mut slot) => {
+                    let _ = slot.insert(value);
+                    return Vec::new();
+                }
+                Entry::Vacant(slot) => {
+                    let ordered = slot.key().clone();
+                    slot.insert(value);
+                    ordered
+                }
             }
-            Entry::Vacant(slot) => {
-                self.order.push_back(slot.key().clone());
-                slot.insert(value);
-                self.evict_over_cap()
-            }
+        };
+        let victims = {
+            let mut meta = self.meta.lock();
+            meta.order.push_back(ordered);
+            meta.len += 1;
+            meta.pop_over_cap()
+        };
+        self.remove_victims(&victims);
+        victims
+    }
+
+    /// Removes evicted keys from their shards (meta already dropped them).
+    fn remove_victims(&self, victims: &[MeasureKey]) {
+        for v in victims {
+            self.shard(v).lock().remove(v);
         }
     }
 
-    /// Drops oldest records until the cap is respected, returning their keys.
-    fn evict_over_cap(&mut self) -> Vec<MeasureKey> {
-        let mut evicted = Vec::new();
-        while self.cap.is_some_and(|cap| self.map.len() > cap) {
-            let Some(oldest) = self.order.pop_front() else {
-                break;
-            };
-            self.map.remove(&oldest);
-            evicted.push(oldest);
+    /// The persistence lines of every successful record, shard by shard
+    /// (the caller sorts, so shard iteration order does not matter).
+    fn record_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            lines.extend(
+                shard
+                    .iter()
+                    .filter_map(|(k, r)| r.as_ref().ok().map(|m| record_line(k, m))),
+            );
         }
-        evicted
+        lines
     }
 }
 
@@ -502,36 +615,53 @@ impl Orchestrator {
     ///
     /// Its cache cap comes from `BIASLAB_CACHE_CAP` at first use: a
     /// positive integer caps the in-memory record count, anything else
-    /// (or the variable being unset) leaves it unbounded.
+    /// (or the variable being unset) leaves it unbounded. The cache
+    /// shard count comes from `BIASLAB_CACHE_SHARDS` the same way
+    /// (default [`DEFAULT_CACHE_SHARDS`]).
     #[must_use]
     pub fn global() -> &'static Orchestrator {
         static GLOBAL: OnceLock<Orchestrator> = OnceLock::new();
-        GLOBAL.get_or_init(|| {
-            let orch = Orchestrator::new();
-            let cap = std::env::var("BIASLAB_CACHE_CAP")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0);
-            orch.set_cache_cap(cap);
-            orch
-        })
+        GLOBAL.get_or_init(Orchestrator::from_env)
+    }
+
+    /// A fresh orchestrator configured from the environment:
+    /// `BIASLAB_CACHE_SHARDS` picks the shard count (default
+    /// [`DEFAULT_CACHE_SHARDS`]), `BIASLAB_CACHE_CAP` bounds the cache.
+    /// [`Orchestrator::global`] and the serve daemon both start here.
+    #[must_use]
+    pub fn from_env() -> Orchestrator {
+        let shards = std::env::var("BIASLAB_CACHE_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CACHE_SHARDS);
+        let orch = Orchestrator::with_cache_shards(shards);
+        let cap = std::env::var("BIASLAB_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        orch.set_cache_cap(cap);
+        orch
     }
 
     /// Caps the in-memory measurement cache at `cap` records (`None` is
     /// unbounded, the default). Shrinking below the current size evicts
     /// oldest-first immediately.
     pub fn set_cache_cap(&self, cap: Option<usize>) {
-        let mut cache = self.cache.lock();
-        cache.cap = cap;
-        let evicted = cache.evict_over_cap();
-        drop(cache);
+        let evicted = self.cache.set_cap(cap);
         self.note_evicted(&evicted);
     }
 
     /// The configured cache cap (`None` is unbounded).
     #[must_use]
     pub fn cache_cap(&self) -> Option<usize> {
-        self.cache.lock().cap
+        self.cache.cap()
+    }
+
+    /// How many shards the measurement cache is split into.
+    #[must_use]
+    pub fn cache_shards(&self) -> usize {
+        self.cache.shards.len()
     }
 
     /// The shared harness for a benchmark, or `None` for an unknown name.
@@ -595,9 +725,9 @@ impl Orchestrator {
     }
 
     /// The single-flight measurement protocol behind
-    /// [`Orchestrator::measure`]. Lock order is inflight → cache → (sink);
-    /// [`Orchestrator::sweep`] takes the cache lock alone, so the order is
-    /// acyclic.
+    /// [`Orchestrator::measure`]. Lock order is inflight → cache shard →
+    /// cache meta; [`Orchestrator::sweep`] takes cache locks alone, so
+    /// the order is acyclic.
     ///
     /// The protocol is a loop because a leader can die: a waiter woken on
     /// an `Abandoned` cell goes around again and — finding neither a
@@ -632,8 +762,8 @@ impl Orchestrator {
         loop {
             let role = {
                 let mut inflight = self.inflight.lock();
-                if let Some(r) = self.cache.lock().get(&key) {
-                    Role::Done(r.clone())
+                if let Some(r) = self.cache.get(&key) {
+                    Role::Done(r)
                 } else if let Some(cell) = inflight.get(&key) {
                     Role::Wait(cell.clone())
                 } else {
@@ -694,7 +824,7 @@ impl Orchestrator {
                     // between them.
                     let evicted = {
                         let mut inflight = self.inflight.lock();
-                        let evicted = self.cache.lock().insert(key.clone(), r.clone());
+                        let evicted = self.cache.insert(key.clone(), r.clone());
                         inflight.remove(&key);
                         evicted
                     };
@@ -777,22 +907,21 @@ impl Orchestrator {
             .map(|s| MeasureKey::new(bench, s, size))
             .collect();
 
-        // Split requests into cached and to-simulate under one lock pass.
-        // Results are collected directly (`out` / the work slots below),
-        // never re-read from the cache, so a capacity bound evicting
-        // mid-sweep cannot lose a requested measurement.
+        // Split requests into cached and to-simulate. Results are
+        // collected directly (`out` / the work slots below), never
+        // re-read from the cache, so a capacity bound evicting mid-sweep
+        // cannot lose a requested measurement.
         let mut work: Vec<(MeasureKey, ExperimentSetup)> = Vec::new();
         let mut out: Vec<Option<Result<Measurement, MeasureError>>> =
             Vec::with_capacity(keys.len());
         // For each uncached request, `(request index, work index)`.
         let mut pending: Vec<(usize, usize)> = Vec::new();
         {
-            let cache = self.cache.lock();
             let mut claimed: HashMap<&MeasureKey, usize> = HashMap::new();
             for (i, (key, setup)) in keys.iter().zip(setups).enumerate() {
-                if let Some(r) = cache.get(key) {
+                if let Some(r) = self.cache.get(key) {
                     self.note(CacheOutcome::Hit, key);
-                    out.push(Some(r.clone()));
+                    out.push(Some(r));
                 } else {
                     self.note(CacheOutcome::Miss, key);
                     let wi = *claimed.entry(key).or_insert_with(|| {
@@ -875,11 +1004,9 @@ impl Orchestrator {
                 out[i] = Some(results[wi].clone());
             }
             let mut evicted = Vec::new();
-            let mut cache = self.cache.lock();
             for ((key, _), result) in work.into_iter().zip(results) {
-                evicted.extend(cache.insert(key, result));
+                evicted.extend(self.cache.insert(key, result));
             }
-            drop(cache);
             self.note_evicted(&evicted);
         }
 
@@ -909,7 +1036,7 @@ impl Orchestrator {
             evictions: self.evictions.get(),
             sweep_wall_us: self.sweep_wall_us.get(),
             busy_us: self.busy_us.get(),
-            cached: self.cache.lock().len() as u64,
+            cached: self.cache.len() as u64,
         }
     }
 
@@ -918,7 +1045,7 @@ impl Orchestrator {
     #[must_use]
     pub fn metrics(&self) -> Vec<(String, u64)> {
         let mut out = self.metrics.snapshot();
-        out.push(("orch.cached".to_owned(), self.cache.lock().len() as u64));
+        out.push(("orch.cached".to_owned(), self.cache.len() as u64));
         out.sort();
         out
     }
@@ -945,14 +1072,7 @@ impl Orchestrator {
             let mut written = 0usize;
             let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
             // Deterministic file order: sort by the record line itself.
-            let mut lines: Vec<String> = {
-                let cache = self.cache.lock();
-                cache
-                    .map
-                    .iter()
-                    .filter_map(|(k, r)| r.as_ref().ok().map(|m| record_line(k, m)))
-                    .collect()
-            };
+            let mut lines: Vec<String> = self.cache.record_lines();
             lines.sort_unstable();
             for line in lines {
                 if faults::active() {
@@ -1085,15 +1205,14 @@ impl Orchestrator {
         let mut pruned = 0u64;
         let mut quarantined = 0u64;
         let mut evicted = Vec::new();
-        let mut cache = self.cache.lock();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             match parse_record(line) {
                 RecordVerdict::Ok(key, _) if benchmark_by_name(&key.bench).is_none() => {
                     pruned += 1;
                 }
                 RecordVerdict::Ok(key, m) => {
-                    if !cache.contains_key(&key) {
-                        evicted.extend(cache.insert(key, Ok(*m)));
+                    if !self.cache.contains_key(&key) {
+                        evicted.extend(self.cache.insert(key, Ok(*m)));
                         restored += 1;
                     }
                 }
@@ -1101,7 +1220,6 @@ impl Orchestrator {
                 RecordVerdict::Corrupt => quarantined += 1,
             }
         }
-        drop(cache);
         self.note_evicted(&evicted);
         self.loaded.add(restored as u64);
         self.pruned.add(pruned);
@@ -1143,7 +1261,7 @@ enum RecordVerdict {
     Corrupt,
 }
 
-fn order_str(o: LinkOrder) -> String {
+pub(crate) fn order_str(o: LinkOrder) -> String {
     match o {
         LinkOrder::Default => "default".to_owned(),
         LinkOrder::Reversed => "reversed".to_owned(),
@@ -1152,7 +1270,7 @@ fn order_str(o: LinkOrder) -> String {
     }
 }
 
-fn parse_order(s: &str) -> Option<LinkOrder> {
+pub(crate) fn parse_order(s: &str) -> Option<LinkOrder> {
     match s {
         "default" => Some(LinkOrder::Default),
         "reversed" => Some(LinkOrder::Reversed),
@@ -1161,14 +1279,14 @@ fn parse_order(s: &str) -> Option<LinkOrder> {
     }
 }
 
-fn size_str(s: InputSize) -> &'static str {
+pub(crate) fn size_str(s: InputSize) -> &'static str {
     match s {
         InputSize::Test => "test",
         InputSize::Ref => "ref",
     }
 }
 
-fn parse_size(s: &str) -> Option<InputSize> {
+pub(crate) fn parse_size(s: &str) -> Option<InputSize> {
     match s {
         "test" => Some(InputSize::Test),
         "ref" => Some(InputSize::Ref),
@@ -1176,7 +1294,7 @@ fn parse_size(s: &str) -> Option<InputSize> {
     }
 }
 
-fn counters_to_vec(c: &Counters) -> Vec<u64> {
+pub(crate) fn counters_to_vec(c: &Counters) -> Vec<u64> {
     vec![
         c.cycles,
         c.instructions,
@@ -1203,7 +1321,7 @@ fn counters_to_vec(c: &Counters) -> Vec<u64> {
     ]
 }
 
-fn counters_from_vec(v: &[u64]) -> Option<Counters> {
+pub(crate) fn counters_from_vec(v: &[u64]) -> Option<Counters> {
     let [cycles, instructions, fetches, l1i_misses, l1d_accesses, l1d_misses, l2_misses, itlb_misses, dtlb_misses, branches, mispredicts, btb_misses, ras_mispredicts, bank_conflicts, line_splits, page_splits, loads, stores, stall_frontend, stall_memory, stall_branch, stall_compute] =
         *v
     else {
@@ -1661,6 +1779,40 @@ mod tests {
         orch.set_cache_cap(None);
         let _ = orch.sweep(&h, &setups, InputSize::Test);
         assert_eq!(orch.stats().evictions, 3);
+    }
+
+    /// The sharded split is a concurrency knob, not a policy change: on a
+    /// deterministic workload the cap, the eviction count and the
+    /// oldest-first victim choice are identical at every shard count
+    /// (including the degenerate single-shard cache, which is the old
+    /// unsharded semantics verbatim).
+    #[test]
+    fn sharding_preserves_global_cap_semantics() {
+        let setups = env_setups(6);
+        let mut evictions = Vec::new();
+        for shards in [1usize, 2, 8] {
+            let orch = Orchestrator::with_cache_shards(shards);
+            assert_eq!(orch.cache_shards(), shards);
+            orch.set_cache_cap(Some(2));
+            let h = orch.harness("hmmer").expect("known benchmark");
+            for s in &setups {
+                let _ = orch.measure(&h, s, InputSize::Test);
+            }
+            let stats = orch.stats();
+            assert_eq!(stats.cached, 2, "cap enforced across {shards} shard(s)");
+            evictions.push(stats.evictions);
+            // The newest record is retained at any shard count…
+            let _ = orch.measure(&h, &setups[5], InputSize::Test);
+            assert_eq!(orch.stats().simulated, 6, "{shards} shard(s)");
+            // …and the globally-oldest was the victim, so it re-simulates.
+            let _ = orch.measure(&h, &setups[0], InputSize::Test);
+            assert_eq!(orch.stats().simulated, 7, "{shards} shard(s)");
+        }
+        assert_eq!(
+            evictions,
+            vec![4, 4, 4],
+            "per-shard split must not change eviction counts"
+        );
     }
 
     #[test]

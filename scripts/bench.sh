@@ -12,8 +12,8 @@ cd "$(dirname "$0")/.."
 LABEL="${1:-dev}"
 OUT="BENCH_${LABEL}.json"
 
-echo "==> cargo build --release -p biaslab-bench"
-cargo build --release -p biaslab-bench
+echo "==> cargo build --release -p biaslab-bench -p biaslab-cli"
+cargo build --release -p biaslab-bench -p biaslab-cli
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -37,6 +37,21 @@ resumed_ms=$((t1 - t0))
 cmp "$tmp/cold.txt" "$tmp/resumed.txt" \
     || { echo "FATAL: resumed stdout differs from cold stdout" >&2; exit 1; }
 
+echo "==> serve throughput (loadgen against a local daemon)"
+sock="$tmp/bench-serve.sock"
+./target/release/biaslab serve --addr "unix:$sock" >/dev/null 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "FATAL: serve daemon did not bind $sock" >&2; exit 1; }
+serve_out="$(./target/release/biaslab loadgen --addr "unix:$sock" --clients 8 --requests 50 --seed 7)"
+./target/release/biaslab client shutdown --addr "unix:$sock" >/dev/null
+wait "$serve_pid"
+serve_rps="$(sed -n 's/.*rps=\([0-9.]*\).*/\1/p' <<<"$serve_out")"
+serve_p50="$(sed -n 's/.*p50_us=\([0-9]*\).*/\1/p' <<<"$serve_out")"
+serve_p99="$(sed -n 's/.*p99_us=\([0-9]*\).*/\1/p' <<<"$serve_out")"
+serve_hit="$(sed -n 's/.*hit_rate=\([0-9.]*\).*/\1/p' <<<"$serve_out")"
+[ -n "$serve_rps" ] || { echo "FATAL: loadgen reported no rps" >&2; exit 1; }
+
 echo "==> cargo bench --bench hotpath"
 hotpath_out="$(cargo bench -p biaslab-bench --bench hotpath 2>/dev/null)"
 bench_out="$(grep '^bench ' <<<"${hotpath_out}" || true)"
@@ -47,6 +62,12 @@ stat_out="$(grep '^stat ' <<<"${hotpath_out}" || true)"
     echo "  \"label\": \"${LABEL}\","
     echo "  \"quick_cold_ms\": ${cold_ms},"
     echo "  \"quick_resumed_ms\": ${resumed_ms},"
+    echo "  \"serve\": {"
+    echo "    \"rps\": ${serve_rps},"
+    echo "    \"p50_us\": ${serve_p50},"
+    echo "    \"p99_us\": ${serve_p99},"
+    echo "    \"hit_rate\": ${serve_hit}"
+    echo "  },"
     echo "  \"micro_us_per_iter\": {"
     first=1
     while read -r _ id us _rest; do

@@ -71,6 +71,46 @@ cmp "$tmp/plain.out" "$tmp/chaos.out" \
 leaked="$(find "$tmp/chaos-results" "$tmp/plain-results" -name '*.tmp' 2>/dev/null || true)"
 [ -z "$leaked" ] || { echo "FATAL: leaked tmp files: $leaked" >&2; exit 1; }
 
+echo "==> serve smoke (daemon boot, loadgen, canned transcript, chaos schedule)"
+sock="$tmp/serve.sock"
+./target/release/biaslab serve --addr "unix:$sock" --workers 4 --queue 32 \
+    > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "FATAL: serve daemon did not bind $sock" >&2; exit 1; }
+./target/release/biaslab loadgen --addr "unix:$sock" --clients 8 --requests 25 --seed 7 \
+    > "$tmp/loadgen.out"
+grep -q "serve.loadgen" "$tmp/loadgen.out" \
+    || { echo "FATAL: loadgen produced no report" >&2; exit 1; }
+grep -q "failed=0 " "$tmp/loadgen.out" \
+    || { echo "FATAL: loadgen exchanges failed: $(cat "$tmp/loadgen.out")" >&2; exit 1; }
+# Canned transcript: the same measure request twice (cold, then cached)
+# must produce byte-identical response lines.
+./target/release/biaslab client measure hmmer --addr "unix:$sock" --id 11 --opt O3 \
+    > "$tmp/client-cold.out"
+./target/release/biaslab client measure hmmer --addr "unix:$sock" --id 11 --opt O3 \
+    > "$tmp/client-cached.out"
+cmp "$tmp/client-cold.out" "$tmp/client-cached.out" \
+    || { echo "FATAL: cached daemon response differs from cold" >&2; exit 1; }
+./target/release/biaslab client shutdown --addr "unix:$sock" > /dev/null
+wait "$serve_pid"
+[ ! -e "$sock" ] || { echo "FATAL: daemon leaked its socket file" >&2; exit 1; }
+# Chaos schedule: a daemon under seeded socket faults must still converge
+# to the exact same transcript via client retries, then shut down cleanly.
+BIASLAB_FAULTS="seed=99,serve.accept=0.2,serve.write.short=0.2,serve.drop=0.15" \
+    ./target/release/biaslab serve --addr "unix:$sock" --workers 4 --queue 32 \
+    > "$tmp/serve-chaos.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "FATAL: chaos daemon did not bind $sock" >&2; exit 1; }
+./target/release/biaslab client measure hmmer --addr "unix:$sock" --id 11 --opt O3 \
+    --attempts 12 > "$tmp/client-chaos.out"
+cmp "$tmp/client-cold.out" "$tmp/client-chaos.out" \
+    || { echo "FATAL: response under socket faults differs from fault-free" >&2; exit 1; }
+./target/release/biaslab client shutdown --addr "unix:$sock" --attempts 12 > /dev/null || true
+wait "$serve_pid" || true
+[ ! -e "$sock" ] || { echo "FATAL: chaos daemon leaked its socket file" >&2; exit 1; }
+
 echo "==> scripts/bench.sh ci (bench smoke)"
 ./scripts/bench.sh ci
 
