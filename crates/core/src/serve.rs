@@ -35,6 +35,7 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread;
 use std::time::Instant;
 
+use biaslab_toolchain::layout::STACK_MAX;
 use biaslab_toolchain::load::Environment;
 use biaslab_toolchain::OptLevel;
 use biaslab_uarch::MachineConfig;
@@ -57,6 +58,19 @@ pub const PROTO_VERSION: u64 = 1;
 
 /// Smallest non-empty environment `Environment::of_total_size` accepts.
 const MIN_ENV_BYTES: u64 = 23;
+
+/// Largest environment the loader can actually place (`STACK_MAX / 2`,
+/// stack shift included). Rejected at parse time: anything larger would
+/// allocate a fill string of that size per request only to fail the load,
+/// and a value past `u32::MAX` would otherwise truncate into the panicking
+/// `< 23` range of `Environment::of_total_size`.
+const MAX_ENV_BYTES: u64 = (STACK_MAX / 2) as u64;
+
+/// `true` when `bytes` is an environment size a request may carry:
+/// `0` (keep the default) or within the loader's representable range.
+fn env_in_range(bytes: u64) -> bool {
+    bytes == 0 || (MIN_ENV_BYTES..=MAX_ENV_BYTES).contains(&bytes)
+}
 
 /// Top-level fields of a control request (`ping`, `stats`, `shutdown`).
 pub const REQ_CONTROL_FIELDS: &[&str] = &["v", "ev", "id", "op"];
@@ -137,7 +151,8 @@ pub struct MeasureSpec {
 
 impl MeasureSpec {
     /// Resolves the spec into a concrete setup, or `None` for an unknown
-    /// machine name (parse validates, so this is defensive only).
+    /// machine name or an out-of-range `env` (parse validates both, so
+    /// this is defensive only — never a truncating cast or a panic).
     #[must_use]
     pub fn setup(&self) -> Option<ExperimentSetup> {
         let mut machine = MachineConfig::all()
@@ -146,12 +161,15 @@ impl MeasureSpec {
         if self.budget > 0 {
             machine.max_instructions = self.budget;
         }
+        if !env_in_range(self.env) {
+            return None;
+        }
         let mut setup = ExperimentSetup::default_on(machine, self.opt);
         setup.link_order = self.order;
         setup.text_offset = self.text_offset;
         setup.stack_shift = self.stack_shift;
-        if self.env >= MIN_ENV_BYTES {
-            setup.env = Environment::of_total_size(self.env as u32);
+        if self.env != 0 {
+            setup.env = Environment::of_total_size(u32::try_from(self.env).ok()?);
         }
         Some(setup)
     }
@@ -371,7 +389,7 @@ fn parse_spec(line: &str) -> Result<MeasureSpec, ProtoError> {
     let text_offset = need_u32(line, "text_offset")?;
     let stack_shift = need_u32(line, "stack_shift")?;
     let env = need_u64(line, "env")?;
-    if env != 0 && env < MIN_ENV_BYTES {
+    if !env_in_range(env) {
         return Err(ProtoError::BadValue("env", env.to_string()));
     }
     let size_raw = need(line, "size")?;
@@ -403,7 +421,7 @@ fn parse_envs(line: &str) -> Result<Vec<u64>, ProtoError> {
             let bytes: u64 = part
                 .parse()
                 .map_err(|_| ProtoError::BadValue("envs", part.to_owned()))?;
-            if bytes != 0 && bytes < MIN_ENV_BYTES {
+            if !env_in_range(bytes) {
                 return Err(ProtoError::BadValue("envs", part.to_owned()));
             }
             envs.push(bytes);
@@ -1018,6 +1036,14 @@ impl Server {
         lock_unpoisoned(&self.shared.queue).len()
     }
 
+    /// Connections currently tracked. Closed connections are reclaimed as
+    /// their readers exit, so this returns to zero on an idle daemon — a
+    /// regression test pins that per-connection state cannot leak.
+    #[must_use]
+    pub fn live_connections(&self) -> usize {
+        lock_unpoisoned(&self.shared.conns).len()
+    }
+
     /// Blocks until a `shutdown` request flips the flag, then tears the
     /// daemon down. This is the `biaslab serve` foreground loop.
     pub fn run_until_shutdown(self) {
@@ -1074,6 +1100,9 @@ fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
             return;
         }
         let Ok(conn) = conn else {
+            // A persistent accept error (EMFILE under fd exhaustion, say)
+            // must not turn the acceptor into a busy-spin.
+            thread::sleep(std::time::Duration::from_millis(50));
             continue;
         };
         if faults::fire(site::SERVE_ACCEPT) {
@@ -1086,7 +1115,9 @@ fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
         shared.c.connections.add(1);
         let shared2 = Arc::clone(shared);
         let handle = thread::spawn(move || reader_loop(&shared2, conn));
-        lock_unpoisoned(&shared.readers).push(handle);
+        let mut readers = lock_unpoisoned(&shared.readers);
+        readers.retain(|h| !h.is_finished());
+        readers.push(handle);
     }
 }
 
@@ -1171,6 +1202,10 @@ fn reader_loop(shared: &Arc<Shared>, conn: Stream) {
     if let Some(s) = leftover {
         s.shutdown_both();
     }
+    // Reclaim this connection's registry slot; a long-lived daemon must
+    // not accumulate one ConnOut per connection ever accepted. (Jobs still
+    // queued keep their own Arc, so in-flight responses are unaffected.)
+    lock_unpoisoned(&shared.conns).retain(|c| !Arc::ptr_eq(c, &out));
 }
 
 fn worker_loop(shared: &Arc<Shared>, wid: u64) {
@@ -1227,10 +1262,13 @@ fn run_measure(shared: &Shared, id: u64, spec: &MeasureSpec) -> String {
 pub fn sweep_setups(base: &ExperimentSetup, envs: &[u64]) -> Vec<ExperimentSetup> {
     envs.iter()
         .map(|&bytes| {
-            if bytes >= MIN_ENV_BYTES {
-                base.with_env(Environment::of_total_size(bytes as u32))
-            } else {
-                base.clone()
+            match u32::try_from(bytes) {
+                // parse_envs bounds daemon input; out-of-range values from
+                // direct callers keep the base env rather than truncating.
+                Ok(b) if env_in_range(bytes) && bytes != 0 => {
+                    base.with_env(Environment::of_total_size(b))
+                }
+                _ => base.clone(),
             }
         })
         .collect()
@@ -1282,6 +1320,23 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Torn => write!(f, "torn response (truncated line or crc mismatch)"),
         }
+    }
+}
+
+/// A failed exchange: the error the last attempt died with, plus the
+/// attempts actually consumed — so callers account retries honestly
+/// instead of guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestFailed {
+    /// What the final attempt failed with.
+    pub error: ClientError,
+    /// Connection attempts consumed (the client's whole retry budget).
+    pub retries: u32,
+}
+
+impl fmt::Display for RequestFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (after {} attempts)", self.error, self.retries)
     }
 }
 
@@ -1339,7 +1394,8 @@ impl Client {
     }
 
     /// Sends one request line and collects its verified response lines.
-    pub fn request(&mut self, line: &str) -> Result<Exchange, ClientError> {
+    /// On failure the error reports the attempts actually consumed.
+    pub fn request(&mut self, line: &str) -> Result<Exchange, RequestFailed> {
         let id = line_id(line).unwrap_or(0);
         let mut retries = 0u32;
         let mut last = ClientError::Io("no attempts made".to_owned());
@@ -1358,7 +1414,10 @@ impl Client {
                 }
             }
         }
-        Err(last)
+        Err(RequestFailed {
+            error: last,
+            retries,
+        })
     }
 
     fn try_once(&mut self, line: &str, id: u64) -> Result<Vec<String>, ClientError> {
@@ -1561,8 +1620,8 @@ fn loadgen_client(cfg: &LoadgenConfig, client_idx: usize) -> Tally {
                     _ => tally.err += 1,
                 }
             }
-            Err(_) => {
-                tally.retries += 1;
+            Err(fail) => {
+                tally.retries += u64::from(fail.retries);
                 tally.failed += 1;
             }
         }
@@ -1761,6 +1820,91 @@ mod tests {
             parse_request(&both).unwrap_err(),
             ProtoError::BadValue("machine", "vax".into())
         );
+    }
+
+    #[test]
+    fn env_out_of_range_rejected_never_truncated() {
+        let base = encode_measure(1, &spec("hmmer"));
+        // `2^32 + 7` once truncated to 7 on the worker thread and tripped
+        // `Environment::of_total_size`'s 23-byte assert — one request per
+        // worker wedged the daemon; `MAX_ENV_BYTES + 1` once allocated a
+        // fill string of that size only to fail the load.
+        for bad in [MAX_ENV_BYTES + 1, (1u64 << 32) + 7, u64::MAX] {
+            let line = base.replace("\"env\":0", &format!("\"env\":{bad}"));
+            assert_eq!(
+                parse_request(&line).unwrap_err(),
+                ProtoError::BadValue("env", bad.to_string()),
+                "env={bad}"
+            );
+            let mut s = spec("hmmer");
+            s.env = bad;
+            assert!(s.setup().is_none(), "setup accepted env={bad}");
+            let sweep = encode_sweep(2, &spec("hmmer"), &[0, bad]);
+            assert_eq!(
+                parse_request(&sweep).unwrap_err(),
+                ProtoError::BadValue("envs", bad.to_string()),
+                "envs entry {bad}"
+            );
+        }
+        // The boundary values stay accepted and resolve to a setup.
+        for good in [0, MIN_ENV_BYTES, MAX_ENV_BYTES] {
+            let line = base.replace("\"env\":0", &format!("\"env\":{good}"));
+            match parse_request(&line).expect("in-range env parses") {
+                Request::Measure { spec, .. } => {
+                    assert!(spec.setup().is_some(), "env={good}");
+                }
+                other => panic!("expected measure, got {other:?}"),
+            }
+        }
+        // sweep_setups holds the same line for direct callers: an
+        // out-of-range entry keeps the base environment, never truncates.
+        let base_setup = spec("hmmer").setup().unwrap();
+        let setups = sweep_setups(&base_setup, &[(1 << 32) + 7, 64]);
+        assert_eq!(
+            setups[0].env.stack_bytes(),
+            base_setup.env.stack_bytes(),
+            "out-of-range entry must keep the base env"
+        );
+        assert_eq!(setups[1].env.stack_bytes(), 64);
+    }
+
+    #[test]
+    fn failed_request_reports_consumed_attempts() {
+        // Nothing listens on this socket: every attempt dies at connect,
+        // and the error must account for all of them.
+        let addr = temp_sock("nobody");
+        let mut client = Client::new(addr).with_attempts(3);
+        let fail = client.request(&encode_control(1, "ping")).unwrap_err();
+        assert_eq!(fail.retries, 3, "all consumed attempts counted");
+        assert!(matches!(fail.error, ClientError::Io(_)));
+    }
+
+    #[test]
+    fn finished_connections_are_reclaimed() {
+        let addr = temp_sock("reclaim");
+        let server = Server::start(
+            &ServerConfig::new(addr.clone()),
+            Arc::new(Orchestrator::default()),
+        )
+        .expect("server starts");
+        for i in 0..4 {
+            let mut client = Client::new(addr.clone());
+            let ex = client
+                .request(&encode_control(i, "ping"))
+                .expect("ping answered");
+            assert_eq!(line_status(ex.terminal()), Some("ok"));
+        }
+        // Readers observe the disconnects asynchronously; poll briefly.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while server.live_connections() > 0 && Instant::now() < deadline {
+            thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(
+            server.live_connections(),
+            0,
+            "per-connection state leaked after clients disconnected"
+        );
+        server.shutdown();
     }
 
     #[test]
