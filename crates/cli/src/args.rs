@@ -29,7 +29,12 @@ commands:
                                cache effectiveness, worker utilization
   serve                        measurement daemon: JSONL requests over a
                                unix/tcp socket, bounded admission queue,
-                               explicit shed responses under overload
+                               explicit shed responses under overload,
+                               supervised worker pool (panicked workers
+                               respawn; `stats` reports health ok |
+                               degraded | draining), per-request
+                               deadlines, SIGTERM graceful drain and
+                               crash-recoverable sweep journals
   client <op> [<benchmark>]    one-shot daemon request; op is ping,
                                stats, shutdown, measure or sweep
   loadgen                      drive a daemon with randomized-setup
@@ -59,9 +64,16 @@ options (serve/client/loadgen):
                                [default unix:/tmp/biaslab.sock]
   --workers <n>                (serve) worker-pool threads   [default 4]
   --queue <n>                  (serve) admission-queue bound [default 64]
+  --drain-timeout <ms>         (serve) grace period for in-flight work
+                               on SIGTERM / shutdown drain [default 5000]
   --id <n>                     (client) request id           [default 1]
   --budget <n>                 (client) instruction-budget override;
                                0 keeps the machine default
+  --deadline <ms>              (client measure/sweep) request deadline;
+                               expiry answers `status:deadline` instead
+                               of burning a simulation [default 0 = none]
+  --mode <now|drain>           (client shutdown) immediate stop, or
+                               finish in-flight work first [default now]
   --envs <a,b,..>              (client sweep) env-size grid in bytes
   --attempts <n>               (client) retry budget         [default 4]
   --clients <n>                (loadgen) concurrent clients  [default 8]
@@ -139,6 +151,8 @@ pub enum Command {
         workers: usize,
         /// Admission-queue bound.
         queue_depth: usize,
+        /// Grace period (ms) for in-flight work when draining.
+        drain_timeout_ms: u64,
     },
     /// `biaslab client <op> [<bench>] --addr <addr> …`
     Client(ClientArgs),
@@ -190,6 +204,10 @@ pub struct ClientArgs {
     pub envs: Vec<u64>,
     /// Retry budget for torn responses.
     pub attempts: u32,
+    /// Request deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// `shutdown` drains in-flight work instead of stopping immediately.
+    pub drain: bool,
 }
 
 /// Options for `biaslab run`.
@@ -251,6 +269,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     addr,
                     workers: num("--workers", 4)? as usize,
                     queue_depth: num("--queue", 64)? as usize,
+                    drain_timeout_ms: num("--drain-timeout", 5000)?,
                 })
             } else {
                 Ok(Command::Loadgen {
@@ -307,6 +326,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     })
                     .collect::<Result<Vec<u64>, String>>()?,
             };
+            let drain = match get("--mode") {
+                None | Some("now") => false,
+                Some("drain") => true,
+                Some(other) => return Err(format!("unknown --mode `{other}` (now, drain)")),
+            };
             Ok(Command::Client(ClientArgs {
                 addr,
                 op,
@@ -320,6 +344,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 id: num("--id", 1)?,
                 envs,
                 attempts: num("--attempts", 4)? as u32,
+                deadline_ms: num("--deadline", 0)?,
+                drain,
             }))
         }
         "run" | "disasm" | "audit" | "ir" | "analyze" | "lint" => {
@@ -568,6 +594,41 @@ mod tests {
         let err = parse(&argv("lint mcf --deny style")).unwrap_err();
         assert!(err.contains("unknown finding class"));
         assert!(err.contains("loop-fetch-straddle"));
+    }
+
+    #[test]
+    fn parses_serve_and_client_supervision_flags() {
+        let Command::Serve {
+            drain_timeout_ms, ..
+        } = parse(&argv("serve --drain-timeout 250")).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(drain_timeout_ms, 250);
+        let Command::Serve {
+            drain_timeout_ms, ..
+        } = parse(&argv("serve")).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(drain_timeout_ms, 5000);
+
+        let Command::Client(a) = parse(&argv("client measure hmmer --deadline 750")).unwrap()
+        else {
+            panic!("expected client")
+        };
+        assert_eq!(a.deadline_ms, 750);
+        assert!(!a.drain);
+        let Command::Client(a) = parse(&argv("client shutdown --mode drain")).unwrap() else {
+            panic!("expected client")
+        };
+        assert!(a.drain);
+        let Command::Client(a) = parse(&argv("client shutdown --mode now")).unwrap() else {
+            panic!("expected client")
+        };
+        assert!(!a.drain);
+        assert!(parse(&argv("client shutdown --mode later")).is_err());
+        assert!(parse(&argv("serve --drain-timeout soon")).is_err());
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             addr,
             workers,
             queue_depth,
-        } => serve_cmd(&addr, workers, queue_depth),
+            drain_timeout_ms,
+        } => serve_cmd(&addr, workers, queue_depth, drain_timeout_ms),
         Command::Client(args) => client_cmd(&args),
         Command::Loadgen {
             addr,
@@ -54,11 +55,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
-fn serve_cmd(addr: &str, workers: usize, queue_depth: usize) -> Result<(), String> {
+fn serve_cmd(
+    addr: &str,
+    workers: usize,
+    queue_depth: usize,
+    drain_timeout_ms: u64,
+) -> Result<(), String> {
     let addr = serve::Addr::parse(addr)?;
     let mut cfg = serve::ServerConfig::new(addr);
     cfg.workers = workers;
     cfg.queue_depth = queue_depth;
+    cfg.drain_timeout_ms = drain_timeout_ms;
+    cfg.journal_dir = Some(
+        std::env::var_os("BIASLAB_RESULTS_DIR")
+            .map_or_else(
+                || std::path::PathBuf::from("results"),
+                std::path::PathBuf::from,
+            )
+            .join("sweeps"),
+    );
     let orch = std::sync::Arc::new(Orchestrator::from_env());
     let server = serve::Server::start(&cfg, orch)?;
     println!(
@@ -67,14 +82,16 @@ fn serve_cmd(addr: &str, workers: usize, queue_depth: usize) -> Result<(), Strin
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    server.run_until_shutdown();
+    crate::signals::install_sigterm();
+    server.run_until_shutdown_or(crate::signals::term_requested);
     Ok(())
 }
 
 fn client_cmd(a: &ClientArgs) -> Result<(), String> {
     let addr = serve::Addr::parse(&a.addr)?;
     let line = match a.op.as_str() {
-        "ping" | "stats" | "shutdown" => serve::encode_control(a.id, &a.op),
+        "ping" | "stats" => serve::encode_control(a.id, &a.op),
+        "shutdown" => serve::encode_shutdown(a.id, a.drain),
         _ => {
             let spec = serve::MeasureSpec {
                 bench: a.bench.clone(),
@@ -88,9 +105,9 @@ fn client_cmd(a: &ClientArgs) -> Result<(), String> {
                 budget: a.budget,
             };
             if a.op == "measure" {
-                serve::encode_measure(a.id, &spec)
+                serve::encode_measure_deadline(a.id, &spec, a.deadline_ms)
             } else {
-                serve::encode_sweep(a.id, &spec, &a.envs)
+                serve::encode_sweep_deadline(a.id, &spec, &a.envs, a.deadline_ms)
             }
         }
     };

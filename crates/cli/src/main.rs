@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod signals;
 
 fn main() -> ExitCode {
     if let Err(e) = biaslab_core::faults::install_from_env() {

@@ -1,0 +1,33 @@
+//! SIGTERM latch for graceful drain.
+//!
+//! The core crate forbids unsafe code, so the one `extern` binding the
+//! daemon needs — installing a SIGTERM handler — lives here in the CLI.
+//! The handler only stores into an atomic (the async-signal-safe subset);
+//! the serve foreground loop polls [`term_requested`] and turns the latch
+//! into an orderly drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const SIGTERM: i32 = 15;
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+unsafe extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the SIGTERM handler. Call once, before serving.
+pub fn install_sigterm() {
+    unsafe {
+        signal(SIGTERM, on_term);
+    }
+}
+
+/// `true` once a SIGTERM has been delivered.
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}

@@ -50,10 +50,11 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
 use crate::jsonl::fnv64;
+use crate::sync::lock_unpoisoned;
 use crate::telemetry::{self, FaultKind};
 
 /// The failpoint sites threaded through the stack. Each constant names
@@ -107,6 +108,16 @@ pub mod site {
     /// request line, modelling a peer that trickles its bytes. A
     /// scheduling perturbation only — responses never depend on it.
     pub const SERVE_SLOW: &str = "serve.slow";
+    /// A serve pool worker dies mid-job, as an arbitrary bug in request
+    /// handling would make it. The job's client still receives a typed
+    /// `panic` error, and the supervisor respawns the worker under its
+    /// restart budget — the pool shrinks, then recovers.
+    pub const SERVE_WORKER_PANIC: &str = "serve.worker_panic";
+    /// The daemon "crashes" (the worker dies unrecoverably) after writing
+    /// half of a sweep-journal line and before the fsync, modelling a kill
+    /// mid-append. The torn line fails its crc on reload and only that
+    /// item is re-simulated; every fully journaled item is replayed.
+    pub const SERVE_CRASH_JOURNAL: &str = "serve.crash_before_journal_fsync";
 
     /// Every known site, for spec validation and docs.
     pub const ALL: &[&str] = &[
@@ -122,6 +133,8 @@ pub mod site {
         SERVE_WRITE_SHORT,
         SERVE_DROP,
         SERVE_SLOW,
+        SERVE_WORKER_PANIC,
+        SERVE_CRASH_JOURNAL,
     ];
 }
 
@@ -241,10 +254,6 @@ fn state() -> &'static Mutex<Option<Arc<Installed>>> {
     STATE.get_or_init(Mutex::default)
 }
 
-fn unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Whether any fault schedule is installed. One relaxed atomic load —
 /// every injection point checks this before doing anything else, so with
 /// faults off the measure path pays exactly this load.
@@ -264,14 +273,14 @@ pub fn install(spec: &FaultSpec) {
             .map(|&(site, trigger)| (site, (trigger, AtomicU64::new(0))))
             .collect(),
     };
-    *unpoisoned(state()) = Some(Arc::new(installed));
+    *lock_unpoisoned(state()) = Some(Arc::new(installed));
     ACTIVE.store(true, Ordering::Relaxed);
 }
 
 /// Removes any installed schedule (the layer returns to zero-cost off).
 pub fn clear() {
     ACTIVE.store(false, Ordering::Relaxed);
-    *unpoisoned(state()) = None;
+    *lock_unpoisoned(state()) = None;
 }
 
 /// Installs the schedule named by `BIASLAB_FAULTS`, if set. Returns
@@ -301,7 +310,7 @@ pub struct ScopedFaults(#[allow(dead_code)] MutexGuard<'static, ()>);
 #[must_use]
 pub fn scoped(spec: &FaultSpec) -> ScopedFaults {
     static SCOPE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    let guard = unpoisoned(SCOPE_LOCK.get_or_init(Mutex::default));
+    let guard = lock_unpoisoned(SCOPE_LOCK.get_or_init(Mutex::default));
     install(spec);
     ScopedFaults(guard)
 }
@@ -346,7 +355,7 @@ pub fn fire(site: &str) -> bool {
     if !active() {
         return false;
     }
-    let Some(installed) = unpoisoned(state()).clone() else {
+    let Some(installed) = lock_unpoisoned(state()).clone() else {
         return false;
     };
     let Some((trigger, hits)) = installed.sites.get(site) else {

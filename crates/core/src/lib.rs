@@ -66,6 +66,7 @@ pub mod report;
 pub mod serve;
 pub mod setup;
 pub mod stats;
+pub(crate) mod sync;
 pub mod telemetry;
 pub mod trace_report;
 

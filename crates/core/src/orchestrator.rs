@@ -51,9 +51,7 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{
-    Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError,
-};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use biaslab_toolchain::load::Environment;
@@ -66,26 +64,8 @@ use crate::faults::{self, site};
 use crate::harness::{Harness, MeasureError, Measurement};
 use crate::jsonl::{field, field_str, field_u64, fnv64, sync_parent_dir};
 use crate::setup::{ExperimentSetup, LinkOrder};
+use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use crate::telemetry::{self, CacheOutcome, Counter, MetricsRegistry};
-
-/// Locks a std mutex, recovering from poison. The in-flight cells use std
-/// primitives (the offline `parking_lot` stand-in has no condvar), and std
-/// mutexes poison when a holder panics. Every protected value here stays
-/// consistent across a panic — cell state is a plain enum written in one
-/// statement — so poison carries no information we need, and propagating
-/// it (the old `expect`s) turned one panicked leader into a process-wide
-/// wedge for every waiter of that key.
-pub(crate) fn lock_unpoisoned<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// [`Condvar::wait`] with the same poison recovery as [`lock_unpoisoned`].
-pub(crate) fn wait_unpoisoned<'a, T>(
-    cv: &Condvar,
-    guard: StdMutexGuard<'a, T>,
-) -> StdMutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Content-addresses a machine configuration for the cache key: FNV-64
 /// over a canonical `field=value` rendering of every timing-relevant
@@ -444,6 +424,21 @@ impl Drop for LeaderGuard<'_> {
     }
 }
 
+/// A deadline-bounded request ([`Orchestrator::measure_deadline`]) ran out
+/// of wall-clock time before a result was available. Distinct from every
+/// [`MeasureError`]: the measurement itself neither ran nor failed, so
+/// nothing is cached and a later request can still succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline exceeded before the measurement completed")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
 /// How many shards [`Orchestrator::new`] splits the measurement cache
 /// into. Sweep workers and `biaslab serve` worker threads publish
 /// concurrently; sharding keeps their map accesses from serializing on
@@ -714,12 +709,41 @@ impl Orchestrator {
         setup: &ExperimentSetup,
         size: InputSize,
     ) -> Result<Measurement, MeasureError> {
+        match self.measure_deadline(harness, setup, size, None) {
+            Ok(r) => r,
+            // With no deadline the request can only complete or unwind.
+            Err(DeadlineExceeded) => unreachable!("deadline error without a deadline"),
+        }
+    }
+
+    /// [`Orchestrator::measure`] bounded by a wall-clock deadline.
+    ///
+    /// The deadline is enforced at the protocol's control points — before
+    /// leading a simulation, and while waiting on another leader's result
+    /// (the single-flight wait becomes a timed wait) — never *inside* a
+    /// simulation: the instruction-budget watchdog bounds the simulation
+    /// itself, and deriving a budget from wall-clock time would poison the
+    /// deterministic cache with timing-dependent results. An expired
+    /// leader abandons its in-flight cell (waiters take over), an expired
+    /// waiter walks away; neither burns a simulation.
+    ///
+    /// # Errors
+    ///
+    /// `Err(DeadlineExceeded)` when the deadline passed first; otherwise
+    /// the inner measurement result, exactly as [`Orchestrator::measure`].
+    pub fn measure_deadline(
+        &self,
+        harness: &Harness,
+        setup: &ExperimentSetup,
+        size: InputSize,
+        deadline: Option<Instant>,
+    ) -> Result<Result<Measurement, MeasureError>, DeadlineExceeded> {
         let key = MeasureKey::new(harness.benchmark().name(), setup, size);
         if !telemetry::enabled() {
-            return self.measure_request(harness, setup, size, key).0;
+            return self.measure_request(harness, setup, size, key, deadline).0;
         }
         let span = telemetry::Span::open("measure", &key.bench).with_key(key.digest());
-        let (r, outcome) = self.measure_request(harness, setup, size, key);
+        let (r, outcome) = self.measure_request(harness, setup, size, key, deadline);
         span.with_outcome(outcome).close();
         r
     }
@@ -744,7 +768,11 @@ impl Orchestrator {
         setup: &ExperimentSetup,
         size: InputSize,
         key: MeasureKey,
-    ) -> (Result<Measurement, MeasureError>, CacheOutcome) {
+        deadline: Option<Instant>,
+    ) -> (
+        Result<Result<Measurement, MeasureError>, DeadlineExceeded>,
+        CacheOutcome,
+    ) {
         enum Role {
             Done(Result<Measurement, MeasureError>),
             Wait(Arc<InflightCell>),
@@ -773,15 +801,29 @@ impl Orchestrator {
                 }
             };
             match role {
-                Role::Done(r) => return (r, note_once(CacheOutcome::Hit)),
+                Role::Done(r) => return (Ok(r), note_once(CacheOutcome::Hit)),
                 Role::Wait(cell) => {
                     let outcome = note_once(CacheOutcome::Hit);
                     let mut state = lock_unpoisoned(&cell.state);
                     loop {
                         match &*state {
-                            CellState::Done(r) => return ((**r).clone(), outcome),
+                            CellState::Done(r) => return (Ok((**r).clone()), outcome),
                             CellState::Abandoned => break, // take over: go around
-                            CellState::Pending => state = wait_unpoisoned(&cell.ready, state),
+                            CellState::Pending => match deadline {
+                                None => state = wait_unpoisoned(&cell.ready, state),
+                                Some(d) => {
+                                    // Timed wait: walk away when the
+                                    // deadline passes first; the leader's
+                                    // result still lands in the cache.
+                                    let now = Instant::now();
+                                    if now >= d {
+                                        return (Err(DeadlineExceeded), outcome);
+                                    }
+                                    let (g, _) =
+                                        wait_timeout_unpoisoned(&cell.ready, state, d - now);
+                                    state = g;
+                                }
+                            },
                         }
                     }
                 }
@@ -793,6 +835,14 @@ impl Orchestrator {
                         cell: &cell,
                         armed: true,
                     };
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Expired before simulating: don't burn the run.
+                        // Returning drops the still-armed guard, which
+                        // retires the cell as `Abandoned` so any waiters
+                        // take over leadership instead of wedging.
+                        drop(guard);
+                        return (Err(DeadlineExceeded), outcome);
+                    }
                     let r = loop {
                         if !faults::active() {
                             break self.simulate_one(harness, setup, size);
@@ -832,7 +882,7 @@ impl Orchestrator {
                     self.note_evicted(&evicted);
                     *lock_unpoisoned(&cell.state) = CellState::Done(Box::new(r.clone()));
                     cell.ready.notify_all();
-                    return (r, outcome);
+                    return (Ok(r), outcome);
                 }
             }
         }

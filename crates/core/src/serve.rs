@@ -17,23 +17,33 @@
 //! without trusting framing alone. String values never contain quotes,
 //! brackets or braces, which keeps the `jsonl` field scanner exact.
 //!
-//! Failure model: the four `serve.*` fault sites (accept failure, short
-//! write, mid-response disconnect, slow client) inject at the socket
-//! boundary only. A client observes at worst a typed error or a torn /
-//! truncated line, reconnects, and retries the whole exchange; the
-//! orchestrator's caches make the retry cheap and the response identical.
+//! Failure model: the socket-boundary `serve.*` fault sites (accept
+//! failure, short write, mid-response disconnect, slow client) leave a
+//! client observing at worst a typed error or a torn / truncated line; it
+//! reconnects with seeded jittered backoff and retries the whole exchange,
+//! and the orchestrator's caches make the retry cheap and the response
+//! identical. Inside the daemon a supervision layer holds the same line:
+//! every pool job runs under `catch_unwind`, a panicked worker answers its
+//! client with a typed `panic` error and is respawned under a capped,
+//! seeded-jitter restart budget (`serve.worker.{panic,respawn}`, surfaced
+//! as the `health` field of `stats`); requests may carry a `deadline_ms`
+//! enforced at every control point (admission wait, single-flight wait)
+//! as a typed `deadline` response; SIGTERM / `shutdown {"mode":"drain"}`
+//! finishes in-flight work before stopping; and sweeps write a crc-sealed
+//! journal so a daemon killed mid-sweep resumes instead of re-simulating.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use biaslab_toolchain::layout::STACK_MAX;
 use biaslab_toolchain::load::Environment;
@@ -45,12 +55,12 @@ use rand::{Rng, SeedableRng};
 
 use crate::faults::{self, site};
 use crate::harness::{MeasureError, Measurement};
-use crate::jsonl::{field, field_str, field_u64, fnv64};
+use crate::jsonl::{field, field_str, field_u64, fnv64, sync_parent_dir};
 use crate::orchestrator::{
-    counters_to_vec, lock_unpoisoned, order_str, parse_order, parse_size, size_str,
-    wait_unpoisoned, Orchestrator,
+    counters_to_vec, order_str, parse_order, parse_size, size_str, DeadlineExceeded, Orchestrator,
 };
 use crate::setup::{ExperimentSetup, LinkOrder};
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use crate::telemetry;
 
 /// Wire protocol version; every line carries it as `"v"`.
@@ -72,9 +82,13 @@ fn env_in_range(bytes: u64) -> bool {
     bytes == 0 || (MIN_ENV_BYTES..=MAX_ENV_BYTES).contains(&bytes)
 }
 
-/// Top-level fields of a control request (`ping`, `stats`, `shutdown`).
+/// Top-level fields of a control request (`ping`, `stats`).
 pub const REQ_CONTROL_FIELDS: &[&str] = &["v", "ev", "id", "op"];
+/// Top-level fields of a `shutdown` request: control fields plus the
+/// optional `mode` (`now`, the default, or `drain`).
+pub const REQ_SHUTDOWN_FIELDS: &[&str] = &["v", "ev", "id", "op", "mode"];
 /// Top-level fields of a `measure` request, in canonical order.
+/// `deadline_ms` is optional; absent means no deadline.
 pub const REQ_MEASURE_FIELDS: &[&str] = &[
     "v",
     "ev",
@@ -89,6 +103,7 @@ pub const REQ_MEASURE_FIELDS: &[&str] = &[
     "env",
     "size",
     "budget",
+    "deadline_ms",
 ];
 /// Top-level fields of a `sweep` request: measure fields plus `envs`.
 pub const REQ_SWEEP_FIELDS: &[&str] = &[
@@ -105,6 +120,7 @@ pub const REQ_SWEEP_FIELDS: &[&str] = &[
     "env",
     "size",
     "budget",
+    "deadline_ms",
     "envs",
 ];
 /// Top-level fields of a terminal response line.
@@ -115,8 +131,10 @@ pub const RESP_FIELDS: &[&str] = &[
 pub const ITEM_FIELDS: &[&str] = &[
     "v", "ev", "id", "seq", "status", "code", "error", "setup", "checksum", "counters", "crc",
 ];
-/// Top-level fields of a stats response line.
-pub const STATS_FIELDS: &[&str] = &["v", "ev", "id", "counters", "crc"];
+/// Top-level fields of a stats response line. `health` is the daemon's
+/// supervision state: `ok`, `degraded` (fewer live workers than
+/// configured) or `draining`.
+pub const STATS_FIELDS: &[&str] = &["v", "ev", "id", "health", "counters", "crc"];
 
 /// Request operations the daemon understands.
 pub const OPS: &[&str] = &["ping", "stats", "shutdown", "measure", "sweep"];
@@ -188,10 +206,14 @@ pub enum Request {
         /// Client-chosen correlation id echoed in the response.
         id: u64,
     },
-    /// Acknowledge, then stop accepting and drain the pool.
+    /// Acknowledge, then stop the daemon — immediately (`mode:now`, the
+    /// default) or after finishing in-flight work (`mode:drain`).
     Shutdown {
         /// Client-chosen correlation id echoed in the response.
         id: u64,
+        /// `true` for a graceful drain: stop accepting, finish admitted
+        /// work up to the daemon's drain timeout, then stop.
+        drain: bool,
     },
     /// One measurement under one concrete setup.
     Measure {
@@ -199,6 +221,10 @@ pub enum Request {
         id: u64,
         /// The setup to measure.
         spec: MeasureSpec,
+        /// Wall-clock deadline in milliseconds from admission; `0` means
+        /// no deadline. An expired request gets a typed `deadline`
+        /// response instead of burning a simulation.
+        deadline_ms: u64,
     },
     /// A sweep of the spec's setup across an environment-size grid.
     Sweep {
@@ -208,6 +234,9 @@ pub enum Request {
         spec: MeasureSpec,
         /// Environment sizes in bytes; `0` keeps the base environment.
         envs: Vec<u64>,
+        /// Wall-clock deadline in milliseconds from admission; `0` means
+        /// no deadline. Checked between items; completed items are kept.
+        deadline_ms: u64,
     },
 }
 
@@ -218,7 +247,7 @@ impl Request {
         match self {
             Request::Ping { id }
             | Request::Stats { id }
-            | Request::Shutdown { id }
+            | Request::Shutdown { id, .. }
             | Request::Measure { id, .. }
             | Request::Sweep { id, .. } => *id,
         }
@@ -324,7 +353,8 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     let id = field_u64(line, "id").ok_or(ProtoError::MissingField("id"))?;
     let op = field_str(line, "op").ok_or(ProtoError::MissingField("op"))?;
     let allowed: &[&str] = match op {
-        "ping" | "stats" | "shutdown" => REQ_CONTROL_FIELDS,
+        "ping" | "stats" => REQ_CONTROL_FIELDS,
+        "shutdown" => REQ_SHUTDOWN_FIELDS,
         "measure" => REQ_MEASURE_FIELDS,
         "sweep" => REQ_SWEEP_FIELDS,
         other => return Err(ProtoError::UnknownOp(other.to_owned())),
@@ -337,16 +367,44 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match op {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
-        "shutdown" => Ok(Request::Shutdown { id }),
-        "measure" => Ok(Request::Measure {
-            id,
-            spec: parse_spec(line)?,
-        }),
+        "shutdown" => {
+            let drain = match field_str(line, "mode") {
+                None | Some("now") => false,
+                Some("drain") => true,
+                Some(other) => return Err(ProtoError::BadValue("mode", other.to_owned())),
+            };
+            Ok(Request::Shutdown { id, drain })
+        }
+        "measure" => {
+            let spec = parse_spec(line)?;
+            let deadline_ms = opt_u64(line, "deadline_ms")?;
+            Ok(Request::Measure {
+                id,
+                spec,
+                deadline_ms,
+            })
+        }
         _ => {
             let spec = parse_spec(line)?;
+            let deadline_ms = opt_u64(line, "deadline_ms")?;
             let envs = parse_envs(line)?;
-            Ok(Request::Sweep { id, spec, envs })
+            Ok(Request::Sweep {
+                id,
+                spec,
+                envs,
+                deadline_ms,
+            })
         }
+    }
+}
+
+/// An optional numeric field: absent parses as `0`.
+fn opt_u64(line: &str, key: &'static str) -> Result<u64, ProtoError> {
+    match field(line, key) {
+        None => Ok(0),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| ProtoError::BadValue(key, raw.to_owned())),
     }
 }
 
@@ -430,10 +488,25 @@ fn parse_envs(line: &str) -> Result<Vec<u64>, ProtoError> {
     Ok(envs)
 }
 
-/// Encodes a control request (`ping`, `stats`, `shutdown`).
+/// Encodes a control request (`ping`, `stats`, or an immediate
+/// `shutdown`).
 #[must_use]
 pub fn encode_control(id: u64, op: &str) -> String {
     format!("{{\"v\":{PROTO_VERSION},\"ev\":\"req\",\"id\":{id},\"op\":\"{op}\"}}")
+}
+
+/// Encodes a `shutdown` request; `drain` selects the graceful mode that
+/// finishes in-flight work before stopping.
+#[must_use]
+pub fn encode_shutdown(id: u64, drain: bool) -> String {
+    if drain {
+        format!(
+            "{{\"v\":{PROTO_VERSION},\"ev\":\"req\",\"id\":{id},\"op\":\"shutdown\",\
+             \"mode\":\"drain\"}}"
+        )
+    } else {
+        encode_control(id, "shutdown")
+    }
 }
 
 fn spec_fields(spec: &MeasureSpec) -> String {
@@ -452,22 +525,51 @@ fn spec_fields(spec: &MeasureSpec) -> String {
     )
 }
 
-/// Encodes a `measure` request.
+/// The optional `,"deadline_ms":N` suffix; empty when there is none.
+fn deadline_field(deadline_ms: u64) -> String {
+    if deadline_ms == 0 {
+        String::new()
+    } else {
+        format!(",\"deadline_ms\":{deadline_ms}")
+    }
+}
+
+/// Encodes a `measure` request with no deadline.
 #[must_use]
 pub fn encode_measure(id: u64, spec: &MeasureSpec) -> String {
+    encode_measure_deadline(id, spec, 0)
+}
+
+/// Encodes a `measure` request carrying a wall-clock deadline in
+/// milliseconds (`0` omits the field: no deadline).
+#[must_use]
+pub fn encode_measure_deadline(id: u64, spec: &MeasureSpec, deadline_ms: u64) -> String {
     format!(
-        "{{\"v\":{PROTO_VERSION},\"ev\":\"req\",\"id\":{id},\"op\":\"measure\",{}}}",
-        spec_fields(spec)
+        "{{\"v\":{PROTO_VERSION},\"ev\":\"req\",\"id\":{id},\"op\":\"measure\",{}{}}}",
+        spec_fields(spec),
+        deadline_field(deadline_ms)
     )
 }
 
 /// Encodes a `sweep` request over the given environment sizes.
 #[must_use]
 pub fn encode_sweep(id: u64, spec: &MeasureSpec, envs: &[u64]) -> String {
+    encode_sweep_deadline(id, spec, envs, 0)
+}
+
+/// Encodes a `sweep` request with a deadline (`0` omits the field).
+#[must_use]
+pub fn encode_sweep_deadline(
+    id: u64,
+    spec: &MeasureSpec,
+    envs: &[u64],
+    deadline_ms: u64,
+) -> String {
     let envs: Vec<String> = envs.iter().map(u64::to_string).collect();
     format!(
-        "{{\"v\":{PROTO_VERSION},\"ev\":\"req\",\"id\":{id},\"op\":\"sweep\",{},\"envs\":[{}]}}",
+        "{{\"v\":{PROTO_VERSION},\"ev\":\"req\",\"id\":{id},\"op\":\"sweep\",{}{},\"envs\":[{}]}}",
         spec_fields(spec),
+        deadline_field(deadline_ms),
         envs.join(",")
     )
 }
@@ -478,9 +580,18 @@ pub fn encode_request(req: &Request) -> String {
     match req {
         Request::Ping { id } => encode_control(*id, "ping"),
         Request::Stats { id } => encode_control(*id, "stats"),
-        Request::Shutdown { id } => encode_control(*id, "shutdown"),
-        Request::Measure { id, spec } => encode_measure(*id, spec),
-        Request::Sweep { id, spec, envs } => encode_sweep(*id, spec, envs),
+        Request::Shutdown { id, drain } => encode_shutdown(*id, *drain),
+        Request::Measure {
+            id,
+            spec,
+            deadline_ms,
+        } => encode_measure_deadline(*id, spec, *deadline_ms),
+        Request::Sweep {
+            id,
+            spec,
+            envs,
+            deadline_ms,
+        } => encode_sweep_deadline(*id, spec, envs, *deadline_ms),
     }
 }
 
@@ -586,32 +697,56 @@ pub fn encode_response(id: u64, r: &Result<Measurement, MeasureError>) -> String
     }
 }
 
+/// The field-level payload of one sweep element — what the wire line and
+/// the sweep journal both carry. Holding it (rather than the original
+/// `Result`) lets a journal replay re-emit byte-identical item lines
+/// without reconstructing a [`MeasureError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ItemPayload {
+    status: &'static str,
+    code: String,
+    error: String,
+    setup: String,
+    checksum: u64,
+    counters: String,
+}
+
+impl ItemPayload {
+    fn from_result(r: &Result<Measurement, MeasureError>) -> ItemPayload {
+        match r {
+            Ok(m) => ItemPayload {
+                status: "ok",
+                code: String::new(),
+                error: String::new(),
+                setup: clean(&m.setup),
+                checksum: m.checksum,
+                counters: counters_csv(m),
+            },
+            Err(e) => ItemPayload {
+                status: "err",
+                code: error_code(e).to_owned(),
+                error: clean(&e.to_string()),
+                setup: String::new(),
+                checksum: 0,
+                counters: String::new(),
+            },
+        }
+    }
+
+    fn item_line(&self, id: u64, seq: u64) -> String {
+        seal(format!(
+            "{{\"v\":{PROTO_VERSION},\"ev\":\"item\",\"id\":{id},\"seq\":{seq},\
+             \"status\":\"{}\",\"code\":\"{}\",\"error\":\"{}\",\
+             \"setup\":\"{}\",\"checksum\":{},\"counters\":[{}]",
+            self.status, self.code, self.error, self.setup, self.checksum, self.counters
+        ))
+    }
+}
+
 /// Encodes one sweep element (`seq` is the setup index).
 #[must_use]
 pub fn encode_sweep_item(id: u64, seq: u64, r: &Result<Measurement, MeasureError>) -> String {
-    let (status, code, error, setup, checksum, counters) = match r {
-        Ok(m) => (
-            "ok",
-            "",
-            String::new(),
-            clean(&m.setup),
-            m.checksum,
-            counters_csv(m),
-        ),
-        Err(e) => (
-            "err",
-            error_code(e),
-            clean(&e.to_string()),
-            String::new(),
-            0,
-            String::new(),
-        ),
-    };
-    seal(format!(
-        "{{\"v\":{PROTO_VERSION},\"ev\":\"item\",\"id\":{id},\"seq\":{seq},\
-         \"status\":\"{status}\",\"code\":\"{code}\",\"error\":\"{error}\",\
-         \"setup\":\"{setup}\",\"checksum\":{checksum},\"counters\":[{counters}]"
-    ))
+    ItemPayload::from_result(r).item_line(id, seq)
 }
 
 /// Encodes the terminal line of a sweep: `items` elements preceded it.
@@ -638,15 +773,52 @@ pub fn encode_shed(id: u64) -> String {
     resp_line(id, "shed", "shed", "admission queue full", "", 0, "", 0)
 }
 
-/// Encodes a stats response carrying named counters as a nested object.
+/// Encodes the typed response for a request whose deadline expired before
+/// a result was available. Distinct from `err`: nothing failed — the
+/// caller ran out of time, and a retry without a deadline would succeed.
 #[must_use]
-pub fn encode_stats(id: u64, counters: &[(String, u64)]) -> String {
+pub fn encode_deadline(id: u64, items: u64) -> String {
+    resp_line(
+        id,
+        "deadline",
+        "deadline",
+        "deadline exceeded before completion",
+        "",
+        0,
+        "",
+        items,
+    )
+}
+
+/// Encodes the refusal a draining daemon answers new work with. Distinct
+/// from both `err` (nothing is wrong) and `shed` (waiting out the
+/// backpressure won't help — the daemon is going away).
+#[must_use]
+pub fn encode_draining(id: u64) -> String {
+    resp_line(
+        id,
+        "draining",
+        "drain",
+        "daemon is draining and accepts no new work",
+        "",
+        0,
+        "",
+        0,
+    )
+}
+
+/// Encodes a stats response: the daemon's supervision `health`
+/// (`ok | degraded | draining`) plus named counters as a nested object.
+#[must_use]
+pub fn encode_stats(id: u64, health: &str, counters: &[(String, u64)]) -> String {
     let pairs: Vec<String> = counters
         .iter()
         .map(|(k, v)| format!("\"{}\":{v}", clean(k)))
         .collect();
     seal(format!(
-        "{{\"v\":{PROTO_VERSION},\"ev\":\"stats\",\"id\":{id},\"counters\":{{{}}}",
+        "{{\"v\":{PROTO_VERSION},\"ev\":\"stats\",\"id\":{id},\"health\":\"{}\",\
+         \"counters\":{{{}}}",
+        clean(health),
         pairs.join(",")
     ))
 }
@@ -663,10 +835,18 @@ pub fn line_ev(line: &str) -> Option<&str> {
     field_str(line, "ev")
 }
 
-/// Extracts the response status (`ok`, `err`, `shed`).
+/// Extracts the response status (`ok`, `err`, `shed`, `deadline`,
+/// `draining`).
 #[must_use]
 pub fn line_status(line: &str) -> Option<&str> {
     field_str(line, "status")
+}
+
+/// Extracts the daemon health (`ok`, `degraded`, `draining`) from a
+/// `stats` response line.
+#[must_use]
+pub fn line_health(line: &str) -> Option<&str> {
+    field_str(line, "health")
 }
 
 /// Reads one named counter out of a `stats` response line.
@@ -711,6 +891,7 @@ pub fn schema() -> String {
     let _ = writeln!(out, "ops: {}", OPS.join(","));
     for (kind, fields) in [
         ("req.control", REQ_CONTROL_FIELDS),
+        ("req.shutdown", REQ_SHUTDOWN_FIELDS),
         ("req.measure", REQ_MEASURE_FIELDS),
         ("req.sweep", REQ_SWEEP_FIELDS),
         ("resp", RESP_FIELDS),
@@ -719,11 +900,12 @@ pub fn schema() -> String {
     ] {
         let _ = writeln!(out, "{kind}: {}", fields.join(","));
     }
-    let _ = writeln!(out, "status: ok,err,shed");
+    let _ = writeln!(out, "status: ok,err,shed,deadline,draining");
     let _ = writeln!(
         out,
-        "codes: link,load,run,wrong_result,watchdog,proto,bench,machine,shed"
+        "codes: link,load,run,wrong_result,watchdog,proto,bench,machine,shed,panic,deadline,drain"
     );
+    let _ = writeln!(out, "health: ok,degraded,draining");
     let _ = writeln!(out, "seal: crc = fnv64(line up to ,\"crc\":)");
     out
 }
@@ -871,16 +1053,34 @@ pub struct ServerConfig {
     /// Admission-queue bound; a request arriving when the queue holds this
     /// many jobs is shed with an explicit backpressure response.
     pub queue_depth: usize,
+    /// How long a graceful drain waits for in-flight work before
+    /// force-stopping, in milliseconds.
+    pub drain_timeout_ms: u64,
+    /// How many panicked workers the supervisor will respawn over the
+    /// daemon's lifetime; past the budget the pool stays degraded.
+    pub restart_budget: usize,
+    /// Seed for the supervisor's jittered respawn delays, so restart
+    /// timing is replayable in tests.
+    pub restart_seed: u64,
+    /// Directory for crash-recovery sweep journals
+    /// (`<dir>/<digest>.jsonl`); `None` disables journaling, which keeps
+    /// in-process test servers hermetic.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
-    /// Default configuration: 4 workers, queue depth 64.
+    /// Default configuration: 4 workers, queue depth 64, 5 s drain
+    /// timeout, restart budget 8, no sweep journal.
     #[must_use]
     pub fn new(addr: Addr) -> ServerConfig {
         ServerConfig {
             addr,
             workers: 4,
             queue_depth: 64,
+            drain_timeout_ms: 5_000,
+            restart_budget: 8,
+            restart_seed: 0,
+            journal_dir: None,
         }
     }
 }
@@ -899,6 +1099,14 @@ struct ServeCounters {
     accept_faults: telemetry::Counter,
     torn_writes: telemetry::Counter,
     drops: telemetry::Counter,
+    worker_panics: telemetry::Counter,
+    worker_respawns: telemetry::Counter,
+    deadline_expired: telemetry::Counter,
+    drains: telemetry::Counter,
+    drain_refused: telemetry::Counter,
+    drain_forced: telemetry::Counter,
+    journal_items: telemetry::Counter,
+    resumed_items: telemetry::Counter,
 }
 
 impl ServeCounters {
@@ -916,6 +1124,14 @@ impl ServeCounters {
             accept_faults: m.counter("serve.accept_faults"),
             torn_writes: m.counter("serve.torn_writes"),
             drops: m.counter("serve.drops"),
+            worker_panics: m.counter("serve.worker.panic"),
+            worker_respawns: m.counter("serve.worker.respawn"),
+            deadline_expired: m.counter("serve.deadline.expired"),
+            drains: m.counter("serve.drain"),
+            drain_refused: m.counter("serve.drain.refused"),
+            drain_forced: m.counter("serve.drain.forced"),
+            journal_items: m.counter("serve.sweep.journal_items"),
+            resumed_items: m.counter("serve.sweep.resumed_items"),
         }
     }
 }
@@ -965,11 +1181,17 @@ impl ConnOut {
     }
 }
 
-/// One admitted unit of work for the pool.
+/// One admitted unit of work for the pool. The deadline is stamped at
+/// admission, so time spent waiting in the queue counts against it.
 struct Job {
     req: Request,
     out: Arc<ConnOut>,
+    deadline: Option<Instant>,
 }
+
+/// Daemon lifecycle states (`Shared::state`).
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
 
 struct Shared {
     orch: Arc<Orchestrator>,
@@ -978,17 +1200,58 @@ struct Shared {
     ready: Condvar,
     queue_depth: usize,
     shutdown: AtomicBool,
+    /// `STATE_RUNNING` or `STATE_DRAINING`; drain is one-way.
+    state: AtomicU8,
     readers: StdMutex<Vec<thread::JoinHandle<()>>>,
     conns: StdMutex<Vec<Arc<ConnOut>>>,
+    /// Pool-worker handles; the supervisor appends respawns, so teardown
+    /// drains this under the lock rather than owning a fixed Vec.
+    worker_handles: StdMutex<Vec<thread::JoinHandle<()>>>,
+    /// Workers the pool was configured with; `live_workers` below it means
+    /// the daemon is degraded.
+    configured_workers: usize,
+    live_workers: AtomicUsize,
+    /// Jobs currently executing (popped but unanswered); drain waits for
+    /// queue empty *and* this zero.
+    inflight: AtomicUsize,
+    /// Panicked workers awaiting respawn; the supervisor sleeps on the
+    /// condvar.
+    dead: StdMutex<usize>,
+    dead_cv: Condvar,
+    next_wid: AtomicU64,
+    restart_budget: usize,
+    restart_seed: u64,
+    drain_timeout: Duration,
+    journal_dir: Option<PathBuf>,
     c: ServeCounters,
 }
 
-/// A running daemon. Threads: one acceptor, one reader per connection,
-/// `workers` pool threads draining the bounded admission queue.
+impl Shared {
+    /// The supervision state surfaced in `stats`: `draining` once a drain
+    /// began, `degraded` while the pool is below configured strength,
+    /// `ok` otherwise.
+    fn health(&self) -> &'static str {
+        if self.state.load(Ordering::SeqCst) == STATE_DRAINING {
+            "draining"
+        } else if self.live_workers.load(Ordering::SeqCst) < self.configured_workers {
+            "degraded"
+        } else {
+            "ok"
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == STATE_DRAINING
+    }
+}
+
+/// A running daemon. Threads: one acceptor, one supervisor (respawning
+/// panicked workers), one reader per connection, `workers` pool threads
+/// draining the bounded admission queue.
 pub struct Server {
     shared: Arc<Shared>,
-    acceptor: Option<thread::JoinHandle<()>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    acceptor: StdMutex<Option<thread::JoinHandle<()>>>,
+    supervisor: StdMutex<Option<thread::JoinHandle<()>>>,
 }
 
 impl Server {
@@ -996,6 +1259,7 @@ impl Server {
     pub fn start(cfg: &ServerConfig, orch: Arc<Orchestrator>) -> Result<Server, String> {
         let (listener, addr) =
             Listener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             orch,
             addr,
@@ -1003,24 +1267,41 @@ impl Server {
             ready: Condvar::new(),
             queue_depth: cfg.queue_depth.max(1),
             shutdown: AtomicBool::new(false),
+            state: AtomicU8::new(STATE_RUNNING),
             readers: StdMutex::new(Vec::new()),
             conns: StdMutex::new(Vec::new()),
+            worker_handles: StdMutex::new(Vec::new()),
+            configured_workers: workers,
+            live_workers: AtomicUsize::new(workers),
+            inflight: AtomicUsize::new(0),
+            dead: StdMutex::new(0),
+            dead_cv: Condvar::new(),
+            next_wid: AtomicU64::new(workers as u64 + 1),
+            restart_budget: cfg.restart_budget,
+            restart_seed: cfg.restart_seed,
+            drain_timeout: Duration::from_millis(cfg.drain_timeout_ms),
+            journal_dir: cfg.journal_dir.clone(),
             c: ServeCounters::new(),
         });
-        let workers = (1..=cfg.workers.max(1))
-            .map(|wid| {
+        {
+            let mut handles = lock_unpoisoned(&shared.worker_handles);
+            for wid in 1..=workers {
                 let shared = Arc::clone(&shared);
-                thread::spawn(move || worker_loop(&shared, wid as u64))
-            })
-            .collect();
+                handles.push(thread::spawn(move || worker_loop(&shared, wid as u64)));
+            }
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || supervisor_loop(&shared))
+        };
         let acceptor = {
             let shared = Arc::clone(&shared);
             thread::spawn(move || accept_loop(&shared, &listener))
         };
         Ok(Server {
             shared,
-            acceptor: Some(acceptor),
-            workers,
+            acceptor: StdMutex::new(Some(acceptor)),
+            supervisor: StdMutex::new(Some(supervisor)),
         })
     }
 
@@ -1044,23 +1325,99 @@ impl Server {
         lock_unpoisoned(&self.shared.conns).len()
     }
 
-    /// Blocks until a `shutdown` request flips the flag, then tears the
-    /// daemon down. This is the `biaslab serve` foreground loop.
+    /// Pool workers currently alive (shrinks on a panic, recovers as the
+    /// supervisor respawns).
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::SeqCst)
+    }
+
+    /// The daemon's supervision health: `ok`, `degraded`, or `draining`.
+    #[must_use]
+    pub fn health(&self) -> &'static str {
+        self.shared.health()
+    }
+
+    /// Asks the daemon to drain: stop accepting new work, finish what is
+    /// admitted (bounded by the drain timeout), then stop. Idempotent;
+    /// the foreground loop observes the state and tears down.
+    pub fn request_drain(&self) {
+        begin_drain(&self.shared);
+    }
+
+    /// Blocks until a `shutdown` request flips the flag (or a drain
+    /// completes), then tears the daemon down. This is the
+    /// `biaslab serve` foreground loop.
     pub fn run_until_shutdown(self) {
-        while !self.shared.shutdown.load(Ordering::SeqCst) {
-            thread::sleep(std::time::Duration::from_millis(20));
+        self.run_until_shutdown_or(|| false);
+    }
+
+    /// [`Server::run_until_shutdown`] that also polls an external drain
+    /// signal (the CLI wires SIGTERM here): when `drain_signal` first
+    /// returns `true` the daemon drains gracefully, exactly as a
+    /// `shutdown {"mode":"drain"}` request would.
+    pub fn run_until_shutdown_or(self, drain_signal: impl Fn() -> bool) {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if drain_signal() {
+                begin_drain(&self.shared);
+            }
+            if self.shared.draining() {
+                self.await_drain();
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
         }
-        self.shutdown();
+        self.stop();
+    }
+
+    /// Waits for admitted work to finish (queue empty, nothing in
+    /// flight), bounded by the drain timeout; a timeout force-stops and
+    /// counts `serve.drain.forced`.
+    fn await_drain(&self) {
+        let give_up = Instant::now() + self.shared.drain_timeout;
+        loop {
+            let idle = lock_unpoisoned(&self.shared.queue).is_empty()
+                && self.shared.inflight.load(Ordering::SeqCst) == 0;
+            if idle || self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if Instant::now() >= give_up {
+                self.shared.c.drain_forced.add(1);
+                return;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
     }
 
     /// Stops accepting, drains the pool, joins every thread, and removes
-    /// the unix socket file. Idempotent with a `shutdown` request.
-    pub fn shutdown(mut self) {
+    /// the unix socket file. Takes the server by value for the common
+    /// case; delegates to [`Server::stop`], which is idempotent.
+    pub fn shutdown(self) {
+        self.stop();
+    }
+
+    /// The idempotent, panic-safe teardown behind [`Server::shutdown`]: a
+    /// second call, or a call racing a drain, joins nothing twice and
+    /// never hangs. Handles are taken out of their slots under a lock, so
+    /// exactly one caller joins each thread.
+    pub fn stop(&self) {
         begin_shutdown(&self.shared);
-        if let Some(h) = self.acceptor.take() {
+        // Join the supervisor before draining worker handles: once it has
+        // exited, no new worker can be spawned, so the drain below is
+        // complete rather than racing a respawn.
+        if let Some(h) = lock_unpoisoned(&self.supervisor).take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = lock_unpoisoned(&self.acceptor).take() {
+            let _ = h.join();
+        }
+        let workers: Vec<_> = lock_unpoisoned(&self.shared.worker_handles)
+            .drain(..)
+            .collect();
+        for h in workers {
             let _ = h.join();
         }
         let readers: Vec<_> = lock_unpoisoned(&self.shared.readers).drain(..).collect();
@@ -1073,13 +1430,34 @@ impl Server {
     }
 }
 
-/// Flips the shutdown flag, wakes the pool, and pokes the acceptor with a
-/// throwaway connection so its blocking `accept` returns.
+/// Marks the daemon as draining (one-way, idempotent): the acceptor
+/// refuses new connections, readers refuse new measure/sweep work with a
+/// typed `draining` response, and the foreground loop waits for admitted
+/// work before tearing down.
+fn begin_drain(shared: &Shared) {
+    if shared
+        .state
+        .compare_exchange(
+            STATE_RUNNING,
+            STATE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    {
+        shared.c.drains.add(1);
+    }
+}
+
+/// Flips the shutdown flag, wakes the pool and the supervisor, and pokes
+/// the acceptor with a throwaway connection so its blocking `accept`
+/// returns.
 fn begin_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
     shared.ready.notify_all();
+    shared.dead_cv.notify_all();
     if let Ok(s) = Stream::connect(&shared.addr) {
         s.shutdown_both();
     }
@@ -1105,6 +1483,12 @@ fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
             thread::sleep(std::time::Duration::from_millis(50));
             continue;
         };
+        if shared.draining() {
+            // A draining daemon accepts no new connections; existing ones
+            // keep their readers so in-flight responses still land.
+            conn.shutdown_both();
+            continue;
+        }
         if faults::fire(site::SERVE_ACCEPT) {
             // Accept failure: the freshly accepted connection is dropped on
             // the floor; the client reconnects and retries.
@@ -1118,6 +1502,57 @@ fn accept_loop(shared: &Arc<Shared>, listener: &Listener) {
         let mut readers = lock_unpoisoned(&shared.readers);
         readers.retain(|h| !h.is_finished());
         readers.push(handle);
+    }
+}
+
+/// Deterministic full-jitter respawn delay: uniform over an exponential
+/// envelope (capped), drawn by hashing `(seed, respawn index)` — the same
+/// schedule every run, so chaos tests can pin recovery timing.
+fn respawn_delay_ms(seed: u64, respawn: u64) -> u64 {
+    let cap = (4u64 << respawn.min(6)).min(200);
+    fnv64(&format!("respawn {seed}:{respawn}")) % cap
+}
+
+/// The supervisor: sleeps until a worker dies, then — within the restart
+/// budget — waits out a seeded jittered delay and spawns a replacement.
+/// Past the budget the pool stays degraded (and `health` says so) rather
+/// than masking a crash loop.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let mut respawns = 0u64;
+    loop {
+        {
+            let mut dead = lock_unpoisoned(&shared.dead);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if *dead > 0 {
+                    *dead -= 1;
+                    break;
+                }
+                dead = wait_unpoisoned(&shared.dead_cv, dead);
+            }
+        }
+        if respawns as usize >= shared.restart_budget {
+            continue; // budget exhausted: stay degraded
+        }
+        respawns += 1;
+        thread::sleep(Duration::from_millis(respawn_delay_ms(
+            shared.restart_seed,
+            respawns,
+        )));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let wid = shared.next_wid.fetch_add(1, Ordering::SeqCst);
+        let worker = {
+            let shared = Arc::clone(shared);
+            thread::spawn(move || worker_loop(&shared, wid))
+        };
+        lock_unpoisoned(&shared.worker_handles).push(worker);
+        shared.live_workers.fetch_add(1, Ordering::SeqCst);
+        shared.c.worker_respawns.add(1);
+        faults::recovered("serve.worker.respawn");
     }
 }
 
@@ -1165,15 +1600,41 @@ fn reader_loop(shared: &Arc<Shared>, conn: Stream) {
                 counters.extend(telemetry::metrics().snapshot());
                 counters.sort();
                 counters.dedup();
-                out.send(shared, &encode_stats(id, &counters));
+                out.send(shared, &encode_stats(id, shared.health(), &counters));
             }
-            Request::Shutdown { id } => {
-                out.send(shared, &encode_ok(id));
-                begin_shutdown(shared);
-                break;
+            Request::Shutdown { id, drain } => {
+                if drain {
+                    // Graceful: refuse new work, let the foreground loop
+                    // finish admitted work and tear down. The connection
+                    // stays open — control requests still answer. The state
+                    // flips before the ack so a client that saw the ack can
+                    // rely on every later request observing the drain.
+                    begin_drain(shared);
+                    out.send(shared, &encode_ok(id));
+                } else {
+                    out.send(shared, &encode_ok(id));
+                    begin_shutdown(shared);
+                    break;
+                }
             }
             req @ (Request::Measure { .. } | Request::Sweep { .. }) => {
                 let id = req.id();
+                if shared.draining() {
+                    // Not an error and not backpressure: the daemon is
+                    // going away, and the client should go elsewhere.
+                    shared.c.drain_refused.add(1);
+                    out.send(shared, &encode_draining(id));
+                    continue;
+                }
+                let deadline_ms = match &req {
+                    Request::Measure { deadline_ms, .. } | Request::Sweep { deadline_ms, .. } => {
+                        *deadline_ms
+                    }
+                    _ => 0,
+                };
+                // Stamped at admission: queue wait burns deadline time.
+                let deadline =
+                    (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
                 // Admission control: shed synchronously when the bounded
                 // queue is full — an explicit response, never a hang.
                 let admitted = {
@@ -1184,6 +1645,7 @@ fn reader_loop(shared: &Arc<Shared>, conn: Stream) {
                         q.push_back(Job {
                             req,
                             out: Arc::clone(&out),
+                            deadline,
                         });
                         shared.c.queue_depth_max.record_max(q.len() as u64);
                         true
@@ -1223,25 +1685,74 @@ fn worker_loop(shared: &Arc<Shared>, wid: u64) {
                 q = wait_unpoisoned(&shared.ready, q);
             }
         };
-        let Some(Job { req, out }) = job else {
+        let Some(job) = job else {
             return;
         };
-        match req {
-            Request::Measure { id, spec } => {
-                shared.c.measures.add(1);
-                out.send(shared, &run_measure(shared, id, &spec));
-            }
-            Request::Sweep { id, spec, envs } => {
-                shared.c.sweeps.add(1);
-                run_sweep(shared, &out, id, &spec, &envs);
-            }
-            // Control requests are answered inline by the reader.
-            Request::Ping { .. } | Request::Stats { .. } | Request::Shutdown { .. } => {}
+        let id = job.req.id();
+        let out = Arc::clone(&job.out);
+        // Supervision boundary: a panic anywhere in request handling must
+        // not take the pool down with it. The client still gets exactly
+        // one terminal (typed `panic`) response, the worker announces its
+        // death to the supervisor, and this thread exits.
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_job(shared, job);
+        }));
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        if outcome.is_err() {
+            shared.c.worker_panics.add(1);
+            shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+            out.send(
+                shared,
+                &encode_error(id, "panic", "worker panicked executing the request"),
+            );
+            *lock_unpoisoned(&shared.dead) += 1;
+            shared.dead_cv.notify_all();
+            return;
         }
     }
 }
 
-fn run_measure(shared: &Shared, id: u64, spec: &MeasureSpec) -> String {
+/// `true` when the job's deadline (if any) has already passed.
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn handle_job(shared: &Shared, job: Job) {
+    let Job { req, out, deadline } = job;
+    if faults::fire(site::SERVE_WORKER_PANIC) {
+        // An arbitrary bug in request handling: the worker dies. The
+        // catch_unwind boundary above turns this into a typed response
+        // plus a supervised respawn; unrecoverable, because a real bug
+        // would not politely retry.
+        std::panic::panic_any(faults::InjectedPanic { recoverable: false });
+    }
+    match req {
+        Request::Measure { id, spec, .. } => {
+            shared.c.measures.add(1);
+            if expired(deadline) {
+                // Expired while queued: answer without simulating.
+                shared.c.deadline_expired.add(1);
+                out.send(shared, &encode_deadline(id, 0));
+                return;
+            }
+            out.send(shared, &run_measure(shared, id, &spec, deadline));
+        }
+        Request::Sweep { id, spec, envs, .. } => {
+            shared.c.sweeps.add(1);
+            if expired(deadline) {
+                shared.c.deadline_expired.add(1);
+                out.send(shared, &encode_deadline(id, 0));
+                return;
+            }
+            run_sweep(shared, &out, id, &spec, &envs, deadline);
+        }
+        // Control requests are answered inline by the reader.
+        Request::Ping { .. } | Request::Stats { .. } | Request::Shutdown { .. } => {}
+    }
+}
+
+fn run_measure(shared: &Shared, id: u64, spec: &MeasureSpec, deadline: Option<Instant>) -> String {
     let Some(harness) = shared.orch.harness(&spec.bench) else {
         return encode_error(id, "bench", &format!("unknown benchmark `{}`", spec.bench));
     };
@@ -1252,8 +1763,16 @@ fn run_measure(shared: &Shared, id: u64, spec: &MeasureSpec) -> String {
             &format!("unknown machine `{}`", spec.machine),
         );
     };
-    let result = shared.orch.measure(&harness, &setup, spec.size);
-    encode_response(id, &result)
+    match shared
+        .orch
+        .measure_deadline(&harness, &setup, spec.size, deadline)
+    {
+        Ok(result) => encode_response(id, &result),
+        Err(DeadlineExceeded) => {
+            shared.c.deadline_expired.add(1);
+            encode_deadline(id, 0)
+        }
+    }
 }
 
 /// Expands the sweep's env grid into concrete setups. Shared with the
@@ -1274,7 +1793,162 @@ pub fn sweep_setups(base: &ExperimentSetup, envs: &[u64]) -> Vec<ExperimentSetup
         .collect()
 }
 
-fn run_sweep(shared: &Shared, out: &ConnOut, id: u64, spec: &MeasureSpec, envs: &[u64]) {
+// ---------------------------------------------------------------------------
+// Sweep journal (crash recovery)
+// ---------------------------------------------------------------------------
+
+/// Version tag of one sweep-journal line. Bumping it orphans (and
+/// quarantines) old journals rather than misreading them, exactly like
+/// the orchestrator's `RECORD_VERSION`.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Content-addresses a sweep for its journal file: FNV-64 over the
+/// canonical spec rendering plus the env grid. Deliberately independent
+/// of the request `id`, so a client retrying a killed sweep under a fresh
+/// id still resumes the same journal.
+#[must_use]
+pub fn sweep_digest(spec: &MeasureSpec, envs: &[u64]) -> u64 {
+    let envs: Vec<String> = envs.iter().map(u64::to_string).collect();
+    fnv64(&format!(
+        "sweep {} envs=[{}]",
+        spec_fields(spec),
+        envs.join(",")
+    ))
+}
+
+/// One sweep-journal line: the item payload keyed by sweep digest and
+/// sequence number, crc-sealed like every other line this module writes.
+fn journal_line(digest: u64, seq: u64, p: &ItemPayload) -> String {
+    seal(format!(
+        "{{\"v\":{JOURNAL_VERSION},\"ev\":\"sweep_journal\",\"digest\":{digest},\"seq\":{seq},\
+         \"status\":\"{}\",\"code\":\"{}\",\"error\":\"{}\",\"setup\":\"{}\",\
+         \"checksum\":{},\"counters\":[{}]",
+        p.status, p.code, p.error, p.setup, p.checksum, p.counters
+    ))
+}
+
+/// Parses one journal line for the given sweep. `None` for torn lines
+/// (a crash mid-append leaves a half-written tail that fails its crc),
+/// foreign versions, and other sweeps' digests — the caller re-simulates
+/// those items instead of trusting them.
+fn parse_journal_line(line: &str, digest: u64) -> Option<(u64, ItemPayload)> {
+    if !verify_sealed(line) {
+        return None;
+    }
+    if field_u64(line, "v") != Some(JOURNAL_VERSION)
+        || field_str(line, "ev") != Some("sweep_journal")
+        || field_u64(line, "digest") != Some(digest)
+    {
+        return None;
+    }
+    let seq = field_u64(line, "seq")?;
+    let status = match field_str(line, "status")? {
+        "ok" => "ok",
+        "err" => "err",
+        _ => return None,
+    };
+    let counters = field(line, "counters")?
+        .strip_prefix('[')?
+        .strip_suffix(']')?;
+    Some((
+        seq,
+        ItemPayload {
+            status,
+            code: field_str(line, "code")?.to_owned(),
+            error: field_str(line, "error")?.to_owned(),
+            setup: field_str(line, "setup")?.to_owned(),
+            checksum: field_u64(line, "checksum")?,
+            counters: counters.to_owned(),
+        },
+    ))
+}
+
+/// The write-ahead journal of one in-flight sweep: an append-only JSONL
+/// file under the daemon's journal directory, named by the sweep digest.
+/// Every completed item is appended and fsync'd *before* its line goes
+/// out on the socket, so a daemon killed mid-sweep replays journaled
+/// items on the next request instead of re-simulating them, converging
+/// to byte-identical results. The file is deleted when the sweep's
+/// terminal line is reached.
+struct SweepJournal {
+    path: PathBuf,
+    file: File,
+}
+
+impl SweepJournal {
+    /// Opens (or creates) the journal for `digest`, returning the journal
+    /// and every intact item a previous run recorded. Recovery compacts
+    /// the file through the tmp-then-rename discipline, which drops any
+    /// torn tail a crash left behind — so later appends never concatenate
+    /// onto half a line.
+    fn open(dir: &Path, digest: u64) -> io::Result<(SweepJournal, HashMap<u64, ItemPayload>)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{digest:016x}.jsonl"));
+        let mut items: HashMap<u64, ItemPayload> = HashMap::new();
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                if let Some((seq, p)) = parse_journal_line(line, digest) {
+                    items.insert(seq, p);
+                }
+            }
+            if !items.is_empty() {
+                let tmp = path.with_extension("jsonl.tmp");
+                let compact = || -> io::Result<()> {
+                    let mut f = File::create(&tmp)?;
+                    let mut seqs: Vec<&u64> = items.keys().collect();
+                    seqs.sort();
+                    for &seq in seqs {
+                        writeln!(f, "{}", journal_line(digest, seq, &items[&seq]))?;
+                    }
+                    f.sync_all()?;
+                    std::fs::rename(&tmp, &path)?;
+                    sync_parent_dir(&path);
+                    Ok(())
+                };
+                if let Err(e) = compact() {
+                    let _ = std::fs::remove_file(&tmp);
+                    return Err(e);
+                }
+            } else {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((SweepJournal { path, file }, items))
+    }
+
+    /// Appends one completed item, fsync'd — the write-ahead step. The
+    /// crash fault site fires here: half a line reaches the file, no
+    /// fsync happens, and the "daemon" dies (the worker panics
+    /// unrecoverably); reload quarantines the torn line.
+    fn append(&mut self, digest: u64, seq: u64, p: &ItemPayload) -> io::Result<()> {
+        let line = journal_line(digest, seq, p);
+        if faults::fire(site::SERVE_CRASH_JOURNAL) {
+            let bytes = line.as_bytes();
+            let _ = self.file.write_all(&bytes[..bytes.len() / 2]);
+            let _ = self.file.flush();
+            std::panic::panic_any(faults::InjectedPanic { recoverable: false });
+        }
+        self.file.write_all(format!("{line}\n").as_bytes())?;
+        self.file.sync_all()
+    }
+
+    /// The sweep completed: its journal has served its purpose.
+    fn complete(self) {
+        drop(self.file);
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_sweep(
+    shared: &Shared,
+    out: &ConnOut,
+    id: u64,
+    spec: &MeasureSpec,
+    envs: &[u64],
+    deadline: Option<Instant>,
+) {
     let Some(harness) = shared.orch.harness(&spec.bench) else {
         out.send(
             shared,
@@ -1294,11 +1968,82 @@ fn run_sweep(shared: &Shared, out: &ConnOut, id: u64, spec: &MeasureSpec, envs: 
         return;
     };
     let setups = sweep_setups(&base, envs);
-    let results = shared.orch.sweep(&harness, &setups, spec.size);
-    for (seq, r) in results.iter().enumerate() {
-        out.send(shared, &encode_sweep_item(id, seq as u64, r));
+    let total = setups.len();
+
+    // Crash recovery: journaled items are replayed from disk, never
+    // re-simulated. Journaling is best-effort — an unwritable directory
+    // degrades to the plain (journal-less) sweep rather than failing it.
+    let digest = sweep_digest(spec, envs);
+    let (mut journal, replayed) = match &shared.journal_dir {
+        Some(dir) => match SweepJournal::open(dir, digest) {
+            Ok((j, items)) => (Some(j), items),
+            Err(_) => (None, HashMap::new()),
+        },
+        None => (None, HashMap::new()),
+    };
+
+    let missing: Vec<usize> = (0..total)
+        .filter(|i| !replayed.contains_key(&(*i as u64)))
+        .collect();
+    let mut fresh: HashMap<usize, ItemPayload> = HashMap::new();
+    if deadline.is_none() {
+        // No deadline: the orchestrator's work-stealing parallel sweep.
+        if !missing.is_empty() {
+            let missing_setups: Vec<ExperimentSetup> =
+                missing.iter().map(|&i| setups[i].clone()).collect();
+            let results = shared.orch.sweep(&harness, &missing_setups, spec.size);
+            for (&i, r) in missing.iter().zip(results.iter()) {
+                fresh.insert(i, ItemPayload::from_result(r));
+            }
+        }
+    } else {
+        // Deadline-bounded: item at a time, re-checking the same
+        // remaining-time arithmetic between items so an expiring sweep
+        // keeps every item it completed.
+        for &i in &missing {
+            if expired(deadline) {
+                break;
+            }
+            match shared
+                .orch
+                .measure_deadline(&harness, &setups[i], spec.size, deadline)
+            {
+                Ok(r) => {
+                    fresh.insert(i, ItemPayload::from_result(&r));
+                }
+                Err(DeadlineExceeded) => break,
+            }
+        }
     }
-    out.send(shared, &encode_sweep_done(id, results.len() as u64));
+
+    // Emit in sequence order; fresh items reach the fsync'd journal
+    // before the socket (write-ahead), replayed ones count as resumed.
+    for seq in 0..total {
+        let s = seq as u64;
+        let payload = if let Some(p) = replayed.get(&s) {
+            shared.c.resumed_items.add(1);
+            p.clone()
+        } else if let Some(p) = fresh.remove(&seq) {
+            if let Some(j) = journal.as_mut() {
+                if j.append(digest, s, &p).is_ok() {
+                    shared.c.journal_items.add(1);
+                }
+            }
+            p
+        } else {
+            // The deadline expired before this item was simulated; every
+            // seq below this one was emitted, so the terminal line still
+            // reports how many items did make it.
+            shared.c.deadline_expired.add(1);
+            out.send(shared, &encode_deadline(id, s));
+            return;
+        };
+        out.send(shared, &payload.item_line(id, s));
+    }
+    if let Some(j) = journal {
+        j.complete();
+    }
+    out.send(shared, &encode_sweep_done(id, total as u64));
 }
 
 // ---------------------------------------------------------------------------
@@ -1357,12 +2102,32 @@ impl Exchange {
     }
 }
 
+/// First-retry backoff span in milliseconds; doubles per attempt.
+const BACKOFF_BASE_MS: u64 = 1;
+/// Ceiling on any single backoff span, so a long retry budget cannot
+/// stretch one exchange past the test suite's patience.
+const BACKOFF_CAP_MS: u64 = 64;
+
+/// Full-jitter exponential backoff before retry number `attempt`
+/// (0-based): a seeded-hash draw in `[0, min(base << attempt, cap))`.
+/// Pure function of `(seed, id, attempt)` — a fixed seed replays the
+/// exact delay schedule, which keeps chaos-test retry counts and timing
+/// deterministic, while distinct seeds (one per loadgen client) spread
+/// simultaneous retries instead of thundering back in lockstep.
+#[must_use]
+pub fn backoff_delay_ms(seed: u64, id: u64, attempt: u32) -> u64 {
+    let span = (BACKOFF_BASE_MS << attempt.min(6)).clamp(1, BACKOFF_CAP_MS);
+    fnv64(&format!("backoff {seed}:{id}:{attempt}")) % span
+}
+
 /// A reconnecting client. Responses that arrive torn (EOF mid-exchange,
 /// truncated line, crc mismatch) drop the connection and replay the whole
-/// request on a fresh one; the daemon's caches make the replay idempotent.
+/// request on a fresh one after a seeded jittered exponential backoff;
+/// the daemon's caches make the replay idempotent.
 pub struct Client {
     addr: Addr,
     attempts: u32,
+    backoff_seed: u64,
     conn: Option<(BufReader<Stream>, Stream)>,
 }
 
@@ -1373,6 +2138,7 @@ impl Client {
         Client {
             addr,
             attempts: 4,
+            backoff_seed: 0,
             conn: None,
         }
     }
@@ -1381,6 +2147,13 @@ impl Client {
     #[must_use]
     pub fn with_attempts(mut self, attempts: u32) -> Client {
         self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Seeds the retry backoff jitter (see [`backoff_delay_ms`]).
+    #[must_use]
+    pub fn with_backoff_seed(mut self, seed: u64) -> Client {
+        self.backoff_seed = seed;
         self
     }
 
@@ -1411,6 +2184,13 @@ impl Client {
                     self.conn = None;
                     retries += 1;
                     last = e;
+                    if attempt + 1 < self.attempts {
+                        thread::sleep(Duration::from_millis(backoff_delay_ms(
+                            self.backoff_seed,
+                            id,
+                            attempt,
+                        )));
+                    }
                 }
             }
         }
@@ -1604,7 +2384,8 @@ struct Tally {
 
 fn loadgen_client(cfg: &LoadgenConfig, client_idx: usize) -> Tally {
     let mut rng = StdRng::seed_from_u64(client_seed(cfg.seed, client_idx));
-    let mut client = Client::new(cfg.addr.clone());
+    let mut client =
+        Client::new(cfg.addr.clone()).with_backoff_seed(client_seed(cfg.seed, client_idx));
     let mut tally = Tally::default();
     for seq in 0..cfg.requests {
         let id = client_idx as u64 * 1_000_000 + seq as u64;
@@ -1727,7 +2508,14 @@ mod tests {
         s.budget = 1000;
         let line = encode_measure(9, &s);
         let req = parse_request(&line).expect("measure request parses");
-        assert_eq!(req, Request::Measure { id: 9, spec: s });
+        assert_eq!(
+            req,
+            Request::Measure {
+                id: 9,
+                spec: s,
+                deadline_ms: 0
+            }
+        );
         assert_eq!(encode_request(&req), line);
     }
 
@@ -1935,7 +2723,9 @@ mod tests {
             encode_sweep_done(13, 1),
             encode_shed(14),
             encode_error(15, "proto", "missing field `op`"),
-            encode_stats(16, &[("orch.hits".to_owned(), 3)]),
+            encode_stats(16, "ok", &[("orch.hits".to_owned(), 3)]),
+            encode_deadline(17, 2),
+            encode_draining(18),
         ];
         for line in &lines {
             validate_response_line(line).expect("schema-valid line");
@@ -2053,6 +2843,143 @@ mod tests {
         server.shutdown();
     }
 
+    #[test]
+    fn stop_is_idempotent_and_safe_under_races() {
+        let addr = temp_sock("stop-twice");
+        let server = Server::start(
+            &ServerConfig::new(addr.clone()),
+            Arc::new(Orchestrator::default()),
+        )
+        .expect("server starts");
+        let mut client = Client::new(addr);
+        client
+            .request(&encode_control(1, "ping"))
+            .expect("ping answered");
+        // Second (and third) stop must not double-join, panic, or hang —
+        // including one racing a drain request.
+        server.request_drain();
+        server.stop();
+        server.stop();
+        server.stop();
+        assert_eq!(server.health(), "draining");
+    }
+
+    #[test]
+    fn drain_refuses_new_work_but_answers_control() {
+        let addr = temp_sock("drain-refuse");
+        let server = Server::start(
+            &ServerConfig::new(addr.clone()),
+            Arc::new(Orchestrator::default()),
+        )
+        .expect("server starts");
+        let mut client = Client::new(addr);
+        client
+            .request(&encode_shutdown(1, true))
+            .expect("drain acknowledged");
+        assert_eq!(server.health(), "draining");
+        // The existing connection still answers control requests...
+        let ex = client
+            .request(&encode_control(2, "stats"))
+            .expect("stats answered");
+        assert_eq!(line_health(ex.terminal()), Some("draining"));
+        // ...but refuses new measurement work with a typed drain response.
+        let ex = client
+            .request(&encode_measure(3, &spec("hmmer")))
+            .expect("refusal is a clean terminal, not an error");
+        assert_eq!(line_status(ex.terminal()), Some("draining"));
+        assert_eq!(ex.terminal(), encode_draining(3));
+        server.stop();
+    }
+
+    #[test]
+    fn deadline_already_expired_gets_typed_response() {
+        let addr = temp_sock("deadline");
+        let server = Server::start(
+            &ServerConfig::new(addr.clone()),
+            Arc::new(Orchestrator::default()),
+        )
+        .expect("server starts");
+        let mut client = Client::new(addr);
+        // A 1ms deadline on a cold gcc sweep cannot be met; the client must
+        // get a typed deadline terminal, never a hang or a torn line.
+        let line = encode_sweep_deadline(42, &spec("gcc"), &[0, 64, 128], 1);
+        let ex = client.request(&line).expect("deadline answered");
+        assert_eq!(line_status(ex.terminal()), Some("deadline"));
+        assert_eq!(field_str(ex.terminal(), "code"), Some("deadline"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_seed_spread() {
+        for attempt in 0..10 {
+            let a = backoff_delay_ms(7, 42, attempt);
+            assert_eq!(a, backoff_delay_ms(7, 42, attempt), "deterministic");
+            assert!(a < BACKOFF_CAP_MS, "within cap");
+            let span = (BACKOFF_BASE_MS << attempt.min(6)).min(BACKOFF_CAP_MS);
+            assert!(a < span.max(1), "within this attempt's span");
+        }
+        let spread: std::collections::HashSet<u64> =
+            (0..32).map(|seed| backoff_delay_ms(seed, 1, 6)).collect();
+        assert!(spread.len() > 8, "distinct seeds spread retry delays");
+    }
+
+    #[test]
+    fn sweep_digest_ignores_request_id_but_not_grid() {
+        let s = spec("hmmer");
+        let d = sweep_digest(&s, &[0, 64]);
+        assert_eq!(
+            sweep_digest(&s, &[0, 64]),
+            d,
+            "digest is a pure function of spec+grid"
+        );
+        assert_ne!(sweep_digest(&s, &[0, 64, 128]), d, "grid changes digest");
+        let mut other = spec("hmmer");
+        other.env = 612;
+        assert_ne!(sweep_digest(&other, &[0, 64]), d, "spec changes digest");
+    }
+
+    #[test]
+    fn journal_replays_items_and_quarantines_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("biaslab-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let digest = 0xdead_beef_u64;
+        let payload = ItemPayload {
+            status: "ok",
+            code: String::new(),
+            error: String::new(),
+            setup: "core2/O2/default".to_owned(),
+            checksum: 7,
+            counters: "1,2,3".to_owned(),
+        };
+        {
+            let (mut j, replayed) = SweepJournal::open(&dir, digest).expect("journal opens");
+            assert!(replayed.is_empty());
+            j.append(digest, 0, &payload).expect("append");
+            j.append(digest, 1, &payload).expect("append");
+            // Simulate a crash mid-append: a torn half-line tail.
+            let line = journal_line(digest, 2, &payload);
+            j.file
+                .write_all(&line.as_bytes()[..line.len() / 2])
+                .expect("torn write");
+        }
+        let (j, replayed) = SweepJournal::open(&dir, digest).expect("journal reopens");
+        assert_eq!(
+            replayed.len(),
+            2,
+            "intact items replayed, torn tail dropped"
+        );
+        assert_eq!(replayed[&0], payload);
+        assert!(
+            !std::fs::read_to_string(&j.path)
+                .expect("journal readable")
+                .contains("\"seq\":2"),
+            "compaction removed the torn tail"
+        );
+        j.complete();
+        assert!(!dir.join(format!("{digest:016x}.jsonl")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     proptest! {
         #[test]
         fn prop_request_roundtrip(
@@ -2069,6 +2996,9 @@ mod tests {
             envs in prop::collection::vec(prop::sample::select(vec![0u64, 64, 612]), 0..5),
             sweep in any::<bool>(),
         ) {
+            // Derived, not an extra strategy: the vendored proptest caps
+            // tuples at 12 parameters.
+            let deadline_ms = [0u64, 1, 250, 60_000][(id % 4) as usize];
             let spec = MeasureSpec {
                 bench: bench.to_owned(),
                 machine: machine.to_owned(),
@@ -2085,9 +3015,9 @@ mod tests {
                 budget,
             };
             let req = if sweep {
-                Request::Sweep { id, spec, envs }
+                Request::Sweep { id, spec, envs, deadline_ms }
             } else {
-                Request::Measure { id, spec }
+                Request::Measure { id, spec, deadline_ms }
             };
             let line = encode_request(&req);
             prop_assert_eq!(parse_request(&line).unwrap(), req.clone());

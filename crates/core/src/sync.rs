@@ -1,0 +1,36 @@
+//! Poison-recovering wrappers around the std synchronization primitives.
+//!
+//! The orchestrator's in-flight cells, the serve daemon's queues and the
+//! fault registry all use std mutexes (the offline `parking_lot` stand-in
+//! has no condvar), and std mutexes poison when a holder panics. Every
+//! value protected by these locks stays consistent across a panic — each
+//! is written in a single statement — so poison carries no information we
+//! need, and propagating it (the old `expect`s) turned one panicked
+//! thread into a process-wide wedge for everything sharing the lock.
+//! These helpers used to be copy-pasted into `orchestrator`, `serve` and
+//! `faults`; they live here once now.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks a std mutex, recovering from poison.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_unpoisoned`].
+pub(crate) fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery. Deadline-bound
+/// waiters (single-flight followers with a request deadline) use this so a
+/// panicked leader can neither wedge nor poison them.
+pub(crate) fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}

@@ -39,11 +39,13 @@ cmp "$tmp/cold.txt" "$tmp/resumed.txt" \
 
 echo "==> serve throughput (loadgen against a local daemon)"
 sock="$tmp/bench-serve.sock"
-./target/release/biaslab serve --addr "unix:$sock" >/dev/null 2>&1 &
+BIASLAB_RESULTS_DIR="$tmp/serve-results" \
+    ./target/release/biaslab serve --addr "unix:$sock" >/dev/null 2>&1 &
 serve_pid=$!
 for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
 [ -S "$sock" ] || { echo "FATAL: serve daemon did not bind $sock" >&2; exit 1; }
 serve_out="$(./target/release/biaslab loadgen --addr "unix:$sock" --clients 8 --requests 50 --seed 7)"
+serve_stats="$(./target/release/biaslab client stats --addr "unix:$sock" --id 9999)"
 ./target/release/biaslab client shutdown --addr "unix:$sock" >/dev/null
 wait "$serve_pid"
 serve_rps="$(sed -n 's/.*rps=\([0-9.]*\).*/\1/p' <<<"$serve_out")"
@@ -51,6 +53,12 @@ serve_p50="$(sed -n 's/.*p50_us=\([0-9]*\).*/\1/p' <<<"$serve_out")"
 serve_p99="$(sed -n 's/.*p99_us=\([0-9]*\).*/\1/p' <<<"$serve_out")"
 serve_hit="$(sed -n 's/.*hit_rate=\([0-9.]*\).*/\1/p' <<<"$serve_out")"
 [ -n "$serve_rps" ] || { echo "FATAL: loadgen reported no rps" >&2; exit 1; }
+# Supervision counters from the daemon's own stats line; a fault-free
+# bench run records zeros, and any drift from zero is a red flag in the
+# perf trajectory.
+serve_panics="$(sed -n 's/.*"serve\.worker\.panic":\([0-9]*\).*/\1/p' <<<"$serve_stats")"
+serve_respawns="$(sed -n 's/.*"serve\.worker\.respawn":\([0-9]*\).*/\1/p' <<<"$serve_stats")"
+serve_deadlines="$(sed -n 's/.*"serve\.deadline\.expired":\([0-9]*\).*/\1/p' <<<"$serve_stats")"
 
 echo "==> cargo bench --bench hotpath"
 hotpath_out="$(cargo bench -p biaslab-bench --bench hotpath 2>/dev/null)"
@@ -66,7 +74,10 @@ stat_out="$(grep '^stat ' <<<"${hotpath_out}" || true)"
     echo "    \"rps\": ${serve_rps},"
     echo "    \"p50_us\": ${serve_p50},"
     echo "    \"p99_us\": ${serve_p99},"
-    echo "    \"hit_rate\": ${serve_hit}"
+    echo "    \"hit_rate\": ${serve_hit},"
+    echo "    \"worker_panics\": ${serve_panics:-0},"
+    echo "    \"worker_respawns\": ${serve_respawns:-0},"
+    echo "    \"deadline_expired\": ${serve_deadlines:-0}"
     echo "  },"
     echo "  \"micro_us_per_iter\": {"
     first=1

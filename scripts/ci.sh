@@ -111,6 +111,64 @@ cmp "$tmp/client-cold.out" "$tmp/client-chaos.out" \
 wait "$serve_pid" || true
 [ ! -e "$sock" ] || { echo "FATAL: chaos daemon leaked its socket file" >&2; exit 1; }
 
+echo "==> serve supervision smoke (worker panic -> respawn -> health ok)"
+BIASLAB_FAULTS="seed=42,serve.worker_panic=@1" \
+    ./target/release/biaslab serve --addr "unix:$sock" --workers 4 --queue 32 \
+    > "$tmp/serve-sup.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "FATAL: supervised daemon did not bind $sock" >&2; exit 1; }
+# The first measurement job trips the one-shot panic; the client gets a
+# typed error terminal, never a hang or a torn line.
+./target/release/biaslab client measure hmmer --addr "unix:$sock" --id 21 \
+    > "$tmp/client-panic.out"
+grep -q '"code":"panic"' "$tmp/client-panic.out" \
+    || { echo "FATAL: injected worker panic not surfaced as typed error" >&2; exit 1; }
+# The supervisor must respawn the worker and report health back at ok.
+health=""
+for _ in $(seq 1 50); do
+    ./target/release/biaslab client stats --addr "unix:$sock" --id 22 > "$tmp/stats-sup.out"
+    if grep -q '"health":"ok"' "$tmp/stats-sup.out"; then health=ok; break; fi
+    sleep 0.1
+done
+[ "$health" = ok ] \
+    || { echo "FATAL: health never returned to ok: $(cat "$tmp/stats-sup.out")" >&2; exit 1; }
+respawns="$(sed -n 's/.*"serve\.worker\.respawn":\([0-9]*\).*/\1/p' "$tmp/stats-sup.out")"
+[ -n "$respawns" ] && [ "$respawns" -ge 1 ] \
+    || { echo "FATAL: no worker respawn recorded after injected panic" >&2; exit 1; }
+# The recovered pool serves a full load run without a single failure.
+./target/release/biaslab loadgen --addr "unix:$sock" --clients 4 --requests 10 --seed 11 \
+    > "$tmp/loadgen-sup.out"
+grep -q "failed=0 " "$tmp/loadgen-sup.out" \
+    || { echo "FATAL: loadgen failed after respawn: $(cat "$tmp/loadgen-sup.out")" >&2; exit 1; }
+./target/release/biaslab client shutdown --addr "unix:$sock" > /dev/null
+wait "$serve_pid"
+
+echo "==> serve SIGTERM drain smoke (in-flight sweep completes, socket removed)"
+BIASLAB_RESULTS_DIR="$tmp/serve-results" \
+    ./target/release/biaslab serve --addr "unix:$sock" --workers 2 --queue 32 \
+    --drain-timeout 30000 > "$tmp/serve-drain.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "FATAL: drain daemon did not bind $sock" >&2; exit 1; }
+./target/release/biaslab client sweep gcc --addr "unix:$sock" --id 31 \
+    --envs 0,64,128,256,512,1024 > "$tmp/client-drain.out" &
+client_pid=$!
+sleep 0.2
+kill -TERM "$serve_pid"
+wait "$client_pid" \
+    || { echo "FATAL: in-flight sweep died during drain" >&2; exit 1; }
+items="$(grep -c '"ev":"item"' "$tmp/client-drain.out" || true)"
+[ "$items" -eq 6 ] \
+    || { echo "FATAL: drain lost sweep items (got $items of 6)" >&2; exit 1; }
+grep -q '"status":"ok"' "$tmp/client-drain.out" \
+    || { echo "FATAL: drained sweep missing ok terminal" >&2; exit 1; }
+wait "$serve_pid" \
+    || { echo "FATAL: daemon exited nonzero after SIGTERM drain" >&2; exit 1; }
+[ ! -e "$sock" ] || { echo "FATAL: drained daemon leaked its socket file" >&2; exit 1; }
+leaked="$(find "$tmp/serve-results" -name '*.tmp' 2>/dev/null || true)"
+[ -z "$leaked" ] || { echo "FATAL: drain leaked journal tmp files: $leaked" >&2; exit 1; }
+
 echo "==> scripts/bench.sh ci (bench smoke)"
 ./scripts/bench.sh ci
 

@@ -199,6 +199,115 @@ fn one_shot_trigger_replays_exactly() {
     }
 }
 
+/// Worker panics under load: the pool shrinks and recovers through the
+/// supervisor, every victim client gets exactly one typed `panic`
+/// terminal (no lost or duplicated responses, no failed exchanges), the
+/// respawn counter moves, and health returns to `ok` at full strength.
+#[test]
+fn worker_panic_schedule_shrinks_then_recovers_the_pool() {
+    let _guard = faults::scoped(&spec("seed=1"));
+    faults::install(&spec("seed=606,serve.worker_panic=0.08"));
+    let addr = temp_sock("wpanic");
+    let mut cfg = ServerConfig::new(addr.clone());
+    cfg.workers = 3;
+    cfg.restart_budget = 256; // never exhaust: the pool must always recover
+    cfg.restart_seed = 606;
+    let server = Server::start(&cfg, Arc::new(Orchestrator::default())).expect("server starts");
+
+    let direct = Orchestrator::default();
+    let pool = pool();
+    let expected: Vec<String> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let harness = direct.harness(&s.bench).expect("known benchmark");
+            let result = direct.measure(&harness, &s.setup().expect("known machine"), s.size);
+            encode_response(i as u64, &result)
+        })
+        .collect();
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 4;
+    let panics: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = addr.clone();
+                let pool = &pool;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::new(addr).with_backoff_seed(c as u64);
+                    let mut panics = 0u64;
+                    for _ in 0..ROUNDS {
+                        for (i, s) in pool.iter().enumerate() {
+                            let ex = client
+                                .request(&encode_measure(i as u64, s))
+                                .expect("every exchange ends in a terminal, never a failure");
+                            for line in &ex.lines {
+                                validate_response_line(line)
+                                    .expect("sealed, schema-valid lines under worker panics");
+                            }
+                            match serve::line_status(ex.terminal()) {
+                                Some("ok") => assert_eq!(
+                                    ex.terminal(),
+                                    expected[i],
+                                    "ok responses stay byte-identical under panics"
+                                ),
+                                Some("err") => {
+                                    assert!(
+                                        ex.terminal().contains("\"code\":\"panic\""),
+                                        "only typed panic errors expected: {}",
+                                        ex.terminal()
+                                    );
+                                    panics += 1;
+                                }
+                                other => panic!("unexpected terminal status {other:?}"),
+                            }
+                        }
+                    }
+                    panics
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    assert!(
+        panics >= 1,
+        "the 8% panic schedule never fired over {} requests",
+        CLIENTS * ROUNDS * pool.len()
+    );
+
+    // The supervisor must restore the pool to configured strength and
+    // health to `ok` (respawn delays are capped under ~200ms each).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while (server.live_workers() < cfg.workers || server.health() != "ok")
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(server.live_workers(), cfg.workers, "pool recovered");
+    assert_eq!(server.health(), "ok", "health degraded -> ok");
+
+    // The daemon's own accounting agrees: panics were observed and every
+    // one of them was answered by a respawn.
+    let mut client = Client::new(addr);
+    let ex = client
+        .request(&encode_control(999, "stats"))
+        .expect("stats answered");
+    let stat = |name: &str| serve::stats_counter(ex.terminal(), name).unwrap_or(0);
+    assert_eq!(serve::line_health(ex.terminal()), Some("ok"));
+    assert!(stat("serve.worker.panic") >= panics, "panics counted");
+    assert_eq!(
+        stat("serve.worker.panic"),
+        stat("serve.worker.respawn"),
+        "every panic within budget is matched by a respawn"
+    );
+    assert_eq!(server.queue_len(), 0, "admission queue drained");
+    server.shutdown();
+}
+
 /// A mid-response disconnect on a sweep still converges: the client
 /// replays the whole request and the daemon's caches serve the retry,
 /// ending in a complete, seal-verified item stream.

@@ -1,0 +1,233 @@
+//! Crash-recovery battery for sweep journals: a daemon killed mid-sweep
+//! (the `serve.crash_before_journal_fsync` fault tears the journal and
+//! panics the worker) resumes on restart from the write-ahead journal,
+//! re-simulating nothing it already journaled and converging to the exact
+//! bytes a never-crashed sweep produces.
+//!
+//! Fault state is process-global, so the test holds the
+//! [`faults::scoped`] guard for its whole body.
+
+use std::sync::Arc;
+
+use biaslab_core::faults::{self, FaultSpec};
+use biaslab_core::serve::{
+    self, encode_sweep, encode_sweep_done, encode_sweep_item, sweep_digest, sweep_setups,
+    validate_response_line, Addr, Client, MeasureSpec, Server, ServerConfig,
+};
+use biaslab_core::setup::LinkOrder;
+use biaslab_core::{telemetry, Orchestrator};
+use biaslab_toolchain::OptLevel;
+use biaslab_workloads::InputSize;
+
+fn spec(s: &str) -> FaultSpec {
+    FaultSpec::parse(s).expect("test specs parse")
+}
+
+fn temp_sock(tag: &str) -> Addr {
+    let dir = std::env::temp_dir();
+    Addr::Unix(dir.join(format!("biaslab-scrash-{tag}-{}.sock", std::process::id())))
+}
+
+fn sweep_spec() -> MeasureSpec {
+    MeasureSpec {
+        bench: "hmmer".to_owned(),
+        machine: "core2".to_owned(),
+        opt: OptLevel::O2,
+        order: LinkOrder::Default,
+        text_offset: 0,
+        stack_shift: 0,
+        env: 0,
+        size: InputSize::Test,
+        budget: 0,
+    }
+}
+
+fn counter(name: &str) -> u64 {
+    telemetry::metrics().counter(name).get()
+}
+
+/// The kill-and-restart differential: crash a daemon three items into a
+/// five-item sweep, restart it over the same journal directory, and the
+/// resumed sweep must (a) answer byte-identically to a never-crashed
+/// direct sweep, (b) replay exactly the journaled items instead of
+/// re-simulating them — pinned via `serve.sweep.resumed_items` — and
+/// (c) leave no torn lines, no `.tmp` leaks, and no journal file behind.
+#[test]
+fn killed_mid_sweep_resumes_byte_identical() {
+    let _guard = faults::scoped(&spec("seed=1"));
+    let journal_dir =
+        std::env::temp_dir().join(format!("biaslab-scrash-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let s = sweep_spec();
+    let envs: Vec<u64> = vec![0, 64, 128, 256, 612];
+    let digest = sweep_digest(&s, &envs);
+    let journal_path = journal_dir.join(format!("{digest:016x}.jsonl"));
+
+    // Phase 1: the third journal append tears the file and kills the
+    // worker — the in-process stand-in for `kill -9` mid-fsync.
+    faults::install(&spec("seed=707,serve.crash_before_journal_fsync=@3"));
+    let addr = temp_sock("phase1");
+    let mut cfg = ServerConfig::new(addr.clone());
+    cfg.journal_dir = Some(journal_dir.clone());
+    let server = Server::start(&cfg, Arc::new(Orchestrator::default())).expect("server starts");
+    let journaled_before = counter("serve.sweep.journal_items");
+    let mut client = Client::new(addr);
+    let ex = client
+        .request(&encode_sweep(9, &s, &envs))
+        .expect("the crash still yields a typed terminal, not a hang");
+    assert_eq!(
+        serve::line_status(ex.terminal()),
+        Some("err"),
+        "crashed sweep ends in a typed error: {}",
+        ex.terminal()
+    );
+    assert!(
+        ex.terminal().contains("\"code\":\"panic\""),
+        "crash surfaces as the worker-panic error: {}",
+        ex.terminal()
+    );
+    let journaled = counter("serve.sweep.journal_items") - journaled_before;
+    assert_eq!(journaled, 2, "two appends land before the third crashes");
+    server.shutdown();
+
+    // The journal survives the crash: the journaled items are intact and
+    // sealed, the torn half-line tail is present but fails its seal.
+    let raw = std::fs::read_to_string(&journal_path).expect("journal file survives the crash");
+    let lines: Vec<&str> = raw.lines().collect();
+    assert_eq!(lines.len(), 3, "two sealed lines plus the torn tail");
+    assert!(serve::verify_sealed(lines[0]) && serve::verify_sealed(lines[1]));
+    assert!(
+        !serve::verify_sealed(lines[2]),
+        "the torn tail must not verify: {}",
+        lines[2]
+    );
+
+    // Phase 2: restart (fresh daemon, fresh orchestrator — nothing cached
+    // in memory) over the same journal directory, faults cleared.
+    faults::install(&spec("seed=1"));
+    let addr = temp_sock("phase2");
+    let mut cfg = ServerConfig::new(addr.clone());
+    cfg.journal_dir = Some(journal_dir.clone());
+    let server = Server::start(&cfg, Arc::new(Orchestrator::default())).expect("server restarts");
+    let resumed_before = counter("serve.sweep.resumed_items");
+    let journaled_before = counter("serve.sweep.journal_items");
+    let mut client = Client::new(addr);
+    let ex = client
+        .request(&encode_sweep(77, &s, &envs))
+        .expect("resumed sweep completes");
+
+    // Byte-identity against the never-crashed direct path.
+    let direct = Orchestrator::default();
+    let harness = direct.harness(&s.bench).expect("known benchmark");
+    let setups = sweep_setups(&s.setup().expect("known machine"), &envs);
+    let mut expected: Vec<String> = setups
+        .iter()
+        .enumerate()
+        .map(|(seq, setup)| {
+            let r = direct.measure(&harness, setup, s.size);
+            encode_sweep_item(77, seq as u64, &r)
+        })
+        .collect();
+    expected.push(encode_sweep_done(77, envs.len() as u64));
+    for line in &ex.lines {
+        validate_response_line(line).expect("resumed lines are sealed and schema-valid");
+    }
+    assert_eq!(
+        ex.lines, expected,
+        "resumed sweep diverged from the never-crashed sweep"
+    );
+
+    // Exactly the journaled items were replayed; only the rest were
+    // simulated and journaled fresh. No item is double-counted.
+    assert_eq!(
+        counter("serve.sweep.resumed_items") - resumed_before,
+        journaled,
+        "every journaled item replayed, none re-simulated"
+    );
+    assert_eq!(
+        counter("serve.sweep.journal_items") - journaled_before,
+        envs.len() as u64 - journaled,
+        "only the missing items were simulated and journaled"
+    );
+    server.shutdown();
+
+    // A completed sweep cleans up after itself: no journal, no tmp files.
+    assert!(
+        !journal_path.exists(),
+        "completed sweep must remove its journal"
+    );
+    let leftovers: Vec<String> = std::fs::read_dir(&journal_dir)
+        .expect("journal dir readable")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "journal dir must be clean, found {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+/// Back-to-back crashes accumulate: a second kill later in the same sweep
+/// extends the journal rather than restarting it, and the third run
+/// finishes from the union of both journals' items.
+#[test]
+fn repeated_crashes_accumulate_journal_progress() {
+    let _guard = faults::scoped(&spec("seed=1"));
+    let journal_dir =
+        std::env::temp_dir().join(format!("biaslab-scrash2-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let mut s = sweep_spec();
+    s.bench = "mcf".to_owned();
+    let envs: Vec<u64> = vec![0, 64, 128, 256];
+
+    // Crash after 1 append, then after 2 more, then run clean.
+    let schedules = [
+        Some("seed=808,serve.crash_before_journal_fsync=@2"),
+        Some("seed=808,serve.crash_before_journal_fsync=@3"),
+        None,
+    ];
+    let mut last = None;
+    for (phase, schedule) in schedules.iter().enumerate() {
+        faults::install(&spec(schedule.unwrap_or("seed=1")));
+        let addr = temp_sock(&format!("acc{phase}"));
+        let mut cfg = ServerConfig::new(addr.clone());
+        cfg.journal_dir = Some(journal_dir.clone());
+        let server = Server::start(&cfg, Arc::new(Orchestrator::default())).expect("server starts");
+        let mut client = Client::new(addr);
+        let ex = client
+            .request(&encode_sweep(5, &s, &envs))
+            .expect("terminal always arrives");
+        if schedule.is_some() {
+            assert_eq!(serve::line_status(ex.terminal()), Some("err"));
+        } else {
+            last = Some(ex.lines.clone());
+        }
+        server.shutdown();
+    }
+
+    let direct = Orchestrator::default();
+    let harness = direct.harness(&s.bench).expect("known benchmark");
+    let setups = sweep_setups(&s.setup().expect("known machine"), &envs);
+    let mut expected: Vec<String> = setups
+        .iter()
+        .enumerate()
+        .map(|(seq, setup)| {
+            let r = direct.measure(&harness, setup, s.size);
+            encode_sweep_item(5, seq as u64, &r)
+        })
+        .collect();
+    expected.push(encode_sweep_done(5, envs.len() as u64));
+    assert_eq!(
+        last.expect("clean phase ran"),
+        expected,
+        "twice-crashed sweep still converges byte-identically"
+    );
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
